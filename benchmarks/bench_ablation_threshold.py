@@ -1,0 +1,77 @@
+"""Ablation A5 — probability-threshold tuning vs negative rules.
+
+The paper improves precision by post-filtering the learner with hand-
+crafted negative rules (Section 12). A purely statistical alternative is
+to raise the learner's decision threshold. This ablation sweeps the
+threshold on the final matcher's probabilities and compares the best
+precision-floor operating point against the paper's rule-based fix, on
+exact ground truth.
+
+Finding (and the reason the paper's choice is right): thresholding trades
+recall for precision along one curve, while the negative rules inject
+*new information* (identifier patterns) — they remove false positives the
+probability ranking cannot separate.
+"""
+
+import numpy as np
+
+from repro.casestudy.report import ReportRow, render_report
+from repro.casestudy.workflows import train_workflow_matcher
+from repro.evaluation import evaluate_matches
+from repro.features import extract_feature_vectors
+from repro.ml import precision_recall_curve, select_threshold
+
+
+def test_ablation_threshold_vs_rules(benchmark, run, emit_report):
+    truth = run.combined_truth
+    matcher = train_workflow_matcher(
+        run.blocking_v2.candidates, run.labeling.labels,
+        run.matching.feature_set, run.matching.matcher,
+    )
+    # probabilities over the original slice's prediction set
+    to_predict = run.updated_workflow.original.to_predict
+    matrix = extract_feature_vectors(to_predict, run.matching.feature_set)
+    probabilities = benchmark.pedantic(
+        matcher.predict_proba, args=(matrix,), rounds=1, iterations=1
+    )
+    pairs = list(to_predict.pairs)
+    y = np.array([1 if p in truth else 0 for p in pairs])
+    p = np.array([probabilities[pair] for pair in pairs])
+
+    sure = list(run.updated_workflow.original.sure_matches.pairs) + list(
+        run.updated_workflow.extra.sure_matches.pairs
+    )
+
+    def with_threshold(threshold):
+        predicted = [pair for pair, prob in zip(pairs, p) if prob >= threshold]
+        return evaluate_matches(sure + predicted, truth)
+
+    default = with_threshold(0.5)
+    point = select_threshold(y, p, precision_floor=0.9)
+    tuned = with_threshold(point.threshold if point else 1.1)
+    rules = evaluate_matches(run.final_workflow.matches, truth)
+    curve = precision_recall_curve(y, p)
+
+    rows = [
+        ReportRow("operating points on the curve", "-", len(curve)),
+        ReportRow("threshold 0.5 (the paper's default)", "-", str(default)),
+        ReportRow(
+            f"threshold {point.threshold:.2f} (tuned, floor 0.9 on ML slice)"
+            if point else "tuned threshold", "-", str(tuned),
+        ),
+        ReportRow("negative rules (Figure 10)", "-", str(rules)),
+    ]
+    emit_report(
+        "ablation_threshold",
+        render_report("Ablation A5 — threshold tuning vs negative rules", rows),
+    )
+
+    # shape: tuning can push precision up but at a recall price on the
+    # same information; the rules reach high precision with *less* recall
+    # loss than a threshold achieving comparable precision
+    assert tuned.precision >= default.precision - 1e-9
+    assert rules.precision > default.precision
+    if point is not None and tuned.precision <= rules.precision:
+        assert rules.recall >= tuned.recall - 0.02, (
+            "rules should dominate: comparable precision at no extra recall cost"
+        )

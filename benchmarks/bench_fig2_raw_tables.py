@@ -1,0 +1,60 @@
+"""Figure 2 — sizes of the seven raw tables.
+
+Regenerates the synthetic UMETRICS/USDA world and compares the table shapes
+to the paper's Figure 2. The three bulk tables (employees, vendors,
+sub-awards) and object codes are generated at ``aux_scale`` and their
+full-scale extrapolation is reported alongside.
+"""
+
+from repro.casestudy.report import ReportRow, render_report
+from repro.datasets import ScenarioConfig, generate_scenario
+from repro.datasets.umetrics import (
+    PAPER_ROWS_EMPLOYEES,
+    PAPER_ROWS_OBJECT_CODES,
+    PAPER_ROWS_ORG_UNITS,
+    PAPER_ROWS_SUBAWARDS,
+    PAPER_ROWS_VENDORS,
+)
+from repro.table import summarize_tables
+
+#: (table attr, paper rows, paper cols, scaled?)
+FIGURE2 = [
+    ("award_agg", 1_336, 13, False),
+    ("employees", PAPER_ROWS_EMPLOYEES, 13, True),
+    ("object_codes", PAPER_ROWS_OBJECT_CODES, 3, True),
+    ("org_units", PAPER_ROWS_ORG_UNITS, 5, False),
+    ("sub_awards", PAPER_ROWS_SUBAWARDS, 23, True),
+    ("vendors", PAPER_ROWS_VENDORS, 21, True),
+    ("usda", 1_915, 78, False),
+]
+
+
+def test_fig2_raw_table_sizes(benchmark, run, emit_report):
+    config = ScenarioConfig(seed=7)  # fresh seed: timing covers generation
+    scenario = benchmark.pedantic(
+        generate_scenario, args=(config,), rounds=1, iterations=1
+    )
+    rows = []
+    for attr, paper_rows, paper_cols, scaled in FIGURE2:
+        table = getattr(scenario, attr)
+        measured_rows = table.num_rows
+        if scaled:
+            measured = f"{measured_rows} (~{round(measured_rows / config.aux_scale)} full-scale)"
+        else:
+            measured = str(measured_rows)
+        rows.append(ReportRow(f"{table.name} rows", paper_rows, measured))
+        rows.append(ReportRow(f"{table.name} cols", paper_cols, table.num_cols))
+        # exact-shape assertions
+        assert table.num_cols == paper_cols
+        if not scaled:
+            assert measured_rows == paper_rows
+    rows.append(
+        ReportRow("extra UMETRICS records (Sec. 10)", 496, scenario.extra_award_agg.num_rows)
+    )
+    assert scenario.extra_award_agg.num_rows == 496
+    emit_report("fig2_raw_tables", render_report("Figure 2 — raw table summary", rows))
+    # the Figure-2 style summary table renders for all seven tables
+    summary = summarize_tables(
+        [getattr(scenario, attr) for attr, *_ in FIGURE2]
+    )
+    assert summary.num_rows == 7

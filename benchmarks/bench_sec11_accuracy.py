@@ -1,0 +1,63 @@
+"""Section 11 — Corleone accuracy estimation of ours vs IRIS.
+
+Times the estimation protocol (stray-prediction audit, 200-pair labeled
+sample, then 400) and compares the estimated intervals to the paper's:
+
+    ours  P (75.2, 80.3)  R (98.1, 99.6)
+    IRIS  P (100, 100)    R (65.1, 71.8)
+"""
+
+from repro.casestudy.accuracy import run_accuracy_estimation
+from repro.casestudy.report import PAPER_ACCURACY, ReportRow, interval_str, render_report
+from repro.casestudy.sampling import make_oracles
+
+
+def test_sec11_accuracy_estimation(benchmark, run, emit_report):
+    authority, _, _ = make_oracles(run.combined_truth, run.config.seed)
+    predictions = {
+        "learning-based": list(run.updated_workflow.matches),
+        "IRIS (rules)": run.iris_matches,
+    }
+    outcome = benchmark.pedantic(
+        run_accuracy_estimation,
+        args=(run.final_workflow.consolidated_candidates, predictions, authority),
+        kwargs={"sample_sizes": (200, 400), "seed": run.config.seed},
+        rounds=1,
+        iterations=1,
+    )
+    paper = PAPER_ACCURACY
+    stage = max(outcome.estimates_by_stage)
+    first = min(outcome.estimates_by_stage)
+    ours = outcome.estimates_by_stage[stage]["learning-based"]
+    iris = outcome.estimates_by_stage[stage]["IRIS (rules)"]
+    rows = [
+        ReportRow("ours precision", interval_str(paper["learned"]["precision"]),
+                  interval_str(ours.precision)),
+        ReportRow("ours recall", interval_str(paper["learned"]["recall"]),
+                  interval_str(ours.recall)),
+        ReportRow("IRIS precision", interval_str(paper["iris"]["precision"]),
+                  interval_str(iris.precision)),
+        ReportRow("IRIS recall", interval_str(paper["iris"]["recall"]),
+                  interval_str(iris.recall)),
+        ReportRow("stray IRIS predictions dropped", 1,
+                  outcome.stray_predictions_dropped["IRIS (rules)"]),
+        ReportRow("sample labels", "400", str(outcome.sample_counts[stage])),
+    ]
+    emit_report(
+        "sec11_accuracy",
+        render_report("Section 11 — Corleone accuracy estimation", rows)
+        + "\n\n" + outcome.table(stage) + "\n\n" + outcome.table(first),
+    )
+
+    # the paper's qualitative findings
+    assert iris.precision.contains(1.0), "IRIS never errs when it fires"
+    assert ours.recall.midpoint > iris.recall.midpoint + 0.1, (
+        "the learned workflow finds many more matches"
+    )
+    assert ours.precision.midpoint < 1.0, "the learned workflow pays precision"
+    # more labels tighten the estimates (unless the smaller sample's
+    # interval was already clipped at a [0,1] boundary, which shrinks it
+    # artificially)
+    earlier = outcome.estimates_by_stage[first]["learning-based"]
+    clipped = earlier.recall.high >= 1.0 - 1e-9 or earlier.recall.low <= 1e-9
+    assert clipped or ours.recall.width <= earlier.recall.width + 1e-9

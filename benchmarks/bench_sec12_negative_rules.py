@@ -1,0 +1,69 @@
+"""Section 12 — improving precision with the negative matching rule.
+
+Times the Figure-10 workflow (learning-based matcher followed by the
+"comparable numbers differ" negative rules) and reproduces the paper's
+final three-matcher comparison:
+
+    learning only   P (75.2, 80.3)   R (98.1, 99.6)
+    IRIS            P (100, 100)     R (65.1, 71.8)
+    learning+rules  P (96.7, 98.8)   R (94.2, 97.05)   -> 845 final matches
+"""
+
+from repro.casestudy.report import PAPER_ACCURACY, ReportRow, interval_str, render_report
+from repro.casestudy.workflows import run_combined_workflow, train_workflow_matcher
+from repro.evaluation import evaluate_matches
+
+
+def test_sec12_negative_rules(benchmark, run, emit_report):
+    matcher = train_workflow_matcher(
+        run.blocking_v2.candidates, run.labeling.labels,
+        run.matching.feature_set, run.matching.matcher,
+    )
+    outcome = benchmark.pedantic(
+        run_combined_workflow,
+        args=(run.projected_v2, run.projected_extra, run.labeling.labels,
+              run.matching.feature_set, matcher),
+        kwargs={"with_negative_rules": True},
+        rounds=1,
+        iterations=1,
+    )
+    estimates = run.accuracy.estimates_by_stage[max(run.accuracy.estimates_by_stage)]
+    learned = estimates["learning-based"]
+    iris = estimates["IRIS (rules)"]
+    final = estimates["learning + negative rules"]
+    paper = PAPER_ACCURACY
+    truth = run.combined_truth
+    exact = evaluate_matches(outcome.matches, truth)
+    exact_learned = evaluate_matches(run.updated_workflow.matches, truth)
+    rows = [
+        ReportRow("final matches", paper["final_matches"], len(outcome.matches)),
+        ReportRow("pairs flipped by negative rules", "-",
+                  len(outcome.original.flipped) + len(outcome.extra.flipped)),
+        ReportRow("learning P", interval_str(paper["learned"]["precision"]),
+                  interval_str(learned.precision)),
+        ReportRow("learning R", interval_str(paper["learned"]["recall"]),
+                  interval_str(learned.recall)),
+        ReportRow("IRIS P", interval_str(paper["iris"]["precision"]),
+                  interval_str(iris.precision)),
+        ReportRow("IRIS R", interval_str(paper["iris"]["recall"]),
+                  interval_str(iris.recall)),
+        ReportRow("learning+rules P", interval_str(paper["learned_plus_rules"]["precision"]),
+                  interval_str(final.precision)),
+        ReportRow("learning+rules R", interval_str(paper["learned_plus_rules"]["recall"]),
+                  interval_str(final.recall)),
+        ReportRow("exact (ground truth) learning", "-", str(exact_learned)),
+        ReportRow("exact (ground truth) learning+rules", "-", str(exact)),
+    ]
+    emit_report(
+        "sec12_negative_rules",
+        render_report("Section 12 — negative rules (Figure 10)", rows),
+    )
+
+    # the paper's crossover structure, asserted on exact ground truth
+    assert exact.precision > exact_learned.precision, "rules must buy precision"
+    assert exact.recall <= exact_learned.recall, "at a (small) recall cost"
+    assert exact_learned.recall - exact.recall < 0.10, "the cost stays small"
+    iris_exact = evaluate_matches(run.iris_matches, truth)
+    assert exact.recall > iris_exact.recall + 0.1, "hybrid still beats IRIS recall"
+    assert exact.precision > 0.9, "hybrid precision approaches IRIS"
+    assert len(outcome.matches) < len(run.updated_workflow.matches)

@@ -1,0 +1,64 @@
+"""Section 12 "next steps" — packaging the workflow for production.
+
+The paper ends with the UMETRICS team asking for the matcher to be
+packaged so it can move into the repository, and names the challenge:
+representing a workflow that mixes rules, blocking, features and a trained
+learner. This bench packages the final (Figure 10) workflow to JSON,
+reloads it, and verifies the deployed copy reproduces the development
+run's matches exactly — the fidelity requirement any production hand-off
+has — while timing the full save/load/replay cycle.
+"""
+
+import json
+
+from repro.casestudy.blocking_plan import make_blockers
+from repro.casestudy.report import ReportRow, render_report
+from repro.casestudy.workflows import positive_rules, train_workflow_matcher
+from repro.core import EMWorkflow, PackagedWorkflow
+from repro.rules import default_negative_rules
+
+
+def test_sec12_packaging_roundtrip(benchmark, run, emit_report, tmp_path):
+    matcher = train_workflow_matcher(
+        run.blocking_v2.candidates, run.labeling.labels,
+        run.matching.feature_set, run.matching.matcher,
+    )
+    package = PackagedWorkflow(
+        EMWorkflow(
+            name="figure10",
+            positive_rules=positive_rules(),
+            blockers=make_blockers(),
+            negative_rules=default_negative_rules(),
+        ),
+        matcher,
+        run.matching.feature_set,
+    )
+    tables = run.projected_v2
+    development = package.run(tables.umetrics, tables.usda, "RecordId", "RecordId")
+
+    def save_load_replay():
+        path = package.save(tmp_path / "figure10.json")
+        deployed = PackagedWorkflow.load(path)
+        return path, deployed.run(tables.umetrics, tables.usda, "RecordId", "RecordId")
+
+    path, replayed = benchmark.pedantic(save_load_replay, rounds=1, iterations=1)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    rows = [
+        ReportRow("package size (bytes)", "-", path.stat().st_size),
+        ReportRow("positive rules packaged", 2, len(payload["positive_rules"])),
+        ReportRow("blockers packaged", 3, len(payload["blockers"])),
+        ReportRow("features packaged", "-", len(payload["features"])),
+        ReportRow("model kind", "tree-based", payload["model"]["kind"]),
+        ReportRow("development matches", "-", len(development.matches)),
+        ReportRow("deployed replay matches", "same", len(replayed.matches)),
+    ]
+    emit_report(
+        "sec12_packaging",
+        render_report("Section 12 next steps — workflow packaging", rows),
+    )
+
+    assert set(replayed.matches) == set(development.matches), (
+        "the deployed package must reproduce development results exactly"
+    )
+    assert replayed.flipped == development.flipped
+    assert len(payload["features"]) == len(run.matching.feature_set)

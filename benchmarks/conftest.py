@@ -1,0 +1,39 @@
+"""Shared state for the benchmark suite.
+
+All benches reproduce the paper at **full scale** (1336/1915/496 rows), so
+the expensive pipeline stages are computed once per session through a
+shared :class:`~repro.casestudy.CaseStudyRun` and the per-bench timing
+wraps the stage-specific recomputation.
+
+Every bench writes its paper-vs-measured report to
+``benchmarks/out/<name>.txt`` *and* prints it (run pytest with ``-s`` to
+see reports inline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.casestudy import CaseStudyRun
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def run() -> CaseStudyRun:
+    """The full-scale case-study run (stages cached on first access)."""
+    return CaseStudyRun()
+
+
+@pytest.fixture(scope="session")
+def emit_report():
+    """Write a report to benchmarks/out/ and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return emit

@@ -1,0 +1,81 @@
+"""Blocking design and debugging, the Section-7 way.
+
+Shows the experiments behind the paper's blocking choices on the synthetic
+scenario: the overlap-threshold sweep (K=1 explodes, K=7 starves), the
+footnote-3 analysis of why BOTH the overlap and the overlap-coefficient
+blockers are needed, and the MatchCatcher-style debugger — including the
+extension the paper did not try: ranking excluded pairs by employee names,
+which surfaces matches whose titles were rewritten.
+
+Run:  python examples/blocking_debugging.py
+"""
+
+from repro.blocking import debug_blocker, overlap_report, union_candidates
+from repro.casestudy import CaseStudyRun
+from repro.casestudy.blocking_plan import make_blockers, threshold_sweep
+from repro.datasets import ScenarioConfig
+
+
+def main() -> None:
+    run = CaseStudyRun(
+        config=ScenarioConfig(
+            n_umetrics_rows=280, n_usda_rows=400, n_extra_rows=100,
+            n_federal=40, n_state=65, n_forest=20, n_extra_matched=12,
+            n_sibling_families=18, n_generic_umetrics=5, n_generic_usda=6,
+            n_multistate_usda=12, aux_scale=0.002,
+        )
+    )
+    tables = run.projected
+    truth = tables.truth
+
+    # -- 1. the overlap-threshold sweep ------------------------------------
+    print("overlap-threshold sweep (word tokens on normalized titles):")
+    for k, size in threshold_sweep(tables, thresholds=(1, 2, 3, 5, 7)).items():
+        print(f"  K={k}: {size:>8} candidate pairs")
+    print("  -> K=1 is uselessly large, K=7 starves; the paper picked K=3\n")
+
+    # -- 2. why two title blockers? (footnote 3) ---------------------------
+    ae, overlap, coefficient = make_blockers()
+    args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
+    c1 = ae.block_tables(*args, name="C1")
+    c2 = overlap.block_tables(*args, name="C2")
+    c3 = coefficient.block_tables(*args, name="C3")
+    print("footnote-3 analysis:", overlap_report(c2, c3))
+    only_c3 = c3.difference(c2)
+    short_title_pairs = [
+        pair for pair in only_c3.pairs[:5]
+    ]
+    print("  sample pairs only the coefficient blocker kept (short titles):")
+    for pair in short_title_pairs:
+        l_row, r_row = only_c3.record_pair(pair)
+        print(f"    {l_row['AwardTitle']!r:40} vs {r_row['AwardTitle']!r}")
+    print()
+
+    # -- 3. the blocking debugger ------------------------------------------
+    candidates = union_candidates([c1, c2, c3], name="C")
+    captured = sum(1 for pair in truth if pair in candidates)
+    print(f"consolidated C: {len(candidates)} pairs; "
+          f"{captured}/{len(truth)} true matches captured\n")
+
+    print("debugger, ranking excluded pairs by TITLE similarity (the paper's run):")
+    for report in debug_blocker(candidates, [("AwardTitle", "AwardTitle")], top_k=5):
+        verdict = "MATCH" if (report.l_id, report.r_id) in truth else "non-match"
+        print(f"  score={report.score:.2f} ({report.l_id}, {report.r_id}) -> {verdict}")
+    print("  -> like the paper: the top of the list is non-matches; stop tuning.\n")
+
+    print("debugger EXTENSION, adding employee names as a ranking attribute:")
+    hits = 0
+    for report in debug_blocker(
+        candidates,
+        [("AwardTitle", "AwardTitle"), ("EmployeeName", "EmployeeName")],
+        top_k=25,
+    ):
+        if (report.l_id, report.r_id) in truth:
+            hits += 1
+    print(f"  {hits} true matches surface in the top 25 — records whose USDA "
+          "report title was rewritten but whose project director matches. "
+          "A second blocking iteration could recover these.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Record-level vs cluster-level matching (the Section-10 discussion).
+
+The UMETRICS team insisted matches be one-to-one — which only makes sense
+at the *cluster* level, because a grant shows up as several records
+(annual USDA reports, UMETRICS sub-awards). This example reproduces the
+analysis the EM team shared: how record-level matches distribute across
+arities, what the clusters look like, and what a one-to-one cluster
+assignment would keep.
+
+Run:  python examples/cluster_level_matching.py
+"""
+
+from repro.casestudy import CaseStudyRun
+from repro.clustering import (
+    analyze_match_arity,
+    cluster_by_attribute,
+    lift_to_clusters,
+    one_to_one_assignment,
+)
+from repro.datasets import ScenarioConfig
+from repro.text import award_number_suffix
+
+
+def main() -> None:
+    run = CaseStudyRun(
+        config=ScenarioConfig(
+            n_umetrics_rows=280, n_usda_rows=400, n_extra_rows=100,
+            n_federal=40, n_state=65, n_forest=20, n_extra_matched=12,
+            n_sibling_families=18, n_generic_umetrics=5, n_generic_usda=6,
+            n_multistate_usda=12, aux_scale=0.002,
+        )
+    )
+    matches = list(run.final_workflow.matches)
+
+    # -- 1. the arity analysis the EM team shared ---------------------------
+    report = analyze_match_arity(matches)
+    print("record-level match arity:", report)
+    print("  (annual reports and sub-awards make 1:n/n:1 legitimate here)\n")
+
+    # -- 2. cluster each table's records per grant --------------------------
+    umetrics = run.projected_v2.umetrics
+    usda = run.projected_v2.usda
+    l_clusters = cluster_by_attribute(
+        umetrics, "RecordId", "AwardNumber", normalize=award_number_suffix
+    )
+    r_clusters = cluster_by_attribute(usda, "RecordId", "ProjectNumber")
+    multi_l = sum(1 for members in l_clusters.values() if len(members) > 1)
+    multi_r = sum(1 for members in r_clusters.values() if len(members) > 1)
+    print(f"UMETRICS: {len(l_clusters)} clusters ({multi_l} multi-record)")
+    print(f"USDA:     {len(r_clusters)} clusters ({multi_r} multi-record)\n")
+
+    # -- 3. lift record matches to clusters and enforce one-to-one ----------
+    original_ids = set(umetrics["RecordId"])
+    original_matches = [p for p in matches if p[0] in original_ids]
+    lifted = lift_to_clusters(original_matches, l_clusters, r_clusters)
+    chosen = one_to_one_assignment(lifted)
+    print(f"{len(original_matches)} record matches lift to {len(lifted)} "
+          f"cluster pairs; one-to-one assignment keeps {len(chosen)}")
+    strongest = max(chosen, key=lambda m: m.support)
+    print(f"strongest cluster match: {len(strongest.l_cluster)} UMETRICS "
+          f"record(s) <-> {len(strongest.r_cluster)} USDA record(s), "
+          f"supported by {strongest.support} record pair(s)\n")
+
+    kept_pairs = sum(m.support for m in chosen)
+    print(f"one-to-one clustering covers {kept_pairs}/{len(original_matches)} "
+          "record pairs.")
+    print("The teams ultimately kept record-level matching — the analysis "
+          "showed the non-1:1 structure was benign — exactly the paper's call.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Moving the matcher into production (the paper's "Next Steps").
+
+Section 12 ends with the UMETRICS team asking for the matcher to be
+packaged so it can run over *other data slices*, with accuracy monitored
+and a path back to development when quality drifts. This example builds
+that loop:
+
+1. train the final workflow (positive rules + learner + negative rules)
+   on the development slice, and *package* it — serialize the rules,
+   blockers, features, trained model and imputer to a JSON file, the
+   representation the paper says production needs;
+2. reload the package and apply it, unchanged, to two fresh production
+   slices — one clean, one deliberately dirtied (titles corrupted,
+   numbers dropped);
+3. monitor each batch with sampled expert labeling; the dirty slice trips
+   the precision floor and flags a return to development.
+
+Run:  python examples/production_monitoring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.casestudy import CaseStudyRun, preprocess, train_workflow_matcher
+from repro.casestudy.blocking_plan import make_blockers
+from repro.casestudy.workflows import positive_rules, run_combined_workflow
+from repro.core import EMWorkflow, PackagedWorkflow
+from repro.datasets import ScenarioConfig, make_borderline_predicate
+from repro.evaluation import AccuracyMonitor
+from repro.labeling import ExpertOracle
+from repro.rules import default_negative_rules
+
+
+def dev_config(seed: int = 45) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=seed,
+        n_umetrics_rows=280, n_usda_rows=400, n_extra_rows=100,
+        n_federal=40, n_state=65, n_forest=20, n_extra_matched=12,
+        n_sibling_families=18, n_generic_umetrics=5, n_generic_usda=6,
+        n_multistate_usda=12, aux_scale=0.002,
+    )
+
+
+def corrupt_slice(projected, rng: np.random.Generator):
+    """Dirty a production slice: shuffle title words, drop award numbers."""
+    def mangle_title(value):
+        if value is None or rng.random() > 0.5:
+            return value
+        words = str(value).split()
+        rng.shuffle(words)
+        return " ".join(words[: max(2, len(words) // 2)])
+
+    def drop_number(value):
+        return None if value is not None and rng.random() < 0.6 else value
+
+    dirty_umetrics = projected.umetrics.map_column("AwardTitle", mangle_title)
+    dirty_umetrics = dirty_umetrics.map_column("AwardNumber", drop_number)
+    # RecordId stays intact, so ground truth still applies
+    dirty_umetrics = dirty_umetrics.with_column("RecordId", projected.umetrics["RecordId"])
+    return type(projected)(umetrics=dirty_umetrics, usda=projected.usda,
+                           truth=projected.truth)
+
+
+def main() -> None:
+    # -- development stage --------------------------------------------------
+    dev = CaseStudyRun(config=dev_config(seed=45))
+    matcher = train_workflow_matcher(
+        dev.blocking_v2.candidates, dev.labeling.labels,
+        dev.matching.feature_set, dev.matching.matcher,
+    )
+    print("development matcher trained:", dev.matching.final_selection.best.name)
+
+    # package it: rules + blockers + features + model + imputer, as JSON
+    package = PackagedWorkflow(
+        EMWorkflow(
+            name="figure10",
+            positive_rules=positive_rules(),
+            blockers=make_blockers(),
+            negative_rules=default_negative_rules(),
+        ),
+        matcher,
+        dev.matching.feature_set,
+    )
+    path = Path(tempfile.mkdtemp()) / "figure10_workflow.json"
+    package.save(path)
+    print(f"packaged workflow -> {path} ({path.stat().st_size} bytes)")
+    deployed = PackagedWorkflow.load(path)  # what production actually runs
+
+    monitor = AccuracyMonitor(precision_floor=0.95, sample_size=60, seed=7)
+    rng = np.random.default_rng(11)
+
+    # -- production slices --------------------------------------------------
+    for batch_name, seed, dirty in (("2016-Q1", 101, False), ("2016-Q2", 202, True)):
+        production = CaseStudyRun(config=dev_config(seed=seed))
+        slice_tables = preprocess(production.scenario, include_project_number=True)
+        if dirty:
+            slice_tables = corrupt_slice(slice_tables, rng)
+        outcome = run_combined_workflow(
+            slice_tables, production.projected_extra,
+            dev.labeling.labels, deployed.feature_set, deployed.matcher,
+            with_negative_rules=True,
+        )
+        oracle = ExpertOracle(
+            slice_tables.truth | production.projected_extra.truth,
+            borderline=make_borderline_predicate(),
+            unsure_probability=0.2,
+            seed=seed,
+        )
+        report = monitor.check_batch(
+            batch_name, outcome.consolidated_candidates, list(outcome.matches), oracle
+        )
+        print(f"\nbatch {batch_name} ({'dirty' if dirty else 'clean'}): "
+              f"{len(outcome.matches)} matches")
+        print(" ", report)
+
+    if monitor.needs_redevelopment():
+        print("\n-> the latest batch was flagged: back to the development "
+              "stage to revise the workflow (the paper's third challenge).")
+    else:
+        print("\n-> all batches healthy; the workflow stays in production.")
+
+
+if __name__ == "__main__":
+    main()

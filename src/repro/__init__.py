@@ -1,0 +1,3 @@
+"""repro: end-to-end entity matching toolkit (EDBT 2019 case-study repro)."""
+
+__version__ = "1.0.0"

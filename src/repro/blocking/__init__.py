@@ -1,0 +1,42 @@
+"""Blocking subsystem: blockers, candidate sets, combiners, debugger."""
+
+from .attr_equivalence import AttrEquivalenceBlocker
+from .base import Blocker
+from .blackbox import BlackBoxBlocker
+from .candidate_set import CandidateSet, Pair, full_cross_product
+from .combiner import (
+    OverlapReport,
+    intersect_candidates,
+    overlap_report,
+    union_candidates,
+)
+from .debugger import MissedPairReport, debug_blocker
+from .dedupe import canonical_records, dedupe_candidates, duplicate_clusters
+from .down_sample import down_sample
+from .overlap import OverlapBlocker
+from .overlap_coefficient import OverlapCoefficientBlocker
+from .rule_based import RuleBasedBlocker
+from .sorted_neighborhood import SortedNeighborhoodBlocker
+
+__all__ = [
+    "AttrEquivalenceBlocker",
+    "BlackBoxBlocker",
+    "Blocker",
+    "CandidateSet",
+    "MissedPairReport",
+    "OverlapBlocker",
+    "OverlapCoefficientBlocker",
+    "OverlapReport",
+    "Pair",
+    "RuleBasedBlocker",
+    "SortedNeighborhoodBlocker",
+    "canonical_records",
+    "debug_blocker",
+    "dedupe_candidates",
+    "down_sample",
+    "duplicate_clusters",
+    "full_cross_product",
+    "intersect_candidates",
+    "overlap_report",
+    "union_candidates",
+]

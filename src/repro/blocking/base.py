@@ -1,0 +1,38 @@
+"""Blocker interface.
+
+A blocker takes two tables (plus their key columns) and produces a
+:class:`~repro.blocking.candidate_set.CandidateSet` of pairs that survive
+its heuristic. Blockers are deliberately *recall-oriented*: their job is to
+drop obvious non-matches, never plausible matches.
+"""
+
+from __future__ import annotations
+
+from ..errors import BlockingError
+from ..table import Table
+from ..table.catalog import validate_key
+from .candidate_set import CandidateSet
+
+
+class Blocker:
+    """Abstract base class for blockers."""
+
+    #: Subclasses set this for nicer candidate-set names.
+    short_name = "blocker"
+
+    def block_tables(
+        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+    ) -> CandidateSet:
+        """Produce the candidate set for (ltable, rtable)."""
+        raise NotImplementedError
+
+    def _validate_inputs(
+        self, ltable: Table, rtable: Table, l_key: str, r_key: str, attrs: list[tuple[Table, str]]
+    ) -> None:
+        validate_key(ltable, l_key)
+        validate_key(rtable, r_key)
+        for table, attr in attrs:
+            if attr not in table:
+                raise BlockingError(
+                    f"blocking attribute {attr!r} not in table {table.name!r}"
+                )

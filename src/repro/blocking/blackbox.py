@@ -1,0 +1,51 @@
+"""Black-box blocker: apply an arbitrary scoring function over A x B.
+
+PyMatcher's escape hatch: when none of the built-in blockers fits, users
+write a Python function. Unlike :class:`RuleBasedBlocker`, a black-box
+blocker may return a *score*; pairs scoring at or above the threshold are
+kept. There is no index acceleration — this is the "quick patch" tool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import BlockingError
+from ..table import Table
+from .base import Blocker
+from .candidate_set import CandidateSet
+
+PairScore = Callable[[dict[str, Any], dict[str, Any]], float]
+
+
+class BlackBoxBlocker(Blocker):
+    """Keep pairs whose ``score(l_row, r_row) >= threshold``."""
+
+    short_name = "blackbox"
+
+    def __init__(self, score: PairScore, threshold: float = 0.5) -> None:
+        self.score = score
+        self.threshold = threshold
+
+    def block_tables(
+        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+    ) -> CandidateSet:
+        self._validate_inputs(ltable, rtable, l_key, r_key, [])
+        pairs = []
+        l_rows = ltable.to_rows()
+        r_rows = rtable.to_rows()
+        for lrow in l_rows:
+            for rrow in r_rows:
+                value = self.score(lrow, rrow)
+                if isinstance(value, bool):
+                    keep = value
+                elif isinstance(value, (int, float)):
+                    keep = value >= self.threshold
+                else:
+                    raise BlockingError(
+                        f"black-box score returned {type(value).__name__}, "
+                        "expected bool or number"
+                    )
+                if keep:
+                    pairs.append((lrow[l_key], rrow[r_key]))
+        return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

@@ -1,0 +1,202 @@
+"""Candidate sets: the output of blocking, input to sampling and matching.
+
+A :class:`CandidateSet` is an ordered, duplicate-free collection of
+(left-id, right-id) pairs together with references to the two base tables
+and their key columns — enough provenance to recover full records for
+labeling, feature extraction and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import BlockingError
+from ..table import Table
+
+Pair = tuple[Any, Any]
+
+
+class CandidateSet:
+    """A set of candidate record pairs between two tables.
+
+    Parameters
+    ----------
+    ltable, rtable:
+        The base tables the pair ids refer to.
+    l_key, r_key:
+        Key columns of the base tables.
+    pairs:
+        Iterable of (left-id, right-id); duplicates are dropped, first-seen
+        order is preserved (so sampling is deterministic given a seed).
+    name:
+        Optional label, e.g. ``"C2"``.
+    """
+
+    def __init__(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        pairs: Iterable[Pair] = (),
+        name: str = "",
+    ) -> None:
+        self.ltable = ltable
+        self.rtable = rtable
+        self.l_key = l_key
+        self.r_key = r_key
+        self.name = name
+        self._l_index = {v: i for i, v in enumerate(ltable[l_key])}
+        self._r_index = {v: i for i, v in enumerate(rtable[r_key])}
+        self._pairs: list[Pair] = []
+        self._seen: set[Pair] = set()
+        for pair in pairs:
+            self.add(pair)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, pair: Pair) -> bool:
+        """Add a pair; returns False when it was already present."""
+        lid, rid = pair
+        if lid not in self._l_index:
+            raise BlockingError(f"left id {lid!r} not present in {self.ltable.name!r}")
+        if rid not in self._r_index:
+            raise BlockingError(f"right id {rid!r} not present in {self.rtable.name!r}")
+        key = (lid, rid)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._pairs.append(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return tuple(pair) in self._seen
+
+    @property
+    def pairs(self) -> list[Pair]:
+        return list(self._pairs)
+
+    def pair_set(self) -> set[Pair]:
+        return set(self._seen)
+
+    def left_row(self, lid: Any) -> dict[str, Any]:
+        """Full left record for an id."""
+        return self.ltable.row(self._l_index[lid])
+
+    def right_row(self, rid: Any) -> dict[str, Any]:
+        """Full right record for an id."""
+        return self.rtable.row(self._r_index[rid])
+
+    def record_pair(self, pair: Pair) -> tuple[dict[str, Any], dict[str, Any]]:
+        """(left record, right record) for a candidate pair."""
+        lid, rid = pair
+        return self.left_row(lid), self.right_row(rid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "candidates"
+        return f"<CandidateSet {label!r}: {len(self)} pairs>"
+
+    # ------------------------------------------------------------------
+    # set algebra (all return new candidate sets over the same tables)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "CandidateSet") -> None:
+        if (
+            self.ltable is not other.ltable
+            or self.rtable is not other.rtable
+            or self.l_key != other.l_key
+            or self.r_key != other.r_key
+        ):
+            raise BlockingError(
+                "candidate sets must share base tables and keys to combine"
+            )
+
+    def union(self, other: "CandidateSet", name: str = "") -> "CandidateSet":
+        self._check_compatible(other)
+        return CandidateSet(
+            self.ltable, self.rtable, self.l_key, self.r_key,
+            self._pairs + other._pairs, name=name,
+        )
+
+    def intersection(self, other: "CandidateSet", name: str = "") -> "CandidateSet":
+        self._check_compatible(other)
+        return CandidateSet(
+            self.ltable, self.rtable, self.l_key, self.r_key,
+            [p for p in self._pairs if p in other._seen], name=name,
+        )
+
+    def difference(self, other: "CandidateSet", name: str = "") -> "CandidateSet":
+        self._check_compatible(other)
+        return CandidateSet(
+            self.ltable, self.rtable, self.l_key, self.r_key,
+            [p for p in self._pairs if p not in other._seen], name=name,
+        )
+
+    def subset(self, pairs: Sequence[Pair], name: str = "") -> "CandidateSet":
+        """A candidate set restricted to *pairs* (all must be members)."""
+        missing = [p for p in pairs if tuple(p) not in self._seen]
+        if missing:
+            raise BlockingError(f"{len(missing)} pairs not in candidate set: {missing[:3]}")
+        return CandidateSet(
+            self.ltable, self.rtable, self.l_key, self.r_key, pairs, name=name
+        )
+
+    def filter(self, predicate: Callable[[dict, dict], bool], name: str = "") -> "CandidateSet":
+        """Keep pairs whose records satisfy *predicate(l_row, r_row)*."""
+        kept = [p for p in self._pairs if predicate(*self.record_pair(p))]
+        return CandidateSet(
+            self.ltable, self.rtable, self.l_key, self.r_key, kept, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def to_table(
+        self,
+        l_attrs: Sequence[str] = (),
+        r_attrs: Sequence[str] = (),
+        name: str = "",
+    ) -> Table:
+        """Materialise as a table with ``_id``, the two key columns
+        (prefixed ``ltable_``/``rtable_``) and any requested attributes."""
+        rows = []
+        for i, (lid, rid) in enumerate(self._pairs):
+            lrow, rrow = self.record_pair((lid, rid))
+            out: dict[str, Any] = {"_id": i, f"ltable_{self.l_key}": lid, f"rtable_{self.r_key}": rid}
+            for a in l_attrs:
+                out[f"ltable_{a}"] = lrow[a]
+            for a in r_attrs:
+                out[f"rtable_{a}"] = rrow[a]
+            rows.append(out)
+        columns = (
+            ["_id", f"ltable_{self.l_key}", f"rtable_{self.r_key}"]
+            + [f"ltable_{a}" for a in l_attrs]
+            + [f"rtable_{a}" for a in r_attrs]
+        )
+        return Table.from_rows(rows, columns=columns, name=name or self.name)
+
+    def sample(self, n: int, rng) -> list[Pair]:
+        """Uniform random sample of *n* pairs without replacement."""
+        if n > len(self._pairs):
+            raise BlockingError(f"cannot sample {n} pairs from {len(self._pairs)}")
+        indices = rng.choice(len(self._pairs), size=n, replace=False)
+        return [self._pairs[int(i)] for i in indices]
+
+
+def full_cross_product(
+    ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = "AxB"
+) -> CandidateSet:
+    """The un-blocked Cartesian product (use only on small tables)."""
+    pairs = [
+        (lid, rid) for lid in ltable[l_key] for rid in rtable[r_key]
+    ]
+    return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name)

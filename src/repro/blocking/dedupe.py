@@ -1,0 +1,72 @@
+"""Single-table deduplication support.
+
+The paper's Section 2 lists "matching tuples within a single table" among
+the common EM scenarios. Any two-table blocker works for dedupe by
+blocking a table against itself; this module handles the bookkeeping that
+self-joins need — dropping self-pairs and symmetric duplicates — and turns
+pairwise duplicate predictions into clusters via connected components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..clustering.unionfind import UnionFind
+from ..table import Table
+from .base import Blocker
+from .candidate_set import CandidateSet, Pair
+
+
+def dedupe_candidates(
+    table: Table, key: str, blocker: Blocker, name: str = "dedupe"
+) -> CandidateSet:
+    """Block *table* against itself, canonically.
+
+    Self-pairs (a, a) are dropped and each unordered pair appears once,
+    oriented so the smaller key (by string order) is on the left.
+    """
+    raw = blocker.block_tables(table, table, key, key)
+    seen: set[tuple[Any, Any]] = set()
+    pairs: list[Pair] = []
+    for a, b in raw:
+        if a == b:
+            continue
+        ordered = (a, b) if str(a) <= str(b) else (b, a)
+        if ordered not in seen:
+            seen.add(ordered)
+            pairs.append(ordered)
+    return CandidateSet(table, table, key, key, pairs, name=name)
+
+
+def duplicate_clusters(
+    record_ids: Iterable[Any], duplicate_pairs: Iterable[Pair]
+) -> list[list[Any]]:
+    """Group records into duplicate clusters (connected components).
+
+    Returns only clusters with two or more members — singletons are not
+    duplicates of anything.
+    """
+    uf = UnionFind(record_ids)
+    for a, b in duplicate_pairs:
+        uf.union(a, b)
+    return [group for group in uf.groups() if len(group) > 1]
+
+
+def canonical_records(
+    table: Table, key: str, duplicate_pairs: Iterable[Pair], name: str = ""
+) -> Table:
+    """Collapse duplicate clusters, keeping each cluster's first record.
+
+    "First" is the record appearing earliest in the table, which makes the
+    operation deterministic and lets callers control survivorship by
+    pre-sorting.
+    """
+    ids = table[key]
+    clusters = duplicate_clusters(ids, duplicate_pairs)
+    drop: set[Any] = set()
+    position = {rid: i for i, rid in enumerate(ids)}
+    for cluster in clusters:
+        ordered = sorted(cluster, key=lambda rid: position[rid])
+        drop.update(ordered[1:])
+    keep = [i for i, rid in enumerate(ids) if rid not in drop]
+    return table.take(keep, name=name or f"{table.name}_deduped")

@@ -1,0 +1,175 @@
+"""The end-to-end case study, section by section.
+
+:class:`CaseStudyRun` executes the whole pipeline once (scenario ->
+pre-processing -> blocking -> labeling -> matching -> updated/final
+workflows -> accuracy estimation) with lazily-computed, cached stages, so
+examples, tests and benches can share one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..blocking.candidate_set import Pair
+from ..datasets.iris import iris_matcher
+from ..datasets.scenario import Scenario, ScenarioConfig, generate_scenario
+from ..labeling.oracle import ExpertOracle
+from .accuracy import AccuracyOutcome, run_accuracy_estimation
+from .blocking_plan import BlockingOutcome, run_blocking, threshold_sweep
+from .matching import MatchingOutcome, base_feature_set, run_matching
+from .preprocess import ProjectedTables, preprocess, preprocess_extra
+from .sampling import LabelingOutcome, run_sampling_and_labeling
+from .workflows import (
+    CombinedWorkflowOutcome,
+    RuleCoverage,
+    check_new_rule_coverage,
+    run_combined_workflow,
+    train_workflow_matcher,
+)
+
+__all__ = [
+    "AccuracyOutcome",
+    "BlockingOutcome",
+    "CaseStudyRun",
+    "CombinedWorkflowOutcome",
+    "LabelingOutcome",
+    "MatchingOutcome",
+    "ProjectedTables",
+    "RuleCoverage",
+    "base_feature_set",
+    "check_new_rule_coverage",
+    "preprocess",
+    "preprocess_extra",
+    "run_accuracy_estimation",
+    "run_blocking",
+    "run_combined_workflow",
+    "run_matching",
+    "run_sampling_and_labeling",
+    "threshold_sweep",
+    "train_workflow_matcher",
+]
+
+
+@dataclass
+class CaseStudyRun:
+    """One full execution of the case study over the synthetic scenario.
+
+    Stages are cached properties computed on first access, in dependency
+    order; a bench that only needs blocking never pays for matching.
+    """
+
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    @cached_property
+    def scenario(self) -> Scenario:
+        return generate_scenario(self.config)
+
+    # ------------------------------------------------------------ §6
+    @cached_property
+    def projected(self) -> ProjectedTables:
+        """First-pass projected tables (no ProjectNumber yet)."""
+        return preprocess(self.scenario, include_project_number=False)
+
+    @cached_property
+    def projected_v2(self) -> ProjectedTables:
+        """Section-10 revision: USDAProjected gains ProjectNumber."""
+        return preprocess(self.scenario, include_project_number=True)
+
+    @cached_property
+    def projected_extra(self) -> ProjectedTables:
+        return preprocess_extra(self.scenario, include_project_number=True)
+
+    # ------------------------------------------------------------ §7
+    @cached_property
+    def blocking(self) -> BlockingOutcome:
+        return run_blocking(self.projected)
+
+    @cached_property
+    def blocking_v2(self) -> BlockingOutcome:
+        """Blocking over the revised projected tables (same blockers)."""
+        return run_blocking(self.projected_v2)
+
+    # ------------------------------------------------------------ §8
+    @cached_property
+    def labeling(self) -> LabelingOutcome:
+        return run_sampling_and_labeling(
+            self.blocking_v2.candidates,
+            self.projected.truth,
+            base_feature_set(self.projected),
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------ §9
+    @cached_property
+    def matching(self) -> MatchingOutcome:
+        return run_matching(
+            self.blocking_v2.candidates,
+            self.labeling.labels,
+            self.projected_v2,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------ §10/12
+    @cached_property
+    def updated_workflow(self) -> CombinedWorkflowOutcome:
+        matcher = train_workflow_matcher(
+            self.blocking_v2.candidates,
+            self.labeling.labels,
+            self.matching.feature_set,
+            self.matching.matcher,
+        )
+        return run_combined_workflow(
+            self.projected_v2, self.projected_extra,
+            self.labeling.labels, self.matching.feature_set, matcher,
+            with_negative_rules=False,
+        )
+
+    @cached_property
+    def final_workflow(self) -> CombinedWorkflowOutcome:
+        matcher = train_workflow_matcher(
+            self.blocking_v2.candidates,
+            self.labeling.labels,
+            self.matching.feature_set,
+            self.matching.matcher,
+        )
+        return run_combined_workflow(
+            self.projected_v2, self.projected_extra,
+            self.labeling.labels, self.matching.feature_set, matcher,
+            with_negative_rules=True,
+        )
+
+    # ------------------------------------------------------------ §11
+    @cached_property
+    def combined_truth(self) -> set[Pair]:
+        return self.projected_v2.truth | self.projected_extra.truth
+
+    @cached_property
+    def iris_matches(self) -> list[Pair]:
+        matcher = iris_matcher()
+        original = matcher.predict_tables(
+            self.projected_v2.umetrics, self.projected_v2.usda,
+            self.projected_v2.l_key, self.projected_v2.r_key,
+        )
+        extra = matcher.predict_tables(
+            self.projected_extra.umetrics, self.projected_extra.usda,
+            self.projected_extra.l_key, self.projected_extra.r_key,
+        )
+        return list(original.pairs) + list(extra.pairs)
+
+    @cached_property
+    def accuracy(self) -> AccuracyOutcome:
+        from .sampling import make_oracles
+
+        authority, _, _ = make_oracles(self.combined_truth, self.config.seed)
+        return run_accuracy_estimation(
+            self.final_workflow.consolidated_candidates,
+            predictions={
+                "learning-based": list(self.updated_workflow.matches),
+                "IRIS (rules)": self.iris_matches,
+                "learning + negative rules": list(self.final_workflow.matches),
+            },
+            oracle=authority,
+            sample_sizes=(200, 400),
+            seed=self.config.seed,
+        )

@@ -1,0 +1,86 @@
+"""Section 11 — Corleone-style accuracy estimation of all matchers.
+
+The protocol:
+
+1. both matchers (ours and the deployed IRIS rule matcher) must predict
+   over the same candidate universe E; IRIS predictions outside E are
+   audited (the paper found one — a terminated award — and dropped it);
+2. a random sample of 200 pairs of E is labeled by the domain experts and
+   precision/recall intervals are estimated per matcher;
+3. the intervals being wide, 200 *more* pairs are labeled and the
+   estimates recomputed over all 400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..evaluation.corleone import AccuracyEstimate, compare_matchers
+from ..labeling.labels import LabelCounts, LabeledPairs
+from ..labeling.oracle import ExpertOracle
+
+
+@dataclass(frozen=True)
+class AccuracyOutcome:
+    """Estimates per matcher at each labeling stage."""
+
+    stray_predictions_dropped: dict[str, int]
+    estimates_by_stage: dict[int, dict[str, AccuracyEstimate]]
+    sample_counts: dict[int, LabelCounts]
+
+    def table(self, stage: int | None = None) -> str:
+        """Render the comparison table for a stage (default: largest)."""
+        stage = stage if stage is not None else max(self.estimates_by_stage)
+        estimates = self.estimates_by_stage[stage]
+        lines = [
+            f"{'matcher':<28} {'precision':>22} {'recall':>22}   (n={stage})"
+        ]
+        for name, estimate in estimates.items():
+            lines.append(
+                f"{name:<28} {str(estimate.precision):>22} {str(estimate.recall):>22}"
+            )
+        return "\n".join(lines)
+
+
+def run_accuracy_estimation(
+    universe: CandidateSet,
+    predictions: dict[str, list[Pair]],
+    oracle: ExpertOracle,
+    sample_sizes: tuple[int, ...] = (200, 400),
+    seed: int = 45,
+) -> AccuracyOutcome:
+    """Estimate every matcher's accuracy from nested labeled samples."""
+    population = universe.pair_set()
+    cleaned: dict[str, list[Pair]] = {}
+    strays: dict[str, int] = {}
+    for name, matches in predictions.items():
+        inside = [tuple(p) for p in matches if tuple(p) in population]
+        strays[name] = len(matches) - len(inside)
+        cleaned[name] = inside
+
+    rng = np.random.default_rng(seed)
+    # clamp to the universe size (small scenarios have few candidate pairs)
+    order = sorted({min(s, len(universe)) for s in sample_sizes})
+    largest = order[-1]
+    sampled = universe.sample(largest, rng)
+
+    estimates_by_stage: dict[int, dict[str, AccuracyEstimate]] = {}
+    counts: dict[int, LabelCounts] = {}
+    labeled = LabeledPairs()
+    taken = 0
+    for stage in order:
+        batch = sampled[taken:stage]
+        taken = stage
+        labeled = labeled.merge(oracle.label_pairs(universe, batch))
+        estimates_by_stage[stage] = compare_matchers(
+            universe.pairs, cleaned, labeled
+        )
+        counts[stage] = labeled.counts()
+    return AccuracyOutcome(
+        stray_predictions_dropped=strays,
+        estimates_by_stage=estimates_by_stage,
+        sample_counts=counts,
+    )

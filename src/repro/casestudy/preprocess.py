@@ -1,0 +1,167 @@
+"""Section 6 — pre-processing the raw tables.
+
+Reproduces the paper's steps: (1) keep the two UMETRICS tables the matching
+document deems relevant (award aggregate + employees) and the USDA table;
+(2) validate keys and the employees foreign key; (3) check whether the four
+remaining UMETRICS tables share data with USDA (the vendor OrgName/DUNS
+overlap check — it comes back empty, so they are dropped); (4) project,
+align column names, join in the concatenated employee names, and add a
+RecordId key.
+
+RecordId values equal the natural keys (UniqueAwardNumber /
+AccessionNumber), which the paper verifies are keys of their tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blocking.candidate_set import Pair
+from ..datasets.scenario import Scenario
+from ..table import (
+    Table,
+    group_concat,
+    hash_join,
+    validate_foreign_key,
+    validate_key,
+    values_overlap,
+)
+
+#: Attribute pairs with similar names found during manual schema matching
+#: (pre-processing step 3). The paper checked value overlap and found none.
+SCHEMA_MATCH_CHECKS = [
+    ("UMETRICSVendorMatching.OrgName", "RecipientOrganization"),
+    ("UMETRICSVendorMatching.DUNS", "RecipientDUNS"),
+]
+
+
+@dataclass(frozen=True)
+class ProjectedTables:
+    """The two matching-ready tables plus record-level ground truth."""
+
+    umetrics: Table  # UMETRICSProjected
+    usda: Table  # USDAProjected
+    truth: set[Pair]  # (umetrics RecordId, usda RecordId)
+
+    @property
+    def l_key(self) -> str:
+        return "RecordId"
+
+    @property
+    def r_key(self) -> str:
+        return "RecordId"
+
+
+def check_discarded_tables(scenario: Scenario) -> dict[str, float]:
+    """Step 3: value overlap between similarly-named attribute pairs.
+
+    Returns the overlap score per check; all ~0.0, which is the evidence
+    the paper used to drop the vendor (and the other three) tables.
+    """
+    return {
+        "VendorMatching.OrgName vs USDA.RecipientOrganization": values_overlap(
+            scenario.vendors, scenario.usda, "OrgName", "RecipientOrganization"
+        ),
+        "VendorMatching.DUNS vs USDA.RecipientDUNS": values_overlap(
+            scenario.vendors, scenario.usda, "DUNS", "RecipientDUNS"
+        ),
+    }
+
+
+def _project_umetrics(award_agg: Table, employees: Table, name: str) -> Table:
+    """Project the award table and join in concatenated employee names."""
+    validate_key(award_agg, "UniqueAwardNumber")
+    projected = award_agg.project(
+        ["UniqueAwardNumber", "AwardTitle", "FirstTransDate", "LastTransDate"],
+        name=name,
+    ).rename({"UniqueAwardNumber": "AwardNumber"}, name=name)
+    names = group_concat(
+        employees, key="UniqueAwardNumber", value="FullName", sep="|",
+        name="employee_names",
+    ).rename({"UniqueAwardNumber": "AwardNumber", "FullName": "EmployeeName"})
+    joined = hash_join(
+        projected, names, left_on="AwardNumber", right_on="AwardNumber",
+        how="left", name=name,
+    )
+    joined.add_column("RecordId", list(joined["AwardNumber"]))
+    return joined.project(
+        ["RecordId", "AwardNumber", "AwardTitle", "FirstTransDate",
+         "LastTransDate", "EmployeeName"],
+        name=name,
+    )
+
+
+def _project_usda(usda: Table, include_project_number: bool) -> Table:
+    validate_key(usda, "AccessionNumber")
+    columns = [
+        "AwardNumber", "ProjectTitle", "ProjectStartDate", "ProjectEndDate",
+        "AccessionNumber", "ProjectDirector",
+    ]
+    if include_project_number:
+        columns.append("ProjectNumber")
+    projected = usda.project(columns, name="USDAProjected").rename(
+        {
+            "ProjectTitle": "AwardTitle",
+            "ProjectStartDate": "FirstTransDate",
+            "ProjectEndDate": "LastTransDate",
+            "ProjectDirector": "EmployeeName",
+        },
+        name="USDAProjected",
+    )
+    projected.add_column("RecordId", list(projected["AccessionNumber"]))
+    order = ["RecordId", "AwardNumber", "AwardTitle", "FirstTransDate",
+             "LastTransDate", "AccessionNumber", "EmployeeName"]
+    if include_project_number:
+        order.append("ProjectNumber")
+    return projected.project(order, name="USDAProjected")
+
+
+def preprocess(
+    scenario: Scenario, include_project_number: bool = False
+) -> ProjectedTables:
+    """Run the full Section-6 pipeline on the original data slice.
+
+    ``include_project_number=False`` matches the paper's first pass; the
+    Section-10 revision re-runs with ``True`` (USDA's "ProjectNumber" is
+    pulled into USDAProjected so the new positive rule can fire).
+    """
+    validate_foreign_key(
+        scenario.employees, "UniqueAwardNumber",
+        # the employees table spans original + extra awards
+        _all_awards(scenario), "UniqueAwardNumber",
+    )
+    umetrics = _project_umetrics(
+        scenario.award_agg, scenario.employees, name="UMETRICSProjected"
+    )
+    usda = _project_usda(scenario.usda, include_project_number)
+    truth = {
+        (u, s)
+        for (u, s) in scenario.truth
+        if u in set(umetrics["RecordId"])
+    }
+    return ProjectedTables(umetrics=umetrics, usda=usda, truth=truth)
+
+
+def preprocess_extra(
+    scenario: Scenario, include_project_number: bool = True
+) -> ProjectedTables:
+    """Project the 496 late-arriving UMETRICS records (Section 10)."""
+    umetrics = _project_umetrics(
+        scenario.extra_award_agg, scenario.employees, name="UMETRICSProjectedExtra"
+    )
+    usda = _project_usda(scenario.usda, include_project_number)
+    truth = {
+        (u, s)
+        for (u, s) in scenario.truth
+        if u in set(umetrics["RecordId"])
+    }
+    return ProjectedTables(umetrics=umetrics, usda=usda, truth=truth)
+
+
+def _all_awards(scenario: Scenario) -> Table:
+    """Original + extra award records (for FK validation of employees)."""
+    from ..table.ops import concat
+
+    return concat(
+        [scenario.award_agg, scenario.extra_award_agg], name="all_awards"
+    )

@@ -1,0 +1,181 @@
+"""Sections 10 & 12 — the updated (Figure 9) and final (Figure 10) workflows.
+
+Section 10 brought two complications without a redo:
+
+* a *new positive rule* (UMETRICS award number = USDA project number) was
+  discovered; the paper checks how the existing pipeline handles it (411 of
+  473 rule pairs were already in C; the matcher already predicted most as
+  matches) and then patches the workflow rather than re-labeling;
+* 496 *extra UMETRICS records* surfaced; the same patched workflow is run
+  over them with the already-trained matcher.
+
+The Figure-9 procedure: sure matches C1/D1 from both rules; blocking ->
+C2/D2; predict on C2-C1 and D2-D1 with the matcher trained on the existing
+labels (minus Unsure, minus sure matches); final matches = C1 ∪ D1 ∪ R1 ∪
+R2. Figure 10 adds the negative rules to R1/R2 (S1/S2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..blocking.combiner import union_candidates
+from ..core.patch import merge_match_sets
+from ..core.workflow import EMWorkflow, WorkflowResult
+from ..features.generate import FeatureSet
+from ..features.vectors import extract_feature_vectors
+from ..labeling.labels import LabeledPairs
+from ..matchers.ml_matcher import MLMatcher
+from ..rules.negative import default_negative_rules
+from ..rules.positive import award_project_rule, m1_rule
+from ..table.ops import concat
+from .blocking_plan import make_blockers
+from .matching import sure_match_pairs, training_labels
+from .preprocess import ProjectedTables
+
+
+def positive_rules() -> list:
+    """Both positive rules of the revised match definition."""
+    return [m1_rule(), award_project_rule()]
+
+
+@dataclass(frozen=True)
+class RuleCoverage:
+    """Section 10's pre-patch check of the new positive rule."""
+
+    pairs_in_product: int     # rule pairs in A x B (paper: 473)
+    pairs_in_candidates: int  # of those, already in C (paper: 411)
+    predicted_as_match: int   # of those, already predicted matches (397)
+
+
+def check_new_rule_coverage(
+    tables: ProjectedTables,
+    candidates: CandidateSet,
+    predicted_matches: list[Pair],
+) -> RuleCoverage:
+    """Would a redo be needed? The paper's three-step audit of the new rule."""
+    rule_pairs = award_project_rule().pairs(
+        tables.umetrics, tables.usda, tables.l_key, tables.r_key
+    )
+    in_c = [p for p in rule_pairs if p in candidates]
+    predicted = set(map(tuple, predicted_matches))
+    sure = sure_match_pairs(candidates)  # M1 pairs were matches by definition
+    covered = [p for p in in_c if p in predicted or p in set(sure)]
+    return RuleCoverage(
+        pairs_in_product=len(rule_pairs),
+        pairs_in_candidates=len(in_c),
+        predicted_as_match=len(covered),
+    )
+
+
+@dataclass(frozen=True)
+class CombinedWorkflowOutcome:
+    """Results of the Figure 9 / Figure 10 combined workflow."""
+
+    original: WorkflowResult
+    extra: WorkflowResult
+    matches: tuple[Pair, ...]
+    consolidated_candidates: CandidateSet  # E = C2 ∪ D2 (over merged tables)
+
+    def summary(self) -> str:
+        return (
+            f"original: [{self.original.summary()}]; "
+            f"extra: [{self.extra.summary()}]; "
+            f"final matches={len(self.matches)}"
+        )
+
+
+def train_workflow_matcher(
+    candidates: CandidateSet,
+    labels: LabeledPairs,
+    feature_set: FeatureSet,
+    matcher: MLMatcher,
+) -> MLMatcher:
+    """Train (a clone of) *matcher* exactly as Section 9 did: drop Unsure
+    pairs and the *M1* sure matches, keep the project-number-rule pairs.
+
+    The paper verified the Section-9 matcher "was already learning the
+    above positive rule from the labeled data" — i.e. rule-2 pairs were in
+    its training set; removing them as well would strip nearly every clean
+    high-similarity positive from the sample. The rules still take
+    precedence at prediction time (the workflow only predicts on C minus
+    the sure matches of *both* rules)."""
+    sure = sure_match_pairs(candidates)  # M1 only, as in Section 9
+    pairs, y = training_labels(labels, sure)
+    matrix = extract_feature_vectors(candidates, feature_set, pairs=pairs)
+    trained = matcher.clone()
+    trained.fit(matrix, y)
+    return trained
+
+
+def merged_candidate_universe(
+    original: ProjectedTables,
+    extra: ProjectedTables,
+    original_result: WorkflowResult,
+    extra_result: WorkflowResult,
+) -> CandidateSet:
+    """E = all candidate pairs from both slices, over a merged left table.
+
+    Corleone estimation needs one finite population containing every
+    matcher's predictions, so the two slices' candidate sets are re-keyed
+    onto a concatenated UMETRICS table.
+    """
+    merged_left = concat(
+        [original.umetrics, extra.umetrics], name="UMETRICSProjectedAll"
+    )
+    universe = CandidateSet(
+        merged_left, original.usda, original.l_key, original.r_key, name="E"
+    )
+    for result in (original_result, extra_result):
+        for pair in result.blocked:
+            universe.add(pair)
+    return universe
+
+
+def run_combined_workflow(
+    original: ProjectedTables,
+    extra: ProjectedTables,
+    labels: LabeledPairs,
+    feature_set: FeatureSet,
+    matcher: MLMatcher,
+    with_negative_rules: bool = False,
+) -> CombinedWorkflowOutcome:
+    """Run the Figure-9 (or, with negative rules, Figure-10) workflow."""
+    workflow = EMWorkflow(
+        name="figure10" if with_negative_rules else "figure9",
+        positive_rules=positive_rules(),
+        blockers=make_blockers(),
+        negative_rules=default_negative_rules() if with_negative_rules else [],
+    )
+    original_result = workflow.run(
+        original.umetrics, original.usda, original.l_key, original.r_key,
+        matcher, feature_set,
+    )
+    extra_result = workflow.run(
+        extra.umetrics, extra.usda, extra.l_key, extra.r_key,
+        matcher, feature_set,
+    )
+    kept_original = [
+        p for p in original_result.predicted_matches
+        if p not in {f for f, _ in original_result.flipped}
+    ]
+    kept_extra = [
+        p for p in extra_result.predicted_matches
+        if p not in {f for f, _ in extra_result.flipped}
+    ]
+    matches = merge_match_sets(
+        [
+            original_result.sure_matches.pairs,
+            extra_result.sure_matches.pairs,
+            kept_original,
+            kept_extra,
+        ]
+    )
+    universe = merged_candidate_universe(original, extra, original_result, extra_result)
+    return CombinedWorkflowOutcome(
+        original=original_result,
+        extra=extra_result,
+        matches=tuple(matches),
+        consolidated_candidates=universe,
+    )

@@ -1,0 +1,27 @@
+"""Cluster-level matching support."""
+
+from .cluster_match import (
+    ClusterMatch,
+    MatchArityReport,
+    analyze_match_arity,
+    cluster_by_attribute,
+    cluster_by_links,
+    lift_to_clusters,
+    one_to_one_assignment,
+)
+from .graph import connected_match_groups, match_graph, optimal_one_to_one
+from .unionfind import UnionFind
+
+__all__ = [
+    "ClusterMatch",
+    "MatchArityReport",
+    "UnionFind",
+    "analyze_match_arity",
+    "cluster_by_attribute",
+    "cluster_by_links",
+    "connected_match_groups",
+    "lift_to_clusters",
+    "match_graph",
+    "optimal_one_to_one",
+    "one_to_one_assignment",
+]

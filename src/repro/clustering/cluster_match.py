@@ -1,0 +1,163 @@
+"""Cluster-level matching (the Section-10 "should we match clusters?" path).
+
+A grant may be recorded as several records (annual reports, sub-awards), so
+the domain experts' one-to-one intuition only holds at the *cluster* level:
+group each table's records into per-grant clusters, lift record matches to
+cluster pairs, and enforce one-to-one there. The case study ultimately kept
+record-level matching after an analysis showed few records were affected —
+:func:`analyze_match_arity` produces exactly that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..blocking.candidate_set import Pair
+from ..table import Table
+from ..table.column import is_missing
+from .unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class MatchArityReport:
+    """How record-level matches distribute across arities."""
+
+    one_to_one: int
+    one_to_many: int
+    many_to_one: int
+    many_to_many: int
+
+    @property
+    def total(self) -> int:
+        return self.one_to_one + self.one_to_many + self.many_to_one + self.many_to_many
+
+    @property
+    def non_one_to_one_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.one_to_one / self.total
+
+    def __str__(self) -> str:
+        return (
+            f"1:1={self.one_to_one}, 1:n={self.one_to_many}, "
+            f"n:1={self.many_to_one}, n:m={self.many_to_many} "
+            f"({self.non_one_to_one_fraction:.1%} not one-to-one)"
+        )
+
+
+def analyze_match_arity(matches: Iterable[Pair]) -> MatchArityReport:
+    """Classify each match by whether its endpoints appear in other matches."""
+    matches = [tuple(p) for p in matches]
+    l_degree: dict[Any, int] = {}
+    r_degree: dict[Any, int] = {}
+    for lid, rid in matches:
+        l_degree[lid] = l_degree.get(lid, 0) + 1
+        r_degree[rid] = r_degree.get(rid, 0) + 1
+    counts = {"11": 0, "1n": 0, "n1": 0, "nm": 0}
+    for lid, rid in matches:
+        left_single = l_degree[lid] == 1
+        right_single = r_degree[rid] == 1
+        if left_single and right_single:
+            counts["11"] += 1
+        elif right_single:
+            # the left record also matches other rights -> one-to-many
+            counts["1n"] += 1
+        elif left_single:
+            # the right record also matches other lefts -> many-to-one
+            counts["n1"] += 1
+        else:
+            counts["nm"] += 1
+    return MatchArityReport(
+        one_to_one=counts["11"],
+        one_to_many=counts["1n"],
+        many_to_one=counts["n1"],
+        many_to_many=counts["nm"],
+    )
+
+
+def cluster_by_attribute(
+    table: Table,
+    key: str,
+    attr: str,
+    normalize: Callable[[Any], Any] | None = None,
+) -> dict[Any, list[Any]]:
+    """Cluster record ids by a (normalised) attribute value.
+
+    Records with a missing clustering attribute become singleton clusters
+    keyed by their own id — a grant we cannot group should not be merged
+    with anything.
+    """
+    clusters: dict[Any, list[Any]] = {}
+    for rid, value in zip(table[key], table[attr]):
+        if normalize is not None and not is_missing(value):
+            value = normalize(value)
+        cluster_key = ("singleton", rid) if is_missing(value) else ("value", value)
+        clusters.setdefault(cluster_key, []).append(rid)
+    return clusters
+
+
+def cluster_by_links(ids: Sequence[Any], links: Iterable[tuple[Any, Any]]) -> list[list[Any]]:
+    """Connected-component clustering from pairwise same-grant links."""
+    uf = UnionFind(ids)
+    for a, b in links:
+        uf.union(a, b)
+    return uf.groups()
+
+
+@dataclass(frozen=True)
+class ClusterMatch:
+    """One matched cluster pair with its record-level support."""
+
+    l_cluster: tuple[Any, ...]
+    r_cluster: tuple[Any, ...]
+    support: int
+
+
+def lift_to_clusters(
+    matches: Iterable[Pair],
+    l_clusters: dict[Any, list[Any]],
+    r_clusters: dict[Any, list[Any]],
+) -> list[ClusterMatch]:
+    """Aggregate record matches into cluster-pair matches with support."""
+    l_of: dict[Any, Any] = {
+        rid: ckey for ckey, members in l_clusters.items() for rid in members
+    }
+    r_of: dict[Any, Any] = {
+        rid: ckey for ckey, members in r_clusters.items() for rid in members
+    }
+    support: dict[tuple[Any, Any], int] = {}
+    for lid, rid in matches:
+        key = (l_of[lid], r_of[rid])
+        support[key] = support.get(key, 0) + 1
+    return [
+        ClusterMatch(
+            l_cluster=tuple(l_clusters[lkey]),
+            r_cluster=tuple(r_clusters[rkey]),
+            support=count,
+        )
+        for (lkey, rkey), count in support.items()
+    ]
+
+
+def one_to_one_assignment(cluster_matches: Sequence[ClusterMatch]) -> list[ClusterMatch]:
+    """Greedy one-to-one selection by descending support.
+
+    Enforces the domain experts' requirement that a UMETRICS cluster match
+    at most one USDA cluster (and vice versa); ties break deterministically
+    by cluster content.
+    """
+    ordered = sorted(
+        cluster_matches,
+        key=lambda m: (-m.support, m.l_cluster, m.r_cluster),
+    )
+    used_left: set[tuple] = set()
+    used_right: set[tuple] = set()
+    chosen = []
+    for match in ordered:
+        if match.l_cluster in used_left or match.r_cluster in used_right:
+            continue
+        used_left.add(match.l_cluster)
+        used_right.add(match.r_cluster)
+        chosen.append(match)
+    return chosen

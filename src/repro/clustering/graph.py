@@ -1,0 +1,71 @@
+"""Optional networkx bridge for match-graph analysis.
+
+Record-level matches form a bipartite graph (UMETRICS records on one side,
+USDA records on the other); exporting it to ``networkx`` opens the whole
+graph-analysis toolbox — connected components, maximum bipartite matching
+as an optimal alternative to the greedy one-to-one assignment, degree
+statistics. networkx is an optional dependency (``pip install repro[graph]``);
+importing this module without it raises a clear error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..blocking.candidate_set import Pair
+from ..errors import ReproError
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as error:  # pragma: no cover - environment-specific
+        raise ReproError(
+            "networkx is required for graph analysis; install repro[graph]"
+        ) from error
+    return networkx
+
+
+def match_graph(matches: Iterable[Pair]):
+    """Build the bipartite match graph.
+
+    Left record ids become nodes ``("L", id)`` and right ids ``("R", id)``
+    so the two sides never collide even when ids overlap numerically.
+    """
+    nx = _require_networkx()
+    graph = nx.Graph()
+    for lid, rid in matches:
+        graph.add_node(("L", lid), bipartite=0)
+        graph.add_node(("R", rid), bipartite=1)
+        graph.add_edge(("L", lid), ("R", rid))
+    return graph
+
+
+def connected_match_groups(matches: Iterable[Pair]) -> list[set[Any]]:
+    """Connected components of the match graph (grant-level groups)."""
+    nx = _require_networkx()
+    graph = match_graph(matches)
+    return [set(component) for component in nx.connected_components(graph)]
+
+
+def optimal_one_to_one(matches: Iterable[Pair]) -> list[Pair]:
+    """Maximum-cardinality one-to-one match assignment.
+
+    The graph-theoretic optimum the greedy
+    :func:`repro.clustering.cluster_match.one_to_one_assignment`
+    approximates — here at record level, via Hopcroft-Karp.
+    """
+    nx = _require_networkx()
+    matches = [tuple(p) for p in matches]
+    graph = match_graph(matches)
+    if not graph:
+        return []
+    left_nodes = {n for n in graph.nodes if n[0] == "L"}
+    mate = nx.bipartite.maximum_matching(graph, top_nodes=left_nodes)
+    chosen = []
+    for (side, lid), (_, rid) in mate.items():
+        if side == "L":
+            chosen.append((lid, rid))
+    # stable output order: as the pairs appeared in the input
+    order = {pair: i for i, pair in enumerate(matches)}
+    return sorted(chosen, key=lambda pair: order.get(pair, len(order)))

@@ -1,0 +1,60 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items.
+
+    Items are added lazily on first use; :meth:`groups` returns the current
+    partition with members in insertion order.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        self._order: list[Hashable] = []
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            self._order.append(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def find(self, item: Hashable) -> Hashable:
+        """Representative of *item*'s set (adds the item if new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets of *a* and *b*; returns the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> list[list[Any]]:
+        """The partition, each group's members in insertion order."""
+        by_root: dict[Hashable, list[Any]] = {}
+        for item in self._order:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())

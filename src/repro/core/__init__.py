@@ -1,0 +1,39 @@
+"""EM workflow architecture: composable workflows, patching, project log."""
+
+from .guide import DEFAULT_GUIDE, GuideAudit, GuideStep, HowToGuide
+from .patch import (
+    ReuseReport,
+    combine_with_precedence,
+    label_reuse,
+    merge_match_sets,
+)
+from .project import EMProject, LogEntry, Stage
+from .serialize import (
+    PackagedWorkflow,
+    deserialize_model,
+    feature_from_name,
+    feature_set_from_names,
+    serialize_model,
+)
+from .workflow import EMWorkflow, WorkflowResult
+
+__all__ = [
+    "DEFAULT_GUIDE",
+    "EMProject",
+    "EMWorkflow",
+    "GuideAudit",
+    "GuideStep",
+    "HowToGuide",
+    "LogEntry",
+    "PackagedWorkflow",
+    "ReuseReport",
+    "Stage",
+    "WorkflowResult",
+    "combine_with_precedence",
+    "deserialize_model",
+    "feature_from_name",
+    "feature_set_from_names",
+    "serialize_model",
+    "label_reuse",
+    "merge_match_sets",
+]

@@ -1,0 +1,139 @@
+"""The how-to guide, as an object (the paper's first challenge).
+
+Section 13 argues EM systems must ship *how-to guides*: step-by-step
+instructions for the whole process, because users "had no idea what to do
+first, what to do second". This module encodes PyMatcher's guide — the
+sequence the case study followed — with per-step guidance text, and can
+audit an :class:`~repro.core.project.EMProject` history against it:
+which steps ran, which were skipped, and where the process zig-zagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .project import EMProject, Stage
+
+
+@dataclass(frozen=True)
+class GuideStep:
+    """One step of the guide."""
+
+    stage: Stage
+    guidance: str
+
+
+#: The guide the case study followed (Sections 4-12, in order).
+DEFAULT_GUIDE: tuple[GuideStep, ...] = (
+    GuideStep(
+        Stage.UNDERSTAND_DATA,
+        "Browse sample rows and per-column statistics of every raw table; "
+        "identify the entities and the key/foreign-key relationships.",
+    ),
+    GuideStep(
+        Stage.MATCH_DEFINITION,
+        "Obtain a written match definition from the domain experts; extract "
+        "any exact positive rules; expect the definition to be imprecise "
+        "and to evolve.",
+    ),
+    GuideStep(
+        Stage.PREPROCESS,
+        "Keep only the tables relevant for matching (check value overlap of "
+        "similarly-named attributes before discarding); project, align "
+        "column names, and add a record id.",
+    ),
+    GuideStep(
+        Stage.BLOCK,
+        "Compose recall-oriented blockers; force positive-rule pairs into "
+        "the candidate set; sweep thresholds; run the blocking debugger "
+        "before freezing.",
+    ),
+    GuideStep(
+        Stage.SAMPLE_AND_LABEL,
+        "Label in small iterations with Yes/No/Unsure; cross-check labelers "
+        "against each other; debug the labels with leave-one-out CV and "
+        "discuss discrepancy classes with the experts.",
+    ),
+    GuideStep(
+        Stage.MATCH,
+        "Drop Unsure pairs and sure matches; select a matcher by k-fold CV; "
+        "debug its mismatches (expect to add features); train on all labels "
+        "and predict over the candidate set minus the sure matches.",
+    ),
+    GuideStep(
+        Stage.ESTIMATE_ACCURACY,
+        "Estimate precision/recall from a labeled random sample of the "
+        "candidate universe (all compared matchers must predict over the "
+        "same universe); label more if the intervals are too wide.",
+    ),
+    GuideStep(
+        Stage.IMPROVE_WITH_RULES,
+        "Solicit domain-specific negative rules and apply them to the "
+        "learner's output — localized changes that buy precision cheaply.",
+    ),
+    GuideStep(
+        Stage.PRODUCTION,
+        "Package the workflow; monitor accuracy on every new data slice by "
+        "sampled labeling; return to development when quality drifts.",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class GuideAudit:
+    """How a project's history compares to the guide."""
+
+    followed: tuple[Stage, ...]
+    skipped: tuple[Stage, ...]
+    revisits: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped
+
+
+class HowToGuide:
+    """A step sequence with guidance text and project auditing."""
+
+    def __init__(self, steps: tuple[GuideStep, ...] = DEFAULT_GUIDE) -> None:
+        self.steps = tuple(steps)
+
+    def guidance_for(self, stage: Stage) -> str:
+        """The guide's advice for a stage."""
+        for step in self.steps:
+            if step.stage is stage:
+                return step.guidance
+        raise KeyError(stage)
+
+    def next_step(self, project: EMProject) -> GuideStep | None:
+        """The first guide step the project has not entered yet (in guide
+        order); ``None`` when the project has touched every step."""
+        visited = {entry.stage for entry in project.history}
+        for step in self.steps:
+            if step.stage not in visited:
+                return step
+        return None
+
+    def audit(self, project: EMProject) -> GuideAudit:
+        """Compare a project's history to the guide."""
+        visited_in_order: list[Stage] = []
+        for entry in project.history:
+            if not visited_in_order or visited_in_order[-1] is not entry.stage:
+                visited_in_order.append(entry.stage)
+        visited = set(visited_in_order)
+        return GuideAudit(
+            followed=tuple(s.stage for s in self.steps if s.stage in visited),
+            skipped=tuple(s.stage for s in self.steps if s.stage not in visited),
+            revisits=project.zigzag_count(),
+        )
+
+    def render(self) -> str:
+        """The guide as numbered text (what a user would read first)."""
+        lines = ["How to execute entity matching, end to end:"]
+        for i, step in enumerate(self.steps, start=1):
+            lines.append(f"  {i}. [{step.stage.value}] {step.guidance}")
+        lines.append(
+            "Expect to revisit earlier steps as definitions and data change — "
+            "the process is a conversation, not a pipeline."
+        )
+        return "\n".join(lines)

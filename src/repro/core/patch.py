@@ -1,0 +1,89 @@
+"""Workflow patching (Section 10's change-handling strategy).
+
+When the match definition or the data changed mid-project, the team did
+*not* redo the EM process. They left the current workflow alone and added
+a new workflow — a "patch" — whose predictions take precedence where the
+two overlap, and whose candidate pairs reuse the existing labeled data.
+This module provides the combinators for that strategy plus the reuse
+accounting that justifies it (the paper's patches reused 100 % of the
+labels: "we did not have to label any new pairs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..blocking.candidate_set import Pair
+from ..labeling.labels import LabeledPairs
+
+
+def combine_with_precedence(
+    old_predictions: Mapping[Pair, int], new_predictions: Mapping[Pair, int]
+) -> dict[Pair, int]:
+    """Merge prediction maps; the *new* workflow wins on overlap."""
+    combined = {tuple(p): int(v) for p, v in old_predictions.items()}
+    for pair, value in new_predictions.items():
+        combined[tuple(pair)] = int(value)
+    return combined
+
+
+def merge_match_sets(match_sets: Sequence[Iterable[Pair]]) -> list[Pair]:
+    """Union match lists, de-duplicated, preserving first-seen order.
+
+    This is the final-stage union of the Figure 9/10 workflows:
+    C1 ∪ D1 ∪ R1 ∪ R2 (or with S1/S2 after negative rules).
+    """
+    seen: set[Pair] = set()
+    merged: list[Pair] = []
+    for matches in match_sets:
+        for pair in matches:
+            pair = tuple(pair)
+            if pair not in seen:
+                seen.add(pair)
+                merged.append(pair)
+    return merged
+
+
+@dataclass(frozen=True)
+class ReuseReport:
+    """How much existing labeled data a patch workflow could reuse."""
+
+    labeled_total: int
+    reusable: int
+    new_pairs_to_label: int
+
+    @property
+    def reuse_fraction(self) -> float:
+        if self.labeled_total == 0:
+            return 0.0
+        return self.reusable / self.labeled_total
+
+    def __str__(self) -> str:
+        return (
+            f"{self.reusable}/{self.labeled_total} labels reusable "
+            f"({self.reuse_fraction:.0%}); {self.new_pairs_to_label} new pairs need labels"
+        )
+
+
+def label_reuse(
+    labels: LabeledPairs,
+    new_candidates: Iterable[Pair],
+    sample_size: int | None = None,
+) -> ReuseReport:
+    """Account for label reuse when the candidate set changes.
+
+    *reusable* counts existing labels whose pairs are still in the new
+    candidate set. *new_pairs_to_label* is how many pairs a fresh sample of
+    *sample_size* (default: the current number of labels) would add beyond
+    the reusable ones — 0 when the existing labels already cover a sample
+    of that size, which is the paper's "no new labeling needed" case.
+    """
+    new_set = {tuple(p) for p in new_candidates}
+    reusable = sum(1 for pair in labels.pairs() if pair in new_set)
+    target = sample_size if sample_size is not None else len(labels)
+    return ReuseReport(
+        labeled_total=len(labels),
+        reusable=reusable,
+        new_pairs_to_label=max(0, target - reusable),
+    )

@@ -1,0 +1,134 @@
+"""EM project orchestration: the zig-zag process log.
+
+The paper stresses that real EM is a *conversation* between the EM team and
+the domain experts — stages revisit earlier stages, definitions change,
+data arrives late. :class:`EMProject` is the bookkeeping object for that
+process: it registers tables and artifacts, records decisions and stage
+transitions with their rationale, and renders the chronological history
+that Sections 4-12 narrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..errors import WorkflowError
+from ..table import Table
+
+
+class Stage(Enum):
+    """The how-to-guide stages of the EM process."""
+
+    UNDERSTAND_DATA = "understanding the data"
+    MATCH_DEFINITION = "understanding the match definition"
+    PREPROCESS = "pre-processing"
+    BLOCK = "blocking"
+    SAMPLE_AND_LABEL = "sampling and labeling"
+    MATCH = "matching"
+    ESTIMATE_ACCURACY = "estimating accuracy"
+    IMPROVE_WITH_RULES = "improving accuracy with rules"
+    PRODUCTION = "production"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One step of the project history."""
+
+    sequence: int
+    stage: Stage
+    actor: str
+    note: str
+
+
+@dataclass
+class EMProject:
+    """State and history of one EM engagement."""
+
+    name: str
+    _tables: dict[str, Table] = field(default_factory=dict)
+    _artifacts: dict[str, Any] = field(default_factory=dict)
+    _log: list[LogEntry] = field(default_factory=list)
+    _stage: Stage = Stage.UNDERSTAND_DATA
+
+    # ------------------------------------------------------------------
+    # tables and artifacts
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table, note: str = "", actor: str = "em-team") -> None:
+        """Register a raw or derived table under its name."""
+        if not table.name:
+            raise WorkflowError("tables must be named before registration")
+        self._tables[table.name] = table
+        self.record(f"registered table {table.name!r} "
+                    f"({table.num_rows} rows x {table.num_cols} cols). {note}".strip(),
+                    actor=actor)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise WorkflowError(f"no table {name!r} registered in project {self.name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def store(self, key: str, artifact: Any, note: str = "", actor: str = "em-team") -> None:
+        """Store any stage output (candidate set, labels, matcher, ...)."""
+        self._artifacts[key] = artifact
+        self.record(f"stored artifact {key!r}. {note}".strip(), actor=actor)
+
+    def artifact(self, key: str) -> Any:
+        try:
+            return self._artifacts[key]
+        except KeyError:
+            raise WorkflowError(f"no artifact {key!r} in project {self.name!r}") from None
+
+    def has_artifact(self, key: str) -> bool:
+        return key in self._artifacts
+
+    # ------------------------------------------------------------------
+    # stage transitions and history
+    # ------------------------------------------------------------------
+    @property
+    def stage(self) -> Stage:
+        return self._stage
+
+    def enter_stage(self, stage: Stage, note: str = "", actor: str = "em-team") -> None:
+        """Move to a stage — backwards moves are allowed and *logged as
+        such*, because the zig-zag is the point."""
+        direction = ""
+        stages = list(Stage)
+        if stages.index(stage) < stages.index(self._stage):
+            direction = " (revisiting an earlier stage)"
+        self._stage = stage
+        self.record(f"entered stage: {stage.value}{direction}. {note}".strip(), actor=actor)
+
+    def record(self, note: str, actor: str = "em-team") -> None:
+        """Append a history entry at the current stage."""
+        self._log.append(
+            LogEntry(sequence=len(self._log), stage=self._stage, actor=actor, note=note)
+        )
+
+    @property
+    def history(self) -> list[LogEntry]:
+        return list(self._log)
+
+    def zigzag_count(self) -> int:
+        """Number of backwards stage transitions (a process-shape metric)."""
+        stages = list(Stage)
+        count = 0
+        previous: Stage | None = None
+        for entry in self._log:
+            if previous is not None and stages.index(entry.stage) < stages.index(previous):
+                count += 1
+            previous = entry.stage
+        return count
+
+    def render_history(self) -> str:
+        """The chronological narrative, one line per entry."""
+        lines = [f"EM project {self.name!r} — {len(self._log)} steps"]
+        for entry in self._log:
+            lines.append(f"  [{entry.sequence:03d}] ({entry.stage.value}) {entry.actor}: {entry.note}")
+        return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Composable EM workflows (Figures 8-10 of the paper).
+
+A :class:`EMWorkflow` bundles the stages the case study's workflows share:
+
+1. apply positive (sure-match) rules to the input tables -> C1;
+2. apply the blockers and union their outputs -> C2;
+3. C = C2 - C1 is what a matcher will predict over;
+4. apply a trained matcher to C -> R;
+5. optionally filter R through negative rules;
+6. final matches = C1 ∪ (kept R).
+
+Figure 8 is this workflow with only the M1 rule and no negative rules;
+Figure 9 adds the award/project-number rule and a second table slice
+(handled by running the same workflow on the extra records — see
+:mod:`repro.core.patch`); Figure 10 adds the negative rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..blocking.base import Blocker
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..blocking.combiner import union_candidates
+from ..errors import WorkflowError
+from ..features.generate import FeatureSet
+from ..features.vectors import extract_feature_vectors
+from ..matchers.ml_matcher import MLMatcher
+from ..rules.negative import ComparableMismatchRule, apply_negative_rules
+from ..rules.positive import ExactNumberRule, sure_matches
+from ..table import Table
+
+
+@dataclass(frozen=True)
+class WorkflowResult:
+    """Everything a workflow run produced, stage by stage."""
+
+    sure_matches: CandidateSet
+    blocked: CandidateSet
+    to_predict: CandidateSet
+    predicted_matches: tuple[Pair, ...]
+    flipped: tuple[tuple[Pair, str], ...]
+    matches: tuple[Pair, ...]
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matches)
+
+    def summary(self) -> str:
+        return (
+            f"sure={len(self.sure_matches)}, blocked={len(self.blocked)}, "
+            f"to_predict={len(self.to_predict)}, "
+            f"predicted={len(self.predicted_matches)}, "
+            f"flipped={len(self.flipped)}, total_matches={len(self.matches)}"
+        )
+
+
+@dataclass
+class EMWorkflow:
+    """A rules + blocking + learning (+ negative rules) workflow."""
+
+    name: str
+    positive_rules: list[ExactNumberRule] = field(default_factory=list)
+    blockers: list[Blocker] = field(default_factory=list)
+    negative_rules: list[ComparableMismatchRule] = field(default_factory=list)
+
+    def build_candidates(
+        self, ltable: Table, rtable: Table, l_key: str, r_key: str
+    ) -> tuple[CandidateSet, CandidateSet, CandidateSet]:
+        """Stages 1-3: returns (C1 sure matches, C2 blocked, C = C2 - C1).
+
+        The sure-match pairs are force-included in C2 (the case study's
+        blocking step 1 exists precisely to keep every M1 pair in the
+        candidate set) and then carved out of C for prediction.
+        """
+        if not self.blockers and not self.positive_rules:
+            raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
+        if self.positive_rules:
+            c1 = sure_matches(
+                self.positive_rules, ltable, rtable, l_key, r_key, name="C1"
+            )
+        else:
+            c1 = CandidateSet(ltable, rtable, l_key, r_key, name="C1")
+        blocked = [b.block_tables(ltable, rtable, l_key, r_key) for b in self.blockers]
+        c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
+        c = c2.difference(c1, name="C")
+        return c1, c2, c
+
+    def run(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        matcher: MLMatcher,
+        feature_set: FeatureSet,
+    ) -> WorkflowResult:
+        """Run all stages with a *trained* matcher."""
+        if not matcher.is_fitted:
+            raise WorkflowError(
+                f"workflow {self.name!r} needs a trained matcher; "
+                f"{matcher.name!r} is unfitted"
+            )
+        c1, c2, c = self.build_candidates(ltable, rtable, l_key, r_key)
+        if len(c):
+            matrix = extract_feature_vectors(c, feature_set)
+            predicted = matcher.predict_matches(matrix)
+        else:
+            predicted = []
+        if self.negative_rules:
+            kept, flipped = apply_negative_rules(predicted, c, self.negative_rules)
+        else:
+            kept, flipped = list(predicted), []
+        final = list(c1.pairs) + [p for p in kept if p not in c1]
+        return WorkflowResult(
+            sure_matches=c1,
+            blocked=c2,
+            to_predict=c,
+            predicted_matches=tuple(predicted),
+            flipped=tuple(flipped),
+            matches=tuple(final),
+        )

@@ -1,0 +1,55 @@
+"""Synthetic UMETRICS/USDA scenario with ground truth."""
+
+from .award_numbers import (
+    FederalNumberFactory,
+    ForestNumberFactory,
+    StateNumberFactory,
+    cfda_code,
+    comparable_variant,
+    unique_award_number,
+)
+from .iris import iris_matcher
+from .scenario import (
+    Project,
+    Scenario,
+    ScenarioConfig,
+    UmetricsRecord,
+    UsdaRecord,
+    generate_scenario,
+    make_borderline_predicate,
+    numbers_agree,
+    numbers_comparable_but_differ,
+)
+from .titles import (
+    TitleFactory,
+    perturb_tokens,
+    umetrics_style,
+    usda_style,
+    with_multistate_suffix,
+)
+from .usda import USDA_COLUMNS
+
+__all__ = [
+    "FederalNumberFactory",
+    "ForestNumberFactory",
+    "Project",
+    "Scenario",
+    "ScenarioConfig",
+    "StateNumberFactory",
+    "TitleFactory",
+    "UmetricsRecord",
+    "UsdaRecord",
+    "USDA_COLUMNS",
+    "cfda_code",
+    "comparable_variant",
+    "generate_scenario",
+    "iris_matcher",
+    "make_borderline_predicate",
+    "numbers_agree",
+    "numbers_comparable_but_differ",
+    "perturb_tokens",
+    "umetrics_style",
+    "unique_award_number",
+    "usda_style",
+    "with_multistate_suffix",
+]

@@ -1,0 +1,107 @@
+"""Award/project number factories for the synthetic scenario.
+
+Three real-world shapes (see :mod:`repro.text.patterns`):
+
+* federal: ``2008-34103-19449``    (year - program - serial)
+* state/Hatch project: ``WIS01040``
+* forest-service contract: ``03-CS-11231300-031``
+
+Factories guarantee uniqueness within a scenario. :func:`comparable_variant`
+produces a *different* number with the *same* pattern — the raw material for
+D2-style renewals and for the true matches the negative rule later flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+class NumberFactory:
+    """Base class: draws unique identifiers from a seeded generator."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._issued: set[str] = set()
+
+    def _claim(self, make) -> str:
+        for _ in range(10_000):
+            candidate = make()
+            if candidate not in self._issued:
+                self._issued.add(candidate)
+                return candidate
+        raise DatasetError(f"{type(self).__name__} exhausted its number space")
+
+    def reserve(self, number: str) -> None:
+        """Mark an externally-produced number as taken."""
+        self._issued.add(number)
+
+
+class FederalNumberFactory(NumberFactory):
+    """``YYYY-#####-#####`` federal USDA award numbers."""
+
+    def make(self, year: int) -> str:
+        def build() -> str:
+            program = int(self._rng.integers(10000, 99999))
+            serial = int(self._rng.integers(10000, 99999))
+            return f"{year}-{program}-{serial}"
+
+        return self._claim(build)
+
+
+class StateNumberFactory(NumberFactory):
+    """``WIS#####`` Hatch/state project numbers."""
+
+    def make(self) -> str:
+        def build() -> str:
+            return f"WIS{int(self._rng.integers(0, 100000)):05d}"
+
+        return self._claim(build)
+
+
+class ForestNumberFactory(NumberFactory):
+    """``##-CS-########-###`` forest-service contract numbers."""
+
+    def make(self, year: int) -> str:
+        def build() -> str:
+            middle = int(self._rng.integers(10_000_000, 99_999_999))
+            serial = int(self._rng.integers(100, 999))
+            return f"{year % 100:02d}-CS-{middle}-{serial:03d}"
+
+        return self._claim(build)
+
+
+def cfda_code(rng: np.random.Generator) -> str:
+    """A CFDA program prefix like ``10.200`` (USDA programs are 10.xxx)."""
+    return f"10.{int(rng.integers(100, 999)):03d}"
+
+
+def unique_award_number(cfda: str, suffix: str) -> str:
+    """Compose a UMETRICS ``UniqueAwardNumber`` from prefix and suffix."""
+    return f"{cfda} {suffix}"
+
+
+def comparable_variant(number: str, rng: np.random.Generator) -> str:
+    """A different number with the same pattern (one digit perturbed).
+
+    The perturbed digit is re-drawn until the pattern signature is
+    preserved (changing the leading digit of a year, e.g. 2008 -> 7008,
+    would alter the signature and defeat the "comparable" relation the
+    negative rule relies on).
+    """
+    from ..text.patterns import pattern_signature
+
+    digit_positions = [i for i, ch in enumerate(number) if ch.isdigit()]
+    if not digit_positions:
+        raise DatasetError(f"cannot perturb a number without digits: {number!r}")
+    signature = pattern_signature(number)
+    for _ in range(1000):
+        position = int(rng.choice(digit_positions))
+        old = number[position]
+        choices = [d for d in "0123456789" if d != old]
+        new = str(rng.choice(choices))
+        candidate = number[:position] + new + number[position + 1 :]
+        if pattern_signature(candidate) == signature:
+            return candidate
+    raise DatasetError(f"could not perturb {number!r} within its pattern")

@@ -1,0 +1,29 @@
+"""The IRIS baseline: the rule-based matcher deployed at UMETRICS.
+
+Section 11 compares the learned workflow against "the rule-based matching
+system" run by IRIS (the organization managing UMETRICS). Its behaviour —
+perfect precision, limited recall — is that of an exact-number matcher: it
+declares a match exactly when the M1 rule or the award/project-number rule
+fires, and finds nothing whose numbers are missing, corrupted or absent
+(title-only matches).
+"""
+
+from __future__ import annotations
+
+from ..matchers.rule_matcher import PositiveRuleMatcher
+from ..rules.positive import award_project_rule, m1_rule
+
+
+def iris_matcher(
+    l_attr: str = "AwardNumber",
+    r_award_attr: str = "AwardNumber",
+    r_project_attr: str = "ProjectNumber",
+) -> PositiveRuleMatcher:
+    """Build the IRIS rule-based matcher over the projected schemas."""
+    return PositiveRuleMatcher(
+        rules=[
+            m1_rule(l_attr=l_attr, r_attr=r_award_attr),
+            award_project_rule(l_attr=l_attr, r_attr=r_project_attr),
+        ],
+        name="IRIS",
+    )

@@ -1,0 +1,91 @@
+"""Data release: export/import the scenario as a CSV bundle.
+
+The paper's final contribution is the release of "all data underlying this
+case study, including labeled tuple pairs and documentation" as a challenge
+problem. This module produces the equivalent bundle for the synthetic
+scenario — the seven raw tables, the extra records, the ground-truth match
+list, and a README describing the matching task — and can load such a
+bundle back into tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import DatasetError
+from ..table import Table, read_csv, write_csv
+from .scenario import Scenario
+
+#: Files in a release bundle: attribute on Scenario -> file name.
+TABLE_FILES = {
+    "award_agg": "UMETRICSAwardAggMatching.csv",
+    "extra_award_agg": "UMETRICSAwardAggMatchingExtra.csv",
+    "employees": "UMETRICSEmployeesMatching.csv",
+    "org_units": "UMETRICSOrgUnitMatching.csv",
+    "object_codes": "UMETRICSObjectCodesMatching.csv",
+    "sub_awards": "UMETRICSSubAwardMatching.csv",
+    "vendors": "UMETRICSVendorMatching.csv",
+    "usda": "USDAAwardMatching.csv",
+}
+
+TRUTH_FILE = "gold_matches.csv"
+README_FILE = "README.txt"
+
+_README_TEXT = """The UMETRICS entity matching challenge (synthetic edition)
+===========================================================
+
+Task: find all record pairs (UniqueAwardNumber, AccessionNumber) between
+UMETRICSAwardAggMatching(+Extra) and USDAAwardMatching that refer to the
+same grant.
+
+Match definition (from the domain-expert team):
+  (M1) if the part of UniqueAwardNumber after the CFDA prefix equals the
+       USDA Award Number, the pair is a match;
+  (M2) records without award numbers may match on similar project titles
+       (beware generic titles such as "Lab Supplies");
+  (M3) the individuals involved in the project may also be compared.
+A later revision adds: if the UniqueAwardNumber suffix equals the USDA
+Project Number, the pair is a match.
+
+gold_matches.csv holds the complete ground truth (a luxury the real
+challenge problem does not have). Seed and generator: see repro.datasets.
+"""
+
+
+def save_scenario(scenario: Scenario, directory: str | Path) -> Path:
+    """Write the full release bundle into *directory* (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for attr, file_name in TABLE_FILES.items():
+        write_csv(getattr(scenario, attr), directory / file_name)
+    truth = Table(
+        {
+            "UniqueAwardNumber": [u for u, _ in sorted(scenario.truth)],
+            "AccessionNumber": [s for _, s in sorted(scenario.truth)],
+        },
+        name="gold_matches",
+    )
+    write_csv(truth, directory / TRUTH_FILE)
+    (directory / README_FILE).write_text(_README_TEXT, encoding="utf-8")
+    return directory
+
+
+def load_tables(directory: str | Path) -> dict[str, Table]:
+    """Load the raw tables of a release bundle, keyed by scenario attr."""
+    directory = Path(directory)
+    out = {}
+    for attr, file_name in TABLE_FILES.items():
+        path = directory / file_name
+        if not path.exists():
+            raise DatasetError(f"release bundle is missing {file_name}")
+        out[attr] = read_csv(path, name=path.stem)
+    return out
+
+
+def load_truth(directory: str | Path) -> set[tuple[str, int]]:
+    """Load the gold match list of a release bundle."""
+    path = Path(directory) / TRUTH_FILE
+    if not path.exists():
+        raise DatasetError(f"release bundle is missing {TRUTH_FILE}")
+    table = read_csv(path)
+    return set(zip(table["UniqueAwardNumber"], table["AccessionNumber"]))

@@ -1,0 +1,658 @@
+"""The synthetic UMETRICS/USDA matching scenario.
+
+The real case-study data is restricted-release (UMETRICS requires a data-use
+agreement), so this module generates a synthetic world with the same
+matching structure, sized to the paper's Figure 2:
+
+* a population of grant *projects* at UW-Madison, split into federal,
+  state/Hatch and forest-service kinds (matched across both datasets),
+  plus USDA-only and UMETRICS-only projects;
+* each project emits 1-2 UMETRICS award records and 1-3 USDA records
+  (annual reports), reproducing the one-to-many matches of Section 10;
+* identifying numbers follow the paper's grammars, with controlled
+  missingness and "comparable variant" corruption (same pattern, one digit
+  off) — the raw material for the M1/project-number positive rules, the
+  IRIS baseline's recall ceiling, and the Section-12 negative rule's
+  precision gain and recall cost;
+* titles are shared by matched records but styled differently per side
+  (UPPER vs Title Case), sometimes perturbed; *sibling* (renewal) projects
+  reuse a matched project's title with a different number (the D2 class);
+  generic titles ("Lab Supplies") recur across unrelated awards; some
+  USDA-only titles carry a multistate "NC/NRSP" suffix (the D1 class);
+* ground truth is the exact set of matching
+  (UniqueAwardNumber, AccessionNumber) record pairs.
+
+Everything is deterministic given ``ScenarioConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..similarity.set_based import jaccard
+from ..table import Table
+from ..table.column import is_missing
+from ..text.normalize import normalize_title
+from ..text.patterns import award_number_suffix, comparable
+from . import vocab
+from .award_numbers import (
+    FederalNumberFactory,
+    ForestNumberFactory,
+    StateNumberFactory,
+    cfda_code,
+    comparable_variant,
+    unique_award_number,
+)
+from .titles import (
+    TitleFactory,
+    perturb_tokens,
+    umetrics_style,
+    usda_style,
+    with_multistate_suffix,
+)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the synthetic world (defaults calibrated to the paper)."""
+
+    seed: int = 45
+    # table sizes (Figure 2 / Section 10)
+    n_umetrics_rows: int = 1336
+    n_usda_rows: int = 1915
+    n_extra_rows: int = 496
+    # matched-project population
+    n_federal: int = 190
+    n_state: int = 320
+    n_forest: int = 100
+    n_extra_matched: int = 55
+    # distractor structure
+    n_sibling_families: int = 85
+    n_generic_umetrics: int = 18
+    n_generic_usda: int = 20
+    n_multistate_usda: int = 55
+    # noise probabilities
+    p_umetrics_double: float = 0.08
+    usda_multiplicity_probs: tuple[float, ...] = (0.62, 0.28, 0.10)
+    p_usda_award_number_missing: float = 0.22
+    p_number_corrupted: float = 0.07
+    p_title_perturbed: float = 0.30
+    p_title_unrelated: float = 0.10
+    p_sibling_number_missing: float = 0.15
+    p_usda_only_project_number_missing: float = 0.15
+    # auxiliary-table scale (1.0 = the paper's full row counts)
+    aux_scale: float = 0.01
+    # year range of the data slice
+    first_year: int = 1997
+    last_year: int = 2012
+
+
+# ----------------------------------------------------------------------
+# internal record model
+# ----------------------------------------------------------------------
+@dataclass
+class UmetricsRecord:
+    """One row of UMETRICSAwardAggMatching (pre-table form)."""
+
+    unique_award_number: str
+    title: str
+    first_trans: str
+    last_trans: str
+    sub_org_unit: str
+    project_id: int
+
+
+@dataclass
+class UsdaRecord:
+    """One row of USDAAwardMatching (pre-table form)."""
+
+    accession_number: int
+    title: str
+    award_number: str | None
+    project_number: str | None
+    start_date: str
+    end_date: str
+    director: str
+    sponsoring_agency: str
+    funding_mechanism: str
+    start_year: int
+    project_id: int
+
+
+@dataclass
+class Project:
+    """One underlying grant project."""
+
+    pid: int
+    kind: str  # federal | state | forest | usda_only | umetrics_only
+    base_title: str
+    director_first: str
+    director_last: str
+    start_year: int
+    suffix: str | None = None  # the UMETRICS award-number suffix
+    project_number: str | None = None  # USDA "WIS#####" project number
+    sibling_of: int | None = None
+    umetrics_records: list[UmetricsRecord] = field(default_factory=list)
+    usda_records: list[UsdaRecord] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# scenario container
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """Generated tables, ground truth and oracle helpers."""
+
+    config: ScenarioConfig
+    projects: list[Project]
+    award_agg: Table          # UMETRICSAwardAggMatching (original slice)
+    extra_award_agg: Table    # the 496 late-arriving records
+    usda: Table               # USDAAwardMatching
+    employees: Table          # UMETRICSEmployeesMatching (scaled)
+    org_units: Table
+    object_codes: Table
+    sub_awards: Table
+    vendors: Table
+    truth: set[tuple[str, int]]  # (UniqueAwardNumber, AccessionNumber)
+
+    def all_umetrics_rows(self) -> int:
+        return self.award_agg.num_rows + self.extra_award_agg.num_rows
+
+    def truth_for(self, umetrics_ids: set[str]) -> set[tuple[str, int]]:
+        """Ground-truth pairs restricted to a set of UMETRICS record ids."""
+        return {(u, s) for (u, s) in self.truth if u in umetrics_ids}
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+class _Generator:
+    """Stateful builder (one pass, deterministic)."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.titles = TitleFactory(self.rng)
+        self.federal_numbers = FederalNumberFactory(self.rng)
+        self.state_numbers = StateNumberFactory(self.rng)
+        self.forest_numbers = ForestNumberFactory(self.rng)
+        self._accession = 150_000
+        self._cfda_by_suffix: dict[str, set[str]] = {}
+        self._pid = 0
+        self.projects: list[Project] = []
+
+    # -- primitives ----------------------------------------------------
+    def _next_pid(self) -> int:
+        self._pid += 1
+        return self._pid
+
+    def _next_accession(self) -> int:
+        self._accession += int(self.rng.integers(1, 40))
+        return self._accession
+
+    def _director(self) -> tuple[str, str]:
+        return (
+            str(self.rng.choice(vocab.FIRST_NAMES)),
+            str(self.rng.choice(vocab.LAST_NAMES)),
+        )
+
+    def _year(self) -> int:
+        return int(
+            self.rng.integers(self.config.first_year, self.config.last_year - 2)
+        )
+
+    def _unique_award_number(self, suffix: str) -> str:
+        """A UniqueAwardNumber with a CFDA prefix unused for this suffix."""
+        taken = self._cfda_by_suffix.setdefault(suffix, set())
+        for _ in range(1000):
+            cfda = cfda_code(self.rng)
+            if cfda not in taken:
+                taken.add(cfda)
+                return unique_award_number(cfda, suffix)
+        raise DatasetError("CFDA prefix space exhausted for suffix " + suffix)
+
+    def _director_text(self, project: Project) -> str:
+        style = int(self.rng.integers(0, 3))
+        first, last = project.director_first, project.director_last
+        if style == 0:
+            return f"{last.upper()}, {first.upper()}"
+        if style == 1:
+            return f"{last}, {first[0]}."
+        return f"{last}, {first}"
+
+    # -- record emission -----------------------------------------------
+    def _date(self, year: int) -> str:
+        """A random date within *year* — transaction and project dates never
+        coincide exactly (the paper's Figure 5: first transaction 10/1/08
+        against a project start of 8/15/08), so date features carry only a
+        coarse year-level signal."""
+        month = int(self.rng.integers(1, 13))
+        day = int(self.rng.integers(1, 29))
+        return f"{year}-{month:02d}-{day:02d}"
+
+    def _emit_umetrics(self, project: Project, n_records: int) -> None:
+        config = self.config
+        for _ in range(n_records):
+            title = project.base_title
+            if self.rng.random() < config.p_title_perturbed:
+                title = perturb_tokens(title, self.rng)
+            first_year = project.start_year + int(self.rng.integers(0, 2))
+            project.umetrics_records.append(
+                UmetricsRecord(
+                    unique_award_number=self._unique_award_number(project.suffix),
+                    title=umetrics_style(title),
+                    first_trans=self._date(first_year),
+                    last_trans=self._date(first_year + int(self.rng.integers(2, 5))),
+                    sub_org_unit=str(self.rng.choice(vocab.SUB_ORG_UNITS)),
+                    project_id=project.pid,
+                )
+            )
+
+    def _emit_usda(
+        self,
+        project: Project,
+        n_records: int,
+        award_number: str | None,
+        project_number: str | None,
+        title_override: str | None = None,
+    ) -> None:
+        config = self.config
+        for record_index in range(n_records):
+            if title_override is not None:
+                title = title_override
+            elif self.rng.random() < config.p_title_unrelated:
+                title = self.titles.make()  # an unrelated report title
+            else:
+                title = project.base_title
+                if self.rng.random() < config.p_title_perturbed:
+                    title = perturb_tokens(title, self.rng)
+            year = project.start_year + record_index
+            project.usda_records.append(
+                UsdaRecord(
+                    accession_number=self._next_accession(),
+                    title=usda_style(title),
+                    award_number=award_number,
+                    project_number=project_number,
+                    start_date=self._date(year),
+                    end_date=self._date(year + int(self.rng.integers(1, 4))),
+                    director=self._director_text(project),
+                    sponsoring_agency=str(self.rng.choice(vocab.SPONSORING_AGENCIES)),
+                    funding_mechanism=str(self.rng.choice(vocab.FUNDING_MECHANISMS)),
+                    start_year=year,
+                    project_id=project.pid,
+                )
+            )
+
+    def _usda_multiplicity(self) -> int:
+        probs = np.asarray(self.config.usda_multiplicity_probs, dtype=float)
+        probs = probs / probs.sum()
+        return 1 + int(self.rng.choice(len(probs), p=probs))
+
+    def _umetrics_multiplicity(self) -> int:
+        return 2 if self.rng.random() < self.config.p_umetrics_double else 1
+
+    # -- project construction -------------------------------------------
+    def _matched_project(self, kind: str) -> Project:
+        config = self.config
+        project = Project(
+            pid=self._next_pid(),
+            kind=kind,
+            base_title=self.titles.make(),
+            director_first=self._director()[0],
+            director_last=self._director()[1],
+            start_year=self._year(),
+        )
+        corrupted = self.rng.random() < config.p_number_corrupted
+        if kind == "federal":
+            number = self.federal_numbers.make(project.start_year)
+            project.suffix = number
+            project.project_number = self.state_numbers.make()
+            usda_award = number
+            if corrupted:
+                usda_award = comparable_variant(number, self.rng)
+                self.federal_numbers.reserve(usda_award)
+            elif self.rng.random() < config.p_usda_award_number_missing:
+                usda_award = None
+            self._emit_usda(
+                project,
+                self._usda_multiplicity(),
+                award_number=usda_award,
+                project_number=project.project_number,
+            )
+        elif kind == "state":
+            number = self.state_numbers.make()
+            project.suffix = number
+            project.project_number = number
+            usda_project = number
+            if corrupted:
+                usda_project = comparable_variant(number, self.rng)
+                self.state_numbers.reserve(usda_project)
+            self._emit_usda(
+                project,
+                self._usda_multiplicity(),
+                award_number=None,
+                project_number=usda_project,
+            )
+        elif kind == "forest":
+            number = self.forest_numbers.make(project.start_year)
+            project.suffix = number
+            project.project_number = self.state_numbers.make()
+            self._emit_usda(
+                project,
+                self._usda_multiplicity(),
+                award_number=None,
+                project_number=project.project_number,
+            )
+        else:
+            raise DatasetError(f"unknown matched kind {kind!r}")
+        self._emit_umetrics(project, self._umetrics_multiplicity())
+        self.projects.append(project)
+        return project
+
+    def _sibling_project(self, base: Project) -> Project:
+        """A USDA-only renewal: near-identical title, different number."""
+        config = self.config
+        project = Project(
+            pid=self._next_pid(),
+            kind="usda_only",
+            base_title=base.base_title,
+            director_first=base.director_first,
+            director_last=base.director_last,
+            start_year=min(base.start_year + int(self.rng.integers(1, 4)),
+                           config.last_year),
+            sibling_of=base.pid,
+        )
+        if self.rng.random() < config.p_sibling_number_missing:
+            project_number = None
+        else:
+            project_number = self.state_numbers.make()
+        title = base.base_title
+        if self.rng.random() < 0.10:
+            title = perturb_tokens(title, self.rng)
+        self._emit_usda(
+            project, 1, award_number=None, project_number=project_number,
+            title_override=title,
+        )
+        self.projects.append(project)
+        return project
+
+    def _usda_only_project(
+        self, generic: bool = False, multistate_of: Project | None = None
+    ) -> Project:
+        config = self.config
+        if multistate_of is not None:
+            base_title = multistate_of.base_title
+        elif generic:
+            base_title = self.titles.generic()
+        else:
+            base_title = self.titles.make()
+        project = Project(
+            pid=self._next_pid(),
+            kind="usda_only",
+            base_title=base_title,
+            director_first=self._director()[0],
+            director_last=self._director()[1],
+            start_year=self._year(),
+            sibling_of=multistate_of.pid if multistate_of else None,
+        )
+        if self.rng.random() < config.p_usda_only_project_number_missing:
+            project_number = None
+        else:
+            project_number = self.state_numbers.make()
+        title = base_title
+        if multistate_of is not None:
+            title = with_multistate_suffix(title, self.rng)
+        self._emit_usda(
+            project, 1, award_number=None, project_number=project_number,
+            title_override=title,
+        )
+        self.projects.append(project)
+        return project
+
+    def _umetrics_only_project(self, generic: bool = False) -> Project:
+        project = Project(
+            pid=self._next_pid(),
+            kind="umetrics_only",
+            base_title=self.titles.generic() if generic else self.titles.make(),
+            director_first=self._director()[0],
+            director_last=self._director()[1],
+            start_year=self._year(),
+        )
+        shape = int(self.rng.integers(0, 3))
+        if shape == 0:
+            project.suffix = self.federal_numbers.make(project.start_year)
+        elif shape == 1:
+            project.suffix = self.state_numbers.make()
+        else:
+            project.suffix = self.forest_numbers.make(project.start_year)
+        self._emit_umetrics(project, 1)
+        self.projects.append(project)
+        return project
+
+    # -- orchestration ---------------------------------------------------
+    def build(self) -> list[Project]:
+        config = self.config
+        matched: list[Project] = []
+        for _ in range(config.n_federal):
+            matched.append(self._matched_project("federal"))
+        state_projects = [self._matched_project("state") for _ in range(config.n_state)]
+        matched.extend(state_projects)
+        for _ in range(config.n_forest):
+            matched.append(self._matched_project("forest"))
+
+        # sibling renewals of matched state projects (the D2 class)
+        family_bases = self.rng.choice(
+            len(state_projects),
+            size=min(config.n_sibling_families, len(state_projects)),
+            replace=False,
+        )
+        for index in family_bases:
+            base = state_projects[int(index)]
+            for _ in range(1 + int(self.rng.random() < 0.35)):
+                self._sibling_project(base)
+
+        # multistate NC/NRSP titles shadowing matched projects (D1 class)
+        shadow_indices = self.rng.choice(
+            len(matched), size=min(config.n_multistate_usda, len(matched)), replace=False
+        )
+        for index in shadow_indices:
+            self._usda_only_project(multistate_of=matched[int(index)])
+
+        # generic-title records on both sides
+        for _ in range(config.n_generic_usda):
+            self._usda_only_project(generic=True)
+        for _ in range(config.n_generic_umetrics):
+            self._umetrics_only_project(generic=True)
+
+        # the late-arriving extra UMETRICS records: a few cleanly-numbered
+        # matched projects (their USDA counterparts live in the regular
+        # USDA table — only their UMETRICS rows were omitted) plus
+        # UMETRICS-only filler
+        extra: list[Project] = []
+        for _ in range(config.n_extra_matched):
+            project = Project(
+                pid=self._next_pid(),
+                kind="extra_matched",
+                base_title=self.titles.make(),
+                director_first=self._director()[0],
+                director_last=self._director()[1],
+                start_year=self._year(),
+            )
+            number = self.state_numbers.make()
+            project.suffix = number
+            project.project_number = number
+            self._emit_usda(project, 1, award_number=None, project_number=number)
+            self._emit_umetrics(project, 1)
+            self.projects.append(project)
+            extra.append(project)
+
+        # fill the USDA table to its target size with plain USDA-only rows
+        usda_rows = sum(len(p.usda_records) for p in self.projects)
+        if usda_rows > config.n_usda_rows:
+            raise DatasetError(
+                f"matched structure already emits {usda_rows} USDA rows "
+                f"(> target {config.n_usda_rows}); shrink the matched population"
+            )
+        while usda_rows < config.n_usda_rows:
+            project = self._usda_only_project()
+            usda_rows += len(project.usda_records)
+
+        # fill the original UMETRICS table to its target size (extra
+        # records do not count toward it — they arrive late)
+        is_extra = lambda p: p.kind in ("extra_matched", "extra_umetrics_only")  # noqa: E731
+        umetrics_rows = sum(
+            len(p.umetrics_records) for p in self.projects if not is_extra(p)
+        )
+        if umetrics_rows > config.n_umetrics_rows:
+            raise DatasetError(
+                f"matched structure already emits {umetrics_rows} UMETRICS rows "
+                f"(> target {config.n_umetrics_rows})"
+            )
+        while umetrics_rows < config.n_umetrics_rows:
+            self._umetrics_only_project()
+            umetrics_rows += 1
+
+        # fill the extra-records table to its target size
+        extra_rows = sum(len(p.umetrics_records) for p in extra)
+        while extra_rows < config.n_extra_rows:
+            project = self._umetrics_only_project()
+            project.kind = "extra_umetrics_only"
+            extra.append(project)
+            extra_rows += 1
+        return self.projects
+
+
+def _truth_pairs(projects: list[Project]) -> set[tuple[str, int]]:
+    truth: set[tuple[str, int]] = set()
+    for project in projects:
+        for u in project.umetrics_records:
+            for s in project.usda_records:
+                truth.add((u.unique_award_number, s.accession_number))
+    return truth
+
+
+def generate_scenario(config: ScenarioConfig | None = None) -> Scenario:
+    """Generate the full synthetic scenario (all seven raw tables + truth)."""
+    from .umetrics import (
+        build_award_agg,
+        build_employees,
+        build_object_codes,
+        build_org_units,
+        build_sub_awards,
+        build_vendors,
+    )
+    from .usda import build_usda_table
+
+    config = config or ScenarioConfig()
+    generator = _Generator(config)
+    projects = generator.build()
+    rng = generator.rng
+
+    original = [
+        p for p in projects if p.kind not in ("extra_matched", "extra_umetrics_only")
+    ]
+    extras = [
+        p for p in projects if p.kind in ("extra_matched", "extra_umetrics_only")
+    ]
+    original_records = [u for p in original for u in p.umetrics_records]
+    extra_records = [u for p in extras for u in p.umetrics_records]
+    usda_records = [s for p in projects for s in p.usda_records]
+    usda_records.sort(key=lambda r: r.accession_number)
+
+    directors = {
+        p.pid: (p.director_first, p.director_last) for p in projects
+    }
+    award_agg = build_award_agg(original_records, rng, name="UMETRICSAwardAggMatching")
+    extra_award_agg = build_award_agg(
+        extra_records, rng, name="UMETRICSAwardAggMatchingExtra"
+    )
+    all_umetrics = original_records + extra_records
+    employees = build_employees(all_umetrics, directors, rng, config.aux_scale)
+    return Scenario(
+        config=config,
+        projects=projects,
+        award_agg=award_agg,
+        extra_award_agg=extra_award_agg,
+        usda=build_usda_table(usda_records, rng),
+        employees=employees,
+        org_units=build_org_units(rng),
+        object_codes=build_object_codes(rng, config.aux_scale),
+        sub_awards=build_sub_awards(all_umetrics, rng, config.aux_scale),
+        vendors=build_vendors(all_umetrics, rng, config.aux_scale),
+        truth=_truth_pairs(projects),
+    )
+
+
+# ----------------------------------------------------------------------
+# oracle support
+# ----------------------------------------------------------------------
+_GENERIC_NORMALIZED = {normalize_title(t) for t in vocab.GENERIC_TITLES}
+_MULTISTATE_TOKENS = {normalize_title(c) for c in vocab.MULTISTATE_CODES}
+
+
+def _title_tokens(value: Any) -> list[str]:
+    if is_missing(value):
+        return []
+    return str(normalize_title(value)).split()
+
+
+def numbers_agree(l_row: dict[str, Any], r_row: dict[str, Any]) -> bool:
+    """True when the M1 or award/project-number rule fires on the rows
+    (rows in the *projected* schema: AwardNumber, ProjectNumber, ...)."""
+    suffix = award_number_suffix(l_row.get("AwardNumber"))
+    if suffix is None:
+        return False
+    for attr in ("AwardNumber", "ProjectNumber"):
+        value = r_row.get(attr)
+        if not is_missing(value) and str(value) == suffix:
+            return True
+    return False
+
+
+def numbers_comparable_but_differ(l_row: dict[str, Any], r_row: dict[str, Any]) -> bool:
+    """True when either negative-rule clause would fire."""
+    suffix = award_number_suffix(l_row.get("AwardNumber"))
+    if suffix is None:
+        return False
+    for attr in ("AwardNumber", "ProjectNumber"):
+        value = r_row.get(attr)
+        if is_missing(value):
+            continue
+        if str(value) != suffix and comparable(suffix, value):
+            return True
+    return False
+
+
+def make_borderline_predicate():
+    """The oracle's "hard pair" predicate over projected-table rows.
+
+    A pair is borderline — the domain expert may hesitate or err — when the
+    identifying numbers do not settle it and the titles alone must decide:
+    generic titles, multistate (NC/NRSP) suffixes, and mid-similarity
+    titles. Number-agreeing pairs are never borderline (M1 is a definition).
+    """
+
+    def borderline(l_row: dict[str, Any], r_row: dict[str, Any], is_match: bool) -> bool:
+        if numbers_agree(l_row, r_row):
+            return False
+        l_tokens = _title_tokens(l_row.get("AwardTitle"))
+        r_tokens = _title_tokens(r_row.get("AwardTitle"))
+        if not l_tokens or not r_tokens:
+            return True
+        l_text = " ".join(l_tokens)
+        r_text = " ".join(r_tokens)
+        if l_text in _GENERIC_NORMALIZED or r_text in _GENERIC_NORMALIZED:
+            return True
+        if any(code in r_text for code in _MULTISTATE_TOKENS):
+            return True
+        similarity = jaccard(l_tokens, r_tokens)
+        return 0.25 <= similarity <= 0.85
+
+    return borderline

@@ -1,0 +1,127 @@
+"""Project-title generation and per-side styling.
+
+Matched records carry the *same underlying title* rendered differently on
+each side: UMETRICS stores titles in upper case (see the paper's Figure 5:
+"DEVELOPMENT OF IPM-BASED CORN FUNGICIDE GUIDELINES...") while USDA stores
+title case ("Development of IPM-Based Corn Fungicide Guidelines...").
+That case gap is exactly what broke the first selected matcher and led to
+the case-insensitive features of Section 9.
+
+Perturbations model real drift: token drop/swap, abbreviation, a typo, or
+an appended multistate code ("NC-213") for the D1 discrepancy class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import vocab
+
+
+class TitleFactory:
+    """Generates distinct research-project titles from domain vocabulary.
+
+    Titles cluster into *topics* (a research portfolio is bursty: many
+    corn projects, many dairy projects, ...). Each topic owns a subpool of
+    the word vocabulary; same-topic titles share several words with
+    noticeable probability while cross-topic titles rarely do. This burst
+    structure is what makes the paper's overlap-threshold sweep so steep
+    (K=1 explodes, K=3 is selective, K=7 nearly empty).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n_topics: int = 25,
+        topic_pool_size: int = 38,
+    ) -> None:
+        self._rng = rng
+        self._issued: set[str] = set()
+        self._topics: list[tuple[str, ...]] = []
+        for _ in range(n_topics):
+            indices = rng.choice(
+                len(vocab.TITLE_WORDS), size=topic_pool_size, replace=False
+            )
+            self._topics.append(tuple(vocab.TITLE_WORDS[int(i)] for i in indices))
+
+    def make(self) -> str:
+        """A fresh noun-phrase title (3-7 content words).
+
+        Titles are composed of distinct single words from the domain pool,
+        with a function word ("of", "in", ...) inserted only occasionally —
+        matching the token-overlap statistics of real award titles, where
+        sharing one word with a random other title is common but sharing
+        three is rare (the property the Section-7 thresholds exploit).
+        """
+        for _ in range(10_000):
+            title = self._compose()
+            if title not in self._issued:
+                self._issued.add(title)
+                return title
+        raise RuntimeError("title space exhausted")
+
+    def _compose(self) -> str:
+        rng = self._rng
+        pool = self._topics[int(rng.integers(0, len(self._topics)))]
+        n_words = int(rng.integers(3, 8))
+        indices = rng.choice(len(pool), size=min(n_words, len(pool)), replace=False)
+        words = [pool[int(i)] for i in indices]
+        if n_words >= 4 and rng.random() < 0.25:
+            position = int(rng.integers(1, len(words) - 1))
+            words.insert(position, str(rng.choice(vocab.TITLE_FUNCTION_WORDS)))
+        return " ".join(words)
+
+    def generic(self) -> str:
+        """A short generic title (deliberately reused across awards)."""
+        return str(self._rng.choice(vocab.GENERIC_TITLES))
+
+
+def umetrics_style(title: str) -> str:
+    """How UMETRICS renders a title: upper case."""
+    return title.upper()
+
+
+def usda_style(title: str) -> str:
+    """How USDA renders a title: title case with short words lowered."""
+    small = {"of", "in", "and", "for", "the", "to", "a", "an", "on", "through"}
+    words = title.split()
+    out = []
+    for i, word in enumerate(words):
+        lower = word.lower()
+        if i > 0 and lower in small:
+            out.append(lower)
+        else:
+            out.append(word[:1].upper() + word[1:])
+    return " ".join(out)
+
+
+def perturb_tokens(title: str, rng: np.random.Generator, max_edits: int = 1) -> str:
+    """Lightly perturb a title: drop, swap or typo one token.
+
+    Titles shorter than five words are left untouched: a one-token edit on
+    a short title would push a genuine match below every blocking
+    threshold, and the paper's blocking-debugger check found no such
+    casualties — drift lives in the longer titles.
+    """
+    words = title.split()
+    for _ in range(max_edits):
+        if len(words) < 5:
+            break
+        edit = int(rng.integers(0, 3))
+        index = int(rng.integers(0, len(words)))
+        if edit == 0:
+            words.pop(index)
+        elif edit == 1 and index + 1 < len(words):
+            words[index], words[index + 1] = words[index + 1], words[index]
+        else:
+            word = words[index]
+            if len(word) > 3:
+                cut = int(rng.integers(1, len(word) - 1))
+                words[index] = word[:cut] + word[cut + 1 :]
+    return " ".join(words)
+
+
+def with_multistate_suffix(title: str, rng: np.random.Generator) -> str:
+    """Append a multistate code — the D1 "NC/NRSP" suffix."""
+    code = str(rng.choice(vocab.MULTISTATE_CODES))
+    return f"{title} {code}"

@@ -1,0 +1,230 @@
+"""Builders for the six UMETRICS raw tables.
+
+Schemas follow Section 4 of the paper verbatim. The award-aggregate table
+is generated at full size; the employees / vendors / sub-awards /
+object-codes tables carry an ``aux_scale`` factor because their full-size
+row counts (1.45M, 378K, 21K, 4.6K) only exist to be profiled — the paper's
+pipeline joins the employees table and ignores the rest after the
+pre-processing analysis concludes they share no data with USDA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+from . import vocab
+from .scenario import UmetricsRecord
+
+#: Full-size row counts from Figure 2 (scaled by ``aux_scale``).
+PAPER_ROWS_EMPLOYEES = 1_454_070
+PAPER_ROWS_VENDORS = 377_746
+PAPER_ROWS_SUBAWARDS = 21_470
+PAPER_ROWS_OBJECT_CODES = 4_574
+PAPER_ROWS_ORG_UNITS = 264
+
+
+def _account_number(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(100, 999))}-{int(rng.integers(1000000, 9999999))}"
+
+
+def build_award_agg(
+    records: list[UmetricsRecord], rng: np.random.Generator, name: str
+) -> Table:
+    """UMETRICSAwardAggMatching — 13 columns, one row per award."""
+    rows = []
+    for record in records:
+        expenditures = float(np.round(rng.lognormal(11.0, 1.0), 2))
+        rows.append(
+            {
+                "UniqueAwardNumber": record.unique_award_number,
+                "AwardTitle": record.title,
+                "FundingSource": str(rng.choice(vocab.FUNDING_SOURCES)),
+                "FirstTransDate": record.first_trans,
+                "LastTransDate": record.last_trans,
+                "RecipientAccountNumber": _account_number(rng),
+                "TotalOverheadCharged": float(np.round(expenditures * 0.26, 2)),
+                "TotalExpenditures": expenditures,
+                "NumberOfTransactions": int(rng.integers(3, 400)),
+                "DataFileYearEarliest": int(record.first_trans[:4]),
+                "DataFileYearLatest": int(record.last_trans[:4]),
+                "SubOrgUnit": record.sub_org_unit,
+                "CampusID": 1,
+            }
+        )
+    return Table.from_rows(
+        rows,
+        columns=[
+            "UniqueAwardNumber", "AwardTitle", "FundingSource", "FirstTransDate",
+            "LastTransDate", "RecipientAccountNumber", "TotalOverheadCharged",
+            "TotalExpenditures", "NumberOfTransactions", "DataFileYearEarliest",
+            "DataFileYearLatest", "SubOrgUnit", "CampusID",
+        ],
+        name=name,
+    )
+
+
+def build_employees(
+    records: list[UmetricsRecord],
+    directors: dict[int, tuple[str, str]],
+    rng: np.random.Generator,
+    aux_scale: float,
+) -> Table:
+    """UMETRICSEmployeesMatching — 13 columns, scaled row count.
+
+    Every award gets its project director (first row) so the Section-6
+    employee-name join always finds the director; remaining rows are other
+    personnel and extra pay periods, distributed to approximate the scaled
+    target row count.
+    """
+    target_rows = max(len(records), int(round(PAPER_ROWS_EMPLOYEES * aux_scale)))
+    per_award = max(1, target_rows // max(len(records), 1))
+    rows = []
+    for record in records:
+        first, last = directors[record.project_id]
+        names = [f"{last}, {first}"]
+        for _ in range(per_award - 1):
+            other_first = str(rng.choice(vocab.FIRST_NAMES))
+            other_last = str(rng.choice(vocab.LAST_NAMES))
+            names.append(f"{other_last}, {other_first}")
+        for i, full_name in enumerate(names):
+            year = int(record.first_trans[:4])
+            rows.append(
+                {
+                    "UniqueAwardNumber": record.unique_award_number,
+                    "PeriodStartDate": f"{year}-{(i % 12) + 1:02d}-01",
+                    "PeriodEndDate": f"{year}-{(i % 12) + 1:02d}-28",
+                    "RecipientAccountNumber": _account_number(rng),
+                    "DeidentifiedEmployeeIdNumber": int(rng.integers(10**6, 10**7)),
+                    "FullName": full_name,
+                    "OccupationalClassification": str(
+                        rng.choice(vocab.OCCUPATIONAL_CLASSES)
+                    ),
+                    "JobTitle": str(rng.choice(vocab.JOB_TITLES)),
+                    "ObjectCode": int(rng.integers(1000, 1100)),
+                    "SOCCode": f"{int(rng.integers(11, 53))}-{int(rng.integers(1000, 9999))}",
+                    "FteStatus": float(np.round(rng.uniform(0.05, 1.0), 2)),
+                    "ProportionOfEarningsAllocated": float(np.round(rng.uniform(0.05, 1.0), 2)),
+                    "DataFileYear": year,
+                }
+            )
+    return Table.from_rows(rows, name="UMETRICSEmployeesMatching")
+
+
+def build_org_units(rng: np.random.Generator) -> Table:
+    """UMETRICSOrgUnitMatching — 5 columns, 264 rows (full size)."""
+    rows = []
+    for i in range(PAPER_ROWS_ORG_UNITS):
+        unit = vocab.SUB_ORG_UNITS[i % len(vocab.SUB_ORG_UNITS)]
+        rows.append(
+            {
+                "CampusId": 1,
+                "SubOrgUnit": f"{unit}-{i // len(vocab.SUB_ORG_UNITS)}",
+                "CampusName": vocab.CAMPUS_NAME,
+                "SubOrgUnitName": f"Department of {unit}",
+                "DataFileYear": int(rng.integers(1997, 2013)),
+            }
+        )
+    return Table.from_rows(rows, name="UMETRICSOrgUnitMatching")
+
+
+def build_object_codes(rng: np.random.Generator, aux_scale: float) -> Table:
+    """UMETRICSObjectCodesMatching — 3 columns, scaled row count."""
+    target_rows = max(
+        len(vocab.OBJECT_CODE_TEXTS), int(round(PAPER_ROWS_OBJECT_CODES * aux_scale))
+    )
+    rows = []
+    for i in range(target_rows):
+        rows.append(
+            {
+                "ObjectCode": 1000 + i,
+                "ObjectCodeText": vocab.OBJECT_CODE_TEXTS[i % len(vocab.OBJECT_CODE_TEXTS)],
+                "DataFileYear": int(rng.integers(1997, 2013)),
+            }
+        )
+    return Table.from_rows(rows, name="UMETRICSObjectCodesMatching")
+
+
+def build_sub_awards(
+    records: list[UmetricsRecord], rng: np.random.Generator, aux_scale: float
+) -> Table:
+    """UMETRICSSubAwardMatching — 23 columns, scaled row count."""
+    target_rows = int(round(PAPER_ROWS_SUBAWARDS * aux_scale))
+    rows = []
+    for i in range(target_rows):
+        record = records[int(rng.integers(0, len(records)))]
+        year = int(record.first_trans[:4])
+        rows.append(
+            {
+                "UniqueAwardNumber": record.unique_award_number,
+                "Address": f"{int(rng.integers(1, 9999))} University Ave",
+                "BldgName": None,
+                "City": str(rng.choice(vocab.CITIES)),
+                "Country": "USA",
+                "DUNS": int(rng.integers(10**8, 10**9)),
+                "DomesticZipCode": f"{int(rng.integers(10000, 99999))}",
+                "EIN": int(rng.integers(10**8, 10**9)),
+                "ForeignZipCode": None,
+                "ObjectCode": int(rng.integers(1000, 1100)),
+                "OrgName": str(rng.choice(vocab.VENDOR_NAMES)),
+                "OrganizationID": int(rng.integers(10**5, 10**6)),
+                "POBox": None,
+                "PeriodEndDate": f"{year}-12-31",
+                "PeriodStartDate": f"{year}-01-01",
+                "RecipientAccountNumber": _account_number(rng),
+                "SrtName": None,
+                "SrtNumber": None,
+                "State": str(rng.choice(vocab.STATES)),
+                "StrName": "University Ave",
+                "StrNumber": int(rng.integers(1, 9999)),
+                "SubAwardPaymentAmount": float(np.round(rng.lognormal(9.5, 1.2), 2)),
+                "DataFileYear": year,
+            }
+        )
+    return Table.from_rows(rows, name="UMETRICSSubAwardMatching") if rows else Table.empty(
+        ["UniqueAwardNumber"], name="UMETRICSSubAwardMatching"
+    )
+
+
+def build_vendors(
+    records: list[UmetricsRecord], rng: np.random.Generator, aux_scale: float
+) -> Table:
+    """UMETRICSVendorMatching — 21 columns, scaled row count.
+
+    Vendor OrgName/DUNS values are deliberately disjoint from USDA's
+    "Recipient Organization"/"Recipient DUNS" — the paper's pre-processing
+    checked for overlap, found none, and dropped the table.
+    """
+    target_rows = int(round(PAPER_ROWS_VENDORS * aux_scale))
+    rows = []
+    for i in range(target_rows):
+        record = records[int(rng.integers(0, len(records)))]
+        year = int(record.first_trans[:4])
+        rows.append(
+            {
+                "UniqueAwardNumber": record.unique_award_number,
+                "PeriodStartDate": f"{year}-01-01",
+                "PeriodEndDate": f"{year}-12-31",
+                "RecipientAccountNumber": _account_number(rng),
+                "ObjectCode": int(rng.integers(1000, 1100)),
+                "OrganizationID": int(rng.integers(10**5, 10**6)),
+                "EIN": int(rng.integers(10**8, 10**9)),
+                "DUNS": int(rng.integers(10**8, 10**9)),
+                "VendorPaymentAmount": float(np.round(rng.lognormal(7.0, 1.5), 2)),
+                "OrgName": str(rng.choice(vocab.VENDOR_NAMES)),
+                "POBox": None,
+                "BldgNum": None,
+                "StrNumber": int(rng.integers(1, 9999)),
+                "StrName": "Commerce Dr",
+                "Address": f"{int(rng.integers(1, 9999))} Commerce Dr",
+                "City": str(rng.choice(vocab.CITIES)),
+                "State": str(rng.choice(vocab.STATES)),
+                "DomesticZipCode": f"{int(rng.integers(10000, 99999))}",
+                "ForeignZipCode": None,
+                "Country": "USA",
+                "DataFileYear": year,
+            }
+        )
+    return Table.from_rows(rows, name="UMETRICSVendorMatching") if rows else Table.empty(
+        ["UniqueAwardNumber"], name="UMETRICSVendorMatching"
+    )

@@ -1,0 +1,137 @@
+"""Builder for the 78-column USDA awards table.
+
+The real table is a CRIS/REEport export; the paper's Figure 4 shows the
+columns the pipeline touches (Accession Number, Project Title, Award
+Number, Project Number, dates, Project Director, Recipient Organization /
+DUNS) plus dozens of administrative and financial columns. We generate
+the full 78-column shape: the matching-relevant columns faithfully, and the
+remainder as plausible filler (knowledge-area codes, per-year obligations)
+so profiling the raw table behaves like profiling the real one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+from . import vocab
+from .scenario import UsdaRecord
+
+#: Columns the case-study pipeline reads (the first block of the schema).
+CORE_COLUMNS = [
+    "AccessionNumber",
+    "ProjectTitle",
+    "SponsoringAgency",
+    "FundingMechanism",
+    "AwardNumber",
+    "InitialAwardFiscalYear",
+    "RecipientOrganization",
+    "RecipientDUNS",
+    "ProjectDirector",
+    "MultistateProjectNumber",
+    "ProjectNumber",
+    "ProjectStartDate",
+    "ProjectEndDate",
+    "ProjectStartFiscalYear",
+]
+
+_KNOWLEDGE_AREAS = (102, 111, 205, 211, 212, 216, 301, 307, 501, 601, 605, 703, 903)
+
+
+def _filler_columns() -> list[str]:
+    """The administrative/financial tail of the 78-column export."""
+    columns = [
+        "ProjectStatus", "ProjectType", "StatePrefix", "PerformingOrganization",
+        "PerformingDepartment", "CoProjectDirectors", "NonTechnicalSummary",
+        "KnowledgeAreaCode", "KnowledgeAreaPct", "SubjectOfInvestigation",
+        "FieldOfScience", "ActivityCode", "CRISNumber", "GrantYear",
+        "TerminationReason", "AnnualReportStatus", "RecipientCity",
+        "RecipientState", "RecipientZip", "RecipientCounty",
+        "CongressionalDistrict", "ProgramCode", "ProgramName",
+        "ProposalNumber", "AwardDate", "ObligationFiscalYear",
+        "ReportingFrequency", "DataSource",
+    ]
+    for year in range(1997, 2013):
+        columns.append(f"Financial: USDA Contracts, Grants, Coop Agmt FY{year}")
+    for year in range(1997, 2013):
+        columns.append(f"FTEs FY{year}")
+    columns.extend(
+        [
+            "Financial: USDA Contracts, Grants, Coop Agmt",
+            "Financial: State Appropriations",
+            "Financial: Total",
+            "LastUpdated",
+        ]
+    )
+    return columns
+
+
+USDA_COLUMNS = CORE_COLUMNS + _filler_columns()
+assert len(USDA_COLUMNS) == 78, f"expected 78 USDA columns, got {len(USDA_COLUMNS)}"
+
+
+def build_usda_table(records: list[UsdaRecord], rng: np.random.Generator) -> Table:
+    """USDAAwardMatching — 78 columns, one row per USDA record."""
+    rows = []
+    for record in records:
+        total = float(np.round(rng.lognormal(11.5, 1.1), 2))
+        is_federal = record.award_number is not None
+        row = {
+            "AccessionNumber": record.accession_number,
+            "ProjectTitle": record.title,
+            "SponsoringAgency": record.sponsoring_agency,
+            "FundingMechanism": record.funding_mechanism,
+            "AwardNumber": record.award_number,
+            "InitialAwardFiscalYear": record.start_year,
+            "RecipientOrganization": vocab.RECIPIENT_ORGANIZATION,
+            "RecipientDUNS": None,
+            "ProjectDirector": record.director,
+            "MultistateProjectNumber": None,
+            "ProjectNumber": record.project_number,
+            "ProjectStartDate": record.start_date,
+            "ProjectEndDate": record.end_date,
+            "ProjectStartFiscalYear": record.start_year,
+            "ProjectStatus": str(rng.choice(["Terminated", "Active", "Extended"])),
+            "ProjectType": "Research" if is_federal else "Hatch",
+            "StatePrefix": "WIS",
+            "PerformingOrganization": vocab.CAMPUS_NAME,
+            "PerformingDepartment": str(rng.choice(vocab.SUB_ORG_UNITS)),
+            "CoProjectDirectors": None,
+            "NonTechnicalSummary": None,
+            "KnowledgeAreaCode": int(rng.choice(_KNOWLEDGE_AREAS)),
+            "KnowledgeAreaPct": 100,
+            "SubjectOfInvestigation": int(rng.integers(1000, 9999)),
+            "FieldOfScience": int(rng.integers(1000, 1199)),
+            "ActivityCode": str(rng.choice(["A", "B", "C"])),
+            "CRISNumber": f"{record.accession_number}-CRIS",
+            "GrantYear": record.start_year,
+            "TerminationReason": None,
+            "AnnualReportStatus": str(rng.choice(["Filed", "Pending"])),
+            "RecipientCity": "Madison",
+            "RecipientState": "WI",
+            "RecipientZip": "53706",
+            "RecipientCounty": "Dane",
+            "CongressionalDistrict": "WI-02",
+            "ProgramCode": f"{int(rng.integers(100, 999))}",
+            "ProgramName": str(rng.choice(vocab.SPONSORING_AGENCIES)),
+            "ProposalNumber": f"P{int(rng.integers(10**5, 10**6))}",
+            "AwardDate": record.start_date,
+            "ObligationFiscalYear": record.start_year,
+            "ReportingFrequency": "Annual",
+            "DataSource": "CRIS",
+            "Financial: USDA Contracts, Grants, Coop Agmt": total if is_federal else None,
+            "Financial: State Appropriations": None if is_federal else total,
+            "Financial: Total": total,
+            "LastUpdated": f"{record.start_year + 1}-06-30",
+        }
+        active = record.start_year
+        for year in range(1997, 2013):
+            in_window = active <= year <= active + 3
+            row[f"Financial: USDA Contracts, Grants, Coop Agmt FY{year}"] = (
+                float(np.round(total / 4, 2)) if in_window and is_federal else None
+            )
+            row[f"FTEs FY{year}"] = (
+                float(np.round(rng.uniform(0.2, 3.0), 2)) if in_window else None
+            )
+        rows.append(row)
+    return Table.from_rows(rows, columns=USDA_COLUMNS, name="USDAAwardMatching")

@@ -1,0 +1,219 @@
+"""Vocabulary pools for the synthetic UMETRICS/USDA scenario.
+
+All pools are plain tuples so generation is deterministic given a seed.
+The words are chosen to resemble the agricultural/science-policy domain of
+the case study (crop science, food systems, rural economics) — the titles
+they compose have the same token-overlap statistics the paper's blocking
+thresholds were tuned against: a shared prepositional skeleton plus a few
+content words, so a word-overlap threshold of 1 explodes while 3 is
+selective.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+    "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "Mark", "Margaret",
+    "Paul", "Sandra", "Steven", "Ashley", "Andrew", "Kimberly", "Kenneth",
+    "Emily", "Joshua", "Donna", "Kevin", "Michelle", "Brian", "Carol",
+    "George", "Amanda", "Edward", "Dorothy", "Ronald", "Melissa", "Timothy",
+    "Deborah", "Jason", "Stephanie", "Jeffrey", "Rebecca", "Ryan", "Sharon",
+    "Jacob", "Laura", "Gary", "Cynthia", "Nicholas", "Kathleen", "Eric",
+    "Amy", "Jonathan", "Angela", "Stephen", "Shirley", "Larry", "Anna",
+    "Justin", "Brenda", "Scott", "Pamela", "Brandon", "Emma", "Benjamin",
+    "Nicole", "Samuel", "Helen",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Kermicle", "Hammer", "Esker", "Colquhoun",
+)
+
+CROPS: tuple[str, ...] = (
+    "Corn", "Soybean", "Wheat", "Alfalfa", "Potato", "Cranberry", "Carrot",
+    "Oat", "Barley", "Maize", "Ginseng", "Apple", "Cherry", "Pea", "Bean",
+    "Cabbage", "Onion", "Cucumber", "Pumpkin", "Hop", "Sorghum", "Clover",
+    "Ryegrass", "Sunflower", "Tobacco", "Beet", "Pepper", "Tomato",
+    "Strawberry", "Raspberry", "Dairy Cattle", "Swine", "Poultry", "Sheep",
+    "Honey Bee", "Trout", "Turkey", "Goat",
+)
+
+METHODS: tuple[str, ...] = (
+    "Genetic Organization", "Epigenetic Silencing", "Integrated Management",
+    "Applied Ecology", "Breeding Strategies", "Molecular Characterization",
+    "Nutrient Cycling", "Disease Resistance", "Yield Improvement",
+    "Pest Suppression", "Soil Conservation", "Water Quality Monitoring",
+    "Fungicide Guidelines", "Weed Control", "Irrigation Scheduling",
+    "Genomic Selection", "Pathogen Surveillance", "Economic Analysis",
+    "Remote Sensing", "Precision Agriculture", "Cover Cropping",
+    "Tillage Practices", "Postharvest Handling", "Biological Control",
+    "Grazing Management", "Nitrogen Management", "Carbon Sequestration",
+    "Variety Development", "Seed Production", "Root Architecture",
+)
+
+ASPECTS: tuple[str, ...] = (
+    "Production Systems", "Cropping Systems", "Field Trials",
+    "Rural Communities", "Growers", "Organic Systems", "Seedling Vigor",
+    "Grain Quality", "Forage Quality", "Market Development",
+    "Farm Profitability", "Food Safety", "Consumer Acceptance",
+    "Nutrient Uptake", "Stress Tolerance", "Winter Hardiness",
+    "Storage Diseases", "Processing Quality", "Pollinator Health",
+    "Landscape Diversity",
+)
+
+REGIONS: tuple[str, ...] = (
+    "Wisconsin", "the North Central States", "the Upper Midwest",
+    "the Great Lakes Region", "Southern Wisconsin", "Northern Wisconsin",
+    "the Central Sands", "the Driftless Area", "Dane County",
+    "the Midwest", "Temperate Climates", "Sandy Soils",
+)
+
+#: Extra single-word title vocabulary (joined with the pools above to form
+#: the title word pool; see :data:`TITLE_WORDS`).
+EXTRA_TITLE_WORDS: tuple[str, ...] = (
+    "Agroecosystem", "Phenotyping", "Germplasm", "Rhizosphere", "Mycorrhizal",
+    "Silage", "Forage", "Bioenergy", "Ethanol", "Biomass", "Compost",
+    "Manure", "Phosphorus", "Potassium", "Drainage", "Runoff", "Erosion",
+    "Watershed", "Wetland", "Prairie", "Woodland", "Savanna", "Orchard",
+    "Vineyard", "Greenhouse", "Hydroponic", "Transplant", "Germination",
+    "Dormancy", "Senescence", "Photosynthesis", "Transpiration", "Drought",
+    "Frost", "Hail", "Flooding", "Salinity", "Acidity", "Alkalinity",
+    "Micronutrient", "Mineralization", "Denitrification", "Legume",
+    "Inoculant", "Cultivar", "Hybrid", "Transgenic", "Genotype", "Phenotype",
+    "Heritability", "Linkage", "Marker", "Sequencing", "Transcriptome",
+    "Proteomics", "Metabolomics", "Enzyme", "Pathway", "Regulation",
+    "Expression", "Mutagenesis", "Selection", "Adaptation", "Resilience",
+    "Sustainability", "Profitability", "Cooperative", "Policy", "Trade",
+    "Export", "Tariff", "Subsidy", "Insurance", "Credit", "Finance",
+    "Workforce", "Immigration", "Nutrition", "Obesity", "Diet", "Fiber",
+    "Protein", "Starch", "Lipid", "Vitamin", "Fermentation", "Pasteurization",
+    "Cheese", "Butter", "Yogurt", "Whey", "Brewing", "Malting", "Milling",
+    "Canning", "Freezing", "Packaging", "Labeling", "Traceability",
+    "Biosecurity", "Vaccination", "Parasite", "Mastitis", "Lameness",
+    "Fertility", "Calving", "Weaning", "Housing", "Ventilation", "Welfare",
+    "Behavior", "Genomics", "Epidemiology", "Diagnostics", "Serology",
+)
+
+#: Short generic titles that recur across unrelated awards — the paper's
+#: "Lab Supplies" problem (exact title equality that still is not a match).
+GENERIC_TITLES: tuple[str, ...] = (
+    "Lab Supplies",
+    "Equipment",
+    "Field Equipment",
+    "Research Support",
+    "Graduate Student Support",
+    "Extension Services",
+    "Administrative Support",
+    "Hatch Project Administration",
+    "Travel Support",
+    "Summer Research Program",
+)
+
+#: Multistate project codes: USDA titles sometimes carry an "NC/NRSP"
+#: suffix marking multistate coordination (the D1 discrepancy class).
+MULTISTATE_CODES: tuple[str, ...] = (
+    "NC-213", "NC-1173", "NC-1029", "NRSP-8", "NRSP-10", "NC-140", "NC-1183",
+)
+
+FUNDING_SOURCES: tuple[str, ...] = (
+    "USDA", "USDA-NIFA", "USDA-ARS", "USDA-FS", "State", "Hatch",
+    "McIntire-Stennis", "Smith-Lever",
+)
+
+SPONSORING_AGENCIES: tuple[str, ...] = (
+    "NIFA", "State Agricultural Experiment Station",
+    "Cooperative State Research Education and Extension Service",
+    "Agricultural Research Service", "Forest Service",
+)
+
+FUNDING_MECHANISMS: tuple[str, ...] = (
+    "Grant", "State Funding", "Formula Funding", "Cooperative Agreement",
+    "Special Grant", "Contract",
+)
+
+SUB_ORG_UNITS: tuple[str, ...] = (
+    "Agronomy", "Plant Pathology", "Horticulture", "Entomology",
+    "Soil Science", "Dairy Science", "Animal Sciences",
+    "Agricultural and Applied Economics", "Biological Systems Engineering",
+    "Food Science", "Forest and Wildlife Ecology", "Bacteriology",
+    "Genetics", "Nutritional Sciences", "Community and Environmental Sociology",
+)
+
+JOB_TITLES: tuple[str, ...] = (
+    "Professor", "Associate Professor", "Assistant Professor",
+    "Research Associate", "Postdoctoral Fellow", "Graduate Research Assistant",
+    "Research Specialist", "Scientist", "Lab Manager", "Undergraduate Assistant",
+)
+
+OCCUPATIONAL_CLASSES: tuple[str, ...] = (
+    "Faculty", "Research Staff", "Postdoc", "Graduate Student",
+    "Undergraduate", "Technician", "Administrative",
+)
+
+OBJECT_CODE_TEXTS: tuple[str, ...] = (
+    "Salaries and Wages", "Fringe Benefits", "Capital Equipment",
+    "Supplies and Materials", "Travel - Domestic", "Travel - Foreign",
+    "Tuition Remission", "Subcontracts", "Consultant Services",
+    "Publication Costs", "Facility Rental", "Animal Care",
+    "Telecommunications", "Maintenance Contracts", "Software Licenses",
+)
+
+VENDOR_NAMES: tuple[str, ...] = (
+    "Fisher Scientific", "Sigma-Aldrich", "VWR International", "Dell Inc",
+    "Grainger", "Airgas", "Midwest Seed Services", "Badger Laboratory Supply",
+    "Promega Corporation", "Thermo Electron", "Bio-Rad Laboratories",
+    "Agilent Technologies", "New Horizon Farms", "Capital Propane",
+    "University Book Store", "Madison Gas and Electric", "Quill Corporation",
+    "Wisconsin Crop Improvement", "Greenhouse Megastore", "CDW Government",
+)
+
+CITIES: tuple[str, ...] = (
+    "Madison", "Milwaukee", "Middleton", "Verona", "Fitchburg", "Waunakee",
+    "Sun Prairie", "Stoughton", "Chicago", "Minneapolis", "St. Louis",
+    "Pittsburgh", "Atlanta", "Boston",
+)
+
+STATES: tuple[str, ...] = ("WI", "IL", "MN", "MO", "PA", "GA", "MA")
+
+CAMPUS_NAME = "University of Wisconsin-Madison"
+RECIPIENT_ORGANIZATION = "SAES - UNIVERSITY OF WISCONSIN"
+
+
+def _build_title_words() -> tuple[str, ...]:
+    """The single-word title pool: crops/methods/aspects split into words
+    plus the extra vocabulary, de-duplicated (order preserved)."""
+    seen: set[str] = set()
+    words: list[str] = []
+    for source in (CROPS, METHODS, ASPECTS, EXTRA_TITLE_WORDS):
+        for phrase in source:
+            for word in phrase.split():
+                if len(word) > 3 and word not in seen:
+                    seen.add(word)
+                    words.append(word)
+    return tuple(words)
+
+
+#: Single-word pool titles are composed from. Its size (~230) is the main
+#: lever on incidental token overlap between unrelated titles — and hence
+#: on the Section-7 candidate-set sizes.
+TITLE_WORDS: tuple[str, ...] = _build_title_words()
+
+#: Function words occasionally embedded in titles. Kept rare: real award
+#: titles are mostly noun phrases, which is why the paper's overlap
+#: threshold of 3 is so much more selective than 1.
+TITLE_FUNCTION_WORDS: tuple[str, ...] = ("of", "in", "for", "and", "under", "across")

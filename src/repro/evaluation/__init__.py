@@ -1,0 +1,21 @@
+"""Accuracy: exact evaluation, Corleone estimation, production monitoring."""
+
+from .corleone import (
+    AccuracyEstimate,
+    Interval,
+    compare_matchers,
+    estimate_accuracy,
+)
+from .metrics import MatchQuality, evaluate_matches
+from .monitor import AccuracyMonitor, MonitoringReport
+
+__all__ = [
+    "AccuracyEstimate",
+    "AccuracyMonitor",
+    "Interval",
+    "MatchQuality",
+    "MonitoringReport",
+    "compare_matchers",
+    "estimate_accuracy",
+    "evaluate_matches",
+]

@@ -1,0 +1,55 @@
+"""Exact accuracy of a predicted match set against gold matches.
+
+Used on the synthetic scenario (where full ground truth exists) to verify
+that the Corleone *estimates* bracket the true values, and by the ablation
+benches that compare workflow variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..blocking.candidate_set import Pair
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision/recall/F1 of a predicted match set vs gold matches."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.1%} R={self.recall:.1%} F1={self.f1:.1%} "
+            f"(TP={self.true_positives}, FP={self.false_positives}, "
+            f"FN={self.false_negatives})"
+        )
+
+
+def evaluate_matches(predicted: Iterable[Pair], gold: Iterable[Pair]) -> MatchQuality:
+    """Compare a predicted match set to the gold match set."""
+    predicted = {tuple(p) for p in predicted}
+    gold = {tuple(p) for p in gold}
+    return MatchQuality(
+        true_positives=len(predicted & gold),
+        false_positives=len(predicted - gold),
+        false_negatives=len(gold - predicted),
+    )

@@ -1,0 +1,104 @@
+"""Production accuracy monitoring.
+
+Section 12's "next steps": once the matcher moves into the UMETRICS
+repository, new data may be dirty, so "we need to monitor the accuracy of
+the match results ... by taking a random sample of the predicted matches at
+regular intervals, manually labeling it, then using the labeled sample to
+estimate the accuracy". :class:`AccuracyMonitor` implements that loop and
+raises a flag when the estimated precision drifts below a floor, signalling
+a return to the development stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..errors import EvaluationError
+from ..labeling.labels import Label, LabeledPairs
+from ..labeling.oracle import ExpertOracle
+from .corleone import Interval, _proportion_interval
+
+
+@dataclass(frozen=True)
+class MonitoringReport:
+    """One monitoring round: estimated precision of a production batch."""
+
+    batch: str
+    precision: Interval
+    sample_size: int
+    flagged: bool
+
+    def __str__(self) -> str:
+        status = "FLAGGED" if self.flagged else "ok"
+        return f"[{status}] batch {self.batch!r}: precision {self.precision} (n={self.sample_size})"
+
+
+class AccuracyMonitor:
+    """Periodic precision estimation over production match batches.
+
+    Parameters
+    ----------
+    precision_floor:
+        Flag a batch when the *upper* end of its estimated precision falls
+        below this (i.e. we are confident precision degraded).
+    sample_size:
+        Pairs sampled per batch for manual labeling.
+    seed:
+        Sampling seed.
+    """
+
+    def __init__(
+        self,
+        precision_floor: float = 0.9,
+        sample_size: int = 50,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < precision_floor <= 1.0:
+            raise EvaluationError(
+                f"precision_floor must be in (0,1], got {precision_floor}"
+            )
+        self.precision_floor = precision_floor
+        self.sample_size = sample_size
+        self._rng = np.random.default_rng(seed)
+        self._history: list[MonitoringReport] = []
+
+    def check_batch(
+        self,
+        batch_name: str,
+        candidates: CandidateSet,
+        predicted_matches: Sequence[Pair],
+        labeler: ExpertOracle,
+    ) -> MonitoringReport:
+        """Sample predicted matches, label them, estimate precision."""
+        matches = [tuple(p) for p in predicted_matches]
+        if not matches:
+            raise EvaluationError(f"batch {batch_name!r} has no predicted matches")
+        n = min(self.sample_size, len(matches))
+        indices = self._rng.choice(len(matches), size=n, replace=False)
+        sampled = [matches[int(i)] for i in indices]
+        labels: LabeledPairs = labeler.label_pairs(candidates, sampled)
+        usable = [(p, label) for p, label in labels.items() if label is not Label.UNSURE]
+        if not usable:
+            raise EvaluationError(f"batch {batch_name!r}: every sampled label was Unsure")
+        positives = sum(1 for _, label in usable if label is Label.YES)
+        interval = _proportion_interval(positives, len(usable), len(matches))
+        report = MonitoringReport(
+            batch=batch_name,
+            precision=interval,
+            sample_size=len(usable),
+            flagged=interval.high < self.precision_floor,
+        )
+        self._history.append(report)
+        return report
+
+    @property
+    def history(self) -> list[MonitoringReport]:
+        return list(self._history)
+
+    def needs_redevelopment(self) -> bool:
+        """True when the most recent batch was flagged."""
+        return bool(self._history) and self._history[-1].flagged

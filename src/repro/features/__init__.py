@@ -1,0 +1,29 @@
+"""Automatic feature generation and feature-vector extraction."""
+
+from .corpus import soft_tfidf_feature
+from .feature import (
+    Feature,
+    custom_feature,
+    numeric_feature,
+    string_feature,
+    token_feature,
+)
+from .generate import FeatureSet, add_case_insensitive_variants, generate_features
+from .types import combined_type, recipes_for
+from .vectors import FeatureMatrix, extract_feature_vectors
+
+__all__ = [
+    "Feature",
+    "FeatureMatrix",
+    "FeatureSet",
+    "add_case_insensitive_variants",
+    "combined_type",
+    "custom_feature",
+    "extract_feature_vectors",
+    "generate_features",
+    "numeric_feature",
+    "recipes_for",
+    "soft_tfidf_feature",
+    "string_feature",
+    "token_feature",
+]

@@ -1,0 +1,143 @@
+"""Automatic feature generation from two table schemas.
+
+Section 9 (footnote 7): "we applied PyMatcher to the schemas of the two
+tables ... to automatically generate a large set of features, which include
+both string related features (e.g., Jaccard over 3grams, edit distance,
+etc.) and numeric features". :func:`generate_features` reproduces that:
+same-named attribute pairs are typed (:mod:`repro.table.schema`) and each
+pair expands into the recipe list of :mod:`repro.features.types`.
+
+After matcher debugging revealed mismatches caused purely by letter case,
+the team "added more features to handle this problem" rather than
+lower-casing the data (footnote 8) — :func:`add_case_insensitive_variants`
+is that step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import FeatureError
+from ..table import Table
+from ..table.schema import infer_type
+from ..text.tokenizers import TOKENIZERS
+from .feature import Feature, numeric_feature, string_feature, token_feature
+from .types import recipes_for
+
+
+@dataclass
+class FeatureSet:
+    """An ordered collection of features with unique names."""
+
+    features: list[Feature] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self.features)
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self.features]
+
+    def add(self, feature: Feature) -> None:
+        if feature.name in set(self.names):
+            raise FeatureError(f"duplicate feature name {feature.name!r}")
+        self.features.append(feature)
+
+    def get(self, name: str) -> Feature:
+        for f in self.features:
+            if f.name == name:
+                return f
+        raise FeatureError(f"no feature named {name!r}")
+
+    def drop(self, names: Sequence[str]) -> "FeatureSet":
+        """A new set without the named features."""
+        unknown = set(names) - set(self.names)
+        if unknown:
+            raise FeatureError(f"cannot drop unknown features {sorted(unknown)}")
+        return FeatureSet([f for f in self.features if f.name not in set(names)])
+
+
+def _build(recipe, l_attr: str, r_attr: str, casefold: bool) -> Feature:
+    kind = recipe[0]
+    if kind == "string":
+        return string_feature(l_attr, r_attr, recipe[1], casefold=casefold)
+    if kind == "token":
+        tokenizer_name = recipe[2]
+        return token_feature(
+            l_attr, r_attr, recipe[1], TOKENIZERS[tokenizer_name], tokenizer_name,
+            casefold=casefold,
+        )
+    if kind == "numeric":
+        return numeric_feature(l_attr, r_attr, recipe[1])
+    raise FeatureError(f"unknown recipe kind {kind!r}")
+
+
+def generate_features(
+    ltable: Table,
+    rtable: Table,
+    exclude_attrs: Sequence[str] = (),
+) -> FeatureSet:
+    """Generate features for every same-named attribute pair.
+
+    Attributes listed in *exclude_attrs* (keys, output-only bookkeeping
+    columns like "AccessionNumber") are skipped, as are pairs whose types
+    do not combine (see :func:`repro.features.types.combined_type`).
+    """
+    skip = set(exclude_attrs)
+    feature_set = FeatureSet()
+    for attr in ltable.columns:
+        if attr in skip or attr not in rtable:
+            continue
+        l_type = infer_type(ltable[attr])
+        r_type = infer_type(rtable[attr])
+        for recipe in recipes_for(l_type, r_type):
+            feature_set.add(_build(recipe, attr, attr, casefold=False))
+    return feature_set
+
+
+def add_case_insensitive_variants(
+    feature_set: FeatureSet, attrs: Sequence[str] | None = None
+) -> FeatureSet:
+    """Return a new set with ``_ci`` variants of the string/token features.
+
+    *attrs* restricts the duplication to given attribute names (the case
+    study only needed title features); ``None`` duplicates all eligible
+    features. Numeric features have no case to fold and are skipped.
+    """
+    out = FeatureSet(list(feature_set.features))
+    for feature in feature_set.features:
+        if attrs is not None and feature.l_attr not in set(attrs):
+            continue
+        if feature.name.endswith("_ci"):
+            continue
+        parts = feature.name[len(f"{feature.l_attr}_{feature.r_attr}_") :]
+        ci_feature = _rebuild_casefolded(feature, parts)
+        if ci_feature is not None and ci_feature.name not in set(out.names):
+            out.add(ci_feature)
+    return out
+
+
+def _rebuild_casefolded(feature: Feature, measure_part: str) -> Feature | None:
+    """Rebuild a feature with casefolding from its name; None for numerics."""
+    from .feature import STRING_MEASURES, TOKEN_MEASURES
+
+    if measure_part in STRING_MEASURES:
+        return string_feature(feature.l_attr, feature.r_attr, measure_part, casefold=True)
+    for measure in TOKEN_MEASURES:
+        prefix = measure + "_"
+        if measure_part.startswith(prefix):
+            tokenizer_name = measure_part[len(prefix) :]
+            if tokenizer_name in TOKENIZERS:
+                return token_feature(
+                    feature.l_attr,
+                    feature.r_attr,
+                    measure,
+                    TOKENIZERS[tokenizer_name],
+                    tokenizer_name,
+                    casefold=True,
+                )
+    return None

@@ -1,0 +1,82 @@
+"""Feature recipes per attribute type.
+
+PyMatcher picks similarity functions for an attribute pair from the coarser
+of the two inferred types. The recipe table below follows its published
+defaults: short strings get character-level measures, longer strings get
+token-set measures over words and q-grams, numerics get exact/absolute/
+relative difference.
+"""
+
+from __future__ import annotations
+
+from ..table.schema import AttrType
+
+#: recipe entries: ("string", measure) | ("token", measure, tokenizer_name)
+#: | ("numeric", measure)
+Recipe = tuple
+
+RECIPES: dict[AttrType, list[Recipe]] = {
+    AttrType.STR_EQ_1W: [
+        ("string", "lev_sim"),
+        ("string", "jaro"),
+        ("string", "jw"),
+        ("string", "exact_str"),
+        ("token", "jac", "qgm_3"),
+    ],
+    AttrType.STR_BT_1W_5W: [
+        ("token", "jac", "qgm_3"),
+        ("token", "cos", "ws"),
+        ("token", "jac", "ws"),
+        ("token", "mel", "ws"),
+        ("string", "lev_sim"),
+    ],
+    AttrType.STR_BT_5W_10W: [
+        ("token", "jac", "qgm_3"),
+        ("token", "cos", "ws"),
+        ("token", "mel", "ws"),
+    ],
+    AttrType.STR_GT_10W: [
+        ("token", "jac", "qgm_3"),
+        ("token", "cos", "ws"),
+    ],
+    AttrType.NUMERIC: [
+        ("numeric", "exact"),
+        ("numeric", "abs_diff"),
+        ("numeric", "rel_diff"),
+    ],
+    AttrType.BOOLEAN: [
+        ("numeric", "exact"),
+    ],
+    AttrType.UNKNOWN: [],
+}
+
+_STRING_ORDER = [
+    AttrType.STR_EQ_1W,
+    AttrType.STR_BT_1W_5W,
+    AttrType.STR_BT_5W_10W,
+    AttrType.STR_GT_10W,
+]
+
+
+def combined_type(left: AttrType, right: AttrType) -> AttrType:
+    """Resolve the recipe type for an attribute pair.
+
+    Two string types resolve to the *longer* class (token measures stay
+    meaningful; character measures on long strings are wasteful). A string
+    paired with a non-string, or anything with UNKNOWN, yields UNKNOWN, so
+    no features are generated — PyMatcher likewise skips type-mismatched
+    attribute pairs.
+    """
+    if left == right:
+        return left
+    if left.is_string and right.is_string:
+        index = max(_STRING_ORDER.index(left), _STRING_ORDER.index(right))
+        return _STRING_ORDER[index]
+    if {left, right} == {AttrType.NUMERIC, AttrType.BOOLEAN}:
+        return AttrType.NUMERIC
+    return AttrType.UNKNOWN
+
+
+def recipes_for(left: AttrType, right: AttrType) -> list[Recipe]:
+    """Feature recipes for an attribute pair."""
+    return list(RECIPES[combined_type(left, right)])

@@ -1,0 +1,80 @@
+"""Feature-vector extraction: candidate pairs -> numpy matrices.
+
+Converts candidate pairs (or any list of id pairs over the base tables)
+into a dense feature matrix, with NaN marking features whose inputs were
+missing. The companion :class:`FeatureMatrix` keeps the pair ids and
+feature names aligned with the rows/columns, which the debugging tools
+need to point back at records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..errors import FeatureError
+from ..ml.impute import MeanImputer
+from .generate import FeatureSet
+
+
+@dataclass
+class FeatureMatrix:
+    """A feature matrix with row (pair) and column (feature) identity."""
+
+    pairs: list[Pair]
+    feature_names: list[str]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.pairs), len(self.feature_names)):
+            raise FeatureError(
+                f"matrix shape {self.values.shape} does not match "
+                f"{len(self.pairs)} pairs x {len(self.feature_names)} features"
+            )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def row_for(self, pair: Pair) -> np.ndarray:
+        index = self.pairs.index(tuple(pair))
+        return self.values[index]
+
+    def select_rows(self, indices: Sequence[int]) -> "FeatureMatrix":
+        indices = list(indices)
+        return FeatureMatrix(
+            pairs=[self.pairs[i] for i in indices],
+            feature_names=list(self.feature_names),
+            values=self.values[indices],
+        )
+
+    def impute_means(self, imputer: MeanImputer | None = None) -> "FeatureMatrix":
+        """Fill NaN with column means; pass a fitted imputer to reuse the
+        training-set means on a new matrix (Section 9 applies the same
+        imputation to the labeled set and the candidate set)."""
+        if imputer is None:
+            imputer = MeanImputer()
+            imputer.fit(self.values)
+        filled = imputer.transform(self.values)
+        return FeatureMatrix(list(self.pairs), list(self.feature_names), filled)
+
+
+def extract_feature_vectors(
+    candidates: CandidateSet,
+    feature_set: FeatureSet,
+    pairs: Sequence[Pair] | None = None,
+) -> FeatureMatrix:
+    """Compute the feature matrix for *pairs* (default: all candidates)."""
+    if pairs is None:
+        pairs = candidates.pairs
+    pairs = [tuple(p) for p in pairs]
+    n, d = len(pairs), len(feature_set)
+    values = np.empty((n, d))
+    features = list(feature_set)
+    for i, pair in enumerate(pairs):
+        l_row, r_row = candidates.record_pair(pair)
+        for j, feature in enumerate(features):
+            values[i, j] = feature.from_rows(l_row, r_row)
+    return FeatureMatrix(pairs=pairs, feature_names=feature_set.names, values=values)

@@ -1,0 +1,30 @@
+"""Sampling/labeling protocol: labels, oracles, cloud tool, reconciliation."""
+
+from .debugger import LabelDiscrepancy, debug_labels, group_discrepancies
+from .labels import Label, LabelCounts, LabeledPairs
+from .majority import agreement_rate, majority_label, vote_on_pairs
+from .oracle import ExpertOracle, StudentLabeler
+from .sampling_strategies import UncertaintySampler, stratified_sample
+from .reconcile import LabelDisagreement, cross_check, resolve_with_authority
+from .tool import AuditEntry, CloudLabelingTool
+
+__all__ = [
+    "AuditEntry",
+    "CloudLabelingTool",
+    "ExpertOracle",
+    "Label",
+    "LabelCounts",
+    "LabelDisagreement",
+    "LabelDiscrepancy",
+    "LabeledPairs",
+    "StudentLabeler",
+    "UncertaintySampler",
+    "agreement_rate",
+    "cross_check",
+    "debug_labels",
+    "group_discrepancies",
+    "majority_label",
+    "resolve_with_authority",
+    "stratified_sample",
+    "vote_on_pairs",
+]

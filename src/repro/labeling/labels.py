@@ -1,0 +1,127 @@
+"""Labels and labeled-pair stores.
+
+The case study labels pairs "Yes", "No" or "Unsure" (footnote 5 explains
+the Unsure option: even domain experts cannot label some dirty/cryptic
+pairs, and such pairs are excluded from training and evaluation).
+:class:`LabeledPairs` is the running store the two teams updated across
+labeling iterations, meetings and debugging rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+from ..blocking.candidate_set import Pair
+from ..errors import LabelingError
+
+
+class Label(Enum):
+    """A human label for a candidate pair."""
+
+    YES = "Yes"
+    NO = "No"
+    UNSURE = "Unsure"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Label":
+        for label in cls:
+            if label.value.lower() == str(text).strip().lower():
+                return label
+        raise LabelingError(f"unknown label {text!r} (expected Yes/No/Unsure)")
+
+    def as_int(self) -> int:
+        """0/1 for No/Yes; raises for Unsure (which must be filtered out)."""
+        if self is Label.UNSURE:
+            raise LabelingError("Unsure labels cannot be converted to 0/1")
+        return 1 if self is Label.YES else 0
+
+
+@dataclass(frozen=True)
+class LabelCounts:
+    """Yes/No/Unsure tally of a labeled set."""
+
+    yes: int
+    no: int
+    unsure: int
+
+    @property
+    def total(self) -> int:
+        return self.yes + self.no + self.unsure
+
+    def __str__(self) -> str:
+        return f"{self.yes} Yes / {self.no} No / {self.unsure} Unsure"
+
+
+class LabeledPairs:
+    """An ordered mapping of candidate pairs to labels.
+
+    Pairs keep insertion order (labeling iteration order); re-labeling a
+    pair (label updates after team meetings) overwrites in place.
+    """
+
+    def __init__(self, items: Mapping[Pair, Label] | Iterable[tuple[Pair, Label]] = ()) -> None:
+        self._labels: dict[Pair, Label] = {}
+        items = items.items() if isinstance(items, Mapping) else items
+        for pair, label in items:
+            self.set(pair, label)
+
+    def set(self, pair: Pair, label: Label) -> None:
+        if not isinstance(label, Label):
+            raise LabelingError(f"expected a Label, got {label!r}")
+        self._labels[tuple(pair)] = label
+
+    def get(self, pair: Pair) -> Label:
+        try:
+            return self._labels[tuple(pair)]
+        except KeyError:
+            raise LabelingError(f"pair {pair} has not been labeled") from None
+
+    def __contains__(self, pair: Pair) -> bool:
+        return tuple(pair) in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._labels)
+
+    def items(self) -> Iterator[tuple[Pair, Label]]:
+        return iter(self._labels.items())
+
+    def pairs(self) -> list[Pair]:
+        return list(self._labels)
+
+    def counts(self) -> LabelCounts:
+        yes = sum(1 for v in self._labels.values() if v is Label.YES)
+        no = sum(1 for v in self._labels.values() if v is Label.NO)
+        return LabelCounts(yes=yes, no=no, unsure=len(self._labels) - yes - no)
+
+    def merge(self, other: "LabeledPairs") -> "LabeledPairs":
+        """A new store with *other*'s labels overriding this one's."""
+        merged = LabeledPairs(list(self.items()))
+        for pair, label in other.items():
+            merged.set(pair, label)
+        return merged
+
+    def without_unsure(self) -> "LabeledPairs":
+        """Drop Unsure pairs (training/evaluation exclude them)."""
+        return LabeledPairs(
+            [(p, v) for p, v in self._labels.items() if v is not Label.UNSURE]
+        )
+
+    def without_pairs(self, exclude: Iterable[Pair]) -> "LabeledPairs":
+        """Drop the given pairs (e.g. sure matches before training)."""
+        excluded = {tuple(p) for p in exclude}
+        return LabeledPairs(
+            [(p, v) for p, v in self._labels.items() if p not in excluded]
+        )
+
+    def to_training_data(self) -> tuple[list[Pair], list[int]]:
+        """(pairs, 0/1 labels); raises if any Unsure label remains."""
+        pairs, y = [], []
+        for pair, label in self._labels.items():
+            pairs.append(pair)
+            y.append(label.as_int())
+        return pairs, y

@@ -1,0 +1,63 @@
+"""Majority-vote labeling across several labelers.
+
+Section 13's collaboration challenge: "most often they collaborate to
+label a data set". When several team members label the same pairs, their
+votes need combining; majority voting with an Unsure fallback is the
+simplest sound rule (Corleone applies the same idea to crowd workers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..errors import LabelingError
+from .labels import Label, LabeledPairs
+from .oracle import ExpertOracle
+
+
+def majority_label(votes: Sequence[Label]) -> Label:
+    """Combine one pair's votes.
+
+    Rules: the strict majority of *definite* (Yes/No) votes wins; a
+    Yes/No tie — or no definite votes at all — yields Unsure. Unsure votes
+    abstain rather than block (two Yes + one Unsure is still Yes).
+    """
+    if not votes:
+        raise LabelingError("cannot combine an empty vote list")
+    counts = Counter(votes)
+    yes, no = counts[Label.YES], counts[Label.NO]
+    if yes > no:
+        return Label.YES
+    if no > yes:
+        return Label.NO
+    return Label.UNSURE
+
+
+def vote_on_pairs(
+    labelers: Sequence[ExpertOracle],
+    candidates: CandidateSet,
+    pairs: Iterable[Pair],
+) -> LabeledPairs:
+    """Have every labeler label every pair, then majority-combine."""
+    if not labelers:
+        raise LabelingError("need at least one labeler")
+    ballots = [labeler.label_pairs(candidates, list(pairs)) for labeler in labelers]
+    combined = LabeledPairs()
+    for pair in ballots[0].pairs():
+        combined.set(pair, majority_label([b.get(pair) for b in ballots]))
+    return combined
+
+
+def agreement_rate(a: LabeledPairs, b: LabeledPairs) -> float:
+    """Fraction of commonly-labeled pairs on which two labelers agree.
+
+    A quick collaboration-health metric (the paper's teams discovered
+    their disagreement only by manually cross-checking).
+    """
+    common = [p for p in a.pairs() if p in b]
+    if not common:
+        raise LabelingError("the two label sets share no pairs")
+    agreed = sum(1 for p in common if a.get(p) is b.get(p))
+    return agreed / len(common)

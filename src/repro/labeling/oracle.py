@@ -1,0 +1,117 @@
+"""Simulated domain-expert labelers.
+
+The real case study had UMETRICS team members labeling pairs; this module
+replaces them with oracles over the synthetic scenario's ground truth.
+
+* :class:`ExpertOracle` — labels from ground truth, with configurable
+  imperfections: borderline pairs (caller-defined predicate) may come back
+  Unsure or mislabeled, modeling the 22-mismatch round and the D1-D3
+  discrepancy classes of Section 8. Decisions are a deterministic function
+  of (seed, pair), so labeling the same pair twice always agrees.
+* :class:`StudentLabeler` — a noisier wrapper modeling the hourly student
+  the UMETRICS team trained, with a higher error/unsure rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Iterable
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from .labels import Label, LabeledPairs
+
+Borderline = Callable[[dict[str, Any], dict[str, Any], bool], bool]
+
+
+def _pair_fraction(seed: int, pair: Pair, salt: str) -> float:
+    """A stable pseudo-random fraction in [0, 1) for a (seed, pair, salt)."""
+    text = f"{seed}|{salt}|{pair[0]}|{pair[1]}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class ExpertOracle:
+    """A deterministic simulated domain expert.
+
+    Parameters
+    ----------
+    truth:
+        The ground-truth set of matching pairs.
+    borderline:
+        Predicate ``(l_row, r_row, is_match) -> bool`` marking pairs the
+        expert finds genuinely hard (dirty titles, missing numbers, ...).
+        Only borderline pairs can come back Unsure or wrong.
+    unsure_probability:
+        Chance a borderline pair is labeled Unsure.
+    error_probability:
+        Chance a borderline pair (not already Unsure) is labeled wrongly.
+    seed:
+        Determinism seed; two oracles with the same seed agree everywhere.
+    """
+
+    def __init__(
+        self,
+        truth: Iterable[Pair],
+        borderline: Borderline | None = None,
+        unsure_probability: float = 0.0,
+        error_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.truth = {tuple(p) for p in truth}
+        self.borderline = borderline
+        self.unsure_probability = unsure_probability
+        self.error_probability = error_probability
+        self.seed = seed
+
+    def is_match(self, pair: Pair) -> bool:
+        return tuple(pair) in self.truth
+
+    def label(self, pair: Pair, l_row: dict[str, Any], r_row: dict[str, Any]) -> Label:
+        """Label one pair (deterministic per (seed, pair))."""
+        pair = tuple(pair)
+        is_match = pair in self.truth
+        hard = self.borderline is not None and self.borderline(l_row, r_row, is_match)
+        if hard:
+            if _pair_fraction(self.seed, pair, "unsure") < self.unsure_probability:
+                return Label.UNSURE
+            if _pair_fraction(self.seed, pair, "error") < self.error_probability:
+                return Label.NO if is_match else Label.YES
+        return Label.YES if is_match else Label.NO
+
+    def label_pairs(self, candidates: CandidateSet, pairs: Iterable[Pair]) -> LabeledPairs:
+        """Label a batch of candidate pairs."""
+        labeled = LabeledPairs()
+        for pair in pairs:
+            l_row, r_row = candidates.record_pair(tuple(pair))
+            labeled.set(tuple(pair), self.label(pair, l_row, r_row))
+        return labeled
+
+    def resolve(self, pair: Pair) -> Label:
+        """The expert's considered answer after a face-to-face discussion:
+        ground truth wins (this models the meeting where labels got fixed)."""
+        return Label.YES if self.is_match(pair) else Label.NO
+
+
+class StudentLabeler(ExpertOracle):
+    """The trained hourly student: same truth, more noise.
+
+    The defaults make the student unsure/wrong noticeably more often than
+    the expert, which is what produced the 22 cross-check mismatches in
+    Section 8 before the two teams reconciled.
+    """
+
+    def __init__(
+        self,
+        truth: Iterable[Pair],
+        borderline: Borderline | None = None,
+        unsure_probability: float = 0.35,
+        error_probability: float = 0.25,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(
+            truth,
+            borderline=borderline,
+            unsure_probability=unsure_probability,
+            error_probability=error_probability,
+            seed=seed,
+        )

@@ -1,0 +1,64 @@
+"""Cross-checking two labelers and reconciling disagreements.
+
+Section 8: the EM team labeled the same 100 pairs the UMETRICS student
+labeled, cross-checked (22 mismatches), shared the mismatched pairs in a
+spreadsheet and met; the UMETRICS team then updated 4 labels. This module
+implements that protocol: :func:`cross_check` finds disagreements,
+:func:`resolve_with_authority` applies the domain-expert's final say.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blocking.candidate_set import Pair
+from .labels import Label, LabeledPairs
+from .oracle import ExpertOracle
+
+
+@dataclass(frozen=True)
+class LabelDisagreement:
+    """One pair the two labelers disagree on."""
+
+    pair: Pair
+    label_a: Label
+    label_b: Label
+
+
+def cross_check(a: LabeledPairs, b: LabeledPairs) -> list[LabelDisagreement]:
+    """Disagreements on pairs labeled by *both* a and b (in a's order)."""
+    out = []
+    for pair, label_a in a.items():
+        if pair in b:
+            label_b = b.get(pair)
+            if label_a is not label_b:
+                out.append(LabelDisagreement(pair=pair, label_a=label_a, label_b=label_b))
+    return out
+
+
+def resolve_with_authority(
+    labels: LabeledPairs,
+    disagreements: list[LabelDisagreement],
+    authority: ExpertOracle,
+    keep_unsure: bool = True,
+) -> tuple[LabeledPairs, int]:
+    """Resolve disagreements by asking the authoritative expert.
+
+    Returns ``(updated labels, number of labels changed)`` — the "they
+    updated 4 labels to Yes" moment. Pairs where the authority agrees with
+    the existing label are left untouched. With *keep_unsure* (the paper's
+    behaviour) an existing Unsure label stands: the meeting only overturns
+    *definite* labels the authority contradicts — pairs even the experts
+    could not call remain Unsure.
+    """
+    updated = LabeledPairs(list(labels.items()))
+    changed = 0
+    for disagreement in disagreements:
+        current = updated.get(disagreement.pair)
+        if keep_unsure and current is Label.UNSURE:
+            continue
+        final = authority.resolve(disagreement.pair)
+        if current is not final:
+            updated.set(disagreement.pair, final)
+            changed += 1
+    return updated, changed

@@ -1,0 +1,132 @@
+"""Sampling strategies for labeling.
+
+Section 13 lists "how to label collaboratively [and efficiently]" among the
+EM pain points current systems ignore. The case study used plain random
+sampling; this module adds two refinements that address its stated problem
+— "random sampling from this set will result in very few matches":
+
+* :func:`stratified_sample` — sample per blocker-provenance stratum, so
+  pairs that only one blocker caught (often the interesting ones) are
+  represented;
+* :class:`UncertaintySampler` — active labeling: pick the pairs the
+  current matcher is least certain about, retrain, repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..errors import LabelingError
+from ..features.generate import FeatureSet
+from ..features.vectors import extract_feature_vectors
+from ..labeling.labels import LabeledPairs
+from ..labeling.oracle import ExpertOracle
+from ..matchers.ml_matcher import MLMatcher
+
+
+def stratified_sample(
+    strata: Sequence[CandidateSet],
+    n_per_stratum: int,
+    rng: np.random.Generator,
+) -> list[Pair]:
+    """Sample up to *n_per_stratum* pairs from each candidate set.
+
+    Earlier strata take precedence: a pair sampled from stratum i is not
+    re-sampled from stratum j > i. Strata smaller than the quota are taken
+    whole.
+    """
+    if not strata:
+        raise LabelingError("need at least one stratum")
+    chosen: list[Pair] = []
+    seen: set[Pair] = set()
+    for stratum in strata:
+        available = [p for p in stratum if p not in seen]
+        if len(available) <= n_per_stratum:
+            picked = available
+        else:
+            indices = rng.choice(len(available), size=n_per_stratum, replace=False)
+            picked = [available[int(i)] for i in indices]
+        for pair in picked:
+            seen.add(pair)
+            chosen.append(pair)
+    return chosen
+
+
+class UncertaintySampler:
+    """Active labeling: query the pairs the matcher is least sure about.
+
+    Each round trains (a clone of) the matcher on the labels so far and
+    asks the oracle to label the *n_per_round* unlabeled pairs whose
+    predicted match probability is closest to 0.5. A seed round of random
+    pairs bootstraps the first model.
+    """
+
+    def __init__(
+        self,
+        candidates: CandidateSet,
+        feature_set: FeatureSet,
+        matcher: MLMatcher,
+        oracle: ExpertOracle,
+        seed: int = 0,
+    ) -> None:
+        self.candidates = candidates
+        self.feature_set = feature_set
+        self.matcher = matcher
+        self.oracle = oracle
+        self._rng = np.random.default_rng(seed)
+        self._matrix = extract_feature_vectors(candidates, feature_set)
+        self.labels = LabeledPairs()
+
+    def _label(self, pairs: Sequence[Pair]) -> None:
+        for pair, label in self.oracle.label_pairs(self.candidates, pairs).items():
+            self.labels.set(pair, label)
+
+    def seed_round(self, n: int) -> None:
+        """Label *n* random pairs to bootstrap the first model."""
+        self._label(self.candidates.sample(n, self._rng))
+
+    def query_round(self, n_per_round: int) -> list[Pair]:
+        """Label the *n_per_round* most uncertain unlabeled pairs.
+
+        Returns the queried pairs. Requires at least one positive and one
+        negative label so a model can be trained — raise otherwise (call
+        :meth:`seed_round` first, or seed more).
+        """
+        usable = self.labels.without_unsure()
+        pairs, y = usable.to_training_data()
+        if len(set(y)) < 2:
+            raise LabelingError(
+                "need both a Yes and a No label before active querying; "
+                "run a (larger) seed round first"
+            )
+        model = self.matcher.clone()
+        train = extract_feature_vectors(self.candidates, self.feature_set, pairs=pairs)
+        model.fit(train, y)
+        probabilities = model.predict_proba(self._matrix)
+        labeled = set(self.labels.pairs())
+        ranked = sorted(
+            (pair for pair in self.candidates if pair not in labeled),
+            key=lambda pair: (abs(probabilities[pair] - 0.5), str(pair)),
+        )
+        queried = ranked[:n_per_round]
+        self._label(queried)
+        return queried
+
+    def run(self, seed_size: int, rounds: int, n_per_round: int) -> LabeledPairs:
+        """Seed + *rounds* active rounds; returns all labels gathered."""
+        self.seed_round(seed_size)
+        for _ in range(rounds):
+            if len(self.labels) >= len(self.candidates):
+                break
+            try:
+                self.query_round(n_per_round)
+            except LabelingError:
+                # all-one-class seed: fall back to more random labels
+                remaining = [
+                    p for p in self.candidates if p not in set(self.labels.pairs())
+                ]
+                self._label(remaining[:n_per_round])
+        return self.labels

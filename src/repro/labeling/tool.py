@@ -1,0 +1,122 @@
+"""The simulated cloud-based labeling tool.
+
+Section 8: the EM team "developed a simple cloud-based labeling tool with a
+good UI, but the tool was limited in that only one person could label at
+any time". This module models that tool faithfully — batches of pairs are
+uploaded, a single session may be active at a time, labels are submitted
+one pair at a time, and the tool keeps an audit log of every action (which
+is what makes the labeling logistics visible in reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..blocking.candidate_set import Pair
+from ..errors import LabelingError, LabelingToolLockedError
+from .labels import Label, LabeledPairs
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One action in the tool's audit log."""
+
+    action: str
+    user: str
+    detail: str
+
+
+@dataclass
+class _Session:
+    user: str
+    submitted: int = 0
+
+
+class CloudLabelingTool:
+    """Single-writer labeling tool with uploaded batches and an audit log."""
+
+    def __init__(self) -> None:
+        self._pending: list[Pair] = []
+        self._pending_set: set[Pair] = set()
+        self._labels = LabeledPairs()
+        self._session: _Session | None = None
+        self._log: list[AuditEntry] = []
+
+    # ------------------------------------------------------------------
+    # batch management
+    # ------------------------------------------------------------------
+    def upload_pairs(self, pairs: Iterable[Pair], user: str = "em-team") -> int:
+        """Upload a batch; already-labeled and duplicate pairs are skipped.
+        Returns the number of newly pending pairs."""
+        added = 0
+        for pair in pairs:
+            pair = tuple(pair)
+            if pair in self._labels or pair in self._pending_set:
+                continue
+            self._pending.append(pair)
+            self._pending_set.add(pair)
+            added += 1
+        self._log.append(AuditEntry("upload", user, f"{added} pairs"))
+        return added
+
+    @property
+    def pending(self) -> list[Pair]:
+        return list(self._pending)
+
+    # ------------------------------------------------------------------
+    # sessions (only one labeler at a time)
+    # ------------------------------------------------------------------
+    def open_session(self, user: str) -> None:
+        if self._session is not None:
+            raise LabelingToolLockedError(
+                f"user {self._session.user!r} is already labeling; "
+                "the tool admits one session at a time"
+            )
+        self._session = _Session(user=user)
+        self._log.append(AuditEntry("open", user, ""))
+
+    def close_session(self) -> None:
+        if self._session is None:
+            raise LabelingError("no session is open")
+        self._log.append(
+            AuditEntry("close", self._session.user, f"{self._session.submitted} labeled")
+        )
+        self._session = None
+
+    @property
+    def active_user(self) -> str | None:
+        return self._session.user if self._session else None
+
+    # ------------------------------------------------------------------
+    # labeling
+    # ------------------------------------------------------------------
+    def submit_label(self, pair: Pair, label: Label) -> None:
+        """Label a pending pair within the open session."""
+        if self._session is None:
+            raise LabelingError("open a session before labeling")
+        pair = tuple(pair)
+        if pair not in self._pending_set:
+            raise LabelingError(f"pair {pair} is not pending in the tool")
+        self._labels.set(pair, label)
+        self._pending.remove(pair)
+        self._pending_set.discard(pair)
+        self._session.submitted += 1
+
+    def update_label(self, pair: Pair, label: Label, user: str = "umetrics-team") -> None:
+        """Revise an already-submitted label (post-meeting fixes)."""
+        pair = tuple(pair)
+        if pair not in self._labels:
+            raise LabelingError(f"pair {pair} has not been labeled yet")
+        old = self._labels.get(pair)
+        self._labels.set(pair, label)
+        self._log.append(
+            AuditEntry("update", user, f"{pair}: {old.value} -> {label.value}")
+        )
+
+    def labeled(self) -> LabeledPairs:
+        """A copy of all submitted labels."""
+        return LabeledPairs(list(self._labels.items()))
+
+    def audit_log(self) -> list[AuditEntry]:
+        return list(self._log)

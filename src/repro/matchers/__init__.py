@@ -1,0 +1,32 @@
+"""Matching layer: ML matchers, rule matchers, selection, debugging."""
+
+from .debugger import (
+    Mismatch,
+    explain_prediction,
+    find_mismatches,
+    top_disagreeing_features,
+)
+from .ml_matcher import MLMatcher
+from .rule_matcher import (
+    BooleanRuleMatcher,
+    Condition,
+    PositiveRuleMatcher,
+    parse_condition,
+)
+from .select import MatcherScore, SelectionResult, default_matchers, select_matcher
+
+__all__ = [
+    "BooleanRuleMatcher",
+    "Condition",
+    "MLMatcher",
+    "MatcherScore",
+    "Mismatch",
+    "PositiveRuleMatcher",
+    "SelectionResult",
+    "default_matchers",
+    "explain_prediction",
+    "find_mismatches",
+    "parse_condition",
+    "select_matcher",
+    "top_disagreeing_features",
+]

@@ -1,0 +1,84 @@
+"""Learning-based matcher: a classifier + consistent imputation.
+
+Wraps one of the :mod:`repro.ml` learners with the bookkeeping the EM
+pipeline needs: the imputer fitted on the training matrix is reused when
+predicting on the candidate set (Section 9 imputes both with training-set
+column means), and predictions are returned keyed by record-id pair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..blocking.candidate_set import Pair
+from ..errors import MatcherError, NotFittedError
+from ..features.vectors import FeatureMatrix
+from ..ml.base import Classifier
+from ..ml.impute import MeanImputer
+
+
+class MLMatcher:
+    """A named learning-based matcher.
+
+    Parameters
+    ----------
+    model:
+        An unfitted :class:`repro.ml.base.Classifier`.
+    name:
+        Display name used in selection tables ("Decision Tree", ...).
+    """
+
+    def __init__(self, model: Classifier, name: str) -> None:
+        self.model = model
+        self.name = name
+        self._imputer: MeanImputer | None = None
+        self._feature_names: list[str] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._imputer is not None and self.model.is_fitted
+
+    def clone(self) -> "MLMatcher":
+        """An unfitted copy with the same underlying model configuration."""
+        return MLMatcher(self.model.clone(), self.name)
+
+    def fit(self, matrix: FeatureMatrix, labels: Sequence[int]) -> "MLMatcher":
+        """Train on a labeled feature matrix (NaN allowed; imputed here)."""
+        labels = np.asarray(labels, dtype=int)
+        if len(labels) != len(matrix):
+            raise MatcherError(
+                f"{len(matrix)} feature rows but {len(labels)} labels"
+            )
+        self._imputer = MeanImputer().fit(matrix.values)
+        self._feature_names = list(matrix.feature_names)
+        self.model.fit(self._imputer.transform(matrix.values), labels)
+        return self
+
+    def _check_matrix(self, matrix: FeatureMatrix) -> np.ndarray:
+        if not self.is_fitted:
+            raise NotFittedError(f"matcher {self.name!r} is not fitted yet")
+        if matrix.feature_names != self._feature_names:
+            raise MatcherError(
+                f"feature mismatch: matcher {self.name!r} was trained on "
+                f"{len(self._feature_names)} features, got {len(matrix.feature_names)}"
+            )
+        return self._imputer.transform(matrix.values)
+
+    def predict(self, matrix: FeatureMatrix) -> dict[Pair, int]:
+        """Predict 0/1 for every pair in *matrix* (training-set imputation)."""
+        values = self._check_matrix(matrix)
+        predictions = self.model.predict(values)
+        return {pair: int(p) for pair, p in zip(matrix.pairs, predictions)}
+
+    def predict_matches(self, matrix: FeatureMatrix) -> list[Pair]:
+        """Only the pairs predicted to match, in matrix order."""
+        predictions = self.predict(matrix)
+        return [pair for pair in matrix.pairs if predictions[pair] == 1]
+
+    def predict_proba(self, matrix: FeatureMatrix) -> dict[Pair, float]:
+        """Match probability per pair."""
+        values = self._check_matrix(matrix)
+        probs = self.model.predict_proba(values)
+        return {pair: float(p) for pair, p in zip(matrix.pairs, probs)}

@@ -1,0 +1,144 @@
+"""Rule-based matchers.
+
+Two flavours:
+
+* :class:`PositiveRuleMatcher` — declares a match when any of its exact
+  positive rules fires; this is both the sure-match extractor of the
+  paper's workflows and the deployed IRIS baseline.
+* :class:`BooleanRuleMatcher` — PyMatcher's boolean rule language over
+  *generated features*: a matcher is a disjunction of rules, each rule a
+  conjunction of ``feature <op> threshold`` conditions given as strings,
+  e.g. ``"AwardTitle_AwardTitle_jac_ws > 0.7"``.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..errors import RuleError
+from ..features.vectors import FeatureMatrix
+from ..rules.positive import ExactNumberRule, sure_matches
+from ..table import Table
+
+
+class PositiveRuleMatcher:
+    """Match exactly the pairs fired by a set of positive rules."""
+
+    def __init__(self, rules: Sequence[ExactNumberRule], name: str = "rule_matcher") -> None:
+        if not rules:
+            raise RuleError("PositiveRuleMatcher needs at least one rule")
+        self.rules = list(rules)
+        self.name = name
+
+    def predict_tables(
+        self, ltable: Table, rtable: Table, l_key: str, r_key: str
+    ) -> CandidateSet:
+        """All matching pairs over the full tables."""
+        return sure_matches(
+            self.rules, ltable, rtable, l_key, r_key, name=f"{self.name}_matches"
+        )
+
+    def predict_pairs(self, candidates: CandidateSet) -> list[Pair]:
+        """Matching pairs restricted to a candidate set."""
+        out = []
+        for pair in candidates:
+            l_row, r_row = candidates.record_pair(pair)
+            if any(rule.matches(l_row, r_row) for rule in self.rules):
+                out.append(pair)
+        return out
+
+
+_CONDITION_RE = re.compile(
+    r"^\s*(?P<feature>[A-Za-z0-9_.]+)\s*(?P<op><=|>=|==|!=|<|>)\s*(?P<value>-?\d+(?:\.\d+)?)\s*$"
+)
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One parsed ``feature <op> threshold`` condition."""
+
+    feature: str
+    op: str
+    value: float
+
+    def evaluate(self, feature_value: float) -> bool:
+        if np.isnan(feature_value):
+            return False
+        return _OPS[self.op](feature_value, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.feature} {self.op} {self.value:g}"
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse ``"feature > 0.7"`` into a :class:`Condition`."""
+    match = _CONDITION_RE.match(text)
+    if match is None:
+        raise RuleError(f"cannot parse rule condition {text!r}")
+    return Condition(
+        feature=match.group("feature"),
+        op=match.group("op"),
+        value=float(match.group("value")),
+    )
+
+
+class BooleanRuleMatcher:
+    """A disjunction of conjunctive feature rules.
+
+    ``add_rule(["f1 > 0.7", "f2 <= 0.2"])`` adds the rule *f1 > 0.7 AND
+    f2 <= 0.2*; a pair matches when any added rule is fully satisfied.
+    Conditions on NaN feature values evaluate false.
+    """
+
+    def __init__(self, name: str = "boolean_rules") -> None:
+        self.name = name
+        self._rules: list[list[Condition]] = []
+
+    @property
+    def rules(self) -> list[list[Condition]]:
+        return [list(r) for r in self._rules]
+
+    def add_rule(self, conditions: Sequence[str]) -> None:
+        if not conditions:
+            raise RuleError("a rule needs at least one condition")
+        self._rules.append([parse_condition(c) for c in conditions])
+
+    def predict(self, matrix: FeatureMatrix) -> dict[Pair, int]:
+        """0/1 prediction per pair in the feature matrix."""
+        if not self._rules:
+            raise RuleError(f"matcher {self.name!r} has no rules")
+        column = {name: j for j, name in enumerate(matrix.feature_names)}
+        for rule in self._rules:
+            for cond in rule:
+                if cond.feature not in column:
+                    raise RuleError(
+                        f"rule condition references unknown feature {cond.feature!r}"
+                    )
+        out: dict[Pair, int] = {}
+        for i, pair in enumerate(matrix.pairs):
+            row = matrix.values[i]
+            matched = any(
+                all(cond.evaluate(row[column[cond.feature]]) for cond in rule)
+                for rule in self._rules
+            )
+            out[pair] = int(matched)
+        return out
+
+    def predict_matches(self, matrix: FeatureMatrix) -> list[Pair]:
+        predictions = self.predict(matrix)
+        return [pair for pair in matrix.pairs if predictions[pair] == 1]

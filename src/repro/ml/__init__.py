@@ -1,0 +1,63 @@
+"""From-scratch machine-learning substrate (scikit-learn stand-in).
+
+Provides the six learners the case study compares (decision tree, random
+forest, logistic regression, linear regression, naive Bayes, linear SVM),
+mean imputation, binary metrics and cross-validation utilities.
+"""
+
+from .base import Classifier, check_X, check_X_y
+from .forest import RandomForestClassifier
+from .impute import MeanImputer
+from .linreg import LinearRegressionClassifier
+from .logistic import LogisticRegression
+from .metrics import (
+    PRF,
+    ConfusionCounts,
+    accuracy,
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+)
+from .model_selection import (
+    CVResult,
+    cross_validate,
+    kfold_indices,
+    leave_one_out_predictions,
+    stratified_kfold_indices,
+    train_test_split,
+)
+from .naive_bayes import GaussianNaiveBayes
+from .thresholds import CurvePoint, precision_recall_curve, select_threshold
+from .svm import LinearSVM
+from .tree import DecisionTreeClassifier, export_rules
+
+__all__ = [
+    "PRF",
+    "CVResult",
+    "Classifier",
+    "ConfusionCounts",
+    "CurvePoint",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
+    "LinearRegressionClassifier",
+    "LinearSVM",
+    "LogisticRegression",
+    "MeanImputer",
+    "RandomForestClassifier",
+    "accuracy",
+    "check_X",
+    "check_X_y",
+    "confusion_counts",
+    "cross_validate",
+    "export_rules",
+    "f1_score",
+    "kfold_indices",
+    "leave_one_out_predictions",
+    "precision",
+    "precision_recall_curve",
+    "select_threshold",
+    "recall",
+    "stratified_kfold_indices",
+    "train_test_split",
+]

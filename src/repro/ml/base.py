@@ -1,0 +1,88 @@
+"""Base classes for the from-scratch learners.
+
+The learners implement the minimal scikit-learn-style protocol PyMatcher
+relies on: ``fit(X, y)``, ``predict(X)``, ``predict_proba(X)`` and
+``clone()``. Inputs are dense ``numpy`` float arrays; labels are 0/1.
+None of the learners accepts NaN — callers impute first (see
+:mod:`repro.ml.impute`), exactly as the case study fills missing feature
+values with column means before training.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+import numpy as np
+
+from ..errors import MatcherError, NotFittedError
+
+
+def check_X(X: Any) -> np.ndarray:
+    """Validate and convert a feature matrix to 2-D float64 without NaN."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise MatcherError(f"expected 2-D feature matrix, got shape {X.shape}")
+    if np.isnan(X).any():
+        raise MatcherError(
+            "feature matrix contains NaN; impute missing values first "
+            "(see repro.ml.impute.MeanImputer)"
+        )
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair: matching lengths, binary integer labels."""
+    X = check_X(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise MatcherError(f"expected 1-D label vector, got shape {y.shape}")
+    if len(y) != len(X):
+        raise MatcherError(f"X has {len(X)} rows but y has {len(y)}")
+    if len(y) == 0:
+        raise MatcherError("cannot fit on an empty training set")
+    y = y.astype(int)
+    labels = set(np.unique(y).tolist())
+    if not labels <= {0, 1}:
+        raise MatcherError(f"labels must be 0/1, got {sorted(labels)}")
+    return X, y
+
+
+class Classifier:
+    """Base class for binary classifiers.
+
+    Sub-classes set ``self._fitted = True`` at the end of :meth:`fit` and
+    may rely on :meth:`_require_fitted` in prediction methods.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted yet")
+
+    def fit(self, X: Any, y: Any) -> "Classifier":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict_proba(self, X: Any) -> np.ndarray:  # pragma: no cover - abstract
+        """Return P(match) for each row, shape (n,)."""
+        raise NotImplementedError
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predict 0/1 labels by thresholding ``predict_proba`` at 0.5."""
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+    def clone(self) -> "Classifier":
+        """An unfitted copy with the same hyper-parameters."""
+        fresh = copy.deepcopy(self)
+        fresh._reset()
+        return fresh
+
+    def _reset(self) -> None:
+        """Drop fitted state; sub-classes extend this."""
+        self._fitted = False

@@ -1,0 +1,65 @@
+"""Missing-value imputation for feature matrices.
+
+The case study fills missing feature-vector values with the mean of the
+respective column before training/applying learners (Section 9).
+:class:`MeanImputer` learns those means on one matrix and applies them to
+any other, so training and candidate-set matrices are imputed consistently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MatcherError, NotFittedError
+
+
+class MeanImputer:
+    """Replace NaN cells with per-column means learned from training data.
+
+    Columns that are entirely NaN at fit time fall back to *fallback*
+    (default 0.0), since a mean cannot be computed for them.
+    """
+
+    def __init__(self, fallback: float = 0.0) -> None:
+        self.fallback = fallback
+        self._means: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._means is not None
+
+    def fit(self, X: np.ndarray) -> "MeanImputer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise MatcherError(f"expected 2-D matrix, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise MatcherError("cannot fit imputer on an empty matrix")
+        import warnings
+
+        with warnings.catch_warnings():
+            # an all-NaN column triggers "Mean of empty slice"; the fallback
+            # below handles that case explicitly
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            means = np.nanmean(X, axis=0)
+        means = np.where(np.isnan(means), self.fallback, means)
+        self._means = means
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Return a copy of *X* with NaN cells filled."""
+        if self._means is None:
+            raise NotFittedError("MeanImputer is not fitted yet")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise MatcherError(f"expected 2-D matrix, got shape {X.shape}")
+        if X.shape[1] != len(self._means):
+            raise MatcherError(
+                f"matrix has {X.shape[1]} columns, imputer learned {len(self._means)}"
+            )
+        out = X.copy()
+        rows, cols = np.nonzero(np.isnan(out))
+        out[rows, cols] = self._means[cols]
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

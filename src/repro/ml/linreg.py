@@ -1,0 +1,47 @@
+"""Linear regression used as a classifier.
+
+PyMatcher offers a "linear regression matcher": ordinary least squares on
+0/1 targets, thresholded at 0.5 for prediction. We solve the (ridge-
+stabilised) normal equations directly with numpy's least-squares routine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_X, check_X_y
+
+
+class LinearRegressionClassifier(Classifier):
+    """OLS on binary targets, thresholded at 0.5.
+
+    ``ridge`` adds a small L2 term so near-collinear similarity features
+    (common among generated features) do not blow up the solution.
+    """
+
+    def __init__(self, ridge: float = 1e-6) -> None:
+        super().__init__()
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._weights = None
+
+    def fit(self, X, y) -> "LinearRegressionClassifier":
+        X, y = check_X_y(X, y)
+        A = np.hstack([X, np.ones((len(X), 1))])
+        gram = A.T @ A + self.ridge * np.eye(A.shape[1])
+        self._weights = np.linalg.solve(gram, A.T @ y.astype(float))
+        self._fitted = True
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw regression scores (clipped to [0,1] by ``predict_proba``)."""
+        self._require_fitted()
+        X = check_X(X)
+        A = np.hstack([X, np.ones((len(X), 1))])
+        return A @ self._weights
+
+    def predict_proba(self, X) -> np.ndarray:
+        return np.clip(self.decision_function(X), 0.0, 1.0)

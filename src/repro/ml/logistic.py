@@ -1,0 +1,99 @@
+"""L2-regularised logistic regression trained by full-batch gradient descent.
+
+Features are standardised internally (zero mean, unit variance) so a single
+learning rate works across the mixed similarity/absolute-difference feature
+scales the EM pipeline produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_X, check_X_y
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression(Classifier):
+    """Binary logistic regression.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size (on standardised features).
+    n_iterations:
+        Number of full-batch updates.
+    l2:
+        L2 penalty strength (not applied to the intercept).
+    tol:
+        Early-stop when the max absolute gradient falls below this.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iterations: int = 500,
+        l2: float = 1e-3,
+        tol: float = 1e-7,
+    ) -> None:
+        super().__init__()
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.tol = tol
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._weights = None
+        self._bias = 0.0
+        self._mean = None
+        self._scale = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._scale
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self._scale = np.where(scale < 1e-12, 1.0, scale)
+        Z = self._standardize(X)
+        n, d = Z.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iterations):
+            p = _sigmoid(Z @ w + b)
+            error = p - y
+            grad_w = Z.T @ error / n + self.l2 * w
+            grad_b = float(error.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            if max(np.abs(grad_w).max(initial=0.0), abs(grad_b)) < self.tol:
+                break
+        self._weights = w
+        self._bias = b
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X)
+        Z = self._standardize(X)
+        return _sigmoid(Z @ self._weights + self._bias)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Learned weights in standardised feature space."""
+        self._require_fitted()
+        return self._weights.copy()

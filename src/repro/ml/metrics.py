@@ -1,0 +1,97 @@
+"""Binary classification metrics: precision, recall, F1, confusion counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Raw outcome counts of a binary classifier."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+
+def confusion_counts(y_true: Sequence[int], y_pred: Sequence[int]) -> ConfusionCounts:
+    """Count TP/FP/TN/FN; inputs must be equal-length 0/1 sequences."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise EvaluationError(
+            f"length mismatch: {y_true.shape} labels vs {y_pred.shape} predictions"
+        )
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of correct predictions."""
+    c = confusion_counts(y_true, y_pred)
+    if c.total == 0:
+        return 0.0
+    return (c.true_positives + c.true_negatives) / c.total
+
+
+def precision(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+    c = confusion_counts(y_true, y_pred)
+    denom = c.true_positives + c.false_positives
+    return c.true_positives / denom if denom else 0.0
+
+
+def recall(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """TP / (TP + FN); 0.0 when there are no actual positives."""
+    c = confusion_counts(y_true, y_pred)
+    denom = c.true_positives + c.false_negatives
+    return c.true_positives / denom if denom else 0.0
+
+
+def f1_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+@dataclass(frozen=True)
+class PRF:
+    """A (precision, recall, F1) triple, the unit of matcher comparison."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def from_labels(cls, y_true: Sequence[int], y_pred: Sequence[int]) -> "PRF":
+        return cls(
+            precision=precision(y_true, y_pred),
+            recall=recall(y_true, y_pred),
+            f1=f1_score(y_true, y_pred),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.1%} R={self.recall:.1%} F1={self.f1:.1%}"
+        )

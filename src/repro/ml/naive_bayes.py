@@ -1,0 +1,68 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_X, check_X_y
+
+
+class GaussianNaiveBayes(Classifier):
+    """Per-class Gaussian likelihoods with variance smoothing.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to all
+    variances, which keeps constant features (e.g. an exact-match feature
+    that is always 0 in training) from producing degenerate likelihoods.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        super().__init__()
+        self.var_smoothing = var_smoothing
+        self._theta: np.ndarray | None = None  # (2, d) means
+        self._var: np.ndarray | None = None  # (2, d) variances
+        self._log_prior: np.ndarray | None = None  # (2,)
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._theta = None
+        self._var = None
+        self._log_prior = None
+
+    def fit(self, X, y) -> "GaussianNaiveBayes":
+        X, y = check_X_y(X, y)
+        d = X.shape[1]
+        theta = np.zeros((2, d))
+        var = np.ones((2, d))
+        counts = np.zeros(2)
+        for cls in (0, 1):
+            mask = y == cls
+            counts[cls] = mask.sum()
+            if counts[cls]:
+                theta[cls] = X[mask].mean(axis=0)
+                var[cls] = X[mask].var(axis=0)
+        epsilon = self.var_smoothing * max(float(X.var(axis=0).max(initial=0.0)), 1.0)
+        self._theta = theta
+        self._var = var + epsilon
+        # Laplace-smoothed priors keep a single-class training set usable.
+        prior = (counts + 1.0) / (counts.sum() + 2.0)
+        self._log_prior = np.log(prior)
+        self._fitted = True
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        jll = np.zeros((len(X), 2))
+        for cls in (0, 1):
+            log_det = np.sum(np.log(2.0 * np.pi * self._var[cls]))
+            sq = ((X - self._theta[cls]) ** 2) / self._var[cls]
+            jll[:, cls] = self._log_prior[cls] - 0.5 * (log_det + sq.sum(axis=1))
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X)
+        jll = self._joint_log_likelihood(X)
+        # normalise in log space for stability
+        shift = jll.max(axis=1, keepdims=True)
+        probs = np.exp(jll - shift)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs[:, 1]

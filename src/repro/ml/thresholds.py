@@ -1,0 +1,85 @@
+"""Decision-threshold analysis for probabilistic matchers.
+
+The matching layer thresholds ``predict_proba`` at 0.5 (as PyMatcher
+does), but a precision-oriented deployment may prefer a different
+operating point. :func:`precision_recall_curve` sweeps every achievable
+threshold; :func:`select_threshold` picks the one meeting a precision
+floor with maximal recall — a learning-based analogue of the paper's
+negative-rule move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One operating point of a probabilistic classifier."""
+
+    threshold: float
+    precision: float
+    recall: float
+    predicted_positive: int
+
+
+def precision_recall_curve(
+    y_true: Sequence[int], probabilities: Sequence[float]
+) -> list[CurvePoint]:
+    """Operating points at every distinct predicted probability.
+
+    Points are ordered by increasing threshold; each point classifies
+    ``probability >= threshold`` as a match.
+    """
+    y_true = np.asarray(y_true, dtype=int)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if y_true.shape != probabilities.shape:
+        raise EvaluationError(
+            f"length mismatch: {y_true.shape} labels vs {probabilities.shape} scores"
+        )
+    if len(y_true) == 0:
+        raise EvaluationError("empty inputs")
+    total_positive = int(y_true.sum())
+    points = []
+    for threshold in sorted(set(probabilities.tolist())):
+        predicted = probabilities >= threshold
+        tp = int((predicted & (y_true == 1)).sum())
+        n_predicted = int(predicted.sum())
+        points.append(
+            CurvePoint(
+                threshold=float(threshold),
+                precision=tp / n_predicted if n_predicted else 0.0,
+                recall=tp / total_positive if total_positive else 0.0,
+                predicted_positive=n_predicted,
+            )
+        )
+    return points
+
+
+def select_threshold(
+    y_true: Sequence[int],
+    probabilities: Sequence[float],
+    precision_floor: float,
+) -> CurvePoint | None:
+    """The lowest threshold whose precision meets the floor.
+
+    Among operating points with ``precision >= precision_floor``, returns
+    the one with the highest recall (ties broken toward the lower
+    threshold); ``None`` when no point reaches the floor.
+    """
+    if not 0.0 < precision_floor <= 1.0:
+        raise EvaluationError(
+            f"precision_floor must be in (0,1], got {precision_floor}"
+        )
+    candidates = [
+        p for p in precision_recall_curve(y_true, probabilities)
+        if p.precision >= precision_floor
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: (p.recall, -p.threshold))

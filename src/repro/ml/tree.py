@@ -1,0 +1,270 @@
+"""CART decision-tree classifier (gini impurity, binary splits).
+
+The decision tree is the learner the case study ultimately ships (it won
+model selection after case-handling features were added), and its structure
+is what the matcher debugger explains — so the tree exposes its internals:
+:meth:`DecisionTreeClassifier.decision_path` returns the tests a record
+passes through, and :func:`export_rules` renders the tree as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .base import Classifier, check_X, check_X_y
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature is None``."""
+
+    n_samples: int
+    positive_fraction: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(n_pos: float, n_total: float) -> float:
+    if n_total == 0:
+        return 0.0
+    p = n_pos / n_total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary CART tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` = unlimited).
+    min_samples_split:
+        A node with fewer samples becomes a leaf.
+    min_samples_leaf:
+        Splits producing a child smaller than this are rejected.
+    max_features:
+        Number of features examined per split: an int, ``"sqrt"``, or
+        ``None`` for all features. Random forests pass ``"sqrt"``.
+    seed:
+        Seed for the feature sub-sampling (only used when *max_features*
+        restricts the candidate set).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._n_features = 0
+        self._importances: np.ndarray | None = None
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._root = None
+        self._n_features = 0
+        self._importances = None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        n = int(self.max_features)
+        if n < 1:
+            raise ValueError(f"max_features must be >= 1, got {n}")
+        return min(n, n_features)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, features: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, impurity_decrease) or None if no split.
+
+        Vectorised over split positions: for each feature the values are
+        sorted once and every distinct threshold is scored with cumulative
+        positive counts.
+        """
+        n = len(y)
+        parent_impurity = _gini(float(y.sum()), float(n))
+        best: tuple[int, float, float] | None = None
+        min_leaf = self.min_samples_leaf
+        for f in features:
+            order = np.argsort(X[:, f], kind="mergesort")
+            xs = X[order, f]
+            pos_cum = np.cumsum(y[order])
+            total_pos = float(pos_cum[-1])
+            n_left = np.arange(1, n, dtype=float)  # split after position i
+            valid = xs[1:] > xs[:-1]
+            valid &= (n_left >= min_leaf) & (n - n_left >= min_leaf)
+            if not valid.any():
+                continue
+            pos_left = pos_cum[:-1].astype(float)
+            pos_right = total_pos - pos_left
+            n_right = n - n_left
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_left = pos_left / n_left
+                p_right = pos_right / n_right
+                impurity = (
+                    n_left * 2.0 * p_left * (1.0 - p_left)
+                    + n_right * 2.0 * p_right * (1.0 - p_right)
+                ) / n
+            decrease = np.where(valid, parent_impurity - impurity, -np.inf)
+            i = int(np.argmax(decrease))
+            if decrease[i] > 1e-12 and (best is None or decrease[i] > best[2]):
+                threshold = (xs[i] + xs[i + 1]) / 2.0
+                if threshold >= xs[i + 1]:  # midpoint rounded up to the
+                    threshold = xs[i]  # upper value; fall back to "<= xs[i]"
+                best = (int(f), float(threshold), float(decrease[i]))
+        return best
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        n = len(y)
+        n_pos = float(y.sum())
+        node = _Node(
+            n_samples=n,
+            positive_fraction=n_pos / n,
+            impurity=_gini(n_pos, n),
+        )
+        if (
+            n < self.min_samples_split
+            or n_pos in (0.0, float(n))
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+        k = self._n_candidate_features(X.shape[1])
+        if k < X.shape[1]:
+            features = rng.choice(X.shape[1], size=k, replace=False)
+        else:
+            features = np.arange(X.shape[1])
+        split = self._best_split(X, y, features)
+        if split is None:
+            return node
+        feature, threshold, decrease = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        self._importances[feature] += decrease * n
+        return node
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        self._n_features = X.shape[1]
+        self._importances = np.zeros(self._n_features)
+        rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, y, depth=0, rng=rng)
+        total = self._importances.sum()
+        if total > 0:
+            self._importances /= total
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction & introspection
+    # ------------------------------------------------------------------
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_X(X)
+        return np.array([self._leaf_for(x).positive_fraction for x in X])
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        self._require_fitted()
+        return self._importances.copy()
+
+    def decision_path(self, x) -> list[tuple[int, float, bool]]:
+        """The tests record *x* passes: (feature, threshold, went_left)."""
+        self._require_fitted()
+        x = np.asarray(x, dtype=float)
+        path = []
+        node = self._root
+        while not node.is_leaf:
+            went_left = bool(x[node.feature] <= node.threshold)
+            path.append((node.feature, node.threshold, went_left))
+            node = node.left if went_left else node.right
+        return path
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (a lone leaf has depth 0)."""
+        self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def leaves(self) -> Iterator[_Node]:
+        """Iterate over the fitted tree's leaves (internal nodes excluded)."""
+        self._require_fitted()
+
+        def walk(node: _Node):
+            if node.is_leaf:
+                yield node
+            else:
+                yield from walk(node.left)
+                yield from walk(node.right)
+
+        yield from walk(self._root)
+
+
+def export_rules(
+    tree: DecisionTreeClassifier, feature_names: list[str] | None = None
+) -> str:
+    """Render a fitted tree as indented if/else text (debugger output)."""
+    tree._require_fitted()
+
+    def name(f: int) -> str:
+        if feature_names is not None:
+            return feature_names[f]
+        return f"feature[{f}]"
+
+    lines: list[str] = []
+
+    def walk(node: _Node, indent: int) -> None:
+        pad = "  " * indent
+        if node.is_leaf:
+            verdict = "MATCH" if node.positive_fraction >= 0.5 else "NON-MATCH"
+            lines.append(
+                f"{pad}-> {verdict} (p={node.positive_fraction:.2f}, n={node.n_samples})"
+            )
+            return
+        lines.append(f"{pad}if {name(node.feature)} <= {node.threshold:.4f}:")
+        walk(node.left, indent + 1)
+        lines.append(f"{pad}else:  # {name(node.feature)} > {node.threshold:.4f}")
+        walk(node.right, indent + 1)
+
+    walk(tree._root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Match-definition rules: positive (sure match) and negative (flip)."""
+
+from .negative import (
+    ComparableMismatchRule,
+    apply_negative_rules,
+    default_negative_rules,
+)
+from .positive import (
+    ExactNumberRule,
+    award_project_rule,
+    m1_rule,
+    sure_matches,
+)
+
+__all__ = [
+    "ComparableMismatchRule",
+    "ExactNumberRule",
+    "apply_negative_rules",
+    "award_project_rule",
+    "default_negative_rules",
+    "m1_rule",
+    "sure_matches",
+]

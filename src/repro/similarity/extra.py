@@ -1,0 +1,105 @@
+"""Additional similarity measures rounding out the toolkit.
+
+These are part of the standard EM-toolkit repertoire (py_stringmatching
+ships all three) and are useful when tuning features beyond the generated
+defaults:
+
+* :func:`affine_gap` — alignment score where opening a gap costs more
+  than extending it (long insertions, e.g. a parenthetical in one title,
+  are punished sub-linearly);
+* :func:`bag_distance` — a cheap upper bound on edit distance via
+  multiset differences;
+* :class:`TfIdfCosine` — exact-token TF-IDF cosine over a corpus (the
+  non-soft counterpart of :class:`repro.similarity.hybrid.SoftTfIdf`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+
+def affine_gap(
+    a: str,
+    b: str,
+    match_score: float = 1.0,
+    mismatch_score: float = -0.5,
+    gap_open: float = 1.0,
+    gap_extend: float = 0.25,
+) -> float:
+    """Affine-gap global alignment score (Gotoh's algorithm)."""
+    la, lb = len(a), len(b)
+    if la == 0 and lb == 0:
+        return 0.0
+    neg = float("-inf")
+    # M: ends in a match/mismatch; X: gap in b (consume a); Y: gap in a
+    m_prev = [0.0] + [neg] * lb
+    x_prev = [neg] * (lb + 1)
+    y_prev = [neg] + [-gap_open - gap_extend * j for j in range(lb)]
+    for i in range(1, la + 1):
+        m_cur = [neg] * (lb + 1)
+        x_cur = [neg] * (lb + 1)
+        y_cur = [neg] * (lb + 1)
+        x_cur[0] = -gap_open - gap_extend * (i - 1)
+        for j in range(1, lb + 1):
+            sub = match_score if a[i - 1] == b[j - 1] else mismatch_score
+            m_cur[j] = max(m_prev[j - 1], x_prev[j - 1], y_prev[j - 1]) + sub
+            x_cur[j] = max(m_prev[j] - gap_open, x_prev[j] - gap_extend)
+            y_cur[j] = max(m_cur[j - 1] - gap_open, y_cur[j - 1] - gap_extend)
+        m_prev, x_prev, y_prev = m_cur, x_cur, y_cur
+    return max(m_prev[lb], x_prev[lb], y_prev[lb])
+
+
+def bag_distance(a: str, b: str) -> int:
+    """Bag distance: max(|bag(a) − bag(b)|, |bag(b) − bag(a)|).
+
+    A cheap lower bound on Levenshtein distance (Bartolini, Ciaccia &
+    Patella 2002), computable in linear time — useful to prune expensive
+    edit-distance computations: if the bag distance already exceeds a
+    threshold, the edit distance must too.
+    """
+    ca, cb = Counter(a), Counter(b)
+    only_a = sum((ca - cb).values())
+    only_b = sum((cb - ca).values())
+    return max(only_a, only_b)
+
+
+def bag_similarity(a: str, b: str) -> float:
+    """1 - normalized bag distance (same normalisation as lev_sim)."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - bag_distance(a, b) / longest
+
+
+class TfIdfCosine:
+    """TF-IDF cosine over exact tokens, with a corpus-trained IDF table."""
+
+    def __init__(self, corpus: Sequence[Sequence[str]]) -> None:
+        self._num_docs = max(len(corpus), 1)
+        doc_freq: Counter[str] = Counter()
+        for doc in corpus:
+            doc_freq.update(set(doc))
+        self._doc_freq = doc_freq
+
+    def _weights(self, tokens: Sequence[str]) -> dict[str, float]:
+        counts = Counter(tokens)
+        return {
+            t: counts[t] * (math.log(self._num_docs / (1 + self._doc_freq.get(t, 0))) + 1.0)
+            for t in counts
+        }
+
+    def score(self, a: Sequence[str], b: Sequence[str]) -> float:
+        """Cosine of the TF-IDF vectors; 1.0 for two empty token lists."""
+        if not a and not b:
+            return 1.0
+        if not a or not b:
+            return 0.0
+        wa, wb = self._weights(a), self._weights(b)
+        dot = sum(wa[t] * wb[t] for t in wa.keys() & wb.keys())
+        norm_a = math.sqrt(sum(w * w for w in wa.values()))
+        norm_b = math.sqrt(sum(w * w for w in wb.values()))
+        if norm_a == 0 or norm_b == 0:
+            return 0.0
+        return min(dot / (norm_a * norm_b), 1.0)

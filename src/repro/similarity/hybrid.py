@@ -1,0 +1,93 @@
+"""Hybrid similarity measures combining token- and character-level signals.
+
+Monge-Elkan and soft TF-IDF align tokens of one string against the best
+matching tokens of the other using a secondary character-level similarity —
+they tolerate both word reordering and per-word typos, which makes them
+strong features for project titles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Sequence
+
+from .sequence import jaro_winkler
+
+InnerSim = Callable[[str, str], float]
+
+
+def monge_elkan(
+    a: Sequence[str],
+    b: Sequence[str],
+    inner: InnerSim = jaro_winkler,
+) -> float:
+    """Average best-match score of each token of *a* against *b*.
+
+    Asymmetric by definition (PyMatcher follows the same convention);
+    1.0 when both token lists are empty, 0.0 when exactly one is.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    total = 0.0
+    for ta in a:
+        total += max(inner(ta, tb) for tb in b)
+    return total / len(a)
+
+
+class SoftTfIdf:
+    """Soft TF-IDF similarity with a corpus-trained IDF table.
+
+    The corpus is a list of token lists (e.g. every award title in both
+    input tables). Tokens of *a* and *b* are soft-matched with *inner*
+    similarity above *threshold*, and matched pairs contribute their TF-IDF
+    weights scaled by the similarity.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[Sequence[str]],
+        inner: InnerSim = jaro_winkler,
+        threshold: float = 0.9,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0,1], got {threshold}")
+        self._inner = inner
+        self._threshold = threshold
+        self._num_docs = max(len(corpus), 1)
+        doc_freq: Counter[str] = Counter()
+        for doc in corpus:
+            doc_freq.update(set(doc))
+        self._doc_freq = doc_freq
+
+    def _idf(self, token: str) -> float:
+        return math.log(self._num_docs / (1 + self._doc_freq.get(token, 0))) + 1.0
+
+    def _weights(self, tokens: Sequence[str]) -> dict[str, float]:
+        counts = Counter(tokens)
+        raw = {t: counts[t] * self._idf(t) for t in counts}
+        norm = math.sqrt(sum(w * w for w in raw.values()))
+        if norm == 0:
+            return {t: 0.0 for t in raw}
+        return {t: w / norm for t, w in raw.items()}
+
+    def score(self, a: Sequence[str], b: Sequence[str]) -> float:
+        """Similarity in [0, 1]; 1.0 for two empty token lists."""
+        if not a and not b:
+            return 1.0
+        if not a or not b:
+            return 0.0
+        wa = self._weights(a)
+        wb = self._weights(b)
+        total = 0.0
+        for ta, weight_a in wa.items():
+            best_token, best_sim = None, 0.0
+            for tb in wb:
+                sim = self._inner(ta, tb)
+                if sim > best_sim:
+                    best_token, best_sim = tb, sim
+            if best_token is not None and best_sim >= self._threshold:
+                total += weight_a * wb[best_token] * best_sim
+        return min(total, 1.0)

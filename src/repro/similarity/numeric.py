@@ -1,0 +1,67 @@
+"""Numeric and date-valued similarity measures.
+
+PyMatcher's generated numeric features are exact match, absolute difference
+and relative difference; the case study additionally compares transaction
+dates against project start/end dates ("within a difference of a few
+years"), supported here by :func:`year_gap`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..table.column import is_missing
+
+_YEAR_RE = re.compile(r"(?<!\d)((?:19|20)\d{2})(?!\d)")
+
+
+def exact_match(a: Any, b: Any) -> float:
+    """1.0 when both present and equal, 0.0 otherwise."""
+    if is_missing(a) or is_missing(b):
+        return 0.0
+    return 1.0 if a == b else 0.0
+
+
+def absolute_difference(a: float, b: float) -> float:
+    """|a - b| (unnormalised)."""
+    return abs(float(a) - float(b))
+
+
+def relative_difference(a: float, b: float) -> float:
+    """|a - b| / max(|a|, |b|); 0.0 when both are zero."""
+    a, b = float(a), float(b)
+    denom = max(abs(a), abs(b))
+    if denom == 0:
+        return 0.0
+    return abs(a - b) / denom
+
+
+def extract_year(value: Any) -> int | None:
+    """Pull the first plausible 4-digit year out of a date-like value.
+
+    Handles ISO dates (``2008-10-01``), US dates (``10/1/08`` has no 4-digit
+    year and yields ``None``) and bare year integers.
+    """
+    if is_missing(value):
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        year = int(value)
+        return year if 1900 <= year <= 2099 else None
+    match = _YEAR_RE.search(str(value))
+    return int(match.group(1)) if match else None
+
+
+def year_gap(a: Any, b: Any) -> float | None:
+    """Absolute gap in years between two date-like values; ``None`` when a
+    year cannot be extracted from either side."""
+    ya, yb = extract_year(a), extract_year(b)
+    if ya is None or yb is None:
+        return None
+    return float(abs(ya - yb))
+
+
+def years_within(a: Any, b: Any, max_gap: int = 2) -> bool:
+    """The D3 label-fix predicate: transaction dates within a few years."""
+    gap = year_gap(a, b)
+    return gap is not None and gap <= max_gap

@@ -1,0 +1,145 @@
+"""Character-sequence similarity measures.
+
+Implements the edit-distance family PyMatcher generates features from:
+Levenshtein distance and similarity, Jaro, Jaro-Winkler, and the
+alignment scores Needleman-Wunsch (global) and Smith-Waterman (local).
+All similarity variants return values in [0, 1] except the raw alignment
+scores, which follow their textbook definitions.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character edits turning *a* into *b*."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    window = max(window, 0)
+    a_matched = [False] * la
+    b_matched = [False] * lb
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ca:
+                a_matched[i] = b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if a_matched[i]:
+            while not b_matched[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / la + matches / lb + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_weight: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by a shared prefix."""
+    base = jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def needleman_wunsch(
+    a: str,
+    b: str,
+    match_score: float = 1.0,
+    mismatch_score: float = -1.0,
+    gap_cost: float = 1.0,
+) -> float:
+    """Global alignment score (Needleman-Wunsch)."""
+    la, lb = len(a), len(b)
+    previous = [-gap_cost * j for j in range(lb + 1)]
+    for i in range(1, la + 1):
+        current = [-gap_cost * i]
+        for j in range(1, lb + 1):
+            sub = match_score if a[i - 1] == b[j - 1] else mismatch_score
+            current.append(
+                max(
+                    previous[j - 1] + sub,
+                    previous[j] - gap_cost,
+                    current[j - 1] - gap_cost,
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def smith_waterman(
+    a: str,
+    b: str,
+    match_score: float = 1.0,
+    mismatch_score: float = -1.0,
+    gap_cost: float = 1.0,
+) -> float:
+    """Local alignment score (Smith-Waterman); >= 0 by definition."""
+    la, lb = len(a), len(b)
+    best = 0.0
+    previous = [0.0] * (lb + 1)
+    for i in range(1, la + 1):
+        current = [0.0]
+        for j in range(1, lb + 1):
+            sub = match_score if a[i - 1] == b[j - 1] else mismatch_score
+            score = max(
+                0.0,
+                previous[j - 1] + sub,
+                previous[j] - gap_cost,
+                current[j - 1] - gap_cost,
+            )
+            current.append(score)
+            best = max(best, score)
+        previous = current
+    return best
+
+
+def exact_match(a: str, b: str) -> float:
+    """1.0 when the strings are identical, else 0.0."""
+    return 1.0 if a == b else 0.0

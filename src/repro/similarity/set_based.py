@@ -1,0 +1,76 @@
+"""Token-set similarity measures.
+
+These operate on token lists produced by :mod:`repro.text.tokenizers`.
+Jaccard, Dice and overlap-coefficient use set semantics; cosine is offered
+both in set (Ochiai) and bag (term-frequency) flavours. The overlap
+measures back the Section-7 blockers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+
+def jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """|A ∩ B| / |A ∪ B| over token *sets*; 1.0 when both are empty."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union
+
+
+def dice(a: Sequence[str], b: Sequence[str]) -> float:
+    """2|A ∩ B| / (|A| + |B|) over token sets; 1.0 when both are empty."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return 2.0 * len(sa & sb) / (len(sa) + len(sb))
+
+
+def overlap_size(a: Sequence[str], b: Sequence[str]) -> int:
+    """|A ∩ B| over token sets — the overlap blocker's measure."""
+    return len(set(a) & set(b))
+
+
+def overlap_coefficient(a: Sequence[str], b: Sequence[str]) -> float:
+    """|A ∩ B| / min(|A|, |B|); 1.0 when both empty, 0.0 when one is.
+
+    This is the measure behind the Section-7 overlap-coefficient blocker,
+    chosen because it scores short titles fairly (a 2-token title can still
+    reach 1.0 where a raw-overlap threshold of 3 would drop it).
+    """
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+def cosine_set(a: Sequence[str], b: Sequence[str]) -> float:
+    """Ochiai/set cosine: |A ∩ B| / sqrt(|A| * |B|)."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / math.sqrt(len(sa) * len(sb))
+
+
+def cosine_bag(a: Sequence[str], b: Sequence[str]) -> float:
+    """Term-frequency cosine over token *bags*."""
+    ca, cb = Counter(a), Counter(b)
+    if not ca and not cb:
+        return 1.0
+    if not ca or not cb:
+        return 0.0
+    dot = sum(ca[t] * cb[t] for t in ca.keys() & cb.keys())
+    norm_a = math.sqrt(sum(v * v for v in ca.values()))
+    norm_b = math.sqrt(sum(v * v for v in cb.values()))
+    # clamp: float rounding can push identical bags a hair above 1.0
+    return min(dot / (norm_a * norm_b), 1.0)

@@ -1,0 +1,130 @@
+"""Column-level helpers: missing-value handling and per-column statistics.
+
+A column is represented as a plain ``list`` of Python values; ``None`` marks
+a missing value (CSV import maps empty strings to ``None``). These helpers
+are shared by :mod:`repro.table.table`, :mod:`repro.table.profile` and
+:mod:`repro.table.schema`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+
+def is_missing(value: Any) -> bool:
+    """Return True when *value* should be treated as a missing cell.
+
+    ``None`` and float NaN are missing; empty strings are *not* (CSV import
+    decides whether to map them to ``None``).
+    """
+    if value is None:
+        return True
+    return isinstance(value, float) and math.isnan(value)
+
+
+def non_missing(values: Iterable[Any]) -> list[Any]:
+    """Return the non-missing values of a column, preserving order."""
+    return [v for v in values if not is_missing(v)]
+
+
+def missing_count(values: Iterable[Any]) -> int:
+    """Number of missing cells in a column."""
+    return sum(1 for v in values if is_missing(v))
+
+
+def unique_count(values: Iterable[Any]) -> int:
+    """Number of distinct non-missing values in a column."""
+    return len({v for v in values if not is_missing(v)})
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column (the pandas-profiling subset the
+    case study's *understanding the data* step relies on)."""
+
+    name: str
+    count: int
+    missing: int
+    unique: int
+    dtype: str
+    mean: float | None = None
+    median: float | None = None
+    minimum: Any = None
+    maximum: Any = None
+    avg_tokens: float | None = None
+    sample_values: tuple[Any, ...] = ()
+
+    @property
+    def missing_fraction(self) -> float:
+        """Fraction of cells that are missing (0.0 for an empty column)."""
+        if self.count == 0:
+            return 0.0
+        return self.missing / self.count
+
+
+def _numeric_values(values: Sequence[Any]) -> list[float]:
+    out = []
+    for v in values:
+        if is_missing(v):
+            continue
+        if isinstance(v, bool):
+            out.append(float(v))
+        elif isinstance(v, (int, float)):
+            out.append(float(v))
+        else:
+            return []
+    return out
+
+
+def _median(sorted_values: Sequence[float]) -> float:
+    n = len(sorted_values)
+    mid = n // 2
+    if n % 2:
+        return sorted_values[mid]
+    return (sorted_values[mid - 1] + sorted_values[mid]) / 2.0
+
+
+def compute_stats(name: str, values: Sequence[Any], n_samples: int = 5) -> ColumnStats:
+    """Compute :class:`ColumnStats` for a column.
+
+    Numeric statistics (mean/median/min/max) are filled only when every
+    non-missing value is numeric; string columns instead report average
+    whitespace-token count, which drives attribute-type inference for
+    automatic feature generation.
+    """
+    present = non_missing(values)
+    numeric = _numeric_values(values)
+    mean = median = None
+    minimum = maximum = None
+    avg_tokens = None
+    if numeric:
+        ordered = sorted(numeric)
+        mean = sum(numeric) / len(numeric)
+        median = _median(ordered)
+        minimum, maximum = ordered[0], ordered[-1]
+        dtype = "numeric"
+    elif present and all(isinstance(v, str) for v in present):
+        token_counts = [len(v.split()) for v in present]
+        avg_tokens = sum(token_counts) / len(token_counts)
+        minimum = min(present)
+        maximum = max(present)
+        dtype = "string"
+    elif present:
+        dtype = "mixed"
+    else:
+        dtype = "empty"
+    return ColumnStats(
+        name=name,
+        count=len(values),
+        missing=missing_count(values),
+        unique=unique_count(values),
+        dtype=dtype,
+        mean=mean,
+        median=median,
+        minimum=minimum,
+        maximum=maximum,
+        avg_tokens=avg_tokens,
+        sample_values=tuple(present[:n_samples]),
+    )

@@ -1,0 +1,78 @@
+"""CSV import/export for :class:`repro.table.Table`.
+
+The raw case-study tables arrive as CSV files (the UMETRICS team shared a
+Google Drive folder of them); this module reads and writes that format with
+optional light type coercion (int/float detection), mapping empty cells to
+``None`` on the way in and ``None`` to empty cells on the way out.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from ..errors import TableError
+from .column import is_missing
+from .table import Table
+
+
+def _coerce(text: str) -> Any:
+    """Parse *text* into int or float when it cleanly is one, else keep str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_csv(
+    path: str | Path,
+    name: str = "",
+    coerce_types: bool = True,
+    missing_values: tuple[str, ...] = ("", "NA", "NaN"),
+) -> Table:
+    """Load a CSV file (header row required) into a :class:`Table`.
+
+    Cells whose text equals one of *missing_values* become ``None``. With
+    ``coerce_types`` enabled, remaining cells that parse cleanly as int or
+    float are converted.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TableError(f"{path} is empty (no header row)") from None
+        data: dict[str, list[Any]] = {c: [] for c in header}
+        if len(data) != len(header):
+            raise TableError(f"{path} has duplicate header columns: {header}")
+        for line_no, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise TableError(
+                    f"{path}:{line_no} has {len(record)} fields, expected {len(header)}"
+                )
+            for col, text in zip(header, record):
+                if text in missing_values:
+                    data[col].append(None)
+                elif coerce_types:
+                    data[col].append(_coerce(text))
+                else:
+                    data[col].append(text)
+    return Table(data, name=name or path.stem)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write *table* to a CSV file; ``None`` cells become empty strings."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.columns)
+        for row in table.rows():
+            writer.writerow(
+                ["" if is_missing(row[c]) else row[c] for c in table.columns]
+            )

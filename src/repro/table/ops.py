@@ -1,0 +1,160 @@
+"""Relational operations across tables: joins, concatenation, group-concat.
+
+The case study needs an inner/left hash join (to pull employee names into
+the projected UMETRICS table), vertical concatenation (to append the 496
+late-arriving records) and a group-concatenate (to merge multiple employee
+names per award with a ``|`` separator).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import SchemaError, TableError
+from .column import is_missing
+from .table import Table
+
+
+def _output_columns(left: Table, right: Table, right_on: str, suffix: str) -> dict[str, str]:
+    """Decide output names for right-side columns (join key is dropped)."""
+    taken = set(left.columns)
+    renames: dict[str, str] = {}
+    for c in right.columns:
+        if c == right_on:
+            continue
+        new = c if c not in taken else f"{c}{suffix}"
+        if new in taken:
+            raise SchemaError(f"join output column collision on {new!r}")
+        taken.add(new)
+        renames[c] = new
+    return renames
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    how: str = "inner",
+    suffix: str = "_right",
+    name: str = "",
+) -> Table:
+    """Equi-join *left* and *right* on the given columns.
+
+    ``how`` is ``"inner"`` or ``"left"``. Rows with a missing join key never
+    match (SQL semantics). The right join column is dropped from the output;
+    other right columns that collide with left names get *suffix* appended.
+    """
+    if how not in ("inner", "left"):
+        raise TableError(f"unsupported join type {how!r}")
+    renames = _output_columns(left, right, right_on, suffix)
+    index = right.value_index(right_on)
+    out_rows: list[dict[str, Any]] = []
+    columns = left.columns + list(renames.values())
+    for lrow in left.rows():
+        key = lrow[left_on]
+        matches = [] if is_missing(key) else index.get(key, [])
+        if matches:
+            for ri in matches:
+                rrow = right.row(ri)
+                merged = dict(lrow)
+                merged.update({renames[c]: rrow[c] for c in renames})
+                out_rows.append(merged)
+        elif how == "left":
+            merged = dict(lrow)
+            merged.update({renames[c]: None for c in renames})
+            out_rows.append(merged)
+    return Table.from_rows(out_rows, columns=columns, name=name)
+
+
+def concat(tables: Sequence[Table], name: str = "") -> Table:
+    """Stack tables vertically; all must share the same column set/order."""
+    if not tables:
+        raise TableError("concat needs at least one table")
+    columns = tables[0].columns
+    for t in tables[1:]:
+        if t.columns != columns:
+            raise SchemaError(
+                f"cannot concat tables with differing columns: {columns} vs {t.columns}"
+            )
+    data = {c: [] for c in columns}
+    for t in tables:
+        for c in columns:
+            data[c].extend(t[c])
+    return Table(data, name=name or tables[0].name)
+
+
+def group_concat(
+    table: Table,
+    key: str,
+    value: str,
+    sep: str = "|",
+    name: str = "",
+) -> Table:
+    """Group rows by *key* and join the non-missing *value* cells with *sep*.
+
+    Returns a two-column table ``(key, value)`` with one row per distinct
+    key, mirroring the paper's employee-name concatenation (Section 6,
+    step 4.b). Duplicate values within a group are kept once, preserving
+    first-seen order.
+    """
+    groups: dict[Any, list[str]] = {}
+    order: list[Any] = []
+    for row in table.rows():
+        k, v = row[key], row[value]
+        if is_missing(k):
+            continue
+        if k not in groups:
+            groups[k] = []
+            order.append(k)
+        if not is_missing(v):
+            text = str(v)
+            if text not in groups[k]:
+                groups[k].append(text)
+    return Table(
+        {
+            key: order,
+            value: [sep.join(groups[k]) if groups[k] else None for k in order],
+        },
+        name=name,
+    )
+
+
+def aggregate(
+    table: Table,
+    key: str,
+    value: str,
+    fn: Callable[[list[Any]], Any],
+    out: str = "agg",
+    name: str = "",
+) -> Table:
+    """Group by *key* and reduce the *value* cells of each group with *fn*."""
+    groups: dict[Any, list[Any]] = {}
+    order: list[Any] = []
+    for row in table.rows():
+        k = row[key]
+        if is_missing(k):
+            continue
+        if k not in groups:
+            groups[k] = []
+            order.append(k)
+        if not is_missing(row[value]):
+            groups[k].append(row[value])
+    return Table(
+        {key: order, out: [fn(groups[k]) for k in order]},
+        name=name,
+    )
+
+
+def values_overlap(left: Table, right: Table, left_col: str, right_col: str) -> float:
+    """Jaccard overlap of the distinct non-missing values of two columns.
+
+    Used in pre-processing step 3 of the case study to decide whether two
+    similarly-named attributes actually share data (e.g. USDA "Recipient
+    DUNS" vs UMETRICS vendor "DUNS" — the paper found zero overlap).
+    """
+    a = {v for v in left[left_col] if not is_missing(v)}
+    b = {v for v in right[right_col] if not is_missing(v)}
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)

@@ -1,0 +1,70 @@
+"""Plain-text rendering of tables.
+
+The EM team spends a lot of the case study *looking at rows* (sample rows
+in Section 4, example matching pairs in Figures 5-7); this module renders
+tables and record pairs as aligned text for exactly that kind of
+eyeballing, in examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .column import is_missing
+from .table import Table
+
+
+def _cell_text(value: Any, max_width: int) -> str:
+    text = "" if is_missing(value) else str(value)
+    if len(text) > max_width:
+        return text[: max_width - 1] + "…"
+    return text
+
+
+def render_table(
+    table: Table,
+    max_rows: int = 10,
+    max_width: int = 28,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render up to *max_rows* rows as an aligned text grid."""
+    columns = list(columns) if columns is not None else table.columns
+    shown = table.project(columns).head(max_rows)
+    widths = {
+        c: min(
+            max(len(c), max((len(_cell_text(v, max_width)) for v in shown[c]), default=0)),
+            max_width,
+        )
+        for c in columns
+    }
+    header = " | ".join(c[: widths[c]].ljust(widths[c]) for c in columns)
+    bar = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, bar]
+    for row in shown.rows():
+        lines.append(
+            " | ".join(_cell_text(row[c], max_width).ljust(widths[c]) for c in columns)
+        )
+    if table.num_rows > max_rows:
+        lines.append(f"... ({table.num_rows - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def render_record_pair(
+    l_row: dict[str, Any],
+    r_row: dict[str, Any],
+    l_label: str = "left",
+    r_label: str = "right",
+    max_width: int = 44,
+) -> str:
+    """Render two records side by side, Figure-5 style (field | l | r)."""
+    fields = list(dict.fromkeys(list(l_row) + list(r_row)))
+    field_width = max((len(f) for f in fields), default=5)
+    lines = [
+        f"{'field'.ljust(field_width)} | {l_label.ljust(max_width)} | {r_label}",
+        f"{'-' * field_width}-+-{'-' * max_width}-+-{'-' * max_width}",
+    ]
+    for field in fields:
+        left = _cell_text(l_row.get(field), max_width)
+        right = _cell_text(r_row.get(field), max_width)
+        lines.append(f"{field.ljust(field_width)} | {left.ljust(max_width)} | {right}")
+    return "\n".join(lines)

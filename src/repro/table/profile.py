@@ -1,0 +1,80 @@
+"""Table profiling — the pandas-profiling stand-in.
+
+Section 4 of the case study ("Understanding the Data") browses random sample
+rows and per-column statistics (unique counts, missing counts, mean, median)
+for each raw table. :func:`profile_table` computes that summary and
+:func:`format_profile` renders it as the kind of report the EM team read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .column import ColumnStats, compute_stats
+from .table import Table
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Profiling result for one table."""
+
+    name: str
+    num_rows: int
+    num_cols: int
+    columns: tuple[ColumnStats, ...]
+
+    def column_stats(self, name: str) -> ColumnStats:
+        for stats in self.columns:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+
+def profile_table(table: Table) -> TableProfile:
+    """Compute per-column statistics for *table*."""
+    return TableProfile(
+        name=table.name,
+        num_rows=table.num_rows,
+        num_cols=table.num_cols,
+        columns=tuple(compute_stats(c, table[c]) for c in table.columns),
+    )
+
+
+def sample_rows(table: Table, n: int, rng: np.random.Generator) -> list[dict]:
+    """Random sample rows for eyeballing, as the EM team did first."""
+    n = min(n, table.num_rows)
+    return table.sample(n, rng).to_rows() if n else []
+
+
+def format_profile(profile: TableProfile, max_width: int = 30) -> str:
+    """Render a profile as an aligned text report."""
+    lines = [
+        f"Table {profile.name!r}: {profile.num_rows} rows x {profile.num_cols} cols",
+        f"{'column':<{max_width}} {'type':<10} {'missing':>8} {'unique':>8}  detail",
+    ]
+    for stats in profile.columns:
+        if stats.dtype == "numeric":
+            detail = f"mean={stats.mean:.4g} median={stats.median:.4g}"
+        elif stats.dtype == "string":
+            detail = f"avg_tokens={stats.avg_tokens:.2f}"
+        else:
+            detail = "-"
+        name = stats.name if len(stats.name) <= max_width else stats.name[: max_width - 1] + "…"
+        lines.append(
+            f"{name:<{max_width}} {stats.dtype:<10} {stats.missing:>8} {stats.unique:>8}  {detail}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_tables(tables: list[Table]) -> Table:
+    """Build the Figure-2 style summary (table name, num rows, num cols)."""
+    return Table(
+        {
+            "Table Name": [t.name for t in tables],
+            "Num. Rows": [t.num_rows for t in tables],
+            "Num. Cols": [t.num_cols for t in tables],
+        },
+        name="summary",
+    )

@@ -1,0 +1,41 @@
+"""Text substrate: tokenizers, normalization, identifier pattern grammar."""
+
+from .normalize import (
+    casefold_tokens,
+    collapse_whitespace,
+    normalize_title,
+    strip_special_characters,
+)
+from .patterns import (
+    KNOWN_AWARD_PATTERNS,
+    award_number_suffix,
+    comparable,
+    pattern_signature,
+)
+from .tokenizers import (
+    TOKENIZERS,
+    Tokenizer,
+    alphanumeric,
+    delimiter,
+    qgram,
+    unique,
+    whitespace,
+)
+
+__all__ = [
+    "KNOWN_AWARD_PATTERNS",
+    "TOKENIZERS",
+    "Tokenizer",
+    "alphanumeric",
+    "award_number_suffix",
+    "casefold_tokens",
+    "collapse_whitespace",
+    "comparable",
+    "delimiter",
+    "normalize_title",
+    "pattern_signature",
+    "qgram",
+    "strip_special_characters",
+    "unique",
+    "whitespace",
+]

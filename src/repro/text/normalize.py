@@ -1,0 +1,47 @@
+"""String normalization used before blocking.
+
+Section 7 of the case study normalizes award titles before applying the
+overlap and overlap-coefficient blockers: lower-case everything and strip
+special characters (quotes, hashes, exclamation marks, braces, ...).
+Notably, the paper does *not* lower-case in pre-processing (footnote 8) —
+case information is preserved for matching and handled via features — so
+normalization is applied only where a specific step asks for it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..table.column import is_missing
+
+_SPECIAL_CHARS_RE = re.compile(r"""["'#!(){}\[\]*&^%$@~`;:?<>,\\/+=_-]""")
+_MULTI_SPACE_RE = re.compile(r"\s+")
+
+
+def strip_special_characters(text: str) -> str:
+    """Replace the paper's list of special characters with spaces."""
+    return _SPECIAL_CHARS_RE.sub(" ", text)
+
+
+def normalize_title(value: Any) -> Any:
+    """Blocking-time title normalization: lower-case + strip specials.
+
+    ``None`` (missing) passes through; non-strings are stringified first so
+    the normalizer can be mapped over any column.
+    """
+    if is_missing(value):
+        return value
+    text = str(value).lower()
+    text = strip_special_characters(text)
+    return _MULTI_SPACE_RE.sub(" ", text).strip()
+
+
+def casefold_tokens(tokens: list[str]) -> list[str]:
+    """Lower-case a token list (used by case-insensitive features)."""
+    return [t.lower() for t in tokens]
+
+
+def collapse_whitespace(text: str) -> str:
+    """Squeeze runs of whitespace to single spaces and trim."""
+    return _MULTI_SPACE_RE.sub(" ", text).strip()

@@ -1,0 +1,112 @@
+"""Award-number pattern grammar.
+
+Grant identifiers in the case study follow a handful of shapes:
+
+* federal USDA/NIFA numbers: ``2008-34103-19449``  (``YYYY-#####-#####``)
+* Hatch / state project numbers: ``WIS01040``      (``XXX#####``)
+* forest-service contracts: ``03-CS-11231300-031`` (``##-XX-########-###``)
+* UMETRICS ``UniqueAwardNumber``: a CFDA prefix plus one of the above,
+  e.g. ``10.200 2008-34103-19449`` (``##.### <number>``)
+
+Two operations on this grammar power the matching rules:
+
+* :func:`award_number_suffix` extracts the part after the CFDA prefix —
+  the M1 positive rule compares that suffix to USDA's "Award Number".
+* :func:`pattern_signature` abstracts a number into a pattern string
+  (digit runs -> ``#``, four-digit years -> ``YYYY``, letters -> ``X``);
+  the Section-12 negative rule calls two numbers *comparable* when their
+  signatures agree, and flips a predicted match whose comparable numbers
+  differ.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..table.column import is_missing
+
+#: UniqueAwardNumber = CFDA program code ("10.200") + space + agency number.
+_CFDA_PREFIX_RE = re.compile(r"^\s*\d{2}\.\d{3}\s+(?P<suffix>\S.*?)\s*$")
+
+_TOKEN_RE = re.compile(r"\d+|[A-Za-z]+|[^A-Za-z\d]+")
+
+
+def award_number_suffix(value: Any) -> str | None:
+    """Extract the agency-number suffix of a UMETRICS ``UniqueAwardNumber``.
+
+    Returns ``None`` for missing values or values that do not carry a CFDA
+    prefix (such records cannot fire the M1 rule).
+    """
+    if is_missing(value):
+        return None
+    match = _CFDA_PREFIX_RE.match(str(value))
+    if match is None:
+        return None
+    return match.group("suffix")
+
+
+def _is_year(digits: str) -> bool:
+    if len(digits) != 4:
+        return False
+    year = int(digits)
+    return 1900 <= year <= 2099
+
+
+def pattern_signature(value: Any) -> str | None:
+    """Abstract an identifier into its pattern signature.
+
+    Digit runs become ``#`` repeated; a four-digit run that parses as a
+    plausible year becomes ``YYYY``; letter runs become ``X`` repeated;
+    punctuation/whitespace is kept verbatim. ``None`` for missing values.
+
+    >>> pattern_signature("2008-34103-19449")
+    'YYYY-#####-#####'
+    >>> pattern_signature("WIS01040")
+    'XXX#####'
+    >>> pattern_signature("03-CS-11231300-031")
+    '##-XX-########-###'
+    """
+    if is_missing(value):
+        return None
+    text = str(value).strip()
+    if not text:
+        return None
+    parts: list[str] = []
+    for token in _TOKEN_RE.findall(text):
+        if token.isdigit():
+            parts.append("YYYY" if _is_year(token) else "#" * len(token))
+        elif token.isalpha():
+            parts.append("X" * len(token))
+        else:
+            parts.append(token)
+    return "".join(parts)
+
+
+def comparable(a: Any, b: Any, known_patterns: set[str] | None = None) -> bool:
+    """True when two identifiers follow the same pattern.
+
+    The UMETRICS team supplied the list of patterns their award and project
+    numbers can take; when *known_patterns* is given, both signatures must
+    additionally belong to that list (unrecognised shapes are never
+    comparable, which keeps the negative rule conservative).
+    """
+    sig_a = pattern_signature(a)
+    sig_b = pattern_signature(b)
+    if sig_a is None or sig_b is None:
+        return False
+    if sig_a != sig_b:
+        return False
+    if known_patterns is not None and sig_a not in known_patterns:
+        return False
+    return True
+
+
+#: The pattern list as supplied by the domain-expert team (Section 12; the
+#: paper elides the full list for space — these are the shapes its examples
+#: and the synthetic scenario use).
+KNOWN_AWARD_PATTERNS: set[str] = {
+    "YYYY-#####-#####",   # federal USDA/NIFA award numbers
+    "XXX#####",           # Hatch/state project numbers, e.g. WIS01040
+    "##-XX-########-###",  # forest-service style contracts
+}

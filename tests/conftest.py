@@ -1,0 +1,68 @@
+"""Shared fixtures: a downsized scenario so integration tests run fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.casestudy import CaseStudyRun
+from repro.datasets import ScenarioConfig, generate_scenario
+from repro.table import Table
+
+
+def small_config(seed: int = 45) -> ScenarioConfig:
+    """A ~5x-downsized scenario with the same structure as the default."""
+    return ScenarioConfig(
+        seed=seed,
+        n_umetrics_rows=280,
+        n_usda_rows=400,
+        n_extra_rows=100,
+        n_federal=40,
+        n_state=65,
+        n_forest=20,
+        n_extra_matched=12,
+        n_sibling_families=18,
+        n_generic_umetrics=5,
+        n_generic_usda=6,
+        n_multistate_usda=12,
+        aux_scale=0.002,
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """A small generated scenario, shared across the test session."""
+    return generate_scenario(small_config())
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """A full case-study run over the small scenario (computed lazily)."""
+    return CaseStudyRun(config=small_config())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture()
+def people_tables():
+    """A tiny, hand-written pair of tables with known matches."""
+    left = Table(
+        {
+            "id": [1, 2, 3],
+            "name": ["Dave Smith", "Joe Wilson", "Dan Smith"],
+            "city": ["Madison", "San Jose", "Middleton"],
+        },
+        name="A",
+    )
+    right = Table(
+        {
+            "id": [10, 20],
+            "name": ["David D. Smith", "Daniel W. Smith"],
+            "city": ["Madison", "Middleton"],
+        },
+        name="B",
+    )
+    return left, right

@@ -1,0 +1,224 @@
+"""Integration tests for the end-to-end case-study pipeline (small scale).
+
+These assert the *shape* of each stage's outcome, mirroring the paper's
+narrative: the blockers compose as described, labeling produces usable
+Yes/No/Unsure counts, matcher selection picks a learner that beats chance,
+the patched workflows reuse all labels, IRIS has perfect precision but
+lower recall, and the hybrid workflow trades a little recall for a large
+precision gain.
+"""
+
+import pytest
+
+from repro.casestudy import check_new_rule_coverage
+from repro.casestudy.blocking_plan import threshold_sweep
+from repro.casestudy.preprocess import check_discarded_tables
+from repro.core.patch import label_reuse
+from repro.evaluation import evaluate_matches
+from repro.labeling import Label
+
+
+class TestPreprocess:
+    def test_projected_schemas(self, case_study):
+        umetrics = case_study.projected.umetrics
+        usda = case_study.projected.usda
+        assert umetrics.columns == [
+            "RecordId", "AwardNumber", "AwardTitle", "FirstTransDate",
+            "LastTransDate", "EmployeeName",
+        ]
+        assert usda.columns == [
+            "RecordId", "AwardNumber", "AwardTitle", "FirstTransDate",
+            "LastTransDate", "AccessionNumber", "EmployeeName",
+        ]
+
+    def test_v2_adds_project_number(self, case_study):
+        assert "ProjectNumber" not in case_study.projected.usda
+        assert "ProjectNumber" in case_study.projected_v2.usda
+
+    def test_row_counts_preserved(self, case_study):
+        scenario = case_study.scenario
+        assert case_study.projected.umetrics.num_rows == scenario.award_agg.num_rows
+        assert case_study.projected.usda.num_rows == scenario.usda.num_rows
+        assert (
+            case_study.projected_extra.umetrics.num_rows
+            == scenario.extra_award_agg.num_rows
+        )
+
+    def test_employee_names_concatenated(self, case_study):
+        names = [
+            v for v in case_study.projected.umetrics["EmployeeName"] if v is not None
+        ]
+        assert names
+        assert any("|" in v for v in names)
+
+    def test_discarded_tables_share_no_values(self, case_study):
+        overlaps = check_discarded_tables(case_study.scenario)
+        assert all(v == 0.0 for v in overlaps.values())
+
+    def test_truth_translated_to_record_ids(self, case_study):
+        projected = case_study.projected
+        u_ids = set(projected.umetrics["RecordId"])
+        s_ids = set(projected.usda["RecordId"])
+        assert projected.truth
+        for u, s in projected.truth:
+            assert u in u_ids and s in s_ids
+
+
+class TestBlocking:
+    def test_union_structure(self, case_study):
+        blocking = case_study.blocking
+        c = blocking.candidates.pair_set()
+        assert blocking.c1.pair_set() <= c
+        assert blocking.c2.pair_set() <= c
+        assert blocking.c3.pair_set() <= c
+        assert len(c) <= len(blocking.c1) + len(blocking.c2) + len(blocking.c3)
+
+    def test_both_title_blockers_contribute(self, case_study):
+        report = case_study.blocking.c2_c3_report
+        # footnote 3's point: neither C2 nor C3 subsumes the other
+        assert report.left_only > 0
+        assert report.right_only > 0
+
+    def test_blocking_keeps_most_true_matches(self, case_study):
+        truth = case_study.projected.truth
+        candidates = case_study.blocking.candidates
+        captured = sum(1 for pair in truth if pair in candidates)
+        assert captured / len(truth) > 0.8
+
+    def test_debugger_top_pairs_are_mostly_nonmatches(self, case_study):
+        # the paper's stopping criterion: the top-ranked pairs outside C
+        # are not real matches
+        truth = case_study.projected.truth
+        top = case_study.blocking.debugger_top[:20]
+        missed = sum(1 for r in top if (r.l_id, r.r_id) in truth)
+        assert missed <= len(top) * 0.5
+
+    def test_threshold_sweep_monotone(self, case_study):
+        sizes = threshold_sweep(case_study.projected, thresholds=(1, 3, 7))
+        assert sizes[1] > sizes[3] > sizes[7]
+
+
+class TestLabeling:
+    def test_three_iterations_of_100(self, case_study):
+        outcome = case_study.labeling
+        assert len(outcome.iteration_counts) == 3
+        assert outcome.iteration_counts[0].total == 100
+        assert outcome.iteration_counts[-1].total == 300
+
+    def test_final_labels_have_all_classes(self, case_study):
+        counts = case_study.labeling.labels.counts()
+        assert counts.yes > 0 and counts.no > 0 and counts.unsure > 0
+        assert counts.total == 300
+
+    def test_cross_check_found_mismatches(self, case_study):
+        outcome = case_study.labeling
+        assert outcome.initial_mismatches > 0
+        assert outcome.labels_updated_after_meeting <= outcome.initial_mismatches
+
+    def test_labels_within_candidate_set(self, case_study):
+        candidates = case_study.blocking_v2.candidates
+        for pair in case_study.labeling.labels.pairs():
+            assert pair in candidates
+
+
+class TestMatching:
+    def test_selection_covers_six_matchers(self, case_study):
+        outcome = case_study.matching
+        assert len(outcome.initial_selection.scores) == 6
+        assert len(outcome.final_selection.scores) == 6
+
+    def test_winner_beats_chance(self, case_study):
+        best = max(s.f1 for s in case_study.matching.final_selection.scores)
+        assert best > 0.5
+
+    def test_matches_include_all_sure_pairs(self, case_study):
+        outcome = case_study.matching
+        assert set(outcome.sure_pairs) <= set(outcome.matches)
+
+    def test_predictions_disjoint_from_sure(self, case_study):
+        outcome = case_study.matching
+        assert not set(outcome.sure_pairs) & set(outcome.predicted_pairs)
+
+
+class TestWorkflows:
+    def test_rule_coverage_check(self, case_study):
+        coverage = check_new_rule_coverage(
+            case_study.projected_v2,
+            case_study.blocking_v2.candidates,
+            list(case_study.matching.predicted_pairs),
+        )
+        # blocking loses some rule pairs (the paper: 411 of 473) ...
+        assert coverage.pairs_in_candidates <= coverage.pairs_in_product
+        # ... and the matcher already covers most of the in-C ones
+        assert coverage.predicted_as_match >= coverage.pairs_in_candidates * 0.5
+
+    def test_patch_reuses_all_labels(self, case_study):
+        report = label_reuse(
+            case_study.labeling.labels,
+            case_study.updated_workflow.original.blocked.pairs,
+        )
+        assert report.reuse_fraction == 1.0
+        assert report.new_pairs_to_label == 0
+
+    def test_final_workflow_only_flips(self, case_study):
+        updated = case_study.updated_workflow
+        final = case_study.final_workflow
+        assert set(final.matches) <= set(updated.matches)
+        assert len(final.matches) <= len(updated.matches)
+
+    def test_flipped_pairs_recorded(self, case_study):
+        final = case_study.final_workflow
+        flipped = {p for p, _ in final.original.flipped}
+        assert flipped.isdisjoint(set(final.matches))
+
+    def test_sure_matches_are_true(self, case_study):
+        truth = case_study.combined_truth
+        outcome = case_study.updated_workflow
+        assert set(outcome.original.sure_matches.pairs) <= truth
+        assert set(outcome.extra.sure_matches.pairs) <= truth
+
+
+class TestAccuracyShape:
+    """The paper's headline comparison, asserted on exact ground truth."""
+
+    def test_iris_has_perfect_precision(self, case_study):
+        q = evaluate_matches(case_study.iris_matches, case_study.combined_truth)
+        assert q.precision == 1.0
+
+    def test_learned_beats_iris_on_recall(self, case_study):
+        truth = case_study.combined_truth
+        learned = evaluate_matches(case_study.updated_workflow.matches, truth)
+        iris = evaluate_matches(case_study.iris_matches, truth)
+        assert learned.recall > iris.recall
+
+    def test_negative_rules_raise_precision(self, case_study):
+        truth = case_study.combined_truth
+        learned = evaluate_matches(case_study.updated_workflow.matches, truth)
+        final = evaluate_matches(case_study.final_workflow.matches, truth)
+        assert final.precision >= learned.precision
+
+    def test_hybrid_still_beats_iris_on_recall(self, case_study):
+        truth = case_study.combined_truth
+        final = evaluate_matches(case_study.final_workflow.matches, truth)
+        iris = evaluate_matches(case_study.iris_matches, truth)
+        assert final.recall > iris.recall
+
+    def test_corleone_estimates_bracket_exact_values(self, case_study):
+        truth = case_study.combined_truth
+        estimates = case_study.accuracy.estimates_by_stage
+        largest = estimates[max(estimates)]
+        exact = evaluate_matches(case_study.final_workflow.matches, truth)
+        estimate = largest["learning + negative rules"]
+        # the intervals should come close to the exact values (the oracle
+        # introduces a little Unsure-censoring, so allow slack)
+        assert abs(estimate.precision.midpoint - exact.precision) < 0.15
+        assert abs(estimate.recall.midpoint - exact.recall) < 0.20
+
+    def test_no_stray_predictions(self, case_study):
+        assert all(
+            v == 0 for v in case_study.accuracy.stray_predictions_dropped.values()
+        )
+
+    def test_accuracy_table_renders(self, case_study):
+        text = case_study.accuracy.table()
+        assert "IRIS" in text and "precision" in text

@@ -1,0 +1,177 @@
+"""Tests for union-find and cluster-level matching."""
+
+import pytest
+
+from repro.clustering import (
+    UnionFind,
+    analyze_match_arity,
+    cluster_by_attribute,
+    cluster_by_links,
+    lift_to_clusters,
+    one_to_one_assignment,
+)
+from repro.table import Table
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_groups_partition(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        groups = {frozenset(g) for g in uf.groups()}
+        assert groups == {frozenset({"a", "b"}), frozenset({"c"}), frozenset({"d"})}
+
+    def test_lazy_item_addition(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert len(uf.groups()) == 1
+
+    def test_large_chain_path_compression(self):
+        uf = UnionFind()
+        for i in range(1000):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 1000)
+        assert len(uf.groups()) == 1
+
+
+class TestMatchArity:
+    def test_pure_one_to_one(self):
+        report = analyze_match_arity([(1, 10), (2, 20)])
+        assert report.one_to_one == 2
+        assert report.non_one_to_one_fraction == 0.0
+
+    def test_one_to_many(self):
+        report = analyze_match_arity([(1, 10), (1, 20)])
+        assert report.one_to_many == 2
+        assert report.one_to_one == 0
+
+    def test_many_to_one(self):
+        report = analyze_match_arity([(1, 10), (2, 10)])
+        assert report.many_to_one == 2
+
+    def test_many_to_many(self):
+        report = analyze_match_arity([(1, 10), (1, 20), (2, 10)])
+        assert report.many_to_many >= 1
+        assert report.total == 3
+
+    def test_empty(self):
+        report = analyze_match_arity([])
+        assert report.total == 0
+        assert report.non_one_to_one_fraction == 0.0
+
+    def test_str(self):
+        assert "1:1=" in str(analyze_match_arity([(1, 1)]))
+
+
+class TestClustering:
+    def test_cluster_by_attribute(self):
+        t = Table({"id": [1, 2, 3], "grant": ["G1", "G1", "G2"]})
+        clusters = cluster_by_attribute(t, "id", "grant")
+        sizes = sorted(len(v) for v in clusters.values())
+        assert sizes == [1, 2]
+
+    def test_missing_attribute_is_singleton(self):
+        t = Table({"id": [1, 2], "grant": [None, None]})
+        clusters = cluster_by_attribute(t, "id", "grant")
+        assert len(clusters) == 2
+
+    def test_normalize_applied(self):
+        t = Table({"id": [1, 2], "grant": ["g1", "G1"]})
+        clusters = cluster_by_attribute(t, "id", "grant", normalize=str.upper)
+        assert len(clusters) == 1
+
+    def test_cluster_by_links(self):
+        groups = cluster_by_links([1, 2, 3, 4], [(1, 2), (2, 3)])
+        assert sorted(map(len, groups)) == [1, 3]
+
+
+class TestClusterMatching:
+    def test_lift_aggregates_support(self):
+        l_clusters = {"L1": [1, 2], "L2": [3]}
+        r_clusters = {"R1": [10, 20], "R2": [30]}
+        matches = [(1, 10), (2, 20), (3, 30)]
+        lifted = lift_to_clusters(matches, l_clusters, r_clusters)
+        by_pair = {(m.l_cluster, m.r_cluster): m.support for m in lifted}
+        assert by_pair[((1, 2), (10, 20))] == 2
+        assert by_pair[((3,), (30,))] == 1
+
+    def test_one_to_one_assignment_greedy(self):
+        l_clusters = {"L1": [1], "L2": [2]}
+        r_clusters = {"R1": [10]}
+        matches = [(1, 10), (2, 10), (1, 10)]
+        lifted = lift_to_clusters(matches, l_clusters, r_clusters)
+        chosen = one_to_one_assignment(lifted)
+        assert len(chosen) == 1
+        assert chosen[0].support == 2  # highest-support pair wins
+
+    def test_assignment_is_one_to_one(self):
+        l_clusters = {f"L{i}": [i] for i in range(5)}
+        r_clusters = {f"R{i}": [10 + i] for i in range(5)}
+        matches = [(i, 10 + (i % 3)) for i in range(5)]
+        chosen = one_to_one_assignment(
+            lift_to_clusters(matches, l_clusters, r_clusters)
+        )
+        lefts = [m.l_cluster for m in chosen]
+        rights = [m.r_cluster for m in chosen]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_scenario_has_one_to_many_matches(self, scenario):
+        """The paper's Section-10 observation: record-level matches are not
+        all one-to-one because of sub-awards/annual reports."""
+        report = analyze_match_arity(scenario.truth)
+        assert report.non_one_to_one_fraction > 0.05
+        assert report.one_to_one > 0  # plenty of plain pairs remain too
+
+
+class TestGraphBridge:
+    def test_match_graph_is_bipartite(self):
+        from repro.clustering import match_graph
+
+        graph = match_graph([(1, 1), (1, 2), (2, 3)])
+        assert graph.number_of_nodes() == 5  # L1, L2, R1, R2, R3
+        assert graph.number_of_edges() == 3
+
+    def test_connected_groups(self):
+        from repro.clustering import connected_match_groups
+
+        groups = connected_match_groups([(1, 10), (1, 20), (2, 30)])
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [2, 3]
+
+    def test_optimal_one_to_one_beats_nothing(self):
+        from repro.clustering import optimal_one_to_one
+
+        chosen = optimal_one_to_one([(1, 10), (1, 20), (2, 10)])
+        # maximum matching keeps both records busy: (1,20) and (2,10)
+        assert len(chosen) == 2
+        lefts = [l for l, _ in chosen]
+        rights = [r for _, r in chosen]
+        assert len(set(lefts)) == 2 and len(set(rights)) == 2
+
+    def test_optimal_empty(self):
+        from repro.clustering import optimal_one_to_one
+
+        assert optimal_one_to_one([]) == []
+
+    def test_optimal_at_least_greedy(self):
+        from repro.clustering import optimal_one_to_one
+
+        matches = [(1, 10), (2, 10), (2, 20), (3, 20), (3, 30)]
+        chosen = optimal_one_to_one(matches)
+        assert len(chosen) == 3  # a perfect one-to-one exists

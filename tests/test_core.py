@@ -1,0 +1,185 @@
+"""Tests for the workflow architecture: EMWorkflow, patching, project log."""
+
+import pytest
+
+from repro.core import (
+    EMProject,
+    EMWorkflow,
+    Stage,
+    combine_with_precedence,
+    label_reuse,
+    merge_match_sets,
+)
+from repro.blocking import AttrEquivalenceBlocker
+from repro.errors import WorkflowError
+from repro.features import generate_features, extract_feature_vectors
+from repro.labeling import Label, LabeledPairs
+from repro.matchers import MLMatcher
+from repro.ml import DecisionTreeClassifier
+from repro.rules import ExactNumberRule
+from repro.table import Table
+
+
+def workflow_world():
+    left = Table(
+        {
+            "id": [1, 2, 3, 4],
+            "num": ["A", "B", None, None],
+            "t": ["x y z w", "p q r s", "x y z w", "m n o p"],
+        },
+        name="L",
+    )
+    right = Table(
+        {
+            "id": [10, 20, 30, 40],
+            "num": ["A", None, None, None],
+            "t": ["x y z w", "p q r s", "x y z q", "far away words"],
+        },
+        name="R",
+    )
+    features = generate_features(left, right, exclude_attrs=["id"])
+    return left, right, features
+
+
+class TestEMWorkflow:
+    def make_workflow(self):
+        from repro.blocking import OverlapBlocker
+
+        return EMWorkflow(
+            name="test",
+            positive_rules=[ExactNumberRule("eq", "num", "num")],
+            blockers=[OverlapBlocker("t", "t", threshold=3)],
+        )
+
+    def trained_matcher(self, left, right, features):
+        from repro.blocking import full_cross_product
+
+        cs = full_cross_product(left, right, "id", "id")
+        pairs = [(1, 10), (2, 20), (1, 40), (4, 10)]
+        y = [1, 1, 0, 0]
+        matrix = extract_feature_vectors(cs, features, pairs=pairs)
+        return MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, y)
+
+    def test_build_candidates_stages(self):
+        left, right, _ = workflow_world()
+        wf = self.make_workflow()
+        c1, c2, c = wf.build_candidates(left, right, "id", "id")
+        assert c1.pairs == [(1, 10)]
+        assert (1, 10) in c2  # sure matches force-included in blocking
+        assert (1, 10) not in c  # but carved out of the prediction set
+
+    def test_run_produces_result(self):
+        left, right, features = workflow_world()
+        wf = self.make_workflow()
+        matcher = self.trained_matcher(left, right, features)
+        result = wf.run(left, right, "id", "id", matcher, features)
+        assert (1, 10) in result.matches  # the sure match is always in
+        assert result.num_matches == len(result.matches)
+        assert "sure=" in result.summary()
+
+    def test_unfitted_matcher_rejected(self):
+        left, right, features = workflow_world()
+        wf = self.make_workflow()
+        with pytest.raises(WorkflowError, match="trained matcher"):
+            wf.run(left, right, "id", "id", MLMatcher(DecisionTreeClassifier(), "DT"), features)
+
+    def test_empty_workflow_rejected(self):
+        left, right, _ = workflow_world()
+        with pytest.raises(WorkflowError, match="no rules and no blockers"):
+            EMWorkflow(name="empty").build_candidates(left, right, "id", "id")
+
+    def test_negative_rules_flip(self):
+        from repro.blocking import OverlapBlocker
+        from repro.rules import ComparableMismatchRule
+
+        left = Table({"id": [1], "num": ["WIS00001"], "t": ["a b c d"]}, name="L")
+        right = Table({"id": [10], "num": ["WIS00002"], "t": ["a b c d"]}, name="R")
+        features = generate_features(left, right, exclude_attrs=["id"])
+        wf = EMWorkflow(
+            name="neg",
+            blockers=[OverlapBlocker("t", "t", threshold=3)],
+            negative_rules=[
+                ComparableMismatchRule(
+                    "wis", "num", "num", known_patterns=frozenset({"XXX#####"})
+                )
+            ],
+        )
+        from repro.blocking import full_cross_product
+
+        cs = full_cross_product(left, right, "id", "id")
+        matrix = extract_feature_vectors(cs, features, pairs=[(1, 10)])
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, [1])
+        result = wf.run(left, right, "id", "id", matcher, features)
+        assert result.predicted_matches == ((1, 10),)
+        assert result.flipped[0][0] == (1, 10)
+        assert result.matches == ()
+
+
+class TestPatching:
+    def test_precedence(self):
+        old = {(1, 2): 1, (3, 4): 0}
+        new = {(3, 4): 1}
+        combined = combine_with_precedence(old, new)
+        assert combined[(3, 4)] == 1
+        assert combined[(1, 2)] == 1
+
+    def test_merge_match_sets_order_and_dedup(self):
+        merged = merge_match_sets([[(1, 2), (3, 4)], [(3, 4), (5, 6)]])
+        assert merged == [(1, 2), (3, 4), (5, 6)]
+
+    def test_label_reuse_full(self):
+        labels = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        report = label_reuse(labels, [(1, 2), (3, 4), (5, 6)])
+        assert report.reuse_fraction == 1.0
+        assert report.new_pairs_to_label == 0
+
+    def test_label_reuse_partial(self):
+        labels = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        report = label_reuse(labels, [(1, 2)], sample_size=2)
+        assert report.reusable == 1
+        assert report.new_pairs_to_label == 1
+        assert "1/2" in str(report)
+
+    def test_label_reuse_empty(self):
+        assert label_reuse(LabeledPairs(), [(1, 2)]).reuse_fraction == 0.0
+
+
+class TestEMProject:
+    def test_register_and_lookup_table(self):
+        project = EMProject("demo")
+        t = Table({"a": [1]}, name="t1")
+        project.register_table(t)
+        assert project.table("t1") is t
+        assert project.table_names == ["t1"]
+
+    def test_unnamed_table_rejected(self):
+        with pytest.raises(WorkflowError):
+            EMProject("demo").register_table(Table({"a": [1]}))
+
+    def test_unknown_table(self):
+        with pytest.raises(WorkflowError):
+            EMProject("demo").table("zz")
+
+    def test_artifacts(self):
+        project = EMProject("demo")
+        project.store("labels", {"x": 1})
+        assert project.artifact("labels") == {"x": 1}
+        assert project.has_artifact("labels")
+        with pytest.raises(WorkflowError):
+            project.artifact("zz")
+
+    def test_zigzag_counted(self):
+        project = EMProject("demo")
+        project.enter_stage(Stage.BLOCK)
+        project.enter_stage(Stage.MATCH)
+        project.enter_stage(Stage.BLOCK)  # going back
+        assert project.zigzag_count() >= 1
+
+    def test_history_rendering(self):
+        project = EMProject("demo")
+        project.enter_stage(Stage.PREPROCESS, note="projected tables")
+        project.record("joined employee names", actor="em-team")
+        text = project.render_history()
+        assert "projected tables" in text
+        assert "em-team" in text
+        assert len(project.history) == 2

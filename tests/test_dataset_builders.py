@@ -1,0 +1,146 @@
+"""Unit tests for the raw-table builders (umetrics.py / usda.py)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenario import UmetricsRecord, UsdaRecord
+from repro.datasets.umetrics import (
+    build_award_agg,
+    build_employees,
+    build_object_codes,
+    build_org_units,
+    build_sub_awards,
+    build_vendors,
+)
+from repro.datasets.usda import USDA_COLUMNS, build_usda_table
+from repro.table import is_key
+
+
+def umetrics_records(n=4):
+    return [
+        UmetricsRecord(
+            unique_award_number=f"10.{200 + i} WIS{i:05d}",
+            title=f"TITLE {i}",
+            first_trans=f"200{i}-10-01",
+            last_trans=f"200{i + 3}-09-30",
+            sub_org_unit="Agronomy",
+            project_id=i,
+        )
+        for i in range(n)
+    ]
+
+
+def usda_records(n=3):
+    return [
+        UsdaRecord(
+            accession_number=150_000 + i,
+            title=f"Title {i}",
+            award_number=f"200{i}-11111-2222{i}" if i % 2 == 0 else None,
+            project_number=f"WIS{i:05d}",
+            start_date=f"200{i}-10-01",
+            end_date=f"200{i + 2}-09-30",
+            director="Smith, A.",
+            sponsoring_agency="NIFA",
+            funding_mechanism="Grant",
+            start_year=2000 + i,
+            project_id=i,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def builder_rng():
+    return np.random.default_rng(5)
+
+
+class TestAwardAgg:
+    def test_one_row_per_record(self, builder_rng):
+        table = build_award_agg(umetrics_records(), builder_rng, name="agg")
+        assert table.num_rows == 4
+        assert table.num_cols == 13
+        assert is_key(table, "UniqueAwardNumber")
+
+    def test_financials_consistent(self, builder_rng):
+        table = build_award_agg(umetrics_records(), builder_rng, name="agg")
+        for row in table.rows():
+            assert row["TotalOverheadCharged"] == pytest.approx(
+                row["TotalExpenditures"] * 0.26, rel=1e-6
+            )
+            assert row["DataFileYearEarliest"] <= row["DataFileYearLatest"]
+
+
+class TestEmployees:
+    def test_director_always_present(self, builder_rng):
+        records = umetrics_records()
+        directors = {r.project_id: ("Paul", "Esker") for r in records}
+        table = build_employees(records, directors, builder_rng, aux_scale=0.001)
+        by_award = {}
+        for row in table.rows():
+            by_award.setdefault(row["UniqueAwardNumber"], []).append(row["FullName"])
+        for record in records:
+            assert "Esker, Paul" in by_award[record.unique_award_number]
+
+    def test_scale_controls_rows(self, builder_rng):
+        records = umetrics_records()
+        directors = {r.project_id: ("A", "B") for r in records}
+        small = build_employees(records, directors, np.random.default_rng(1), 0.0001)
+        large = build_employees(records, directors, np.random.default_rng(1), 0.01)
+        assert large.num_rows > small.num_rows
+        assert small.num_rows >= len(records)  # at least the directors
+
+
+class TestAuxTables:
+    def test_org_units_full_size(self, builder_rng):
+        assert build_org_units(builder_rng).num_rows == 264
+
+    def test_object_codes_scaled(self, builder_rng):
+        table = build_object_codes(builder_rng, aux_scale=0.01)
+        assert table.num_rows == pytest.approx(4574 * 0.01, abs=1)
+        assert is_key(table, "ObjectCode")
+
+    def test_subawards_reference_real_awards(self, builder_rng):
+        records = umetrics_records()
+        table = build_sub_awards(records, builder_rng, aux_scale=0.01)
+        known = {r.unique_award_number for r in records}
+        assert set(table["UniqueAwardNumber"]) <= known
+
+    def test_vendors_reference_real_awards(self, builder_rng):
+        records = umetrics_records()
+        table = build_vendors(records, builder_rng, aux_scale=0.001)
+        known = {r.unique_award_number for r in records}
+        assert set(table["UniqueAwardNumber"]) <= known
+
+
+class TestUsdaTable:
+    def test_78_columns(self, builder_rng):
+        table = build_usda_table(usda_records(), builder_rng)
+        assert table.columns == USDA_COLUMNS
+        assert table.num_cols == 78
+
+    def test_key_and_core_fields(self, builder_rng):
+        table = build_usda_table(usda_records(), builder_rng)
+        assert is_key(table, "AccessionNumber")
+        assert table["ProjectTitle"] == ["Title 0", "Title 1", "Title 2"]
+        assert table["AwardNumber"][1] is None
+
+    def test_financial_split_by_funding_kind(self, builder_rng):
+        table = build_usda_table(usda_records(), builder_rng)
+        for row in table.rows():
+            federal = row["AwardNumber"] is not None
+            if federal:
+                assert row["Financial: USDA Contracts, Grants, Coop Agmt"] is not None
+                assert row["Financial: State Appropriations"] is None
+            else:
+                assert row["Financial: USDA Contracts, Grants, Coop Agmt"] is None
+                assert row["Financial: State Appropriations"] is not None
+
+    def test_fy_columns_windowed(self, builder_rng):
+        table = build_usda_table(usda_records(1), builder_rng)
+        row = table.row(0)
+        active_years = [
+            year for year in range(1997, 2013) if row[f"FTEs FY{year}"] is not None
+        ]
+        assert active_years, "the project must be active in some FY"
+        assert min(active_years) == row["ProjectStartFiscalYear"]
+        assert max(active_years) <= row["ProjectStartFiscalYear"] + 3

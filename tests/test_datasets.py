@@ -1,0 +1,251 @@
+"""Tests for the synthetic scenario generator and its factories."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FederalNumberFactory,
+    ForestNumberFactory,
+    ScenarioConfig,
+    StateNumberFactory,
+    TitleFactory,
+    cfda_code,
+    comparable_variant,
+    generate_scenario,
+    iris_matcher,
+    make_borderline_predicate,
+    numbers_agree,
+    numbers_comparable_but_differ,
+    umetrics_style,
+    unique_award_number,
+    usda_style,
+    with_multistate_suffix,
+)
+from repro.datasets.usda import USDA_COLUMNS
+from repro.errors import DatasetError
+from repro.text import award_number_suffix, pattern_signature
+
+
+class TestNumberFactories:
+    def test_federal_shape(self, rng):
+        factory = FederalNumberFactory(rng)
+        number = factory.make(2008)
+        assert pattern_signature(number) == "YYYY-#####-#####"
+        assert number.startswith("2008-")
+
+    def test_state_shape(self, rng):
+        assert pattern_signature(StateNumberFactory(rng).make()) == "XXX#####"
+
+    def test_forest_shape(self, rng):
+        assert (
+            pattern_signature(ForestNumberFactory(rng).make(2003))
+            == "##-XX-########-###"
+        )
+
+    def test_uniqueness(self, rng):
+        factory = StateNumberFactory(rng)
+        numbers = {factory.make() for _ in range(500)}
+        assert len(numbers) == 500
+
+    def test_reserve_prevents_reissue(self, rng):
+        factory = StateNumberFactory(rng)
+        n = factory.make()
+        factory.reserve("WIS99998")
+        for _ in range(200):
+            assert factory.make() not in (n, "WIS99998")
+
+    def test_cfda_and_unique_award_number(self, rng):
+        cfda = cfda_code(rng)
+        assert cfda.startswith("10.")
+        composed = unique_award_number(cfda, "WIS01040")
+        assert award_number_suffix(composed) == "WIS01040"
+
+    def test_comparable_variant_same_pattern_different_value(self, rng):
+        original = "2008-34103-19449"
+        for _ in range(20):
+            variant = comparable_variant(original, rng)
+            assert variant != original
+            assert pattern_signature(variant) == pattern_signature(original)
+
+    def test_comparable_variant_needs_digits(self, rng):
+        with pytest.raises(DatasetError):
+            comparable_variant("no-digits-here", rng)
+
+
+class TestTitles:
+    def test_distinct_titles(self, rng):
+        factory = TitleFactory(rng)
+        titles = {factory.make() for _ in range(300)}
+        assert len(titles) == 300
+
+    def test_styles(self):
+        title = "Applied Ecology of Swamp Dodder"
+        assert umetrics_style(title) == "APPLIED ECOLOGY OF SWAMP DODDER"
+        styled = usda_style("applied ecology of swamp dodder")
+        assert styled.split()[0][0].isupper()
+        assert " of " in styled
+
+    def test_multistate_suffix(self, rng):
+        suffixed = with_multistate_suffix("Corn Study", rng)
+        assert suffixed.startswith("Corn Study ")
+        assert any(c.isdigit() for c in suffixed)
+
+    def test_title_word_count_range(self, rng):
+        factory = TitleFactory(rng)
+        for _ in range(100):
+            assert 3 <= len(factory.make().split()) <= 8
+
+
+class TestScenarioStructure:
+    def test_exact_table_sizes(self, scenario):
+        config = scenario.config
+        assert scenario.award_agg.num_rows == config.n_umetrics_rows
+        assert scenario.usda.num_rows == config.n_usda_rows
+        assert scenario.extra_award_agg.num_rows == config.n_extra_rows
+
+    def test_schemas(self, scenario):
+        assert scenario.award_agg.num_cols == 13
+        assert scenario.usda.columns == USDA_COLUMNS
+        assert len(USDA_COLUMNS) == 78
+        assert scenario.employees.num_cols == 13
+        assert scenario.org_units.num_cols == 5
+        assert scenario.object_codes.num_cols == 3
+        assert scenario.sub_awards.num_cols == 23
+        assert scenario.vendors.num_cols == 21
+
+    def test_keys_are_unique(self, scenario):
+        from repro.table import is_key
+
+        assert is_key(scenario.award_agg, "UniqueAwardNumber")
+        assert is_key(scenario.usda, "AccessionNumber")
+        assert is_key(scenario.extra_award_agg, "UniqueAwardNumber")
+
+    def test_extra_records_disjoint_from_original(self, scenario):
+        original = set(scenario.award_agg["UniqueAwardNumber"])
+        extra = set(scenario.extra_award_agg["UniqueAwardNumber"])
+        assert not original & extra
+
+    def test_truth_refers_to_real_records(self, scenario):
+        u_ids = set(scenario.award_agg["UniqueAwardNumber"]) | set(
+            scenario.extra_award_agg["UniqueAwardNumber"]
+        )
+        s_ids = set(scenario.usda["AccessionNumber"])
+        for u, s in scenario.truth:
+            assert u in u_ids
+            assert s in s_ids
+
+    def test_truth_for_restricts(self, scenario):
+        ids = set(scenario.award_agg["UniqueAwardNumber"])
+        subset = scenario.truth_for(ids)
+        assert subset <= scenario.truth
+        assert all(u in ids for u, _ in subset)
+
+    def test_employees_cover_every_award(self, scenario):
+        awarded = set(scenario.award_agg["UniqueAwardNumber"]) | set(
+            scenario.extra_award_agg["UniqueAwardNumber"]
+        )
+        with_employees = set(scenario.employees["UniqueAwardNumber"])
+        assert awarded <= with_employees
+
+    def test_umetrics_titles_upper_case(self, scenario):
+        for title in scenario.award_agg["AwardTitle"][:50]:
+            assert title == title.upper()
+
+    def test_usda_state_records_lack_award_number(self, scenario):
+        # state-funded rows have no federal award number (Figure 4's NaN)
+        missing = sum(1 for v in scenario.usda["AwardNumber"] if v is None)
+        assert missing > scenario.usda.num_rows * 0.3
+
+    def test_matched_projects_share_title_tokens(self, scenario):
+        by_pid = {}
+        for project in scenario.projects:
+            if project.umetrics_records and project.usda_records:
+                by_pid[project.pid] = project
+        assert by_pid, "scenario must contain matched projects"
+        for project in list(by_pid.values())[:20]:
+            u_tokens = set(project.umetrics_records[0].title.lower().split())
+            base_tokens = set(project.base_title.lower().split())
+            assert u_tokens & base_tokens
+
+    def test_impossible_config_rejected(self):
+        config = ScenarioConfig(
+            n_umetrics_rows=10, n_usda_rows=10, n_federal=100, n_state=0, n_forest=0
+        )
+        with pytest.raises(DatasetError):
+            generate_scenario(config)
+
+
+class TestScenarioDeterminism:
+    def test_same_seed_same_world(self):
+        config = ScenarioConfig(
+            n_umetrics_rows=120, n_usda_rows=160, n_extra_rows=30,
+            n_federal=15, n_state=25, n_forest=8, n_extra_matched=5,
+            n_sibling_families=6, n_generic_umetrics=3, n_generic_usda=3,
+            n_multistate_usda=4, aux_scale=0.001,
+        )
+        a = generate_scenario(config)
+        b = generate_scenario(config)
+        assert a.award_agg.equals(b.award_agg)
+        assert a.usda.equals(b.usda)
+        assert a.truth == b.truth
+
+    def test_different_seed_different_world(self):
+        base = dict(
+            n_umetrics_rows=120, n_usda_rows=160, n_extra_rows=30,
+            n_federal=15, n_state=25, n_forest=8, n_extra_matched=5,
+            n_sibling_families=6, n_generic_umetrics=3, n_generic_usda=3,
+            n_multistate_usda=4, aux_scale=0.001,
+        )
+        a = generate_scenario(ScenarioConfig(seed=1, **base))
+        b = generate_scenario(ScenarioConfig(seed=2, **base))
+        assert not a.award_agg.equals(b.award_agg)
+
+
+class TestOracleHelpers:
+    def test_numbers_agree(self):
+        l_row = {"AwardNumber": "10.200 WIS01040"}
+        assert numbers_agree(l_row, {"AwardNumber": None, "ProjectNumber": "WIS01040"})
+        assert not numbers_agree(l_row, {"AwardNumber": None, "ProjectNumber": "WIS09999"})
+        assert not numbers_agree({"AwardNumber": None}, {"AwardNumber": "X"})
+
+    def test_numbers_comparable_but_differ(self):
+        l_row = {"AwardNumber": "10.200 WIS01040"}
+        assert numbers_comparable_but_differ(
+            l_row, {"AwardNumber": None, "ProjectNumber": "WIS09999"}
+        )
+        assert not numbers_comparable_but_differ(
+            l_row, {"AwardNumber": None, "ProjectNumber": "WIS01040"}
+        )
+
+    def test_borderline_predicate(self):
+        borderline = make_borderline_predicate()
+        # number agreement -> never borderline
+        assert not borderline(
+            {"AwardNumber": "10.200 WIS01040", "AwardTitle": "X Y"},
+            {"AwardNumber": None, "ProjectNumber": "WIS01040", "AwardTitle": "X Y"},
+            True,
+        )
+        # generic title -> borderline
+        assert borderline(
+            {"AwardNumber": "10.1 WIS00001", "AwardTitle": "LAB SUPPLIES"},
+            {"AwardNumber": None, "ProjectNumber": None, "AwardTitle": "Lab Supplies"},
+            False,
+        )
+        # missing title -> borderline (cannot judge)
+        assert borderline(
+            {"AwardNumber": "10.1 WIS00001", "AwardTitle": None},
+            {"AwardNumber": None, "ProjectNumber": None, "AwardTitle": "Corn"},
+            False,
+        )
+
+
+class TestIrisMatcher:
+    def test_iris_is_exactly_the_rule_pairs(self, scenario, case_study):
+        projected = case_study.projected_v2
+        matcher = iris_matcher()
+        matches = matcher.predict_tables(
+            projected.umetrics, projected.usda, "RecordId", "RecordId"
+        )
+        # IRIS only ever fires on number equality, so it has no false
+        # positives against ground truth
+        assert set(matches.pairs) <= projected.truth

@@ -1,0 +1,133 @@
+"""Tests for single-table dedupe and majority-vote labeling."""
+
+import pytest
+
+from repro.blocking import (
+    CandidateSet,
+    OverlapBlocker,
+    canonical_records,
+    dedupe_candidates,
+    duplicate_clusters,
+)
+from repro.errors import LabelingError
+from repro.labeling import (
+    ExpertOracle,
+    Label,
+    StudentLabeler,
+    agreement_rate,
+    LabeledPairs,
+    majority_label,
+    vote_on_pairs,
+)
+from repro.table import Table
+
+
+def vendor_table():
+    return Table(
+        {
+            "id": ["v1", "v2", "v3", "v4", "v5"],
+            "name": [
+                "Fisher Scientific Inc",
+                "Fisher Scientific Incorporated",
+                "Badger Lab Supply",
+                "Badger Lab Supply",
+                "Dell Computers",
+            ],
+        },
+        name="vendors",
+    )
+
+
+class TestDedupe:
+    def test_self_pairs_dropped(self):
+        table = vendor_table()
+        blocker = OverlapBlocker("name", "name", threshold=2)
+        cs = dedupe_candidates(table, "id", blocker)
+        assert all(a != b for a, b in cs)
+
+    def test_symmetric_pairs_canonical(self):
+        table = vendor_table()
+        blocker = OverlapBlocker("name", "name", threshold=2)
+        cs = dedupe_candidates(table, "id", blocker)
+        assert ("v1", "v2") in cs
+        assert ("v2", "v1") not in cs
+        assert all(str(a) <= str(b) for a, b in cs)
+
+    def test_expected_duplicate_pairs_found(self):
+        table = vendor_table()
+        cs = dedupe_candidates(table, "id", OverlapBlocker("name", "name", threshold=2))
+        assert ("v3", "v4") in cs
+        assert not any("v5" in pair for pair in cs)
+
+    def test_duplicate_clusters(self):
+        clusters = duplicate_clusters(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c")]
+        )
+        assert clusters == [["a", "b", "c"]]
+
+    def test_no_duplicates_no_clusters(self):
+        assert duplicate_clusters(["a", "b"], []) == []
+
+    def test_canonical_records_keeps_first(self):
+        table = vendor_table()
+        deduped = canonical_records(table, "id", [("v3", "v4"), ("v1", "v2")])
+        assert deduped["id"] == ["v1", "v3", "v5"]
+
+    def test_canonical_records_no_pairs_is_identity(self):
+        table = vendor_table()
+        assert canonical_records(table, "id", []).equals(table)
+
+
+class TestMajorityVote:
+    def test_strict_majority_wins(self):
+        assert majority_label([Label.YES, Label.YES, Label.NO]) is Label.YES
+        assert majority_label([Label.NO, Label.NO, Label.YES]) is Label.NO
+
+    def test_tie_is_unsure(self):
+        assert majority_label([Label.YES, Label.NO]) is Label.UNSURE
+
+    def test_unsure_abstains(self):
+        assert majority_label([Label.YES, Label.YES, Label.UNSURE]) is Label.YES
+        assert majority_label([Label.UNSURE, Label.UNSURE]) is Label.UNSURE
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(LabelingError):
+            majority_label([])
+
+    def test_vote_on_pairs_outvotes_noisy_labeler(self):
+        table = Table({"id": [1, 2]}, name="T")
+        cs = CandidateSet(table, table, "id", "id", [(1, 2)])
+        truth = {(1, 2)}
+        always_hard = lambda l, r, m: True  # noqa: E731
+        reliable_a = ExpertOracle(truth, seed=1)
+        reliable_b = ExpertOracle(truth, seed=2)
+        noisy = StudentLabeler(
+            truth, borderline=always_hard,
+            unsure_probability=0.0, error_probability=1.0, seed=3,
+        )
+        combined = vote_on_pairs([reliable_a, noisy, reliable_b], cs, [(1, 2)])
+        assert combined.get((1, 2)) is Label.YES
+
+    def test_vote_needs_labelers(self):
+        table = Table({"id": [1]}, name="T")
+        cs = CandidateSet(table, table, "id", "id", [])
+        with pytest.raises(LabelingError):
+            vote_on_pairs([], cs, [])
+
+
+class TestAgreementRate:
+    def test_full_agreement(self):
+        a = LabeledPairs([((1, 2), Label.YES)])
+        b = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        assert agreement_rate(a, b) == 1.0
+
+    def test_partial_agreement(self):
+        a = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        b = LabeledPairs([((1, 2), Label.NO), ((3, 4), Label.NO)])
+        assert agreement_rate(a, b) == 0.5
+
+    def test_disjoint_sets_rejected(self):
+        a = LabeledPairs([((1, 2), Label.YES)])
+        b = LabeledPairs([((3, 4), Label.NO)])
+        with pytest.raises(LabelingError):
+            agreement_rate(a, b)

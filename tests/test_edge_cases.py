@@ -1,0 +1,104 @@
+"""Edge-case tests across modules: unicode, empties, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CandidateSet, OverlapBlocker, full_cross_product
+from repro.errors import BlockingError
+from repro.features import extract_feature_vectors, generate_features
+from repro.similarity import jaccard, jaro, levenshtein_distance, monge_elkan
+from repro.table import Table, read_csv, write_csv
+from repro.text import normalize_title, pattern_signature, qgram, whitespace
+
+
+class TestUnicode:
+    def test_csv_roundtrip_unicode(self, tmp_path):
+        t = Table({"name": ["Müller", "Nuñez", "Šimková", "你好"]}, name="u")
+        path = tmp_path / "u.csv"
+        write_csv(t, path)
+        assert read_csv(path)["name"] == t["name"]
+
+    def test_similarity_on_unicode(self):
+        assert levenshtein_distance("Müller", "Mueller") == 2
+        assert jaro("Nuñez", "Nunez") > 0.8
+        assert jaccard(["café"], ["café"]) == 1.0
+
+    def test_qgram_on_unicode(self):
+        grams = qgram(2)("ño")
+        assert "ño" in grams
+
+    def test_normalize_title_keeps_unicode_letters(self):
+        assert normalize_title("Étude (Spéciale)!") == "étude spéciale"
+
+    def test_pattern_signature_non_ascii_letters(self):
+        # non-ASCII letters count as letters
+        assert pattern_signature("Ü1") == "X#"
+
+
+class TestDegenerateTables:
+    def test_blocking_empty_tables(self):
+        left = Table.empty(["id", "t"])
+        right = Table({"id": [1], "t": ["x"]}, name="R")
+        cs = OverlapBlocker("t", "t", threshold=1).block_tables(left, right, "id", "id")
+        assert len(cs) == 0
+
+    def test_cross_product_with_empty_side(self):
+        left = Table.empty(["id"])
+        right = Table({"id": [1, 2]}, name="R")
+        assert len(full_cross_product(left, right, "id", "id")) == 0
+
+    def test_feature_extraction_empty_candidates(self):
+        left = Table({"id": [1], "t": ["x"]}, name="L")
+        right = Table({"id": [2], "t": ["y"]}, name="R")
+        cs = CandidateSet(left, right, "id", "id", [])
+        features = generate_features(left, right, exclude_attrs=["id"])
+        matrix = extract_feature_vectors(cs, features)
+        assert matrix.values.shape == (0, len(features))
+
+    def test_all_missing_column_blocks_nothing(self):
+        left = Table({"id": [1, 2], "t": [None, None]}, name="L")
+        right = Table({"id": [3], "t": ["x"]}, name="R")
+        cs = OverlapBlocker("t", "t", threshold=1).block_tables(left, right, "id", "id")
+        assert len(cs) == 0
+
+    def test_candidate_sample_zero(self):
+        left = Table({"id": [1]}, name="L")
+        right = Table({"id": [2]}, name="R")
+        cs = CandidateSet(left, right, "id", "id", [(1, 2)])
+        assert cs.sample(0, np.random.default_rng(0)) == []
+
+
+class TestDegenerateSimilarity:
+    def test_monge_elkan_single_char_tokens(self):
+        assert 0.0 <= monge_elkan(["a"], ["b"]) <= 1.0
+
+    def test_whitespace_only_string(self):
+        assert whitespace("   \t  ") == []
+        assert normalize_title("   ") == ""
+
+    def test_very_long_string_levenshtein(self):
+        a = "x" * 500
+        b = "x" * 499 + "y"
+        assert levenshtein_distance(a, b) == 1
+
+
+class TestNumericEdges:
+    def test_feature_on_inf_values(self):
+        from repro.features import numeric_feature
+
+        f = numeric_feature("n", "n", "rel_diff")
+        value = f(float("inf"), 1.0)
+        # inf inputs produce something, not a crash; NaN is acceptable
+        assert value != 0.5
+
+    def test_table_with_bool_cells(self):
+        t = Table({"flag": [True, False, None]})
+        from repro.table import infer_type, AttrType
+
+        assert infer_type(t["flag"]) is AttrType.BOOLEAN
+
+    def test_duplicate_pairs_in_candidate_constructor(self):
+        left = Table({"id": [1]}, name="L")
+        right = Table({"id": [2]}, name="R")
+        cs = CandidateSet(left, right, "id", "id", [(1, 2)] * 100)
+        assert len(cs) == 1

@@ -1,0 +1,163 @@
+"""Tests for exact evaluation, Corleone estimation, production monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CandidateSet
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    AccuracyMonitor,
+    Interval,
+    compare_matchers,
+    estimate_accuracy,
+    evaluate_matches,
+)
+from repro.labeling import ExpertOracle, Label, LabeledPairs
+from repro.table import Table
+
+
+class TestEvaluateMatches:
+    def test_exact_counts(self):
+        gold = [(1, 1), (2, 2), (3, 3)]
+        predicted = [(1, 1), (4, 4)]
+        q = evaluate_matches(predicted, gold)
+        assert (q.true_positives, q.false_positives, q.false_negatives) == (1, 1, 2)
+        assert q.precision == 0.5
+        assert q.recall == pytest.approx(1 / 3)
+
+    def test_perfect(self):
+        q = evaluate_matches([(1, 1)], [(1, 1)])
+        assert q.f1 == 1.0
+
+    def test_empty_predictions(self):
+        q = evaluate_matches([], [(1, 1)])
+        assert q.precision == 0.0 and q.recall == 0.0 and q.f1 == 0.0
+
+
+class TestInterval:
+    def test_ordering_enforced(self):
+        with pytest.raises(EvaluationError):
+            Interval(0.9, 0.1)
+
+    def test_midpoint_width_contains(self):
+        interval = Interval(0.2, 0.6)
+        assert interval.midpoint == pytest.approx(0.4)
+        assert interval.width == pytest.approx(0.4)
+        assert interval.contains(0.3)
+        assert not interval.contains(0.7)
+
+    def test_str_formats_percent(self):
+        assert "%" in str(Interval(0.1, 0.2))
+
+
+def _universe(n=200, n_true=50, seed=0):
+    """A candidate universe with known truth and a labeled sample."""
+    left = Table({"id": list(range(n))}, name="L")
+    right = Table({"id": list(range(n))}, name="R")
+    pairs = [(i, i) for i in range(n)]
+    cs = CandidateSet(left, right, "id", "id", pairs)
+    truth = {(i, i) for i in range(n_true)}
+    return cs, truth
+
+
+class TestCorleone:
+    def test_perfect_matcher_estimates_high(self):
+        cs, truth = _universe()
+        oracle = ExpertOracle(truth)
+        sample = cs.sample(100, np.random.default_rng(1))
+        labels = oracle.label_pairs(cs, sample)
+        estimate = estimate_accuracy(cs.pairs, list(truth), labels)
+        assert estimate.precision.contains(1.0)
+        assert estimate.recall.contains(1.0)
+
+    def test_intervals_bracket_known_accuracy(self):
+        cs, truth = _universe(n=400, n_true=100)
+        # a matcher that misses half the truth and adds 25 false positives
+        predicted = [(i, i) for i in range(50)] + [(i, i) for i in range(100, 125)]
+        true_precision = 50 / 75
+        true_recall = 0.5
+        oracle = ExpertOracle(truth)
+        labels = oracle.label_pairs(cs, cs.sample(300, np.random.default_rng(2)))
+        estimate = estimate_accuracy(cs.pairs, predicted, labels)
+        assert estimate.precision.contains(true_precision)
+        assert estimate.recall.contains(true_recall)
+
+    def test_more_labels_narrow_interval(self):
+        cs, truth = _universe(n=400, n_true=100)
+        predicted = list(truth)
+        oracle = ExpertOracle(truth)
+        rng = np.random.default_rng(3)
+        sample = cs.sample(300, rng)
+        small = estimate_accuracy(cs.pairs, predicted, oracle.label_pairs(cs, sample[:100]))
+        large = estimate_accuracy(cs.pairs, predicted, oracle.label_pairs(cs, sample))
+        assert large.recall.width <= small.recall.width + 1e-9
+
+    def test_unsure_ignored(self):
+        cs, truth = _universe(n=50, n_true=10)
+        labels = LabeledPairs([((0, 0), Label.UNSURE), ((1, 1), Label.YES)])
+        estimate = estimate_accuracy(cs.pairs, list(truth), labels)
+        assert estimate.sample_size == 1
+
+    def test_all_unsure_rejected(self):
+        cs, truth = _universe(n=10, n_true=2)
+        labels = LabeledPairs([((0, 0), Label.UNSURE)])
+        with pytest.raises(EvaluationError, match="non-Unsure"):
+            estimate_accuracy(cs.pairs, list(truth), labels)
+
+    def test_prediction_outside_universe_rejected(self):
+        cs, truth = _universe(n=10, n_true=2)
+        labels = LabeledPairs([((0, 0), Label.YES)])
+        with pytest.raises(EvaluationError, match="outside the candidate set"):
+            estimate_accuracy(cs.pairs, [(99, 99)], labels)
+
+    def test_sample_outside_universe_rejected(self):
+        cs, truth = _universe(n=10, n_true=2)
+        labels = LabeledPairs([((99, 99), Label.YES)])
+        with pytest.raises(EvaluationError, match="outside the candidate set"):
+            estimate_accuracy(cs.pairs, list(truth), labels)
+
+    def test_compare_matchers_shared_sample(self):
+        cs, truth = _universe(n=300, n_true=60)
+        oracle = ExpertOracle(truth)
+        labels = oracle.label_pairs(cs, cs.sample(200, np.random.default_rng(4)))
+        estimates = compare_matchers(
+            cs.pairs,
+            {"perfect": list(truth), "empty-ish": [(0, 0)]},
+            labels,
+        )
+        assert estimates["perfect"].recall.low > estimates["empty-ish"].recall.high
+
+
+class TestMonitor:
+    def test_healthy_batch_not_flagged(self):
+        cs, truth = _universe(n=200, n_true=80)
+        monitor = AccuracyMonitor(precision_floor=0.8, sample_size=40, seed=0)
+        report = monitor.check_batch("b1", cs, list(truth), ExpertOracle(truth))
+        assert not report.flagged
+        assert not monitor.needs_redevelopment()
+
+    def test_degraded_batch_flagged(self):
+        cs, truth = _universe(n=200, n_true=20)
+        bad_predictions = [(i, i) for i in range(100, 180)]  # all false
+        monitor = AccuracyMonitor(precision_floor=0.9, sample_size=50, seed=0)
+        report = monitor.check_batch("b2", cs, bad_predictions, ExpertOracle(truth))
+        assert report.flagged
+        assert monitor.needs_redevelopment()
+        assert "FLAGGED" in str(report)
+
+    def test_history_accumulates(self):
+        cs, truth = _universe(n=100, n_true=40)
+        monitor = AccuracyMonitor(sample_size=20, seed=1)
+        monitor.check_batch("b1", cs, list(truth), ExpertOracle(truth))
+        monitor.check_batch("b2", cs, list(truth), ExpertOracle(truth))
+        assert len(monitor.history) == 2
+
+    def test_empty_batch_rejected(self):
+        cs, truth = _universe(n=10, n_true=2)
+        monitor = AccuracyMonitor()
+        with pytest.raises(EvaluationError):
+            monitor.check_batch("b", cs, [], ExpertOracle(truth))
+
+    def test_invalid_floor(self):
+        with pytest.raises(EvaluationError):
+            AccuracyMonitor(precision_floor=0.0)

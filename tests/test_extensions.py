@@ -1,0 +1,253 @@
+"""Tests for the extension features: sorted-neighborhood blocking and the
+labeling sampling strategies (stratified + active/uncertainty)."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CandidateSet, SortedNeighborhoodBlocker
+from repro.errors import BlockingError, LabelingError
+from repro.features import generate_features
+from repro.labeling import ExpertOracle, UncertaintySampler, stratified_sample
+from repro.matchers import MLMatcher
+from repro.ml import DecisionTreeClassifier
+from repro.table import Table
+
+
+class TestSortedNeighborhood:
+    def make_tables(self):
+        left = Table(
+            {"id": [1, 2, 3], "num": ["WIS00010", "WIS00500", "ZZZ99999"]},
+            name="L",
+        )
+        right = Table(
+            {"id": [10, 20, 30], "num": ["WIS00011", "WIS00499", None]},
+            name="R",
+        )
+        return left, right
+
+    def test_window_pairs_lexicographic_neighbors(self):
+        left, right = self.make_tables()
+        blocker = SortedNeighborhoodBlocker("num", "num", window=2)
+        cs = blocker.block_tables(left, right, "id", "id")
+        # WIS00010/WIS00011 and WIS00499/WIS00500 are adjacent in the
+        # merged sort order
+        assert (1, 10) in cs
+        assert (2, 20) in cs
+
+    def test_missing_values_skipped(self):
+        left, right = self.make_tables()
+        cs = SortedNeighborhoodBlocker("num", "num", window=3).block_tables(
+            left, right, "id", "id"
+        )
+        assert all(rid != 30 for _, rid in cs)
+
+    def test_larger_window_superset(self):
+        left, right = self.make_tables()
+        small = SortedNeighborhoodBlocker("num", "num", window=2).block_tables(
+            left, right, "id", "id"
+        )
+        large = SortedNeighborhoodBlocker("num", "num", window=5).block_tables(
+            left, right, "id", "id"
+        )
+        assert small.pair_set() <= large.pair_set()
+
+    def test_same_side_neighbors_do_not_consume_window(self):
+        left = Table({"id": [1, 2], "num": ["AAA", "AAB"]}, name="L")
+        right = Table({"id": [10], "num": ["ZZZ"]}, name="R")
+        cs = SortedNeighborhoodBlocker("num", "num", window=2).block_tables(
+            left, right, "id", "id"
+        )
+        # merged order AAA(L), AAB(L), ZZZ(R): only AAB is adjacent to ZZZ
+        assert cs.pair_set() == {(2, 10)}
+
+    def test_key_transform(self):
+        left = Table({"id": [1], "num": ["10.200 WIS00010"]}, name="L")
+        right = Table({"id": [10], "num": ["WIS00011"]}, name="R")
+        from repro.text import award_number_suffix
+
+        blocker = SortedNeighborhoodBlocker(
+            "num", "num", window=2,
+            key=lambda v: award_number_suffix(v) or v,
+        )
+        cs = blocker.block_tables(left, right, "id", "id")
+        assert (1, 10) in cs
+
+    def test_invalid_window(self):
+        with pytest.raises(BlockingError):
+            SortedNeighborhoodBlocker("a", "b", window=1)
+
+
+def _world(n=40, seed=0):
+    """A candidate world where feature f separates matches cleanly."""
+    rng = np.random.default_rng(seed)
+    left = Table(
+        {"id": list(range(n)), "t": [f"alpha beta w{i} gamma" for i in range(n)]},
+        name="L",
+    )
+    right_titles = [
+        f"alpha beta w{i} gamma" if i % 2 == 0 else f"zz qq x{i} yy"
+        for i in range(n)
+    ]
+    right = Table({"id": list(range(n)), "t": right_titles}, name="R")
+    cs = CandidateSet(left, right, "id", "id", [(i, i) for i in range(n)])
+    truth = {(i, i) for i in range(n) if i % 2 == 0}
+    features = generate_features(left, right, exclude_attrs=["id"])
+    return cs, truth, features
+
+
+class TestStratifiedSample:
+    def test_quota_per_stratum(self, rng):
+        cs, _, _ = _world()
+        a = cs.subset([(0, 0), (1, 1), (2, 2), (3, 3)])
+        b = cs.subset([(4, 4), (5, 5)])
+        picked = stratified_sample([a, b], n_per_stratum=2, rng=rng)
+        assert len(picked) == 4
+        assert len([p for p in picked if p in a.pair_set()]) == 2
+
+    def test_small_stratum_taken_whole(self, rng):
+        cs, _, _ = _world()
+        tiny = cs.subset([(0, 0)])
+        picked = stratified_sample([tiny], n_per_stratum=10, rng=rng)
+        assert picked == [(0, 0)]
+
+    def test_no_duplicates_across_strata(self, rng):
+        cs, _, _ = _world()
+        a = cs.subset([(0, 0), (1, 1)])
+        b = cs.subset([(1, 1), (2, 2)])
+        picked = stratified_sample([a, b], n_per_stratum=2, rng=rng)
+        assert len(picked) == len(set(picked))
+
+    def test_empty_strata_rejected(self, rng):
+        with pytest.raises(LabelingError):
+            stratified_sample([], 3, rng)
+
+
+class TestUncertaintySampler:
+    def make_sampler(self, seed=1):
+        cs, truth, features = _world(seed=seed)
+        matcher = MLMatcher(DecisionTreeClassifier(min_samples_leaf=2), "DT")
+        oracle = ExpertOracle(truth)
+        return UncertaintySampler(cs, features, matcher, oracle, seed=seed), truth
+
+    def test_seed_round_labels_random_pairs(self):
+        sampler, _ = self.make_sampler()
+        sampler.seed_round(6)
+        assert len(sampler.labels) == 6
+
+    def test_query_requires_both_classes(self):
+        sampler, truth = self.make_sampler()
+        only_positive = [p for p in sampler.candidates if p in truth][:3]
+        sampler._label(only_positive)
+        with pytest.raises(LabelingError, match="Yes and a No"):
+            sampler.query_round(2)
+
+    def test_query_round_labels_new_pairs(self):
+        sampler, _ = self.make_sampler()
+        sampler.seed_round(8)
+        before = set(sampler.labels.pairs())
+        queried = sampler.query_round(4)
+        assert len(queried) == 4
+        assert not set(queried) & before
+
+    def test_run_collects_expected_count(self):
+        sampler, _ = self.make_sampler()
+        labels = sampler.run(seed_size=8, rounds=3, n_per_round=4)
+        assert len(labels) == 8 + 3 * 4
+
+    def test_active_beats_random_on_positives_found(self):
+        """With rare positives, uncertainty sampling should surface at
+        least as many positives as random sampling of the same budget."""
+        rng = np.random.default_rng(3)
+        n = 60
+        left = Table(
+            {"id": list(range(n)), "t": [f"alpha beta w{i} gamma" for i in range(n)]},
+            name="L",
+        )
+        right_titles = [
+            f"alpha beta w{i} gamma" if i < 6 else f"zz qq x{i} yy"
+            for i in range(n)
+        ]
+        right = Table({"id": list(range(n)), "t": right_titles}, name="R")
+        cs = CandidateSet(left, right, "id", "id", [(i, i) for i in range(n)])
+        truth = {(i, i) for i in range(6)}
+        features = generate_features(left, right, exclude_attrs=["id"])
+        sampler = UncertaintySampler(
+            cs, features, MLMatcher(DecisionTreeClassifier(min_samples_leaf=2), "DT"),
+            ExpertOracle(truth), seed=4,
+        )
+        active_labels = sampler.run(seed_size=10, rounds=2, n_per_round=5)
+        active_yes = sum(1 for p in active_labels.pairs() if p in truth)
+        random_pairs = cs.sample(len(active_labels), rng)
+        random_yes = sum(1 for p in random_pairs if p in truth)
+        assert active_yes >= random_yes
+
+
+class TestDownSample:
+    def make_tables(self):
+        left = Table(
+            {
+                "id": list(range(12)),
+                "t": [f"shared topic words w{i}" for i in range(6)]
+                + [f"totally unrelated zz{i} qq{i}" for i in range(6)],
+            },
+            name="A",
+        )
+        right = Table(
+            {"id": list(range(4)), "t": [f"shared topic words w{i}" for i in range(4)]},
+            name="B",
+        )
+        return left, right
+
+    def test_sizes_respected(self, rng):
+        from repro.blocking import down_sample
+
+        left, right = self.make_tables()
+        a, b = down_sample(left, right, ["t"], b_size=3, a_size=5, rng=rng)
+        assert a.num_rows == 5 and b.num_rows == 3
+
+    def test_keeps_likely_matches(self, rng):
+        from repro.blocking import down_sample
+
+        left, right = self.make_tables()
+        a, _ = down_sample(left, right, ["t"], b_size=4, a_size=6, rng=rng)
+        # the six token-sharing records outrank the six unrelated ones
+        assert set(a["id"]) == set(range(6))
+
+    def test_oversized_request_clamped(self, rng):
+        from repro.blocking import down_sample
+
+        left, right = self.make_tables()
+        a, b = down_sample(left, right, ["t"], b_size=100, a_size=100, rng=rng)
+        assert a.num_rows == left.num_rows
+        assert b.num_rows == right.num_rows
+
+    def test_invalid_sizes(self, rng):
+        from repro.blocking import down_sample
+
+        left, right = self.make_tables()
+        with pytest.raises(BlockingError):
+            down_sample(left, right, ["t"], b_size=0, a_size=1, rng=rng)
+
+    def test_unknown_attr(self, rng):
+        from repro.blocking import down_sample
+
+        left, right = self.make_tables()
+        with pytest.raises(BlockingError):
+            down_sample(left, right, ["zz"], b_size=1, a_size=1, rng=rng)
+
+    def test_preserves_matching_structure_on_scenario(self, scenario, rng):
+        """Down-sampling the projected tables keeps matchable pairs."""
+        from repro.blocking import down_sample
+        from repro.casestudy.preprocess import preprocess
+
+        projected = preprocess(scenario)
+        a, b = down_sample(
+            projected.umetrics, projected.usda, ["AwardTitle"],
+            b_size=120, a_size=90, rng=rng,
+        )
+        b_ids = set(b["RecordId"])
+        a_ids = set(a["RecordId"])
+        surviving = [
+            (u, s) for (u, s) in projected.truth if u in a_ids and s in b_ids
+        ]
+        assert surviving, "a likelihood-aware sample must retain matches"

@@ -1,0 +1,241 @@
+"""Tests for automatic feature generation and feature-vector extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.blocking import CandidateSet
+from repro.errors import FeatureError
+from repro.features import (
+    FeatureMatrix,
+    FeatureSet,
+    add_case_insensitive_variants,
+    combined_type,
+    custom_feature,
+    extract_feature_vectors,
+    generate_features,
+    numeric_feature,
+    recipes_for,
+    string_feature,
+    token_feature,
+)
+from repro.table import AttrType, Table
+from repro.text import whitespace
+
+
+class TestFeatureBuilders:
+    def test_string_feature_basic(self):
+        f = string_feature("name", "name", "exact_str")
+        assert f("abc", "abc") == 1.0
+        assert f("abc", "ABC") == 0.0
+
+    def test_string_feature_casefold(self):
+        f = string_feature("name", "name", "exact_str", casefold=True)
+        assert f.name.endswith("_ci")
+        assert f("abc", "ABC") == 1.0
+
+    def test_missing_yields_nan(self):
+        f = string_feature("name", "name", "jaro")
+        assert math.isnan(f(None, "x"))
+        assert math.isnan(f("x", None))
+
+    def test_token_feature(self):
+        f = token_feature("t", "t", "jac", whitespace, "ws")
+        assert f("a b", "a b") == 1.0
+        assert f("a b", "b c") == pytest.approx(1 / 3)
+        assert f.name == "t_t_jac_ws"
+
+    def test_numeric_feature_variants(self):
+        assert numeric_feature("n", "n", "exact")(2, 2) == 1.0
+        assert numeric_feature("n", "n", "abs_diff")(2, 5) == 3.0
+        assert numeric_feature("n", "n", "rel_diff")(2, 4) == 0.5
+
+    def test_numeric_feature_non_numeric_nan(self):
+        assert math.isnan(numeric_feature("n", "n", "exact")("x", 1))
+
+    def test_numeric_feature_unknown_measure(self):
+        with pytest.raises(KeyError):
+            numeric_feature("n", "n", "nope")
+
+    def test_custom_feature_wraps_none_as_nan(self):
+        f = custom_feature("f", "a", "b", lambda x, y: None)
+        assert math.isnan(f(1, 2))
+
+    def test_from_rows(self):
+        f = string_feature("name", "alias", "exact_str")
+        assert f.from_rows({"name": "x"}, {"alias": "x"}) == 1.0
+
+
+class TestFeatureSet:
+    def test_duplicate_name_rejected(self):
+        fs = FeatureSet()
+        fs.add(string_feature("a", "a", "exact_str"))
+        with pytest.raises(FeatureError, match="duplicate"):
+            fs.add(string_feature("a", "a", "exact_str"))
+
+    def test_get_and_drop(self):
+        fs = FeatureSet([string_feature("a", "a", "exact_str"), string_feature("a", "a", "jaro")])
+        assert fs.get("a_a_jaro").name == "a_a_jaro"
+        smaller = fs.drop(["a_a_jaro"])
+        assert smaller.names == ["a_a_exact_str"]
+        with pytest.raises(FeatureError):
+            fs.drop(["missing"])
+        with pytest.raises(FeatureError):
+            fs.get("missing")
+
+
+class TestCombinedType:
+    def test_same_types(self):
+        assert combined_type(AttrType.NUMERIC, AttrType.NUMERIC) is AttrType.NUMERIC
+
+    def test_string_resolves_to_longer(self):
+        assert (
+            combined_type(AttrType.STR_EQ_1W, AttrType.STR_BT_5W_10W)
+            is AttrType.STR_BT_5W_10W
+        )
+
+    def test_numeric_boolean(self):
+        assert combined_type(AttrType.NUMERIC, AttrType.BOOLEAN) is AttrType.NUMERIC
+
+    def test_mismatched_types_unknown(self):
+        assert combined_type(AttrType.NUMERIC, AttrType.STR_EQ_1W) is AttrType.UNKNOWN
+        assert recipes_for(AttrType.NUMERIC, AttrType.STR_EQ_1W) == []
+
+
+class TestGenerateFeatures:
+    def test_same_named_attrs_only(self):
+        left = Table({"id": [1], "title": ["a b c"], "left_only": ["x"]})
+        right = Table({"id": [1], "title": ["a b"], "right_only": ["y"]})
+        fs = generate_features(left, right, exclude_attrs=["id"])
+        assert all(f.l_attr == "title" for f in fs)
+
+    def test_excluded_attrs_skipped(self):
+        left = Table({"id": [1], "title": ["a"]})
+        right = Table({"id": [1], "title": ["a"]})
+        fs = generate_features(left, right, exclude_attrs=["id", "title"])
+        assert len(fs) == 0
+
+    def test_numeric_recipes(self):
+        left = Table({"n": [1.0, 2.0]})
+        right = Table({"n": [1.5]})
+        fs = generate_features(left, right)
+        assert set(fs.names) == {"n_n_exact", "n_n_abs_diff", "n_n_rel_diff"}
+
+    def test_case_insensitive_variants_added(self):
+        left = Table({"title": ["ALPHA BETA GAMMA"]})
+        right = Table({"title": ["Alpha Beta Gamma"]})
+        fs = generate_features(left, right)
+        fs_ci = add_case_insensitive_variants(fs, attrs=["title"])
+        assert len(fs_ci) > len(fs)
+        ci_names = [n for n in fs_ci.names if n.endswith("_ci")]
+        assert ci_names
+        # the CI variant actually fixes the case mismatch
+        plain = fs_ci.get("title_title_jac_qgm_3")
+        folded = fs_ci.get("title_title_jac_qgm_3_ci")
+        assert plain("ALPHA", "alpha") < folded("ALPHA", "alpha") == 1.0
+
+    def test_ci_variants_idempotent(self):
+        left = Table({"title": ["a b c d"]})
+        right = Table({"title": ["a b c"]})
+        fs = add_case_insensitive_variants(generate_features(left, right))
+        again = add_case_insensitive_variants(fs)
+        assert again.names == fs.names
+
+
+class TestExtraction:
+    def make_candidates(self):
+        left = Table({"id": [1, 2], "t": ["a b c", None]}, name="L")
+        right = Table({"id": [10, 20], "t": ["a b c", "z"]}, name="R")
+        cs = CandidateSet(left, right, "id", "id", [(1, 10), (2, 20)])
+        return cs, generate_features(left, right, exclude_attrs=["id"])
+
+    def test_matrix_shape_and_names(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs)
+        assert matrix.values.shape == (2, len(fs))
+        assert matrix.feature_names == fs.names
+        assert matrix.pairs == [(1, 10), (2, 20)]
+
+    def test_missing_becomes_nan(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs)
+        assert np.isnan(matrix.values[1]).all()
+        assert not np.isnan(matrix.values[0]).any()
+
+    def test_subset_of_pairs(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs, pairs=[(2, 20)])
+        assert matrix.pairs == [(2, 20)]
+
+    def test_row_for_and_select_rows(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs)
+        row = matrix.row_for((1, 10))
+        assert row[0] == matrix.values[0, 0] or np.isnan(row[0])
+        sub = matrix.select_rows([1])
+        assert sub.pairs == [(2, 20)]
+
+    def test_impute_means(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs)
+        filled = matrix.impute_means()
+        assert not np.isnan(filled.values).any()
+        # NaN row imputed with the other row's values (the column means)
+        assert np.allclose(filled.values[1], matrix.values[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureMatrix(pairs=[(1, 2)], feature_names=["a"], values=np.zeros((2, 1)))
+
+
+class TestSoftTfIdfFeature:
+    def make_tables(self):
+        from repro.table import Table
+
+        left = Table(
+            {
+                "id": [1, 2, 3],
+                "t": ["CORN FUNGICIDE GUIDELINES", "SWAMP DODDER ECOLOGY", None],
+            },
+            name="L",
+        )
+        right = Table(
+            {
+                "id": [10, 20],
+                "t": ["Corn Fungicide Guidelines", "Cheese Fermentation Study"],
+            },
+            name="R",
+        )
+        return left, right
+
+    def test_casefolded_match_scores_high(self):
+        from repro.features import soft_tfidf_feature
+
+        left, right = self.make_tables()
+        feature = soft_tfidf_feature(left, right, "t", "t")
+        assert feature.name == "t_t_soft_tfidf_ws_ci"
+        same = feature("CORN FUNGICIDE GUIDELINES", "Corn Fungicide Guidelines")
+        different = feature("CORN FUNGICIDE GUIDELINES", "Cheese Fermentation Study")
+        assert same > 0.9 > different
+
+    def test_missing_yields_nan(self):
+        from repro.features import soft_tfidf_feature
+
+        left, right = self.make_tables()
+        feature = soft_tfidf_feature(left, right, "t", "t")
+        assert math.isnan(feature(None, "x"))
+
+    def test_typo_tolerance(self):
+        from repro.features import soft_tfidf_feature
+
+        left, right = self.make_tables()
+        feature = soft_tfidf_feature(left, right, "t", "t", threshold=0.85)
+        assert feature("FUNGICIDE GUIDELINES", "Fungicde Guidelines") > 0.5
+
+    def test_integrates_with_feature_set(self):
+        from repro.features import FeatureSet, soft_tfidf_feature
+
+        left, right = self.make_tables()
+        fs = FeatureSet([soft_tfidf_feature(left, right, "t", "t")])
+        assert fs.names == ["t_t_soft_tfidf_ws_ci"]

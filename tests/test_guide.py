@@ -1,0 +1,77 @@
+"""Tests for the how-to guide."""
+
+import pytest
+
+from repro.core import DEFAULT_GUIDE, EMProject, HowToGuide, Stage
+
+
+class TestGuideContent:
+    def test_covers_every_stage(self):
+        stages = {step.stage for step in DEFAULT_GUIDE}
+        assert stages == set(Stage)
+
+    def test_guide_order_matches_stage_order(self):
+        order = [step.stage for step in DEFAULT_GUIDE]
+        assert order == list(Stage)
+
+    def test_guidance_for(self):
+        guide = HowToGuide()
+        assert "blocker" in guide.guidance_for(Stage.BLOCK).lower()
+        with pytest.raises(KeyError):
+            HowToGuide(steps=DEFAULT_GUIDE[:2]).guidance_for(Stage.PRODUCTION)
+
+    def test_render(self):
+        text = HowToGuide().render()
+        assert "1." in text and "9." in text
+        assert "conversation" in text
+
+
+class TestNextStep:
+    def test_fresh_project_starts_at_understanding(self):
+        guide = HowToGuide()
+        project = EMProject("p")
+        step = guide.next_step(project)
+        # no history at all -> first step
+        assert step is not None and step.stage is Stage.UNDERSTAND_DATA
+
+    def test_advances_past_visited_stages(self):
+        guide = HowToGuide()
+        project = EMProject("p")
+        project.enter_stage(Stage.UNDERSTAND_DATA)
+        project.enter_stage(Stage.MATCH_DEFINITION)
+        assert guide.next_step(project).stage is Stage.PREPROCESS
+
+    def test_none_when_complete(self):
+        guide = HowToGuide()
+        project = EMProject("p")
+        for stage in Stage:
+            project.enter_stage(stage)
+        assert guide.next_step(project) is None
+
+
+class TestAudit:
+    def test_skipped_stages_reported(self):
+        guide = HowToGuide()
+        project = EMProject("p")
+        project.enter_stage(Stage.UNDERSTAND_DATA)
+        project.enter_stage(Stage.MATCH)  # jumped straight to matching
+        audit = guide.audit(project)
+        assert Stage.BLOCK in audit.skipped
+        assert Stage.MATCH in audit.followed
+        assert not audit.complete
+
+    def test_complete_project(self):
+        guide = HowToGuide()
+        project = EMProject("p")
+        for stage in Stage:
+            project.enter_stage(stage)
+        audit = guide.audit(project)
+        assert audit.complete
+        assert audit.skipped == ()
+
+    def test_revisits_counted(self):
+        guide = HowToGuide()
+        project = EMProject("p")
+        project.enter_stage(Stage.MATCH)
+        project.enter_stage(Stage.BLOCK)  # zig-zag
+        assert guide.audit(project).revisits >= 1

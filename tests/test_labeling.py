@@ -1,0 +1,251 @@
+"""Tests for labels, oracles, the cloud tool, reconciliation, debugging."""
+
+import pytest
+
+from repro.blocking import CandidateSet
+from repro.errors import LabelingError, LabelingToolLockedError
+from repro.features import generate_features
+from repro.labeling import (
+    CloudLabelingTool,
+    ExpertOracle,
+    Label,
+    LabeledPairs,
+    StudentLabeler,
+    cross_check,
+    debug_labels,
+    group_discrepancies,
+    resolve_with_authority,
+)
+from repro.ml import DecisionTreeClassifier
+from repro.table import Table
+
+
+class TestLabel:
+    def test_from_text(self):
+        assert Label.from_text("yes") is Label.YES
+        assert Label.from_text(" No ") is Label.NO
+        assert Label.from_text("UNSURE") is Label.UNSURE
+
+    def test_from_text_invalid(self):
+        with pytest.raises(LabelingError):
+            Label.from_text("maybe")
+
+    def test_as_int(self):
+        assert Label.YES.as_int() == 1
+        assert Label.NO.as_int() == 0
+        with pytest.raises(LabelingError):
+            Label.UNSURE.as_int()
+
+
+class TestLabeledPairs:
+    def test_set_get_counts(self):
+        labels = LabeledPairs()
+        labels.set((1, 2), Label.YES)
+        labels.set((3, 4), Label.UNSURE)
+        labels.set((5, 6), Label.NO)
+        counts = labels.counts()
+        assert (counts.yes, counts.no, counts.unsure) == (1, 1, 1)
+        assert counts.total == 3
+        assert "1 Yes" in str(counts)
+
+    def test_overwrite_in_place(self):
+        labels = LabeledPairs([((1, 2), Label.NO)])
+        labels.set((1, 2), Label.YES)
+        assert labels.get((1, 2)) is Label.YES
+        assert len(labels) == 1
+
+    def test_unknown_pair(self):
+        with pytest.raises(LabelingError):
+            LabeledPairs().get((1, 2))
+
+    def test_non_label_rejected(self):
+        with pytest.raises(LabelingError):
+            LabeledPairs().set((1, 2), "Yes")
+
+    def test_without_unsure_and_pairs(self):
+        labels = LabeledPairs(
+            [((1, 2), Label.YES), ((3, 4), Label.UNSURE), ((5, 6), Label.NO)]
+        )
+        assert len(labels.without_unsure()) == 2
+        assert len(labels.without_pairs([(1, 2)])) == 2
+
+    def test_merge_overrides(self):
+        a = LabeledPairs([((1, 2), Label.NO)])
+        b = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        merged = a.merge(b)
+        assert merged.get((1, 2)) is Label.YES
+        assert len(merged) == 2
+
+    def test_to_training_data(self):
+        labels = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        pairs, y = labels.to_training_data()
+        assert pairs == [(1, 2), (3, 4)]
+        assert y == [1, 0]
+
+    def test_to_training_data_rejects_unsure(self):
+        labels = LabeledPairs([((1, 2), Label.UNSURE)])
+        with pytest.raises(LabelingError):
+            labels.to_training_data()
+
+
+class TestOracle:
+    def test_perfect_oracle(self):
+        oracle = ExpertOracle(truth=[(1, 10)])
+        assert oracle.label((1, 10), {}, {}) is Label.YES
+        assert oracle.label((2, 20), {}, {}) is Label.NO
+
+    def test_determinism(self):
+        borderline = lambda l, r, m: True  # noqa: E731
+        oracle = ExpertOracle(
+            [(1, 10)], borderline=borderline,
+            unsure_probability=0.5, error_probability=0.5, seed=3,
+        )
+        first = [oracle.label((i, i), {}, {}) for i in range(50)]
+        second = [oracle.label((i, i), {}, {}) for i in range(50)]
+        assert first == second
+
+    def test_noise_only_on_borderline(self):
+        never = lambda l, r, m: False  # noqa: E731
+        oracle = ExpertOracle(
+            [(1, 10)], borderline=never,
+            unsure_probability=1.0, error_probability=1.0,
+        )
+        assert oracle.label((1, 10), {}, {}) is Label.YES
+
+    def test_unsure_rate_roughly_respected(self):
+        always = lambda l, r, m: True  # noqa: E731
+        oracle = ExpertOracle(
+            [], borderline=always, unsure_probability=0.5, seed=1
+        )
+        labels = [oracle.label((i, 0), {}, {}) for i in range(400)]
+        unsure = sum(1 for v in labels if v is Label.UNSURE)
+        assert 130 < unsure < 270
+
+    def test_resolve_returns_truth(self):
+        oracle = ExpertOracle([(1, 10)])
+        assert oracle.resolve((1, 10)) is Label.YES
+        assert oracle.resolve((9, 9)) is Label.NO
+
+    def test_student_is_noisier_by_default(self):
+        student = StudentLabeler([], borderline=lambda l, r, m: True)
+        expert = ExpertOracle([], borderline=lambda l, r, m: True)
+        assert student.unsure_probability > expert.unsure_probability
+
+
+class TestCloudTool:
+    def test_upload_and_label_flow(self):
+        tool = CloudLabelingTool()
+        assert tool.upload_pairs([(1, 2), (3, 4)]) == 2
+        tool.open_session("student")
+        tool.submit_label((1, 2), Label.YES)
+        tool.close_session()
+        assert tool.labeled().get((1, 2)) is Label.YES
+        assert tool.pending == [(3, 4)]
+
+    def test_single_session_lock(self):
+        tool = CloudLabelingTool()
+        tool.open_session("a")
+        with pytest.raises(LabelingToolLockedError):
+            tool.open_session("b")
+        assert tool.active_user == "a"
+
+    def test_label_without_session(self):
+        tool = CloudLabelingTool()
+        tool.upload_pairs([(1, 2)])
+        with pytest.raises(LabelingError, match="session"):
+            tool.submit_label((1, 2), Label.NO)
+
+    def test_label_unknown_pair(self):
+        tool = CloudLabelingTool()
+        tool.open_session("a")
+        with pytest.raises(LabelingError, match="pending"):
+            tool.submit_label((9, 9), Label.NO)
+
+    def test_duplicate_upload_skipped(self):
+        tool = CloudLabelingTool()
+        tool.upload_pairs([(1, 2)])
+        assert tool.upload_pairs([(1, 2)]) == 0
+
+    def test_update_label_logged(self):
+        tool = CloudLabelingTool()
+        tool.upload_pairs([(1, 2)])
+        tool.open_session("a")
+        tool.submit_label((1, 2), Label.NO)
+        tool.close_session()
+        tool.update_label((1, 2), Label.YES)
+        assert tool.labeled().get((1, 2)) is Label.YES
+        assert any(e.action == "update" for e in tool.audit_log())
+
+    def test_update_unlabeled_rejected(self):
+        with pytest.raises(LabelingError):
+            CloudLabelingTool().update_label((1, 2), Label.YES)
+
+    def test_close_without_session(self):
+        with pytest.raises(LabelingError):
+            CloudLabelingTool().close_session()
+
+
+class TestReconcile:
+    def test_cross_check_finds_disagreements(self):
+        a = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
+        b = LabeledPairs([((1, 2), Label.NO), ((3, 4), Label.NO), ((5, 6), Label.YES)])
+        disagreements = cross_check(a, b)
+        assert len(disagreements) == 1
+        assert disagreements[0].pair == (1, 2)
+
+    def test_resolve_with_authority_counts_changes(self):
+        labels = LabeledPairs([((1, 2), Label.NO), ((3, 4), Label.NO)])
+        authority = ExpertOracle([(1, 2)])
+        disagreements = cross_check(
+            labels, LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.YES)])
+        )
+        resolved, changed = resolve_with_authority(labels, disagreements, authority)
+        assert resolved.get((1, 2)) is Label.YES
+        assert resolved.get((3, 4)) is Label.NO  # authority agreed with No
+        assert changed == 1
+
+
+class TestLabelDebugging:
+    def make_world(self):
+        left = Table(
+            {"id": list(range(16)), "t": [f"alpha beta w{i} gamma delta" for i in range(16)]},
+            name="L",
+        )
+        right = Table(
+            {
+                "id": list(range(16)),
+                "t": [
+                    f"alpha beta w{i} gamma delta" if i < 8 else f"zz qq x{i} yy ww"
+                    for i in range(16)
+                ],
+            },
+            name="R",
+        )
+        pairs = [(i, i) for i in range(16)]
+        cs = CandidateSet(left, right, "id", "id", pairs)
+        features = generate_features(left, right, exclude_attrs=["id"])
+        labels = LabeledPairs()
+        for i in range(16):
+            labels.set((i, i), Label.YES if i < 8 else Label.NO)
+        return cs, features, labels
+
+    def test_clean_labels_produce_no_discrepancies(self):
+        cs, features, labels = self.make_world()
+        out = debug_labels(cs, labels, features, model=DecisionTreeClassifier())
+        assert out == []
+
+    def test_planted_error_is_flagged(self):
+        cs, features, labels = self.make_world()
+        labels.set((3, 3), Label.NO)  # wrong: it is a clear match
+        out = debug_labels(cs, labels, features, model=DecisionTreeClassifier())
+        assert any(d.pair == (3, 3) for d in out)
+
+    def test_group_discrepancies_buckets(self):
+        cs, features, labels = self.make_world()
+        labels.set((3, 3), Label.NO)
+        out = debug_labels(cs, labels, features, model=DecisionTreeClassifier())
+        buckets = group_discrepancies(
+            cs, out, classifiers={"third": lambda l, r: l["id"] == 3}
+        )
+        assert any(d.pair == (3, 3) for d in buckets["third"])
+        assert "other" in buckets

@@ -1,0 +1,227 @@
+"""Tests for the matching layer: ML matchers, rule matchers, selection,
+debugging."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import CandidateSet
+from repro.errors import MatcherError, NotFittedError, RuleError
+from repro.features import FeatureMatrix, generate_features, extract_feature_vectors
+from repro.matchers import (
+    BooleanRuleMatcher,
+    MLMatcher,
+    PositiveRuleMatcher,
+    default_matchers,
+    explain_prediction,
+    find_mismatches,
+    parse_condition,
+    select_matcher,
+    top_disagreeing_features,
+)
+from repro.ml import DecisionTreeClassifier, LogisticRegression
+from repro.rules import ExactNumberRule
+from repro.table import Table
+
+
+def toy_matrix(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(size=(n, 3))
+    y = (values[:, 0] > 0.5).astype(int)
+    pairs = [(i, i + 1000) for i in range(n)]
+    return FeatureMatrix(pairs, ["f0", "f1", "f2"], values), y
+
+
+class TestMLMatcher:
+    def test_fit_predict_cycle(self):
+        matrix, y = toy_matrix()
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, y)
+        predictions = matcher.predict(matrix)
+        assert set(predictions.values()) <= {0, 1}
+        matched = matcher.predict_matches(matrix)
+        assert all(predictions[p] == 1 for p in matched)
+
+    def test_nan_handled_via_imputer(self):
+        matrix, y = toy_matrix()
+        matrix.values[0, 1] = np.nan
+        matcher = MLMatcher(LogisticRegression(), "LR").fit(matrix, y)
+        probs = matcher.predict_proba(matrix)
+        assert len(probs) == len(matrix)
+
+    def test_prediction_uses_training_imputation(self):
+        matrix, y = toy_matrix()
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, y)
+        test = FeatureMatrix(
+            [(999, 9999)], list(matrix.feature_names), np.array([[np.nan, 0.5, 0.5]])
+        )
+        predictions = matcher.predict(test)
+        assert (999, 9999) in predictions
+
+    def test_label_length_mismatch(self):
+        matrix, y = toy_matrix()
+        with pytest.raises(MatcherError):
+            MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, y[:-1])
+
+    def test_feature_mismatch_rejected(self):
+        matrix, y = toy_matrix()
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, y)
+        bad = FeatureMatrix(matrix.pairs, ["a", "b", "c"], matrix.values)
+        with pytest.raises(MatcherError, match="feature mismatch"):
+            matcher.predict(bad)
+
+    def test_unfitted_predict_raises(self):
+        matrix, _ = toy_matrix()
+        with pytest.raises(NotFittedError):
+            MLMatcher(DecisionTreeClassifier(), "DT").predict(matrix)
+
+    def test_clone_unfitted(self):
+        matrix, y = toy_matrix()
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, y)
+        assert not matcher.clone().is_fitted
+
+
+class TestSelection:
+    def test_selects_highest_f1(self):
+        matrix, y = toy_matrix(n=120)
+        result = select_matcher(default_matchers(), matrix, y, n_folds=4, seed=0)
+        scores = {s.name: s.f1 for s in result.scores}
+        best_name = result.best.name
+        assert scores[best_name] == max(scores.values())
+
+    def test_six_default_matchers(self):
+        names = {m.name for m in default_matchers()}
+        assert names == {
+            "Decision Tree", "Random Forest", "SVM",
+            "Logistic Regression", "Naive Bayes", "Linear Regression",
+        }
+
+    def test_table_rendering(self):
+        matrix, y = toy_matrix(n=80)
+        result = select_matcher(default_matchers(), matrix, y, n_folds=4)
+        text = result.table()
+        assert "selected" in text and "precision" in text
+
+    def test_empty_matcher_list(self):
+        matrix, y = toy_matrix()
+        with pytest.raises(MatcherError):
+            select_matcher([], matrix, y)
+
+    def test_deterministic(self):
+        matrix, y = toy_matrix(n=100)
+        a = select_matcher(default_matchers(), matrix, y, seed=3).best.name
+        b = select_matcher(default_matchers(), matrix, y, seed=3).best.name
+        assert a == b
+
+
+class TestPositiveRuleMatcher:
+    def make_tables(self):
+        left = Table({"id": [1, 2], "num": ["A", "B"]}, name="L")
+        right = Table({"id": [10, 20], "num": ["A", "C"]}, name="R")
+        return left, right
+
+    def test_predict_tables(self):
+        left, right = self.make_tables()
+        matcher = PositiveRuleMatcher([ExactNumberRule("eq", "num", "num")])
+        assert matcher.predict_tables(left, right, "id", "id").pairs == [(1, 10)]
+
+    def test_predict_pairs_restricted(self):
+        left, right = self.make_tables()
+        cs = CandidateSet(left, right, "id", "id", [(1, 10), (2, 20)])
+        matcher = PositiveRuleMatcher([ExactNumberRule("eq", "num", "num")])
+        assert matcher.predict_pairs(cs) == [(1, 10)]
+
+    def test_needs_rules(self):
+        with pytest.raises(RuleError):
+            PositiveRuleMatcher([])
+
+
+class TestBooleanRuleMatcher:
+    def test_parse_condition(self):
+        c = parse_condition("f0 >= 0.75")
+        assert (c.feature, c.op, c.value) == ("f0", ">=", 0.75)
+        assert str(c) == "f0 >= 0.75"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(RuleError):
+            parse_condition("f0 ~ 3")
+
+    def test_conjunction_and_disjunction(self):
+        matrix, _ = toy_matrix()
+        matcher = BooleanRuleMatcher()
+        matcher.add_rule(["f0 > 0.9", "f1 > 0.9"])  # strict conjunction
+        matcher.add_rule(["f2 > 0.99"])
+        predictions = matcher.predict(matrix)
+        for i, pair in enumerate(matrix.pairs):
+            row = matrix.values[i]
+            expected = (row[0] > 0.9 and row[1] > 0.9) or row[2] > 0.99
+            assert predictions[pair] == int(expected)
+
+    def test_nan_condition_is_false(self):
+        matrix = FeatureMatrix([(1, 2)], ["f0"], np.array([[np.nan]]))
+        matcher = BooleanRuleMatcher()
+        matcher.add_rule(["f0 > 0.0"])
+        assert matcher.predict(matrix)[(1, 2)] == 0
+
+    def test_unknown_feature_rejected(self):
+        matrix, _ = toy_matrix()
+        matcher = BooleanRuleMatcher()
+        matcher.add_rule(["zz > 0.5"])
+        with pytest.raises(RuleError, match="unknown feature"):
+            matcher.predict(matrix)
+
+    def test_no_rules_rejected(self):
+        matrix, _ = toy_matrix()
+        with pytest.raises(RuleError):
+            BooleanRuleMatcher().predict(matrix)
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(RuleError):
+            BooleanRuleMatcher().add_rule([])
+
+
+class TestMatcherDebugger:
+    def test_find_mismatches_covers_every_pair_once(self):
+        matrix, y = toy_matrix(n=40, seed=5)
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT")
+        mismatches = find_mismatches(matcher, matrix, y, seed=1)
+        assert len({m.pair for m in mismatches}) == len(mismatches)
+
+    def test_mismatch_kinds(self):
+        matrix, y = toy_matrix(n=40, seed=5)
+        y = y.copy()
+        y[:5] = 1 - y[:5]  # plant noise so mismatches exist
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT")
+        mismatches = find_mismatches(matcher, matrix, y, seed=1)
+        assert mismatches
+        assert all(m.kind in ("false positive", "false negative") for m in mismatches)
+
+    def test_too_few_rows(self):
+        matrix, y = toy_matrix(n=3)
+        with pytest.raises(MatcherError):
+            find_mismatches(MLMatcher(DecisionTreeClassifier(), "DT"), matrix, y[:3])
+
+    def test_explain_prediction_tree_only(self):
+        matrix, y = toy_matrix()
+        lr = MLMatcher(LogisticRegression(), "LR").fit(matrix, y)
+        with pytest.raises(MatcherError, match="decision-tree"):
+            explain_prediction(lr, matrix, matrix.pairs[0])
+
+    def test_explain_prediction_text(self):
+        matrix, y = toy_matrix()
+        dt = MLMatcher(DecisionTreeClassifier(max_depth=3), "DT").fit(matrix, y)
+        text = explain_prediction(dt, matrix, matrix.pairs[0])
+        assert "decision path" in text
+        assert "=>" in text
+
+    def test_top_disagreeing_features(self):
+        matrix, y = toy_matrix(n=50, seed=7)
+        matcher = MLMatcher(DecisionTreeClassifier(), "DT")
+        y = y.copy()
+        y[:6] = 1 - y[:6]
+        mismatches = find_mismatches(matcher, matrix, y, seed=2)
+        top = top_disagreeing_features(matrix, mismatches, k=2)
+        assert len(top) <= 2
+        assert all(name in matrix.feature_names for name, _ in top)
+
+    def test_top_disagreeing_features_empty(self):
+        matrix, _ = toy_matrix()
+        assert top_disagreeing_features(matrix, []) == []

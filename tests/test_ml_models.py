@@ -1,0 +1,194 @@
+"""Tests for the six learners and the shared Classifier contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatcherError, NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    LinearRegressionClassifier,
+    LinearSVM,
+    LogisticRegression,
+    RandomForestClassifier,
+    export_rules,
+)
+
+ALL_MODELS = [
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    LogisticRegression,
+    LinearRegressionClassifier,
+    GaussianNaiveBayes,
+    LinearSVM,
+]
+
+
+def linearly_separable(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.7 * X[:, 1] > 0.1).astype(int)
+    return X, y
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+class TestClassifierContract:
+    def test_fit_predict_accuracy(self, model_cls):
+        X, y = linearly_separable()
+        model = model_cls().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_predict_proba_bounds(self, model_cls):
+        X, y = linearly_separable()
+        probs = model_cls().fit(X, y).predict_proba(X)
+        assert probs.shape == (len(X),)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_unfitted_raises(self, model_cls):
+        with pytest.raises(NotFittedError):
+            model_cls().predict(np.zeros((1, 4)))
+
+    def test_nan_rejected(self, model_cls):
+        X, y = linearly_separable()
+        X[0, 0] = np.nan
+        with pytest.raises(MatcherError, match="NaN"):
+            model_cls().fit(X, y)
+
+    def test_bad_labels_rejected(self, model_cls):
+        X, _ = linearly_separable(n=10)
+        with pytest.raises(MatcherError):
+            model_cls().fit(X, np.array([0, 1, 2] + [0] * 7))
+
+    def test_clone_is_unfitted_and_independent(self, model_cls):
+        X, y = linearly_separable()
+        model = model_cls().fit(X, y)
+        fresh = model.clone()
+        assert not fresh.is_fitted
+        assert model.is_fitted
+        fresh.fit(X, y)
+        assert (fresh.predict(X) == model.predict(X)).mean() > 0.9
+
+    def test_deterministic_given_seed(self, model_cls):
+        X, y = linearly_separable()
+        a = model_cls().fit(X, y).predict_proba(X)
+        b = model_cls().fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_single_class_training(self, model_cls):
+        X = np.ones((6, 2)) + np.arange(12).reshape(6, 2) * 0.1
+        y = np.ones(6, dtype=int)
+        model = model_cls().fit(X, y)
+        assert set(model.predict(X)) <= {0, 1}
+
+    def test_empty_training_rejected(self, model_cls):
+        with pytest.raises(MatcherError):
+            model_cls().fit(np.zeros((0, 3)), np.zeros(0))
+
+
+class TestDecisionTree:
+    def test_pure_node_is_leaf(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_max_depth_respected(self):
+        X, y = linearly_separable(200)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = linearly_separable(50)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+        assert all(leaf.n_samples >= 10 for leaf in tree.leaves())
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = linearly_separable()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_irrelevant_feature_unimportant(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        importances = tree.feature_importances_
+        assert importances[0] > 0.9
+
+    def test_decision_path_consistent_with_prediction(self):
+        X, y = linearly_separable()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        path = tree.decision_path(X[0])
+        for feature, threshold, went_left in path:
+            assert (X[0][feature] <= threshold) == went_left
+
+    def test_export_rules_text(self):
+        X, y = linearly_separable()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        text = export_rules(tree, ["f0", "f1", "f2", "f3"])
+        assert "if f0" in text or "if f1" in text
+        assert "MATCH" in text
+
+    def test_duplicate_feature_values_split_safely(self):
+        # values that defeat midpoint arithmetic must not produce empty leaves
+        X = np.array([[0.1], [np.nextafter(0.1, 1.0)], [0.2], [0.2]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+
+class TestRandomForest:
+    def test_more_trees_not_worse(self):
+        X, y = linearly_separable(200, seed=3)
+        small = RandomForestClassifier(n_trees=1, seed=0).fit(X, y)
+        big = RandomForestClassifier(n_trees=40, seed=0).fit(X, y)
+        assert (big.predict(X) == y).mean() >= (small.predict(X) == y).mean() - 0.05
+
+    def test_invalid_n_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+
+    def test_feature_importances_shape(self):
+        X, y = linearly_separable()
+        forest = RandomForestClassifier(n_trees=5).fit(X, y)
+        assert forest.feature_importances_.shape == (4,)
+
+
+class TestLinearModels:
+    def test_logistic_probability_ordering(self):
+        X, y = linearly_separable(300)
+        model = LogisticRegression().fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs[y == 1].mean() > probs[y == 0].mean()
+
+    def test_logistic_constant_feature_ok(self):
+        X = np.hstack([linearly_separable()[0], np.ones((120, 1))])
+        _, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_linreg_threshold_behaviour(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LinearRegressionClassifier().fit(X, y)
+        assert list(model.predict(X)) == [0, 0, 1, 1]
+
+    def test_linreg_collinear_features(self):
+        X = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0], [4.0, 8.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LinearRegressionClassifier().fit(X, y)  # must not blow up
+        assert (model.predict(X) == y).all()
+
+    def test_svm_margin_sign(self):
+        X, y = linearly_separable(300)
+        model = LinearSVM().fit(X, y)
+        margins = model.decision_function(X)
+        assert (margins[y == 1].mean()) > (margins[y == 0].mean())
+
+
+class TestNaiveBayes:
+    def test_constant_feature_smoothing(self):
+        X = np.array([[1.0, 5.0], [1.0, -5.0], [1.0, 5.5], [1.0, -5.5]])
+        y = np.array([1, 0, 1, 0])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert (model.predict(X) == y).all()

@@ -1,0 +1,149 @@
+"""Tests for metrics, imputation and model selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError, MatcherError, NotFittedError
+from repro.ml import (
+    PRF,
+    DecisionTreeClassifier,
+    MeanImputer,
+    accuracy,
+    confusion_counts,
+    cross_validate,
+    f1_score,
+    kfold_indices,
+    leave_one_out_predictions,
+    precision,
+    recall,
+    stratified_kfold_indices,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        c = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (c.true_positives, c.false_negatives) == (1, 1)
+        assert (c.false_positives, c.true_negatives) == (1, 1)
+        assert c.total == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            confusion_counts([1], [1, 0])
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert accuracy(y_true, y_pred) == pytest.approx(3 / 5)
+
+    def test_degenerate_cases(self):
+        assert precision([0, 0], [0, 0]) == 0.0
+        assert recall([0, 0], [1, 1]) == 0.0
+        assert f1_score([0, 1], [0, 0]) == 0.0
+
+    def test_prf_from_labels(self):
+        score = PRF.from_labels([1, 0], [1, 0])
+        assert score.precision == score.recall == score.f1 == 1.0
+        assert "P=100.0%" in str(score)
+
+
+class TestMeanImputer:
+    def test_fills_with_column_means(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = MeanImputer().fit_transform(X)
+        assert out[0, 1] == 4.0
+        assert out[0, 0] == 1.0
+
+    def test_reuse_on_new_matrix(self):
+        imputer = MeanImputer().fit(np.array([[2.0], [4.0]]))
+        out = imputer.transform(np.array([[np.nan]]))
+        assert out[0, 0] == 3.0
+
+    def test_all_nan_column_fallback(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = MeanImputer(fallback=-1.0).fit_transform(X)
+        assert (out == -1.0).all()
+
+    def test_original_not_mutated(self):
+        X = np.array([[np.nan, 1.0]])
+        MeanImputer().fit_transform(X)
+        assert np.isnan(X[0, 0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MeanImputer().transform(np.zeros((1, 1)))
+
+    def test_shape_mismatch(self):
+        imputer = MeanImputer().fit(np.zeros((2, 3)))
+        with pytest.raises(MatcherError, match="columns"):
+            imputer.transform(np.zeros((2, 2)))
+
+
+class TestSplitters:
+    def test_kfold_partition(self):
+        rng = np.random.default_rng(0)
+        seen = []
+        for train, test in kfold_indices(10, 5, rng):
+            assert len(set(train) & set(test)) == 0
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_kfold_too_many_folds(self):
+        with pytest.raises(MatcherError):
+            list(kfold_indices(3, 5, np.random.default_rng(0)))
+
+    def test_stratified_every_fold_sees_positives(self):
+        y = np.array([1] * 10 + [0] * 40)
+        rng = np.random.default_rng(0)
+        for train, test in stratified_kfold_indices(y, 5, rng):
+            assert y[test].sum() >= 1
+            assert y[train].sum() >= 1
+
+    def test_train_test_split_sizes(self):
+        rng = np.random.default_rng(0)
+        train, test = train_test_split(10, 0.3, rng)
+        assert len(test) == 3 and len(train) == 7
+        assert sorted(np.concatenate([train, test])) == list(range(10))
+
+    def test_train_test_split_invalid_fraction(self):
+        with pytest.raises(MatcherError):
+            train_test_split(10, 1.5, np.random.default_rng(0))
+
+
+class TestCrossValidation:
+    def test_cv_scores_reasonable(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        result = cross_validate(DecisionTreeClassifier(), X, y, n_folds=5, seed=1)
+        assert len(result.fold_scores) == 5
+        assert result.mean_f1 > 0.8
+        summary = result.summary()
+        assert summary.f1 == pytest.approx(result.mean_f1)
+
+    def test_cv_does_not_fit_passed_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier()
+        cross_validate(model, X, y, n_folds=4)
+        assert not model.is_fitted
+
+    def test_leave_one_out_flags_planted_error(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        X[:, 0] = np.where(y == 1, np.abs(X[:, 0]) + 1.0, -np.abs(X[:, 0]) - 1.0)
+        y_bad = y.copy()
+        y_bad[7] = 1 - y_bad[7]  # plant one labeling error
+        predicted = leave_one_out_predictions(DecisionTreeClassifier(), X, y_bad)
+        disagreements = np.flatnonzero(predicted != y_bad)
+        assert 7 in disagreements
+
+    def test_leave_one_out_needs_two_rows(self):
+        with pytest.raises(MatcherError):
+            leave_one_out_predictions(DecisionTreeClassifier(), np.zeros((1, 1)), [1])

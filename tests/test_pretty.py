@@ -1,0 +1,56 @@
+"""Tests for the table/record-pair text rendering."""
+
+from repro.table import Table, render_record_pair, render_table
+
+
+class TestRenderTable:
+    def make_table(self):
+        return Table(
+            {"id": [1, 2, 3], "title": ["short", "a much longer cell value", None]},
+            name="t",
+        )
+
+    def test_contains_header_and_rows(self):
+        text = render_table(self.make_table())
+        assert "id" in text and "title" in text
+        assert "short" in text
+
+    def test_row_truncation_note(self):
+        text = render_table(self.make_table(), max_rows=2)
+        assert "1 more rows" in text
+        assert "a much longer cell value"[:5] in text
+
+    def test_cell_truncation(self):
+        text = render_table(self.make_table(), max_width=10)
+        assert "…" in text
+        assert "a much longer cell value" not in text
+
+    def test_missing_rendered_empty(self):
+        text = render_table(self.make_table())
+        assert "None" not in text
+
+    def test_column_subset(self):
+        text = render_table(self.make_table(), columns=["title"])
+        assert "id" not in text.splitlines()[0]
+
+    def test_empty_table(self):
+        text = render_table(Table.empty(["a", "b"]))
+        assert "a" in text and "b" in text
+
+
+class TestRenderRecordPair:
+    def test_fields_unioned(self):
+        text = render_record_pair(
+            {"x": 1, "shared": "l"}, {"y": 2, "shared": "r"}, "L", "R"
+        )
+        for token in ("x", "y", "shared", "L", "R"):
+            assert token in text
+
+    def test_missing_fields_blank(self):
+        text = render_record_pair({"x": 1}, {"y": 2})
+        lines = [l for l in text.splitlines() if l.startswith("x")]
+        assert lines and lines[0].rstrip().endswith("|")
+
+    def test_truncates_long_values(self):
+        text = render_record_pair({"x": "v" * 100}, {"x": "w"}, max_width=20)
+        assert "…" in text

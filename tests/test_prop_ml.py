@@ -1,0 +1,96 @@
+"""Property-based tests for the ML substrate and evaluation math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation.corleone import _proportion_interval
+from repro.ml import (
+    DecisionTreeClassifier,
+    MeanImputer,
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+)
+
+feature_matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(4, 30), st.integers(1, 5)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(feature_matrices, st.randoms(use_true_random=False))
+def test_tree_predictions_are_binary_and_total(X, rnd):
+    y = np.array([rnd.randint(0, 1) for _ in range(len(X))])
+    if y.sum() == 0:
+        y[0] = 1
+    tree = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+    predictions = tree.predict(X)
+    assert set(predictions) <= {0, 1}
+    assert len(predictions) == len(X)
+
+
+@settings(max_examples=60, deadline=None)
+@given(feature_matrices)
+def test_tree_fits_training_data_when_separable(X):
+    # labels derived from a feature threshold are learnable exactly when
+    # no two rows are identical with different labels
+    y = (X[:, 0] > np.median(X[:, 0])).astype(int)
+    if y.sum() in (0, len(y)):
+        return
+    tree = DecisionTreeClassifier().fit(X, y)
+    keys = {}
+    consistent = True
+    for row, label in zip(map(tuple, X), y):
+        if keys.setdefault(row, label) != label:
+            consistent = False
+    if consistent:
+        assert (tree.predict(X) == y).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(feature_matrices, st.floats(0, 1))
+def test_imputer_removes_all_nan(X, frac):
+    mask = np.random.default_rng(0).random(X.shape) < frac * 0.5
+    X = X.copy()
+    X[mask] = np.nan
+    out = MeanImputer().fit_transform(X)
+    assert not np.isnan(out).any()
+    assert (out[~mask] == X[~mask]).all()
+
+
+binary = st.lists(st.integers(0, 1), min_size=1, max_size=50)
+
+
+@settings(max_examples=150)
+@given(binary, binary)
+def test_metric_bounds_and_consistency(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    y_true, y_pred = y_true[:n], y_pred[:n]
+    if n == 0:
+        return
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    f = f1_score(y_true, y_pred)
+    assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= f <= 1.0
+    assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+    c = confusion_counts(y_true, y_pred)
+    assert c.total == n
+
+
+@settings(max_examples=150)
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 500))
+def test_proportion_interval_properties(successes, extra, population):
+    trials = successes + extra
+    population = max(population, trials)
+    interval = _proportion_interval(successes, trials, population)
+    assert 0.0 <= interval.low <= interval.high <= 1.0
+    if trials:
+        assert interval.contains(successes / trials)
+    if trials and trials == population:
+        # full census -> the finite-population correction kills the width
+        assert interval.width < 1e-9

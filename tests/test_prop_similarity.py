@@ -1,0 +1,120 @@
+"""Property-based tests for the similarity measures.
+
+Invariants checked: range bounds, identity, symmetry (where the measure is
+symmetric by definition), triangle-style monotonicity for edit distance,
+and agreement between related measures.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    cosine_bag,
+    cosine_set,
+    dice,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    overlap_coefficient,
+    overlap_size,
+    smith_waterman,
+)
+
+short_text = st.text(alphabet=string.ascii_lowercase + " ", max_size=20)
+tokens = st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6), max_size=8)
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text)
+def test_levenshtein_identity(a):
+    assert levenshtein_distance(a, a) == 0
+    assert levenshtein_similarity(a, a) == 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_levenshtein_bounds(a, b):
+    d = levenshtein_distance(a, b)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+    assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text, short_text)
+def test_levenshtein_triangle(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_jaro_family_bounds_and_symmetry(a, b):
+    assert 0.0 <= jaro(a, b) <= 1.0
+    assert jaro(a, b) == jaro(b, a)
+    jw = jaro_winkler(a, b)
+    assert 0.0 <= jw <= 1.0
+    assert jw >= jaro(a, b) - 1e-12  # the prefix boost never hurts
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_smith_waterman_nonnegative(a, b):
+    assert smith_waterman(a, b) >= 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(tokens, tokens)
+def test_set_measures_bounds_and_symmetry(a, b):
+    for measure in (jaccard, dice, overlap_coefficient, cosine_set, cosine_bag):
+        value = measure(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == measure(b, a)
+
+
+@settings(max_examples=150, deadline=None)
+@given(tokens)
+def test_set_measures_identity(a):
+    for measure in (jaccard, dice, overlap_coefficient, cosine_set):
+        assert measure(a, a) == 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(tokens, tokens)
+def test_jaccard_le_dice_le_overlap_coefficient(a, b):
+    # standard dominance chain over set measures
+    assert jaccard(a, b) <= dice(a, b) + 1e-12
+    assert dice(a, b) <= overlap_coefficient(a, b) + 1e-12
+
+
+@settings(max_examples=150, deadline=None)
+@given(tokens, tokens)
+def test_overlap_size_consistency(a, b):
+    size = overlap_size(a, b)
+    assert size == len(set(a) & set(b))
+    if size == 0 and (a or b):
+        assert jaccard(a, b) in (0.0, 1.0)  # 1.0 only when both empty
+
+
+@settings(max_examples=100, deadline=None)
+@given(tokens, tokens)
+def test_monge_elkan_bounds(a, b):
+    assert 0.0 <= monge_elkan(a, b) <= 1.0 + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(tokens)
+def test_monge_elkan_identity(a):
+    if a:
+        assert monge_elkan(a, a) >= 1.0 - 1e-9

@@ -1,0 +1,119 @@
+"""Property-based tests for core data structures: Table, CandidateSet,
+UnionFind, tokenizers, pattern signatures."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import CandidateSet
+from repro.clustering import UnionFind
+from repro.table import Table
+from repro.text import pattern_signature, qgram, unique, whitespace
+
+cell = st.one_of(st.none(), st.integers(-100, 100), st.text(max_size=6))
+rows_strategy = st.lists(
+    st.fixed_dictionaries({"a": cell, "b": cell}), min_size=0, max_size=20
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy)
+def test_table_roundtrip_rows(rows):
+    t = Table.from_rows(rows, columns=["a", "b"])
+    assert t.to_rows() == [{"a": r.get("a"), "b": r.get("b")} for r in rows]
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy)
+def test_project_then_rename_preserves_data(rows):
+    t = Table.from_rows(rows, columns=["a", "b"])
+    out = t.project(["b"]).rename({"b": "c"})
+    assert out["c"] == t["b"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_strategy, st.integers(0, 19))
+def test_take_single_matches_row(rows, index):
+    t = Table.from_rows(rows, columns=["a", "b"])
+    if index < t.num_rows:
+        assert t.take([index]).row(0) == t.row(index)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+def test_candidate_set_algebra_laws(pair_list):
+    left = Table({"id": list(range(10))}, name="L")
+    right = Table({"id": list(range(10))}, name="R")
+    half = pair_list[: len(pair_list) // 2]
+    a = CandidateSet(left, right, "id", "id", pair_list)
+    b = CandidateSet(left, right, "id", "id", half)
+    union = a.union(b)
+    inter = a.intersection(b)
+    diff = a.difference(b)
+    assert union.pair_set() == a.pair_set() | b.pair_set()
+    assert inter.pair_set() == a.pair_set() & b.pair_set()
+    assert diff.pair_set() == a.pair_set() - b.pair_set()
+    # difference and intersection partition a
+    assert inter.pair_set() | diff.pair_set() == a.pair_set()
+    assert not inter.pair_set() & diff.pair_set()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40))
+def test_unionfind_partition_properties(links):
+    items = list(range(21))
+    uf = UnionFind(items)
+    for a, b in links:
+        uf.union(a, b)
+    groups = uf.groups()
+    flat = [x for g in groups for x in g]
+    assert sorted(flat) == items  # a real partition
+    for a, b in links:
+        assert uf.connected(a, b)
+    # connectivity is an equivalence: representatives are stable
+    for g in groups:
+        roots = {uf.find(x) for x in g}
+        assert len(roots) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=string.ascii_lowercase + " ", max_size=30), st.integers(1, 4))
+def test_qgram_count(text, q):
+    grams = qgram(q)(text)
+    if not text:
+        assert grams == []
+    else:
+        assert len(grams) == len(text) + q - 1
+        assert all(len(g) == q for g in grams)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=string.ascii_lowercase + " ", max_size=30))
+def test_unique_tokenizer_is_set_semantics(text):
+    out = unique(whitespace)(text)
+    assert len(out) == len(set(out))
+    assert set(out) == set(whitespace(text))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(alphabet=string.ascii_uppercase + string.digits + "-. ", min_size=1, max_size=20))
+def test_pattern_signature_is_abstraction(text):
+    signature = pattern_signature(text)
+    if signature is None:
+        assert text.strip() == ""
+        return
+    # abstracting twice is a fixed point for letters (X -> X) and the
+    # signature never contains raw digits or lowercase
+    assert not any(c.isdigit() for c in signature.replace("YYYY", ""))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(0, 10**6))
+def test_pattern_signature_digit_runs(n):
+    text = str(n)
+    signature = pattern_signature(text)
+    if 1900 <= n <= 2099:
+        assert signature == "YYYY"
+    else:
+        assert signature == "#" * len(text)

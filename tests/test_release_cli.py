@@ -1,0 +1,90 @@
+"""Tests for the data-release bundle and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.datasets.release import (
+    TABLE_FILES,
+    load_tables,
+    load_truth,
+    save_scenario,
+)
+from repro.errors import DatasetError
+
+
+class TestRelease:
+    def test_bundle_roundtrip(self, scenario, tmp_path):
+        directory = save_scenario(scenario, tmp_path / "bundle")
+        assert (directory / "README.txt").exists()
+        tables = load_tables(directory)
+        assert set(tables) == set(TABLE_FILES)
+        for attr in TABLE_FILES:
+            original = getattr(scenario, attr)
+            loaded = tables[attr]
+            assert loaded.num_rows == original.num_rows
+            assert loaded.columns == original.columns
+
+    def test_truth_roundtrip(self, scenario, tmp_path):
+        directory = save_scenario(scenario, tmp_path / "bundle")
+        truth = load_truth(directory)
+        assert truth == scenario.truth
+
+    def test_award_numbers_survive_csv(self, scenario, tmp_path):
+        directory = save_scenario(scenario, tmp_path / "bundle")
+        loaded = load_tables(directory)["award_agg"]
+        assert loaded["UniqueAwardNumber"] == scenario.award_agg["UniqueAwardNumber"]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="missing"):
+            load_tables(tmp_path)
+        with pytest.raises(DatasetError, match="missing"):
+            load_truth(tmp_path)
+
+
+class TestCli:
+    def test_release_command(self, tmp_path, capsys):
+        code = main(
+            ["--small", "--seed", "3", "release", "--out", str(tmp_path / "rel")]
+        )
+        assert code == 0
+        assert (tmp_path / "rel" / "gold_matches.csv").exists()
+        assert "wrote release bundle" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        code = main(["--small", "--seed", "3", "profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UMETRICSAwardAggMatching" in out
+        assert "USDAAwardMatching" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReleasePipelineFidelity:
+    def test_loaded_bundle_supports_the_pipeline(self, scenario, tmp_path):
+        """A consumer of the data release must be able to run the paper's
+        pipeline on the CSVs and get the same blocking outcome."""
+        from types import SimpleNamespace
+
+        from repro.casestudy.blocking_plan import run_blocking
+        from repro.casestudy.preprocess import preprocess
+
+        directory = save_scenario(scenario, tmp_path / "bundle")
+        tables = load_tables(directory)
+        loaded = SimpleNamespace(truth=load_truth(directory), **tables)
+        original = preprocess(scenario)
+        from_csv = preprocess(loaded)
+        assert from_csv.umetrics.num_rows == original.umetrics.num_rows
+        assert from_csv.truth == original.truth
+        blocking_original = run_blocking(original, debug_top_k=0)
+        blocking_csv = run_blocking(from_csv, debug_top_k=0)
+        assert (
+            blocking_csv.candidates.pair_set()
+            == blocking_original.candidates.pair_set()
+        )

@@ -1,0 +1,153 @@
+"""Tests for repro.similarity (sequence, set, hybrid, numeric measures)."""
+
+import pytest
+
+from repro.similarity import (
+    SoftTfIdf,
+    absolute_difference,
+    cosine_bag,
+    cosine_set,
+    dice,
+    exact_match,
+    extract_year,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    needleman_wunsch,
+    overlap_coefficient,
+    overlap_size,
+    relative_difference,
+    smith_waterman,
+    year_gap,
+    years_within,
+)
+
+
+class TestLevenshtein:
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_similarity_normalisation(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abcd", "abce") == 0.75
+
+
+class TestJaro:
+    def test_textbook_values(self):
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+        assert jaro_winkler("MARTHA", "MARHTA") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_identity_and_empty(self):
+        assert jaro("x", "x") == 1.0
+        assert jaro("", "x") == 0.0
+        assert jaro("ab", "cd") == 0.0
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("prefix", "prefax") > jaro("prefix", "prefax")
+
+
+class TestAlignment:
+    def test_needleman_wunsch_identical(self):
+        assert needleman_wunsch("abc", "abc") == 3.0
+
+    def test_needleman_wunsch_gap(self):
+        assert needleman_wunsch("abc", "ac") == pytest.approx(1.0)
+
+    def test_smith_waterman_local(self):
+        # local alignment finds the shared core regardless of flanks
+        assert smith_waterman("xxabcyy", "zzabczz") == 3.0
+        assert smith_waterman("abc", "def") == 0.0
+
+
+class TestSetMeasures:
+    def test_jaccard(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 1.0
+        assert jaccard(["a"], []) == 0.0
+
+    def test_dice(self):
+        assert dice(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+        assert dice([], []) == 1.0
+
+    def test_overlap_size_and_coefficient(self):
+        assert overlap_size(["a", "b", "c"], ["b", "c", "d"]) == 2
+        assert overlap_coefficient(["a", "b"], ["a", "b", "c", "d"]) == 1.0
+        assert overlap_coefficient([], ["a"]) == 0.0
+        assert overlap_coefficient([], []) == 1.0
+
+    def test_coefficient_rescues_short_strings(self):
+        # the Section-7 motivation: 2-token titles can still score 1.0
+        short_a, short_b = ["lab", "supplies"], ["lab", "supplies"]
+        assert overlap_size(short_a, short_b) < 3
+        assert overlap_coefficient(short_a, short_b) == 1.0
+
+    def test_cosine_variants(self):
+        assert cosine_set(["a", "b"], ["a", "b"]) == 1.0
+        assert cosine_bag(["a", "a"], ["a"]) == pytest.approx(1.0)
+        assert cosine_bag(["a", "b"], ["c"]) == 0.0
+
+    def test_duplicates_ignored_by_set_measures(self):
+        assert jaccard(["a", "a", "b"], ["a", "b"]) == 1.0
+
+
+class TestHybrid:
+    def test_monge_elkan_identity(self):
+        assert monge_elkan(["corn", "study"], ["corn", "study"]) == pytest.approx(1.0)
+
+    def test_monge_elkan_asymmetry(self):
+        a = ["corn"]
+        b = ["corn", "zebra"]
+        assert monge_elkan(a, b) >= monge_elkan(b, a)
+
+    def test_monge_elkan_empty(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan(["a"], []) == 0.0
+
+    def test_soft_tfidf_scores_similar_higher(self):
+        corpus = [["corn", "study"], ["wheat", "trial"], ["corn", "trial"]]
+        measure = SoftTfIdf(corpus)
+        same = measure.score(["corn", "study"], ["corn", "study"])
+        different = measure.score(["corn", "study"], ["wheat", "trial"])
+        assert same > different
+        assert 0.0 <= different <= same <= 1.0
+
+    def test_soft_tfidf_typo_tolerance(self):
+        corpus = [["fungicide", "guidelines"], ["ecology"]]
+        measure = SoftTfIdf(corpus, threshold=0.85)
+        assert measure.score(["fungicide"], ["fungicde"]) > 0.5
+
+    def test_soft_tfidf_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SoftTfIdf([], threshold=1.5)
+
+
+class TestNumeric:
+    def test_exact_match_missing(self):
+        assert exact_match(None, 1) == 0.0
+        assert exact_match(2, 2) == 1.0
+        assert exact_match(2, 3) == 0.0
+
+    def test_differences(self):
+        assert absolute_difference(3, 5) == 2.0
+        assert relative_difference(2, 4) == 0.5
+        assert relative_difference(0, 0) == 0.0
+
+    def test_extract_year(self):
+        assert extract_year("2008-10-01") == 2008
+        assert extract_year(1999) == 1999
+        assert extract_year("10/1/08") is None
+        assert extract_year(None) is None
+        assert extract_year(123456) is None
+
+    def test_year_gap_and_within(self):
+        assert year_gap("2008-10-01", "2010-01-01") == 2.0
+        assert year_gap("n/a", "2010") is None
+        assert years_within("2008-10-01", "2010-01-01", max_gap=2)
+        assert not years_within("2008-10-01", "2012-01-01", max_gap=2)

@@ -1,0 +1,145 @@
+"""Tests for the extra similarity measures and threshold analysis."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.ml import precision_recall_curve, select_threshold
+from repro.similarity import (
+    TfIdfCosine,
+    affine_gap,
+    bag_distance,
+    bag_similarity,
+    levenshtein_distance,
+)
+
+short_text = st.text(alphabet=string.ascii_lowercase, max_size=12)
+
+
+class TestAffineGap:
+    def test_identical_strings(self):
+        assert affine_gap("abc", "abc") == 3.0
+
+    def test_empty_strings(self):
+        assert affine_gap("", "") == 0.0
+
+    def test_one_empty(self):
+        # a single gap of length 3: open charged once (-1.0), then two
+        # extensions at -0.25 each
+        assert affine_gap("abc", "") == pytest.approx(-1.5)
+
+    def test_long_gap_cheaper_than_two_gaps(self):
+        # one contiguous insertion should beat two separate ones
+        contiguous = affine_gap("abcdef", "abcxyzdef".replace("def", "") + "def")
+        split = affine_gap("abcdef", "axbczydef".replace("def", "") + "def")
+        assert contiguous >= split
+
+    def test_symmetry(self):
+        assert affine_gap("kitten", "sitting") == affine_gap("sitting", "kitten")
+
+    def test_parenthetical_tolerance(self):
+        base = affine_gap("corn study", "corn (maize) study")
+        worse = affine_gap("corn study", "soy (beans) trial")
+        assert base > worse
+
+
+class TestBagDistance:
+    def test_anagrams_have_zero_bag_distance(self):
+        assert bag_distance("listen", "silent") == 0
+
+    def test_known_value(self):
+        assert bag_distance("abc", "abd") == 1
+        assert bag_distance("aabb", "ab") == 2
+
+    def test_similarity_bounds(self):
+        assert bag_similarity("", "") == 1.0
+        assert bag_similarity("abc", "abc") == 1.0
+        assert 0.0 <= bag_similarity("abc", "xyz") <= 1.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(short_text, short_text)
+    def test_lower_bounds_levenshtein(self, a, b):
+        assert bag_distance(a, b) <= levenshtein_distance(a, b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert bag_distance(a, b) == bag_distance(b, a)
+
+
+class TestTfIdfCosine:
+    def test_rare_token_agreement_outweighs_common(self):
+        corpus = [["corn", "study"]] * 9 + [["ginseng", "study"]]
+        measure = TfIdfCosine(corpus)
+        rare = measure.score(["ginseng"], ["ginseng"])
+        assert rare == pytest.approx(1.0)
+        mixed_common = measure.score(["corn", "ginseng"], ["corn", "soy"])
+        mixed_rare = measure.score(["corn", "ginseng"], ["soy", "ginseng"])
+        assert mixed_rare > mixed_common
+
+    def test_bounds_and_identity(self):
+        measure = TfIdfCosine([["a", "b"], ["c"]])
+        assert measure.score([], []) == 1.0
+        assert measure.score(["a"], []) == 0.0
+        assert measure.score(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_disjoint_tokens(self):
+        measure = TfIdfCosine([["a"], ["b"]])
+        assert measure.score(["a"], ["b"]) == 0.0
+
+
+class TestPrecisionRecallCurve:
+    def test_curve_points(self):
+        y = [1, 1, 0, 0]
+        p = [0.9, 0.6, 0.4, 0.1]
+        curve = precision_recall_curve(y, p)
+        assert [pt.threshold for pt in curve] == [0.1, 0.4, 0.6, 0.9]
+        lowest = curve[0]
+        assert lowest.recall == 1.0 and lowest.precision == 0.5
+        highest = curve[-1]
+        assert highest.precision == 1.0 and highest.recall == 0.5
+
+    def test_recall_monotone_decreasing_in_threshold(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(size=100)
+        y = (p + rng.normal(0, 0.2, size=100) > 0.5).astype(int)
+        curve = precision_recall_curve(y, p)
+        recalls = [pt.recall for pt in curve]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([1], [0.5, 0.6])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([], [])
+
+
+class TestSelectThreshold:
+    def test_meets_floor_with_max_recall(self):
+        y = [1, 1, 1, 0, 0]
+        p = [0.9, 0.8, 0.3, 0.35, 0.1]
+        point = select_threshold(y, p, precision_floor=0.99)
+        assert point is not None
+        assert point.precision == 1.0
+        assert point.recall == pytest.approx(2 / 3)
+
+    def test_unreachable_floor(self):
+        y = [0, 0]
+        p = [0.9, 0.8]
+        assert select_threshold(y, p, precision_floor=0.5) is None
+
+    def test_invalid_floor(self):
+        with pytest.raises(EvaluationError):
+            select_threshold([1], [0.5], precision_floor=0.0)
+
+    def test_floor_one_picks_clean_prefix(self):
+        y = [1, 0, 1]
+        p = [0.9, 0.5, 0.4]
+        point = select_threshold(y, p, precision_floor=1.0)
+        assert point.threshold == pytest.approx(0.9)

@@ -1,0 +1,167 @@
+"""Tests for CSV I/O, type inference, profiling and the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError, KeyConstraintError, TableError
+from repro.table import (
+    AttrType,
+    Catalog,
+    Table,
+    compute_stats,
+    foreign_key_violations,
+    format_profile,
+    infer_schema,
+    infer_type,
+    is_key,
+    profile_table,
+    read_csv,
+    summarize_tables,
+    validate_foreign_key,
+    validate_key,
+    write_csv,
+)
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        t = Table({"a": [1, 2], "b": ["x", None], "c": [1.5, 2.5]}, name="t")
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back["a"] == [1, 2]
+        assert back["b"] == ["x", None]
+        assert back["c"] == [1.5, 2.5]
+
+    def test_missing_markers(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("a,b\nNA,NaN\n1,ok\n")
+        t = read_csv(path)
+        assert t["a"] == [None, 1]
+        assert t["b"] == [None, "ok"]
+
+    def test_no_coercion(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("a\n007\n")
+        assert read_csv(path, coerce_types=False)["a"] == ["007"]
+        assert read_csv(path)["a"] == [7]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(TableError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(TableError, match="fields"):
+            read_csv(path)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,a\n1,2\n")
+        with pytest.raises(TableError, match="duplicate"):
+            read_csv(path)
+
+
+class TestTypeInference:
+    def test_numeric(self):
+        assert infer_type([1, 2.5, None]) is AttrType.NUMERIC
+
+    def test_boolean(self):
+        assert infer_type([True, False]) is AttrType.BOOLEAN
+
+    def test_string_buckets(self):
+        assert infer_type(["one", "two"]) is AttrType.STR_EQ_1W
+        assert infer_type(["two words", "three little words"]) is AttrType.STR_BT_1W_5W
+        assert infer_type(["a b c d e f g", "a b c d e f"]) is AttrType.STR_BT_5W_10W
+        long = " ".join(["w"] * 15)
+        assert infer_type([long]) is AttrType.STR_GT_10W
+
+    def test_all_missing_unknown(self):
+        assert infer_type([None, None]) is AttrType.UNKNOWN
+
+    def test_mixed_unknown(self):
+        assert infer_type([1, "x"]) is AttrType.UNKNOWN
+
+    def test_infer_schema(self):
+        t = Table({"n": [1], "s": ["hello world"]})
+        schema = infer_schema(t)
+        assert schema["n"] is AttrType.NUMERIC
+        assert schema["s"] is AttrType.STR_BT_1W_5W
+
+
+class TestProfile:
+    def test_numeric_stats(self):
+        stats = compute_stats("x", [1.0, 3.0, None])
+        assert stats.count == 3
+        assert stats.missing == 1
+        assert stats.unique == 2
+        assert stats.mean == 2.0
+        assert stats.median == 2.0
+        assert (stats.minimum, stats.maximum) == (1.0, 3.0)
+
+    def test_string_stats(self):
+        stats = compute_stats("s", ["one two", "three"])
+        assert stats.dtype == "string"
+        assert stats.avg_tokens == 1.5
+
+    def test_missing_fraction(self):
+        assert compute_stats("x", [None, 1]).missing_fraction == 0.5
+        assert compute_stats("x", []).missing_fraction == 0.0
+
+    def test_profile_table_and_format(self):
+        t = Table({"a": [1, 2], "b": ["x y", "z"]}, name="demo")
+        profile = profile_table(t)
+        assert profile.num_rows == 2
+        assert profile.column_stats("b").dtype == "string"
+        text = format_profile(profile)
+        assert "demo" in text and "avg_tokens" in text
+
+    def test_summarize_tables_matches_figure2_shape(self, scenario):
+        summary = summarize_tables([scenario.award_agg, scenario.usda])
+        assert summary.columns == ["Table Name", "Num. Rows", "Num. Cols"]
+        rows = {r["Table Name"]: r for r in summary.rows()}
+        assert rows["USDAAwardMatching"]["Num. Cols"] == 78
+
+
+class TestCatalog:
+    def test_is_key(self):
+        t = Table({"k": [1, 2, 3], "v": [1, 1, None]})
+        assert is_key(t, "k")
+        assert not is_key(t, "v")
+
+    def test_validate_key_errors(self):
+        t = Table({"k": [1, 1], "m": [1, None]}, name="t")
+        with pytest.raises(KeyConstraintError, match="duplicate"):
+            validate_key(t, "k")
+        with pytest.raises(KeyConstraintError, match="missing"):
+            validate_key(t, "m")
+
+    def test_foreign_key_checks(self):
+        parent = Table({"k": [1, 2]}, name="p")
+        child = Table({"fk": [1, 2, 3, None]}, name="c")
+        assert foreign_key_violations(child, "fk", parent, "k") == [2]
+        with pytest.raises(KeyConstraintError):
+            validate_foreign_key(child, "fk", parent, "k")
+
+    def test_catalog_key_registration(self):
+        catalog = Catalog()
+        t = Table({"k": [1, 2]}, name="t")
+        catalog.set_key(t, "k")
+        assert catalog.get_key(t) == "k"
+        assert catalog.has_key(t)
+        other = Table({"k": [1]}, name="o")
+        with pytest.raises(CatalogError):
+            catalog.get_key(other)
+
+    def test_candidate_provenance(self):
+        catalog = Catalog()
+        lt = Table({"k": [1]}, name="L")
+        rt = Table({"k": [1]}, name="R")
+        cands = Table({"ltable_id": [1], "rtable_id": [1]}, name="C")
+        catalog.set_candidate_provenance(cands, lt, rt)
+        prov = catalog.get_candidate_provenance(cands)
+        assert prov["ltable"] is lt and prov["rtable"] is rt
+        with pytest.raises(CatalogError, match="lacks id column"):
+            catalog.set_candidate_provenance(Table({"z": [1]}), lt, rt)

@@ -1,0 +1,126 @@
+"""Tests for repro.table.ops (joins, concat, group_concat, aggregate)."""
+
+import pytest
+
+from repro.errors import SchemaError, TableError
+from repro.table import Table, aggregate, concat, group_concat, hash_join, values_overlap
+
+
+def orders_tables():
+    left = Table({"k": [1, 2, 3, None], "l": ["a", "b", "c", "d"]}, name="L")
+    right = Table({"k": [1, 1, 2, None], "r": ["x", "y", "z", "w"]}, name="R")
+    return left, right
+
+
+class TestHashJoin:
+    def test_inner_join_multiplicity(self):
+        left, right = orders_tables()
+        j = hash_join(left, right, "k", "k", how="inner")
+        assert j.num_rows == 3  # 1 matches twice, 2 once
+        assert sorted(zip(j["k"], j["r"])) == [(1, "x"), (1, "y"), (2, "z")]
+
+    def test_left_join_keeps_unmatched(self):
+        left, right = orders_tables()
+        j = hash_join(left, right, "k", "k", how="left")
+        assert j.num_rows == 5  # 3 matched rows + row 3 + the None-key row
+        unmatched = [row for row in j.rows() if row["r"] is None]
+        assert len(unmatched) == 2
+
+    def test_missing_keys_never_join(self):
+        left, right = orders_tables()
+        j = hash_join(left, right, "k", "k", how="inner")
+        assert None not in j["k"]
+
+    def test_join_column_dropped_from_right(self):
+        left, right = orders_tables()
+        j = hash_join(left, right, "k", "k")
+        assert j.columns == ["k", "l", "r"]
+
+    def test_collision_gets_suffix(self):
+        left = Table({"k": [1], "v": ["L"]})
+        right = Table({"k": [1], "v": ["R"]})
+        j = hash_join(left, right, "k", "k")
+        assert j.columns == ["k", "v", "v_right"]
+        assert j["v_right"] == ["R"]
+
+    def test_unknown_join_type(self):
+        left, right = orders_tables()
+        with pytest.raises(TableError, match="unsupported join"):
+            hash_join(left, right, "k", "k", how="outer")
+
+
+class TestConcat:
+    def test_stacks_rows(self):
+        a = Table({"x": [1], "y": [2]})
+        b = Table({"x": [3], "y": [4]})
+        c = concat([a, b])
+        assert c["x"] == [1, 3]
+
+    def test_schema_mismatch_rejected(self):
+        a = Table({"x": [1]})
+        b = Table({"z": [1]})
+        with pytest.raises(SchemaError):
+            concat([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(TableError):
+            concat([])
+
+
+class TestGroupConcat:
+    def test_joins_values_with_separator(self):
+        t = Table({"k": [1, 1, 2], "v": ["Smith, A", "Jones, B", "Lee, C"]})
+        g = group_concat(t, "k", "v", sep="|")
+        assert g.to_rows() == [
+            {"k": 1, "v": "Smith, A|Jones, B"},
+            {"k": 2, "v": "Lee, C"},
+        ]
+
+    def test_duplicates_kept_once(self):
+        t = Table({"k": [1, 1, 1], "v": ["a", "a", "b"]})
+        g = group_concat(t, "k", "v")
+        assert g["v"] == ["a|b"]
+
+    def test_missing_values_skipped(self):
+        t = Table({"k": [1, 1], "v": [None, "a"]})
+        assert group_concat(t, "k", "v")["v"] == ["a"]
+
+    def test_all_missing_group_yields_none(self):
+        t = Table({"k": [1], "v": [None]})
+        assert group_concat(t, "k", "v")["v"] == [None]
+
+    def test_missing_keys_dropped(self):
+        t = Table({"k": [None, 2], "v": ["a", "b"]})
+        g = group_concat(t, "k", "v")
+        assert g["k"] == [2]
+
+
+class TestAggregate:
+    def test_sum_per_group(self):
+        t = Table({"k": ["a", "a", "b"], "v": [1, 2, 10]})
+        g = aggregate(t, "k", "v", sum, out="total")
+        assert g.to_rows() == [{"k": "a", "total": 3}, {"k": "b", "total": 10}]
+
+
+class TestValuesOverlap:
+    def test_disjoint_columns(self):
+        a = Table({"x": ["p", "q"]})
+        b = Table({"y": ["r", "s"]})
+        assert values_overlap(a, b, "x", "y") == 0.0
+
+    def test_identical_columns(self):
+        a = Table({"x": ["p", "q"]})
+        b = Table({"y": ["q", "p"]})
+        assert values_overlap(a, b, "x", "y") == 1.0
+
+    def test_partial_overlap(self):
+        a = Table({"x": ["p", "q"]})
+        b = Table({"y": ["q", "r"]})
+        assert values_overlap(a, b, "x", "y") == pytest.approx(1 / 3)
+
+    def test_scenario_vendor_check_is_empty(self, scenario):
+        # the paper's pre-processing evidence: vendor org names share no
+        # values with USDA's recipient organization
+        assert values_overlap(
+            scenario.vendors, scenario.usda, "OrgName", "RecipientOrganization"
+        ) == 0.0

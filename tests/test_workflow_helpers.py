@@ -1,0 +1,78 @@
+"""Tests for the case-study workflow helpers (merged universe, training)."""
+
+import pytest
+
+from repro.casestudy.workflows import (
+    merged_candidate_universe,
+    run_combined_workflow,
+    train_workflow_matcher,
+)
+from repro.errors import EvaluationError
+
+
+class TestMergedUniverse:
+    def test_contains_both_slices(self, case_study):
+        outcome = case_study.updated_workflow
+        universe = outcome.consolidated_candidates
+        for pair in outcome.original.blocked:
+            assert pair in universe
+        for pair in outcome.extra.blocked:
+            assert pair in universe
+
+    def test_merged_left_table_spans_both(self, case_study):
+        universe = case_study.updated_workflow.consolidated_candidates
+        merged_ids = set(universe.ltable["RecordId"])
+        assert set(case_study.projected_v2.umetrics["RecordId"]) <= merged_ids
+        assert set(case_study.projected_extra.umetrics["RecordId"]) <= merged_ids
+
+    def test_no_pairs_outside_sources(self, case_study):
+        outcome = case_study.updated_workflow
+        universe = outcome.consolidated_candidates
+        source = outcome.original.blocked.pair_set() | outcome.extra.blocked.pair_set()
+        assert universe.pair_set() == source
+
+
+class TestWorkflowMatcherTraining:
+    def test_trained_matcher_is_a_clone(self, case_study):
+        matcher = train_workflow_matcher(
+            case_study.blocking_v2.candidates, case_study.labeling.labels,
+            case_study.matching.feature_set, case_study.matching.matcher,
+        )
+        assert matcher is not case_study.matching.matcher
+        assert matcher.is_fitted
+
+    def test_combined_workflow_deterministic(self, case_study):
+        matcher = train_workflow_matcher(
+            case_study.blocking_v2.candidates, case_study.labeling.labels,
+            case_study.matching.feature_set, case_study.matching.matcher,
+        )
+        a = run_combined_workflow(
+            case_study.projected_v2, case_study.projected_extra,
+            case_study.labeling.labels, case_study.matching.feature_set, matcher,
+        )
+        b = run_combined_workflow(
+            case_study.projected_v2, case_study.projected_extra,
+            case_study.labeling.labels, case_study.matching.feature_set, matcher,
+        )
+        assert a.matches == b.matches
+
+
+class TestAccuracyOutcome:
+    def test_table_renders_each_stage(self, case_study):
+        outcome = case_study.accuracy
+        for stage in outcome.estimates_by_stage:
+            text = outcome.table(stage)
+            assert f"n={stage}" in text
+
+    def test_estimates_cover_all_matchers(self, case_study):
+        outcome = case_study.accuracy
+        for estimates in outcome.estimates_by_stage.values():
+            assert set(estimates) == {
+                "learning-based", "IRIS (rules)", "learning + negative rules",
+            }
+
+    def test_sample_counts_monotone(self, case_study):
+        counts = case_study.accuracy.sample_counts
+        stages = sorted(counts)
+        totals = [counts[s].total for s in stages]
+        assert totals == sorted(totals)
