@@ -8,13 +8,25 @@ and the blocking-debugger check that the top-ranked excluded pairs are not
 true matches.
 """
 
+import time
+
 from repro.casestudy.blocking_plan import run_blocking, threshold_sweep
 from repro.casestudy.report import PAPER_BLOCKING, ReportRow, render_report
+from repro.runtime import Instrumentation
 
 
 def test_sec7_blocking(benchmark, run, emit_report):
     tables = run.projected
     outcome = benchmark.pedantic(run_blocking, args=(tables,), rounds=1, iterations=1)
+    # serial-vs-parallel rerun (the token cache is warm for both by now)
+    started = time.perf_counter()
+    serial_again = run_blocking(tables)
+    serial_s = time.perf_counter() - started
+    instr = Instrumentation("blocking(workers=2)")
+    started = time.perf_counter()
+    parallel = run_blocking(tables, workers=2, instrumentation=instr)
+    parallel_s = time.perf_counter() - started
+    assert parallel.candidates.pairs == serial_again.candidates.pairs
     sweep = threshold_sweep(tables, thresholds=(1, 3, 7))
     report = outcome.c2_c3_report
     truth = tables.truth
@@ -35,7 +47,13 @@ def test_sec7_blocking(benchmark, run, emit_report):
         ReportRow("overlap K=7", "a few hundred", sweep[7]),
         ReportRow("true matches in debugger top-100", "~0", debugger_hits),
     ]
-    emit_report("sec7_blocking", render_report("Section 7 — blocking", rows))
+    text = render_report("Section 7 — blocking", rows)
+    text += (
+        f"\n\n-- parallel rerun (identical pairs asserted) --\n"
+        f"serial={serial_s:.3f}s  workers=2: {parallel_s:.3f}s\n\n"
+        + str(instr.report())
+    )
+    emit_report("sec7_blocking", text)
 
     # shape assertions (the paper's qualitative structure)
     assert sweep[1] > 50 * sweep[3] > 0, "K=1 must explode relative to K=3"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..runtime.instrument import Instrumentation, count
 from ..table import Table
 from ..table.column import is_missing
 from .base import Blocker
@@ -53,8 +54,19 @@ class AttrEquivalenceBlocker(Blocker):
         return values
 
     def block_tables(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str = "",
+        *,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> CandidateSet:
+        # The equi-join is a single hash pass — workers are accepted for
+        # interface uniformity but there is nothing worth parallelising.
+        del workers
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
@@ -72,4 +84,5 @@ class AttrEquivalenceBlocker(Blocker):
                 continue
             for rid in index.get(value, ()):
                 pairs.append((lid, rid))
+        count(instrumentation, "pairs_out", len(pairs))
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

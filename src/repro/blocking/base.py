@@ -9,19 +9,40 @@ drop obvious non-matches, never plausible matches.
 from __future__ import annotations
 
 from ..errors import BlockingError
+from ..runtime.instrument import Instrumentation
 from ..table import Table
 from ..table.catalog import validate_key
 from .candidate_set import CandidateSet
 
 
 class Blocker:
-    """Abstract base class for blockers."""
+    """Abstract base class for blockers.
+
+    Every blocker accepts two runtime knobs (keyword-only, so positional
+    call sites are unaffected):
+
+    ``workers``
+        Process count for chunk-parallel evaluation. The default ``1`` is
+        strictly serial; blockers without a parallel path accept and
+        ignore higher values. Parallel results are identical to serial.
+    ``instrumentation``
+        Optional :class:`~repro.runtime.instrument.Instrumentation` that
+        receives stage timings and pair counters.
+    """
 
     #: Subclasses set this for nicer candidate-set names.
     short_name = "blocker"
 
     def block_tables(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str = "",
+        *,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> CandidateSet:
         """Produce the candidate set for (ltable, rtable)."""
         raise NotImplementedError

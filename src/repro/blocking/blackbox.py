@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
+from ..runtime.instrument import Instrumentation, count
 from ..table import Table
 from .base import Blocker
 from .candidate_set import CandidateSet
@@ -28,8 +29,19 @@ class BlackBoxBlocker(Blocker):
         self.threshold = threshold
 
     def block_tables(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str = "",
+        *,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> CandidateSet:
+        # Scores can return any type and are usually ad-hoc closures; the
+        # quick-patch tool stays serial regardless of *workers*.
+        del workers
         self._validate_inputs(ltable, rtable, l_key, r_key, [])
         pairs = []
         l_rows = ltable.to_rows()
@@ -48,4 +60,5 @@ class BlackBoxBlocker(Blocker):
                     )
                 if keep:
                     pairs.append((lrow[l_key], rrow[r_key]))
+        count(instrumentation, "pairs_out", len(pairs))
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

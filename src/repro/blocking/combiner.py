@@ -17,25 +17,39 @@ from ..errors import BlockingError
 from .candidate_set import CandidateSet
 
 
+def _fresh_copy(candidates: CandidateSet, name: str) -> CandidateSet:
+    """A new candidate set with the same pairs — never the caller's object,
+    whose ``name`` (and pair list) must stay untouched by combining."""
+    return CandidateSet(
+        candidates.ltable, candidates.rtable, candidates.l_key, candidates.r_key,
+        candidates.pairs, name=name,
+    )
+
+
 def union_candidates(candidate_sets: Sequence[CandidateSet], name: str = "") -> CandidateSet:
-    """Union any number of candidate sets over the same base tables."""
+    """Union any number of candidate sets over the same base tables.
+
+    Always returns a fresh :class:`CandidateSet` (even for a single input),
+    leaving every input set unmodified.
+    """
     if not candidate_sets:
         raise BlockingError("union needs at least one candidate set")
-    result = candidate_sets[0]
+    result = _fresh_copy(candidate_sets[0], name or "union")
     for other in candidate_sets[1:]:
-        result = result.union(other)
-    result.name = name or "union"
+        result = result.union(other, name=name or "union")
     return result
 
 
 def intersect_candidates(candidate_sets: Sequence[CandidateSet], name: str = "") -> CandidateSet:
-    """Intersection of any number of candidate sets."""
+    """Intersection of any number of candidate sets.
+
+    Like :func:`union_candidates`, never aliases or renames an input set.
+    """
     if not candidate_sets:
         raise BlockingError("intersection needs at least one candidate set")
-    result = candidate_sets[0]
+    result = _fresh_copy(candidate_sets[0], name or "intersection")
     for other in candidate_sets[1:]:
-        result = result.intersection(other)
-    result.name = name or "intersection"
+        result = result.intersection(other, name=name or "intersection")
     return result
 
 

@@ -10,6 +10,11 @@ development-sized table pair that still contains matches to find.
 (The case study's tables were small enough to skip this, but any user
 pointing the toolkit at full-size data needs it — and our synthetic
 employees/vendor tables at ``aux_scale=1.0`` would too.)
+
+Tokenization reuses the shared runtime cache (the same
+``(attr, whitespace, normalize_title)`` recipe the title blockers use, so
+a prior blocking pass makes down-sampling's A-side scan free), and the
+shared-token counting over A chunks across processes with ``workers >= 2``.
 """
 
 from __future__ import annotations
@@ -19,20 +24,37 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import BlockingError
+from ..runtime.cache import TokenCache, get_default_cache
+from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.instrument import Instrumentation, count, stage
 from ..table import Table
-from ..table.column import is_missing
 from ..text.normalize import normalize_title
 from ..text.tokenizers import whitespace
 
 
-def _record_tokens(table: Table, attrs: Sequence[str], row_index: int) -> set[str]:
-    tokens: set[str] = set()
-    for attr in attrs:
-        value = table[attr][row_index]
-        if is_missing(value):
-            continue
-        tokens.update(whitespace(str(normalize_title(value))))
-    return tokens
+def _table_row_tokens(
+    table: Table, attrs: Sequence[str], cache: TokenCache
+) -> list[set[str]]:
+    """Per-row union of normalized word tokens over *attrs* (cached)."""
+    columns = [
+        cache.column_tokens(table, attr, whitespace, normalize_title)
+        for attr in attrs
+    ]
+    rows: list[set[str]] = []
+    for i in range(table.num_rows):
+        tokens: set[str] = set()
+        for column in columns:
+            if column[i]:
+                tokens.update(column[i])
+        rows.append(tokens)
+    return rows
+
+
+def _shared_count_chunk(
+    row_tokens: list[set[str]], b_tokens: set[str]
+) -> list[int]:
+    """Shared-token counts for a chunk of A rows (runs in workers)."""
+    return [len(tokens & b_tokens) for tokens in row_tokens]
 
 
 def down_sample(
@@ -42,6 +64,8 @@ def down_sample(
     b_size: int,
     a_size: int,
     rng: np.random.Generator,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
 ) -> tuple[Table, Table]:
     """Down-sample (A, B) to roughly (*a_size*, *b_size*) rows.
 
@@ -60,14 +84,24 @@ def down_sample(
     b_indices = [int(i) for i in rng.choice(table_b.num_rows, size=b_size, replace=False)]
     sampled_b = table_b.take(b_indices, name=f"{table_b.name}_sample")
 
-    # inverted index over the B sample's tokens
-    b_tokens: set[str] = set()
-    for i in range(sampled_b.num_rows):
-        b_tokens.update(_record_tokens(sampled_b, attrs, i))
+    cache = get_default_cache()
+    with stage(instrumentation, "tokenize"):
+        # the B sample's token universe
+        b_tokens: set[str] = set()
+        for tokens in _table_row_tokens(sampled_b, attrs, cache):
+            b_tokens.update(tokens)
+        a_row_tokens = _table_row_tokens(table_a, attrs, cache)
 
-    shared_counts = np.zeros(table_a.num_rows, dtype=int)
-    for i in range(table_a.num_rows):
-        shared_counts[i] = len(_record_tokens(table_a, attrs, i) & b_tokens)
+    with stage(instrumentation, "score"):
+        ranges = chunk_ranges(len(a_row_tokens), workers)
+        executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+        chunks = executor.map(
+            _shared_count_chunk,
+            [(a_row_tokens[start:stop], b_tokens) for start, stop in ranges],
+            sizes=[stop - start for start, stop in ranges],
+        )
+        shared_counts = np.array([c for chunk in chunks for c in chunk], dtype=int)
+        count(instrumentation, "a_rows_scored", len(a_row_tokens))
     order = np.argsort(-shared_counts, kind="stable")
     keep = [int(i) for i in order[:a_size]]
     keep.sort()

@@ -5,8 +5,14 @@ tokenizer and K=3. The implementation uses an inverted index over the
 right table's tokens plus a *prefix filter*: a record pair can share K
 tokens only if they agree on at least one of any (|tokens| - K + 1)-subset,
 so each left record only probes the index with its first
-``len(tokens) - K + 1`` tokens under a global token ordering. Shared-token
+``len(tokens) - k + 1`` tokens under a global token ordering. Shared-token
 counts are then verified exactly.
+
+Tokenization goes through the shared
+:mod:`~repro.runtime.cache` (one pass per ``(attr, tokenizer,
+normalizer)`` recipe per table), and the probe loop is chunk-parallel over
+left records when ``workers >= 2`` — with results identical to the serial
+loop, which remains the default.
 """
 
 from __future__ import annotations
@@ -14,13 +20,43 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
+from ..runtime.cache import get_default_cache
+from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.instrument import Instrumentation, count, stage
 from ..table import Table
-from ..table.column import is_missing
 from ..text.tokenizers import Tokenizer, whitespace
 from .base import Blocker
 from .candidate_set import CandidateSet
 
 Normalizer = Callable[[Any], Any]
+
+
+def _probe_overlap_chunk(
+    l_items: list[tuple[Any, frozenset[str]]],
+    r_tokens: dict[Any, frozenset[str]],
+    index: dict[str, list[Any]],
+    doc_freq: dict[str, int],
+    k: int,
+) -> list[tuple[Any, Any]]:
+    """Probe the inverted index for a chunk of left records.
+
+    Module-level (and closure-free) so the chunked executor can ship it to
+    worker processes; the serial path runs the very same function.
+    """
+    pairs: list[tuple[Any, Any]] = []
+    for lid, tokens in l_items:
+        if len(tokens) < k:
+            continue
+        ordered = sorted(tokens, key=lambda t: (doc_freq.get(t, 0), t))
+        prefix = ordered[: len(ordered) - k + 1]
+        seen: set[Any] = set()
+        for t in prefix:
+            for rid in index.get(t, ()):
+                seen.add(rid)
+        for rid in seen:
+            if len(tokens & r_tokens[rid]) >= k:
+                pairs.append((lid, rid))
+    return pairs
 
 
 class OverlapBlocker(Blocker):
@@ -58,52 +94,55 @@ class OverlapBlocker(Blocker):
         self.normalizer = normalizer
 
     def _tokens_by_id(self, table: Table, attr: str, key: str) -> dict[Any, frozenset[str]]:
-        out: dict[Any, frozenset[str]] = {}
-        for rid, value in zip(table[key], table[attr]):
-            if is_missing(value):
-                continue
-            if self.normalizer is not None:
-                value = self.normalizer(value)
-                if is_missing(value):
-                    continue
-            tokens = frozenset(self.tokenizer(str(value)))
-            if tokens:
-                out[rid] = tokens
-        return out
+        return get_default_cache().tokens_by_id(
+            table, attr, key, self.tokenizer, self.normalizer
+        )
 
     def block_tables(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str = "",
+        *,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> CandidateSet:
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
-        l_tokens = self._tokens_by_id(ltable, self.l_attr, l_key)
-        r_tokens = self._tokens_by_id(rtable, self.r_attr, r_key)
+        cache = get_default_cache()
+        hits_before = cache.hits
+        with stage(instrumentation, "tokenize"):
+            l_tokens = self._tokens_by_id(ltable, self.l_attr, l_key)
+            r_tokens = self._tokens_by_id(rtable, self.r_attr, r_key)
+            count(instrumentation, "l_records", len(l_tokens))
+            count(instrumentation, "r_records", len(r_tokens))
+            count(instrumentation, "cache_hits", cache.hits - hits_before)
         # Global token order by document frequency (rarest first) makes the
         # prefix filter probe the most selective tokens.
-        doc_freq: dict[str, int] = {}
-        for tokens in r_tokens.values():
-            for t in tokens:
-                doc_freq[t] = doc_freq.get(t, 0) + 1
-        order = lambda t: (doc_freq.get(t, 0), t)  # noqa: E731 - tiny sort key
-
-        index: dict[str, list[Any]] = {}
-        for rid, tokens in r_tokens.items():
-            for t in tokens:
-                index.setdefault(t, []).append(rid)
-
-        pairs = []
-        k = self.threshold
-        for lid, tokens in l_tokens.items():
-            if len(tokens) < k:
-                continue
-            ordered = sorted(tokens, key=order)
-            prefix = ordered[: len(ordered) - k + 1]
-            seen: set[Any] = set()
-            for t in prefix:
-                for rid in index.get(t, ()):
-                    seen.add(rid)
-            for rid in seen:
-                if len(tokens & r_tokens[rid]) >= k:
-                    pairs.append((lid, rid))
+        with stage(instrumentation, "index"):
+            doc_freq: dict[str, int] = {}
+            for tokens in r_tokens.values():
+                for t in tokens:
+                    doc_freq[t] = doc_freq.get(t, 0) + 1
+            index: dict[str, list[Any]] = {}
+            for rid, tokens in r_tokens.items():
+                for t in tokens:
+                    index.setdefault(t, []).append(rid)
+        with stage(instrumentation, "probe"):
+            l_items = list(l_tokens.items())
+            ranges = chunk_ranges(len(l_items), workers)
+            executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+            chunks = executor.map(
+                _probe_overlap_chunk,
+                [
+                    (l_items[start:stop], r_tokens, index, doc_freq, self.threshold)
+                    for start, stop in ranges
+                ],
+                sizes=[stop - start for start, stop in ranges],
+            )
+            pairs = [pair for chunk in chunks for pair in chunk]
+            count(instrumentation, "pairs_out", len(pairs))
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

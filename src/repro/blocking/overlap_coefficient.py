@@ -3,14 +3,13 @@
 Section 7 step 3 adds this blocker (word tokens, threshold 0.7) because the
 raw overlap blocker's K=3 floor silently drops similar titles shorter than
 three tokens. Candidates are generated from an inverted index (any
-surviving pair must share at least one token when t > 0) with a size-aware
-bound: a pair needs at least ``ceil(t * min(|X|,|Y|))`` shared tokens, so
-left records probe the index with a prefix of length
-``len(tokens) - ceil(t*len(tokens)) + 1`` (min-size can only shrink when
-the right side is smaller, in which case any shared token still appears in
-some prefix token's posting list... we keep the exact verification step, so
-the filter only needs to be safe, and a 1-token prefix bound is used when
-the computed prefix would be empty).
+surviving pair must share at least one token when t > 0); shared-token
+counts are verified exactly against the size-aware bound
+``ceil(t * min(|X|,|Y|))`` before the coefficient itself is checked.
+
+Like :class:`~repro.blocking.overlap.OverlapBlocker`, tokenization is
+memoized through the shared runtime cache and the probe loop chunks over
+left records when ``workers >= 2`` (identical results to serial).
 """
 
 from __future__ import annotations
@@ -19,14 +18,42 @@ import math
 from typing import Any, Callable
 
 from ..errors import BlockingError
-from ..table import Table
-from ..table.column import is_missing
+from ..runtime.cache import get_default_cache
+from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.instrument import Instrumentation, count, stage
 from ..similarity.set_based import overlap_coefficient
+from ..table import Table
 from ..text.tokenizers import Tokenizer, whitespace
 from .base import Blocker
 from .candidate_set import CandidateSet
 
 Normalizer = Callable[[Any], Any]
+
+
+def _probe_coefficient_chunk(
+    l_items: list[tuple[Any, frozenset[str]]],
+    r_tokens: dict[Any, frozenset[str]],
+    index: dict[str, list[Any]],
+    threshold: float,
+) -> list[tuple[Any, Any]]:
+    """Candidate generation + exact verification for a chunk of left records
+    (module-level so worker processes can run it; serial uses it too)."""
+    pairs: list[tuple[Any, Any]] = []
+    for lid, tokens in l_items:
+        # Any pair reaching the threshold shares >= 1 token, so probing
+        # every left token is a safe (and simple) candidate generator.
+        seen: set[Any] = set()
+        for tok in tokens:
+            for rid in index.get(tok, ()):
+                seen.add(rid)
+        for rid in seen:
+            rtoks = r_tokens[rid]
+            needed = math.ceil(threshold * min(len(tokens), len(rtoks)) - 1e-9)
+            if len(tokens & rtoks) < needed:
+                continue
+            if overlap_coefficient(tokens, rtoks) >= threshold - 1e-12:
+                pairs.append((lid, rid))
+    return pairs
 
 
 class OverlapCoefficientBlocker(Blocker):
@@ -57,45 +84,49 @@ class OverlapCoefficientBlocker(Blocker):
         self.normalizer = normalizer
 
     def _tokens_by_id(self, table: Table, attr: str, key: str) -> dict[Any, frozenset[str]]:
-        out: dict[Any, frozenset[str]] = {}
-        for rid, value in zip(table[key], table[attr]):
-            if is_missing(value):
-                continue
-            if self.normalizer is not None:
-                value = self.normalizer(value)
-                if is_missing(value):
-                    continue
-            tokens = frozenset(self.tokenizer(str(value)))
-            if tokens:
-                out[rid] = tokens
-        return out
+        return get_default_cache().tokens_by_id(
+            table, attr, key, self.tokenizer, self.normalizer
+        )
 
     def block_tables(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str = "",
+        *,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> CandidateSet:
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
-        l_tokens = self._tokens_by_id(ltable, self.l_attr, l_key)
-        r_tokens = self._tokens_by_id(rtable, self.r_attr, r_key)
-        index: dict[str, list[Any]] = {}
-        for rid, tokens in r_tokens.items():
-            for t in tokens:
-                index.setdefault(t, []).append(rid)
-        pairs = []
-        t = self.threshold
-        for lid, tokens in l_tokens.items():
-            # Any pair reaching the threshold shares >= 1 token, so probing
-            # every left token is a safe (and simple) candidate generator.
-            seen: set[Any] = set()
-            for tok in tokens:
-                for rid in index.get(tok, ()):
-                    seen.add(rid)
-            for rid in seen:
-                rtoks = r_tokens[rid]
-                needed = math.ceil(t * min(len(tokens), len(rtoks)) - 1e-9)
-                if len(tokens & rtoks) < needed:
-                    continue
-                if overlap_coefficient(tokens, rtoks) >= t - 1e-12:
-                    pairs.append((lid, rid))
+        cache = get_default_cache()
+        hits_before = cache.hits
+        with stage(instrumentation, "tokenize"):
+            l_tokens = self._tokens_by_id(ltable, self.l_attr, l_key)
+            r_tokens = self._tokens_by_id(rtable, self.r_attr, r_key)
+            count(instrumentation, "l_records", len(l_tokens))
+            count(instrumentation, "r_records", len(r_tokens))
+            count(instrumentation, "cache_hits", cache.hits - hits_before)
+        with stage(instrumentation, "index"):
+            index: dict[str, list[Any]] = {}
+            for rid, tokens in r_tokens.items():
+                for t in tokens:
+                    index.setdefault(t, []).append(rid)
+        with stage(instrumentation, "probe"):
+            l_items = list(l_tokens.items())
+            ranges = chunk_ranges(len(l_items), workers)
+            executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+            chunks = executor.map(
+                _probe_coefficient_chunk,
+                [
+                    (l_items[start:stop], r_tokens, index, self.threshold)
+                    for start, stop in ranges
+                ],
+                sizes=[stop - start for start, stop in ranges],
+            )
+            pairs = [pair for chunk in chunks for pair in chunk]
+            count(instrumentation, "pairs_out", len(pairs))
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
+from ..runtime.instrument import Instrumentation, count
 from ..table import Table
 from ..table.column import is_missing
 from .base import Blocker
@@ -66,8 +67,18 @@ class SortedNeighborhoodBlocker(Blocker):
         return out
 
     def block_tables(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str, name: str = ""
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str = "",
+        *,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> CandidateSet:
+        # A single sort dominates; workers accepted for interface uniformity.
+        del workers
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
@@ -86,4 +97,5 @@ class SortedNeighborhoodBlocker(Blocker):
                     pairs.append((rid_i, rid_j))
                 else:
                     pairs.append((rid_j, rid_i))
+        count(instrumentation, "pairs_out", len(pairs))
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

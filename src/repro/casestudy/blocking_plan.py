@@ -24,6 +24,7 @@ from ..blocking import (
     overlap_report,
     union_candidates,
 )
+from ..runtime.instrument import Instrumentation, stage
 from ..text.normalize import normalize_title
 from ..text.patterns import award_number_suffix
 from .preprocess import ProjectedTables
@@ -67,14 +68,29 @@ class BlockingOutcome:
         )
 
 
-def run_blocking(tables: ProjectedTables, debug_top_k: int = 100) -> BlockingOutcome:
-    """Execute the blocking plan and the debugger check."""
+def run_blocking(
+    tables: ProjectedTables,
+    debug_top_k: int = 100,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
+) -> BlockingOutcome:
+    """Execute the blocking plan and the debugger check.
+
+    ``workers >= 2`` parallelises the two title blockers (the AE blocker is
+    a hash join, not worth chunking); an ``instrumentation`` handle records
+    per-blocker stage timings and pair counts.
+    """
     ae, overlap, coefficient = make_blockers()
     args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
-    c1 = ae.block_tables(*args, name="C1")
-    c2 = overlap.block_tables(*args, name="C2")
-    c3 = coefficient.block_tables(*args, name="C3")
-    candidates = union_candidates([c1, c2, c3], name="C")
+    kwargs = {"workers": workers, "instrumentation": instrumentation}
+    with stage(instrumentation, "C1:attr_equiv"):
+        c1 = ae.block_tables(*args, name="C1", **kwargs)
+    with stage(instrumentation, "C2:overlap_k3"):
+        c2 = overlap.block_tables(*args, name="C2", **kwargs)
+    with stage(instrumentation, "C3:coefficient"):
+        c3 = coefficient.block_tables(*args, name="C3", **kwargs)
+    with stage(instrumentation, "union"):
+        candidates = union_candidates([c1, c2, c3], name="C")
     # The debugger ranks excluded pairs by the blocking attribute (titles):
     # a pair blocking dropped *because its titles diverge* cannot re-rank
     # high on titles, which is exactly why the paper's check came back

@@ -29,6 +29,7 @@ from ..labeling.labels import LabeledPairs
 from ..matchers.ml_matcher import MLMatcher
 from ..rules.negative import default_negative_rules
 from ..rules.positive import award_project_rule, m1_rule
+from ..runtime.instrument import Instrumentation, stage
 from ..table.ops import concat
 from .blocking_plan import make_blockers
 from .matching import sure_match_pairs, training_labels
@@ -91,6 +92,8 @@ def train_workflow_matcher(
     labels: LabeledPairs,
     feature_set: FeatureSet,
     matcher: MLMatcher,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
 ) -> MLMatcher:
     """Train (a clone of) *matcher* exactly as Section 9 did: drop Unsure
     pairs and the *M1* sure matches, keep the project-number-rule pairs.
@@ -103,9 +106,13 @@ def train_workflow_matcher(
     the sure matches of *both* rules)."""
     sure = sure_match_pairs(candidates)  # M1 only, as in Section 9
     pairs, y = training_labels(labels, sure)
-    matrix = extract_feature_vectors(candidates, feature_set, pairs=pairs)
-    trained = matcher.clone()
-    trained.fit(matrix, y)
+    matrix = extract_feature_vectors(
+        candidates, feature_set, pairs=pairs,
+        workers=workers, instrumentation=instrumentation,
+    )
+    with stage(instrumentation, "fit_matcher"):
+        trained = matcher.clone()
+        trained.fit(matrix, y)
     return trained
 
 
@@ -140,22 +147,34 @@ def run_combined_workflow(
     feature_set: FeatureSet,
     matcher: MLMatcher,
     with_negative_rules: bool = False,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
 ) -> CombinedWorkflowOutcome:
-    """Run the Figure-9 (or, with negative rules, Figure-10) workflow."""
+    """Run the Figure-9 (or, with negative rules, Figure-10) workflow.
+
+    ``workers`` fans the blocking probes and feature extraction of both
+    table slices over a process pool; ``instrumentation`` collects a stage
+    tree (one subtree per slice) renderable via
+    :meth:`~repro.runtime.instrument.Instrumentation.report`.
+    """
     workflow = EMWorkflow(
         name="figure10" if with_negative_rules else "figure9",
         positive_rules=positive_rules(),
         blockers=make_blockers(),
         negative_rules=default_negative_rules() if with_negative_rules else [],
     )
-    original_result = workflow.run(
-        original.umetrics, original.usda, original.l_key, original.r_key,
-        matcher, feature_set,
-    )
-    extra_result = workflow.run(
-        extra.umetrics, extra.usda, extra.l_key, extra.r_key,
-        matcher, feature_set,
-    )
+    with stage(instrumentation, "original_slice"):
+        original_result = workflow.run(
+            original.umetrics, original.usda, original.l_key, original.r_key,
+            matcher, feature_set,
+            workers=workers, instrumentation=instrumentation,
+        )
+    with stage(instrumentation, "extra_slice"):
+        extra_result = workflow.run(
+            extra.umetrics, extra.usda, extra.l_key, extra.r_key,
+            matcher, feature_set,
+            workers=workers, instrumentation=instrumentation,
+        )
     kept_original = [
         p for p in original_result.predicted_matches
         if p not in {f for f, _ in original_result.flipped}

@@ -29,6 +29,7 @@ from ..features.vectors import extract_feature_vectors
 from ..matchers.ml_matcher import MLMatcher
 from ..rules.negative import ComparableMismatchRule, apply_negative_rules
 from ..rules.positive import ExactNumberRule, sure_matches
+from ..runtime.instrument import Instrumentation, count, stage
 from ..table import Table
 
 
@@ -66,7 +67,13 @@ class EMWorkflow:
     negative_rules: list[ComparableMismatchRule] = field(default_factory=list)
 
     def build_candidates(
-        self, ltable: Table, rtable: Table, l_key: str, r_key: str
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> tuple[CandidateSet, CandidateSet, CandidateSet]:
         """Stages 1-3: returns (C1 sure matches, C2 blocked, C = C2 - C1).
 
@@ -76,15 +83,26 @@ class EMWorkflow:
         """
         if not self.blockers and not self.positive_rules:
             raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
-        if self.positive_rules:
-            c1 = sure_matches(
-                self.positive_rules, ltable, rtable, l_key, r_key, name="C1"
-            )
-        else:
-            c1 = CandidateSet(ltable, rtable, l_key, r_key, name="C1")
-        blocked = [b.block_tables(ltable, rtable, l_key, r_key) for b in self.blockers]
+        with stage(instrumentation, "positive_rules"):
+            if self.positive_rules:
+                c1 = sure_matches(
+                    self.positive_rules, ltable, rtable, l_key, r_key, name="C1"
+                )
+            else:
+                c1 = CandidateSet(ltable, rtable, l_key, r_key, name="C1")
+            count(instrumentation, "sure_pairs", len(c1))
+        blocked = []
+        for blocker in self.blockers:
+            with stage(instrumentation, f"block:{blocker.short_name}"):
+                blocked.append(
+                    blocker.block_tables(
+                        ltable, rtable, l_key, r_key,
+                        workers=workers, instrumentation=instrumentation,
+                    )
+                )
         c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
         c = c2.difference(c1, name="C")
+        count(instrumentation, "candidates", len(c2))
         return c1, c2, c
 
     def run(
@@ -95,6 +113,8 @@ class EMWorkflow:
         r_key: str,
         matcher: MLMatcher,
         feature_set: FeatureSet,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
     ) -> WorkflowResult:
         """Run all stages with a *trained* matcher."""
         if not matcher.is_fitted:
@@ -102,10 +122,16 @@ class EMWorkflow:
                 f"workflow {self.name!r} needs a trained matcher; "
                 f"{matcher.name!r} is unfitted"
             )
-        c1, c2, c = self.build_candidates(ltable, rtable, l_key, r_key)
+        c1, c2, c = self.build_candidates(
+            ltable, rtable, l_key, r_key,
+            workers=workers, instrumentation=instrumentation,
+        )
         if len(c):
-            matrix = extract_feature_vectors(c, feature_set)
-            predicted = matcher.predict_matches(matrix)
+            matrix = extract_feature_vectors(
+                c, feature_set, workers=workers, instrumentation=instrumentation
+            )
+            with stage(instrumentation, "predict"):
+                predicted = matcher.predict_matches(matrix)
         else:
             predicted = []
         if self.negative_rules:

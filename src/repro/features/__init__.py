@@ -4,6 +4,7 @@ from .corpus import soft_tfidf_feature
 from .feature import (
     Feature,
     custom_feature,
+    feature_from_spec,
     numeric_feature,
     string_feature,
     token_feature,
@@ -20,6 +21,7 @@ __all__ = [
     "combined_type",
     "custom_feature",
     "extract_feature_vectors",
+    "feature_from_spec",
     "generate_features",
     "numeric_feature",
     "recipes_for",

@@ -36,12 +36,20 @@ NAN = float("nan")
 
 @dataclass(frozen=True)
 class Feature:
-    """A named feature over (left attribute, right attribute)."""
+    """A named feature over (left attribute, right attribute).
+
+    ``spec`` is the feature's structured recipe — enough to rebuild the
+    (closure-based, hence unpicklable) ``function`` in another process via
+    :func:`feature_from_spec`, and to derive variants (e.g. case-insensitive
+    twins) without parsing the name. Features wrapping arbitrary callables
+    have ``spec=None`` and are evaluated in-process only.
+    """
 
     name: str
     l_attr: str
     r_attr: str
     function: PairFunction = field(repr=False)
+    spec: tuple | None = field(default=None, compare=False)
 
     def __call__(self, l_value: Any, r_value: Any) -> float:
         return self.function(l_value, r_value)
@@ -97,6 +105,7 @@ def string_feature(
         l_attr=l_attr,
         r_attr=r_attr,
         function=_guard_missing(fn, casefold),
+        spec=("string", l_attr, r_attr, measure, casefold),
     )
 
 
@@ -125,6 +134,7 @@ def token_feature(
         l_attr=l_attr,
         r_attr=r_attr,
         function=wrapped,
+        spec=("token", l_attr, r_attr, measure, tokenizer_name, casefold),
     )
 
 
@@ -153,7 +163,32 @@ def numeric_feature(l_attr: str, r_attr: str, measure: str) -> Feature:
         l_attr=l_attr,
         r_attr=r_attr,
         function=wrapped,
+        spec=("numeric", l_attr, r_attr, measure),
     )
+
+
+def feature_from_spec(spec: tuple) -> Feature:
+    """Rebuild a feature from its :attr:`Feature.spec` recipe.
+
+    This is how worker processes reconstruct feature functions (which are
+    closures and cannot be pickled) from plain data.
+    """
+    from ..text.tokenizers import TOKENIZERS
+
+    kind = spec[0]
+    if kind == "string":
+        _, l_attr, r_attr, measure, casefold = spec
+        return string_feature(l_attr, r_attr, measure, casefold=casefold)
+    if kind == "token":
+        _, l_attr, r_attr, measure, tokenizer_name, casefold = spec
+        return token_feature(
+            l_attr, r_attr, measure, TOKENIZERS[tokenizer_name], tokenizer_name,
+            casefold=casefold,
+        )
+    if kind == "numeric":
+        _, l_attr, r_attr, measure = spec
+        return numeric_feature(l_attr, r_attr, measure)
+    raise KeyError(f"unknown feature spec kind {kind!r}")
 
 
 def custom_feature(

@@ -114,11 +114,42 @@ def add_case_insensitive_variants(
             continue
         if feature.name.endswith("_ci"):
             continue
-        parts = feature.name[len(f"{feature.l_attr}_{feature.r_attr}_") :]
-        ci_feature = _rebuild_casefolded(feature, parts)
+        ci_feature = _casefolded_variant(feature)
         if ci_feature is not None and ci_feature.name not in set(out.names):
             out.add(ci_feature)
     return out
+
+
+def _casefolded_variant(feature: Feature) -> Feature | None:
+    """The ``_ci`` twin of *feature*, or ``None`` when it has no case to fold.
+
+    The structured :attr:`~repro.features.feature.Feature.spec` recipe is
+    authoritative when present (it survives custom names). Name parsing is
+    only a fallback for hand-built features, and verifies the
+    ``{l_attr}_{r_attr}_`` prefix actually matches before slicing — a
+    custom-named feature must be skipped, not mangled into a garbage
+    measure string.
+    """
+    if feature.spec is not None:
+        kind = feature.spec[0]
+        if kind == "string":
+            _, l_attr, r_attr, measure, casefold = feature.spec
+            if casefold:
+                return None  # already case-insensitive
+            return string_feature(l_attr, r_attr, measure, casefold=True)
+        if kind == "token":
+            _, l_attr, r_attr, measure, tokenizer_name, casefold = feature.spec
+            if casefold:
+                return None
+            return token_feature(
+                l_attr, r_attr, measure, TOKENIZERS[tokenizer_name], tokenizer_name,
+                casefold=True,
+            )
+        return None  # numeric (or future kinds): nothing to casefold
+    prefix = f"{feature.l_attr}_{feature.r_attr}_"
+    if not feature.name.startswith(prefix):
+        return None
+    return _rebuild_casefolded(feature, feature.name[len(prefix):])
 
 
 def _rebuild_casefolded(feature: Feature, measure_part: str) -> Feature | None:

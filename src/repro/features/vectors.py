@@ -5,11 +5,20 @@ into a dense feature matrix, with NaN marking features whose inputs were
 missing. The companion :class:`FeatureMatrix` keeps the pair ids and
 feature names aligned with the rows/columns, which the debugging tools
 need to point back at records.
+
+Extraction is the Section-9 hot path (n pairs x d features Python calls);
+``extract_feature_vectors`` accepts ``workers=`` to spread contiguous
+pair-index chunks over a process pool. Worker processes rebuild the
+feature functions from their :attr:`~repro.features.feature.Feature.spec`
+recipes (the closures themselves do not pickle); features without a spec
+(custom black-box features) force the serial path, which is also the
+fallback whenever the pool cannot run. Parallel results are identical to
+serial ones: same chunk code, concatenated in pair order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
@@ -17,6 +26,9 @@ import numpy as np
 from ..blocking.candidate_set import CandidateSet, Pair
 from ..errors import FeatureError
 from ..ml.impute import MeanImputer
+from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.instrument import Instrumentation, count, stage
+from .feature import feature_from_spec
 from .generate import FeatureSet
 
 
@@ -27,6 +39,11 @@ class FeatureMatrix:
     pairs: list[Pair]
     feature_names: list[str]
     values: np.ndarray
+    #: Lazy pair -> row-index map; built on first ``row_for`` call so the
+    #: matcher-debugging loop stays O(1) per lookup instead of O(n).
+    _row_index: dict[Pair, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.values.shape != (len(self.pairs), len(self.feature_names)):
@@ -39,7 +56,13 @@ class FeatureMatrix:
         return len(self.pairs)
 
     def row_for(self, pair: Pair) -> np.ndarray:
-        index = self.pairs.index(tuple(pair))
+        if self._row_index is None:
+            self._row_index = {tuple(p): i for i, p in enumerate(self.pairs)}
+        try:
+            index = self._row_index[tuple(pair)]
+        except KeyError:
+            # same exception family list.index raised before the dict lookup
+            raise ValueError(f"pair {tuple(pair)!r} is not in the feature matrix") from None
         return self.values[index]
 
     def select_rows(self, indices: Sequence[int]) -> "FeatureMatrix":
@@ -61,20 +84,74 @@ class FeatureMatrix:
         return FeatureMatrix(list(self.pairs), list(self.feature_names), filled)
 
 
+def _extract_chunk(
+    row_pairs: list[tuple[dict[str, Any], dict[str, Any]]],
+    specs: list[tuple],
+) -> np.ndarray:
+    """Compute the sub-matrix for a chunk of record pairs.
+
+    Runs in worker processes: *specs* are rebuilt into live features there.
+    """
+    features = [feature_from_spec(spec) for spec in specs]
+    values = np.empty((len(row_pairs), len(features)))
+    for i, (l_row, r_row) in enumerate(row_pairs):
+        for j, feature in enumerate(features):
+            values[i, j] = feature.from_rows(l_row, r_row)
+    return values
+
+
 def extract_feature_vectors(
     candidates: CandidateSet,
     feature_set: FeatureSet,
     pairs: Sequence[Pair] | None = None,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
 ) -> FeatureMatrix:
-    """Compute the feature matrix for *pairs* (default: all candidates)."""
+    """Compute the feature matrix for *pairs* (default: all candidates).
+
+    ``workers >= 2`` splits the pair list into contiguous index chunks and
+    evaluates them in a process pool; the result is identical to the
+    serial computation (``workers=1``, the default).
+    """
     if pairs is None:
         pairs = candidates.pairs
     pairs = [tuple(p) for p in pairs]
     n, d = len(pairs), len(feature_set)
-    values = np.empty((n, d))
     features = list(feature_set)
-    for i, pair in enumerate(pairs):
-        l_row, r_row = candidates.record_pair(pair)
-        for j, feature in enumerate(features):
-            values[i, j] = feature.from_rows(l_row, r_row)
+    specs = [f.spec for f in features]
+    with stage(instrumentation, "extract_features"):
+        count(instrumentation, "pairs", n)
+        count(instrumentation, "cells", n * d)
+        if workers > 1 and n > 1 and all(spec is not None for spec in specs):
+            values = _extract_parallel(
+                candidates, pairs, specs, workers, instrumentation, d
+            )
+        else:
+            values = np.empty((n, d))
+            for i, pair in enumerate(pairs):
+                l_row, r_row = candidates.record_pair(pair)
+                for j, feature in enumerate(features):
+                    values[i, j] = feature.from_rows(l_row, r_row)
     return FeatureMatrix(pairs=pairs, feature_names=feature_set.names, values=values)
+
+
+def _extract_parallel(
+    candidates: CandidateSet,
+    pairs: list[Pair],
+    specs: list[tuple],
+    workers: int,
+    instrumentation: Instrumentation | None,
+    d: int,
+) -> np.ndarray:
+    ranges = chunk_ranges(len(pairs), workers)
+    payloads = []
+    for start, stop in ranges:
+        row_pairs = [candidates.record_pair(pair) for pair in pairs[start:stop]]
+        payloads.append((row_pairs, specs))
+    executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+    blocks = executor.map(
+        _extract_chunk, payloads, sizes=[stop - start for start, stop in ranges]
+    )
+    if not blocks:
+        return np.empty((0, d))
+    return np.vstack(blocks)

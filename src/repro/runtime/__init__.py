@@ -1,0 +1,41 @@
+"""Parallel, instrumented runtime for the pipeline's hot paths.
+
+Three small pieces, all opt-in:
+
+* :mod:`~repro.runtime.executor` — a chunked process-pool executor whose
+  results are bit-identical to the serial loops it replaces;
+* :mod:`~repro.runtime.cache` — a shared tokenization memo-cache so the
+  Section-7 blockers and down-sampling tokenize each column once;
+* :mod:`~repro.runtime.instrument` — nestable stage timers/counters with a
+  text :class:`~repro.runtime.instrument.StageReport` renderer.
+
+Every public entry point that grew a ``workers=`` / ``instrumentation=``
+argument defaults to ``workers=1, instrumentation=None``, which is the
+pre-runtime behaviour exactly.
+"""
+
+from .cache import CacheStats, TokenCache, get_default_cache
+from .executor import CHUNKS_PER_WORKER, ChunkedExecutor, chunk_ranges
+from .instrument import (
+    ChunkRecord,
+    Instrumentation,
+    StageReport,
+    StageStats,
+    count,
+    stage,
+)
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "CacheStats",
+    "ChunkRecord",
+    "ChunkedExecutor",
+    "Instrumentation",
+    "StageReport",
+    "StageStats",
+    "TokenCache",
+    "chunk_ranges",
+    "count",
+    "get_default_cache",
+    "stage",
+]

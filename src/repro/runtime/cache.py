@@ -1,0 +1,127 @@
+"""Shared tokenization/normalization memo-cache.
+
+Section 7 runs three blockers over the *same* title columns, and
+down-sampling tokenizes them again: four full passes of
+``tokenizer(normalizer(value))`` over identical inputs. :class:`TokenCache`
+memoizes the per-column token sets keyed on
+``(attr, tokenizer, normalizer)``, so a column is tokenized once per
+distinct recipe no matter how many blockers ask.
+
+Tables are held through a :class:`weakref.WeakKeyDictionary`, so cached
+columns die with their table. Caching assumes the idiom the
+:class:`~repro.table.table.Table` engine documents — columns are not
+mutated in place (mutating methods return new tables) — a table whose
+cell lists are edited behind the cache's back must be :meth:`clear`-ed.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..table import Table
+from ..table.column import is_missing
+from ..text.tokenizers import Tokenizer
+
+Normalizer = Callable[[Any], Any]
+#: One cached column: per-row token sets, ``None`` where the cell (or its
+#: normalized form) is missing.
+ColumnTokens = tuple["frozenset[str] | None", ...]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counts of a :class:`TokenCache` (column-level)."""
+
+    hits: int
+    misses: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+
+class TokenCache:
+    """Memo-cache of tokenized columns, shared across blockers."""
+
+    def __init__(self) -> None:
+        self._tables: "weakref.WeakKeyDictionary[Table, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def column_tokens(
+        self,
+        table: Table,
+        attr: str,
+        tokenizer: Tokenizer,
+        normalizer: Normalizer | None = None,
+    ) -> ColumnTokens:
+        """Token sets for every row of ``table[attr]`` (cached).
+
+        The returned tuple is aligned with row indices; missing cells (and
+        cells a normalizer maps to missing) are ``None``.
+        """
+        per_table = self._tables.setdefault(table, {})
+        key = (attr, tokenizer, normalizer)
+        cached = per_table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        out: list[frozenset[str] | None] = []
+        for value in table[attr]:
+            if is_missing(value):
+                out.append(None)
+                continue
+            if normalizer is not None:
+                value = normalizer(value)
+                if is_missing(value):
+                    out.append(None)
+                    continue
+            out.append(frozenset(tokenizer(str(value))))
+        column = tuple(out)
+        per_table[key] = column
+        return column
+
+    def tokens_by_id(
+        self,
+        table: Table,
+        attr: str,
+        key_col: str,
+        tokenizer: Tokenizer,
+        normalizer: Normalizer | None = None,
+    ) -> dict[Any, frozenset[str]]:
+        """``{record id: token set}`` for non-missing, non-empty cells.
+
+        This is exactly the ``_tokens_by_id`` contract the overlap blockers
+        had before caching: rows whose value is missing or tokenizes to
+        nothing are absent. A fresh dict is built per call (callers may
+        mutate it); only the underlying column tokens are shared.
+        """
+        tokens = self.column_tokens(table, attr, tokenizer, normalizer)
+        return {
+            rid: toks
+            for rid, toks in zip(table[key_col], tokens)
+            if toks  # drops None and empty token sets alike
+        }
+
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+    def clear(self) -> None:
+        self._tables = weakref.WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default cache; blockers fall back to this when no explicit
+#: cache is passed, which is what lets independent blocker calls share work.
+_DEFAULT_CACHE = TokenCache()
+
+
+def get_default_cache() -> TokenCache:
+    """The shared process-wide :class:`TokenCache`."""
+    return _DEFAULT_CACHE

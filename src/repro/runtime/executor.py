@@ -1,0 +1,153 @@
+"""Chunked process-pool execution with a bit-identical serial fallback.
+
+The hot paths of the pipeline — blocking probes and feature-vector
+extraction — are embarrassingly parallel over *contiguous chunks* of an
+ordered work list (left-table rows, candidate-pair indices). The executor
+here runs those chunks through :class:`concurrent.futures.ProcessPoolExecutor`
+and concatenates the results in submission order, so the output is exactly
+what the serial loop would produce.
+
+Guarantees:
+
+* ``workers <= 1`` (the default everywhere) never touches multiprocessing —
+  the chunk functions run inline, preserving pre-existing behaviour.
+* Any pool failure — unpicklable payloads (e.g. a lambda blocking
+  predicate), a broken pool, a missing ``fork`` start method — falls back
+  to inline execution of the same chunk functions. Results are therefore
+  identical whether or not the pool engaged.
+* The ``fork`` start method is used when available so children share the
+  parent's interpreter state (including its hash seed, keeping any
+  hash-order-dependent iteration identical across workers).
+
+Chunk functions must be module-level (picklable by qualified name) and must
+receive all state via their payload; they are executed as ``fn(*payload)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from .instrument import Instrumentation
+
+#: Chunks per worker: >1 so a skewed chunk doesn't idle the other workers.
+CHUNKS_PER_WORKER = 4
+
+
+def chunk_ranges(n: int, workers: int, chunks_per_worker: int = CHUNKS_PER_WORKER) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into contiguous ``[start, stop)`` ranges.
+
+    Produces up to ``workers * chunks_per_worker`` near-equal ranges (never
+    empty ones), in order, covering ``range(n)`` exactly. ``n == 0`` yields
+    no ranges; ``workers <= 1`` yields a single range.
+    """
+    if n <= 0:
+        return []
+    if workers <= 1:
+        return [(0, n)]
+    target = min(n, max(1, workers) * max(1, chunks_per_worker))
+    base, extra = divmod(n, target)
+    ranges = []
+    start = 0
+    for i in range(target):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _timed_call(fn: Callable, payload: tuple) -> tuple[Any, float, int]:
+    """Run one chunk, returning (result, seconds, worker pid)."""
+    started = time.perf_counter()
+    result = fn(*payload)
+    return result, time.perf_counter() - started, os.getpid()
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+
+
+class ChunkedExecutor:
+    """Maps a chunk function over payloads, in parallel when asked to.
+
+    Parameters
+    ----------
+    workers:
+        Target process count; ``<= 1`` means strictly serial (no pool, no
+        fallback machinery — the chunk functions run inline).
+    instrumentation:
+        Optional :class:`~repro.runtime.instrument.Instrumentation`; when
+        given, per-chunk durations and worker ids are recorded into the
+        currently open stage, plus ``parallel_fallbacks`` counts when the
+        pool could not be used.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.instrumentation = instrumentation
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence[tuple],
+        sizes: Sequence[int] | None = None,
+    ) -> list[Any]:
+        """``[fn(*p) for p in payloads]``, chunk-parallel when possible.
+
+        *sizes* optionally gives the item count of each payload for
+        instrumentation (defaults to 1 per chunk).
+        """
+        payloads = list(payloads)
+        if sizes is None:
+            sizes = [1] * len(payloads)
+        if not self.parallel or len(payloads) <= 1:
+            return self._run_serial(fn, payloads, sizes)
+        outcomes = self._run_pool(fn, payloads)
+        if outcomes is None:
+            if self.instrumentation is not None:
+                self.instrumentation.count("parallel_fallbacks")
+            return self._run_serial(fn, payloads, sizes)
+        results = []
+        for size, (result, seconds, pid) in zip(sizes, outcomes):
+            if self.instrumentation is not None:
+                self.instrumentation.record_chunk(pid, size, seconds)
+            results.append(result)
+        return results
+
+    def _run_serial(self, fn: Callable, payloads: list[tuple], sizes: Sequence[int]) -> list[Any]:
+        results = []
+        for payload, size in zip(payloads, sizes):
+            result, seconds, pid = _timed_call(fn, payload)
+            if self.instrumentation is not None:
+                self.instrumentation.record_chunk(pid, size, seconds)
+            results.append(result)
+        return results
+
+    def _run_pool(self, fn: Callable, payloads: list[tuple]):
+        """All chunk outcomes in submission order, or ``None`` on failure."""
+        context = _fork_context()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(payloads)),
+                mp_context=context,
+            ) as pool:
+                futures = [pool.submit(_timed_call, fn, p) for p in payloads]
+                return [f.result() for f in futures]
+        except Exception:
+            # Unpicklable payloads, broken pools, sandboxed environments
+            # without process spawning: all degrade to the serial path.
+            return None

@@ -198,6 +198,31 @@ class TestOverlapBlockers:
                     expected.add((i, j))
         assert cs.pair_set() == expected
 
+    def test_overlap_threshold_equal_to_token_count(self):
+        # Prefix-filter edge case: with threshold == len(tokens) the probe
+        # prefix shrinks to a single token (the rarest one). The matching
+        # pair shares *all* tokens, so it must survive even though every
+        # shared token but one sits in the prefix-filter tail. The decoy
+        # rows skew document frequencies so the prefix token is not the
+        # alphabetically-first one.
+        left = Table({"id": [1], "t": ["alpha beta gamma"]}, name="L")
+        right = Table(
+            {
+                "id": [10, 11, 12, 13],
+                "t": [
+                    "alpha beta gamma",
+                    "alpha filler one",
+                    "alpha filler two",
+                    "beta filler three",
+                ],
+            },
+            name="R",
+        )
+        cs = OverlapBlocker("t", "t", threshold=3).block_tables(
+            left, right, "id", "id"
+        )
+        assert cs.pair_set() == {(1, 10)}
+
     def test_coefficient_agrees_with_bruteforce(self):
         rng = np.random.default_rng(4)
         words = [f"w{i}" for i in range(10)]
@@ -267,6 +292,29 @@ class TestCombiner:
     def test_empty_input_rejected(self):
         with pytest.raises(BlockingError):
             union_candidates([])
+
+    def test_union_of_single_set_returns_fresh_copy(self):
+        # regression: combining a single set used to return (and rename!)
+        # the caller's own object
+        left, right = award_tables()
+        a = CandidateSet(left, right, "id", "id", [(1, 10)], name="C2")
+        combined = union_candidates([a], name="C")
+        assert combined is not a
+        assert combined.name == "C"
+        assert a.name == "C2", "input set must keep its name"
+        combined.add((2, 20))
+        assert a.pairs == [(1, 10)], "input pair list must be untouched"
+        assert combined.pairs == [(1, 10), (2, 20)]
+
+    def test_intersection_of_single_set_returns_fresh_copy(self):
+        left, right = award_tables()
+        a = CandidateSet(left, right, "id", "id", [(1, 10), (2, 20)], name="C3")
+        combined = intersect_candidates([a])
+        assert combined is not a
+        assert combined.name == "intersection"
+        assert a.name == "C3"
+        combined.add((3, 30))
+        assert a.pairs == [(1, 10), (2, 20)]
 
     def test_overlap_report(self):
         left, right = award_tables()

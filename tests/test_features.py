@@ -1,6 +1,8 @@
 """Tests for automatic feature generation and feature-vector extraction."""
 
+import dataclasses
 import math
+import time
 
 import numpy as np
 import pytest
@@ -8,6 +10,7 @@ import pytest
 from repro.blocking import CandidateSet
 from repro.errors import FeatureError
 from repro.features import (
+    Feature,
     FeatureMatrix,
     FeatureSet,
     add_case_insensitive_variants,
@@ -142,6 +145,38 @@ class TestGenerateFeatures:
         again = add_case_insensitive_variants(fs)
         assert again.names == fs.names
 
+    def test_ci_variant_for_custom_named_feature(self):
+        # A renamed feature keeps its structured spec, so the CI twin must
+        # be derived from the spec instead of name slicing (which used to
+        # cut "{l}_{r}_" out of a name that never contained it).
+        renamed = dataclasses.replace(
+            string_feature("title", "title", "jaro"), name="my_title_sim"
+        )
+        fs = add_case_insensitive_variants(FeatureSet([renamed]))
+        assert "title_title_jaro_ci" in fs.names
+        folded = fs.get("title_title_jaro_ci")
+        assert folded("ALPHA", "alpha") == 1.0
+
+    def test_ci_variant_name_fallback_for_handbuilt_feature(self):
+        # No spec, but the name follows the "{l}_{r}_{measure}_{tok}"
+        # convention: the verified-prefix parser should still rebuild it.
+        legacy = Feature(name="t_t_jac_ws", l_attr="t", r_attr="t", function=lambda a, b: 1.0)
+        fs = add_case_insensitive_variants(FeatureSet([legacy]))
+        assert "t_t_jac_ws_ci" in fs.names
+        assert fs.get("t_t_jac_ws_ci")("A B", "a b") == 1.0
+
+    def test_handbuilt_feature_with_foreign_name_skipped(self):
+        # Neither spec nor the naming convention: no variant, no mangling.
+        odd = Feature(name="totally_custom", l_attr="t", r_attr="t", function=lambda a, b: 0.5)
+        fs = add_case_insensitive_variants(FeatureSet([odd]))
+        assert fs.names == ["totally_custom"]
+
+    def test_custom_feature_skipped(self):
+        fs = add_case_insensitive_variants(
+            FeatureSet([custom_feature("black_box", "t", "t", lambda a, b: 0.5)])
+        )
+        assert fs.names == ["black_box"]
+
 
 class TestExtraction:
     def make_candidates(self):
@@ -175,6 +210,30 @@ class TestExtraction:
         assert row[0] == matrix.values[0, 0] or np.isnan(row[0])
         sub = matrix.select_rows([1])
         assert sub.pairs == [(2, 20)]
+
+    def test_row_for_agrees_with_positional_indexing(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs)
+        for i, pair in enumerate(matrix.pairs):
+            assert np.array_equal(matrix.row_for(pair), matrix.values[i], equal_nan=True)
+
+    def test_row_for_missing_pair_raises(self):
+        cs, fs = self.make_candidates()
+        matrix = extract_feature_vectors(cs, fs)
+        with pytest.raises(ValueError, match="not in the feature matrix"):
+            matrix.row_for((999, 999))
+
+    def test_row_for_lookup_scales(self):
+        # One lookup per row over a 20k-pair matrix: with the O(n)
+        # list.index scan this took tens of seconds; the lazy index map
+        # keeps it well under the (generous) bound.
+        n = 20_000
+        pairs = [(i, i + n) for i in range(n)]
+        matrix = FeatureMatrix(pairs=pairs, feature_names=["f"], values=np.zeros((n, 1)))
+        start = time.perf_counter()
+        for pair in pairs:
+            matrix.row_for(pair)
+        assert time.perf_counter() - start < 2.0
 
     def test_impute_means(self):
         cs, fs = self.make_candidates()

@@ -1,0 +1,291 @@
+"""Tests for the parallel runtime: executor, token cache, instrumentation.
+
+The parallel-equivalence tests (marked ``parallel``) assert the central
+runtime guarantee — ``workers >= 2`` produces bit-identical results to the
+serial path — over the generated scenario tables. Set ``REPRO_WORKERS=0``
+(or ``1``) to skip them on machines where process pools are unavailable.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.blocking import (
+    OverlapBlocker,
+    OverlapCoefficientBlocker,
+    RuleBasedBlocker,
+    down_sample,
+)
+from repro.features import extract_feature_vectors, generate_features
+from repro.runtime import (
+    ChunkedExecutor,
+    Instrumentation,
+    TokenCache,
+    chunk_ranges,
+)
+from repro.table import Table
+from repro.text import normalize_title, whitespace
+
+WORKERS_AVAILABLE = int(os.environ.get("REPRO_WORKERS", "2"))
+
+needs_workers = pytest.mark.skipif(
+    WORKERS_AVAILABLE < 2,
+    reason="REPRO_WORKERS < 2 disables parallel-equivalence tests",
+)
+
+
+def _square_chunk(values):
+    """Module-level chunk function (picklable for the pool tests)."""
+    return [v * v for v in values]
+
+
+class TestChunkRanges:
+    def test_exact_cover_in_order(self):
+        for n in (1, 2, 7, 100, 1001):
+            for workers in (1, 2, 3, 8):
+                ranges = chunk_ranges(n, workers)
+                assert ranges[0][0] == 0 and ranges[-1][1] == n
+                for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                    assert stop == start
+                assert all(stop > start for start, stop in ranges)
+
+    def test_empty_input(self):
+        assert chunk_ranges(0, 4) == []
+        assert chunk_ranges(-3, 4) == []
+
+    def test_serial_is_single_range(self):
+        assert chunk_ranges(100, 1) == [(0, 100)]
+        assert chunk_ranges(100, 0) == [(0, 100)]
+
+    def test_chunk_count_bounded(self):
+        ranges = chunk_ranges(1000, 4, chunks_per_worker=4)
+        assert len(ranges) == 16
+        assert chunk_ranges(3, 4) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestChunkedExecutor:
+    def payloads(self):
+        return [(list(range(i, i + 3)),) for i in range(0, 12, 3)]
+
+    def test_serial_map(self):
+        executor = ChunkedExecutor(workers=1)
+        results = executor.map(_square_chunk, self.payloads())
+        assert results == [[i * i for i in range(s, s + 3)] for s in (0, 3, 6, 9)]
+
+    @needs_workers
+    def test_parallel_map_matches_serial(self):
+        serial = ChunkedExecutor(workers=1).map(_square_chunk, self.payloads())
+        parallel = ChunkedExecutor(workers=2).map(_square_chunk, self.payloads())
+        assert parallel == serial
+
+    @needs_workers
+    def test_unpicklable_payload_falls_back(self):
+        # lambdas cannot be pickled: the pool fails and the executor must
+        # recompute serially, still returning the right answer.
+        instr = Instrumentation()
+        executor = ChunkedExecutor(workers=2, instrumentation=instr)
+        fn = lambda values: [v + 1 for v in values]  # noqa: E731
+        results = executor.map(fn, [([1, 2],), ([3],)])
+        assert results == [[2, 3], [4]]
+        assert instr.root.counters.get("parallel_fallbacks") == 1
+
+    def test_chunk_records_instrumented(self):
+        instr = Instrumentation()
+        executor = ChunkedExecutor(workers=1, instrumentation=instr)
+        with instr.stage("work"):
+            executor.map(_square_chunk, self.payloads(), sizes=[3, 3, 3, 3])
+        work = instr.find("work")
+        assert len(work.chunks) == 4
+        assert all(c.items == 3 for c in work.chunks)
+
+
+class TestTokenCache:
+    def make_table(self):
+        return Table(
+            {"id": [1, 2, 3], "t": ["Corn Fungicide", None, "   "]}, name="T"
+        )
+
+    def test_hit_and_miss_counting(self):
+        cache = TokenCache()
+        table = self.make_table()
+        first = cache.column_tokens(table, "t", whitespace, normalize_title)
+        second = cache.column_tokens(table, "t", whitespace, normalize_title)
+        assert first is second
+        assert cache.stats().hits == 1 and cache.stats().misses == 1
+
+    def test_distinct_recipes_cached_separately(self):
+        cache = TokenCache()
+        table = self.make_table()
+        cache.column_tokens(table, "t", whitespace, normalize_title)
+        cache.column_tokens(table, "t", whitespace, None)
+        assert cache.stats().misses == 2
+
+    def test_missing_and_empty_cells(self):
+        cache = TokenCache()
+        table = self.make_table()
+        column = cache.column_tokens(table, "t", whitespace, normalize_title)
+        assert column[0] == frozenset({"corn", "fungicide"})
+        assert column[1] is None  # missing cell
+        assert not column[2]  # whitespace-only -> no tokens
+
+    def test_tokens_by_id_drops_tokenless_rows(self):
+        cache = TokenCache()
+        table = self.make_table()
+        by_id = cache.tokens_by_id(table, "t", "id", whitespace, normalize_title)
+        assert set(by_id) == {1}
+        assert by_id[1] == frozenset({"corn", "fungicide"})
+
+    def test_clear(self):
+        cache = TokenCache()
+        table = self.make_table()
+        cache.column_tokens(table, "t", whitespace)
+        cache.clear()
+        assert cache.stats().requests == 0
+        cache.column_tokens(table, "t", whitespace)
+        assert cache.stats().misses == 1
+
+
+class TestInstrumentation:
+    def test_nested_stages_and_counters(self):
+        instr = Instrumentation()
+        with instr.stage("outer"):
+            with instr.stage("inner"):
+                instr.count("pairs", 5)
+            instr.count("pairs", 2)
+        outer = instr.find("outer")
+        inner = instr.find("inner")
+        assert outer.counters == {"pairs": 2}
+        assert inner.counters == {"pairs": 5}
+        assert outer.children == [inner]
+        assert outer.seconds >= inner.seconds >= 0
+
+    def test_counters_without_open_stage_go_to_root(self):
+        instr = Instrumentation()
+        instr.count("loose")
+        assert instr.root.counters == {"loose": 1}
+
+    def test_report_renders_tree(self):
+        instr = Instrumentation()
+        with instr.stage("blocking"):
+            with instr.stage("probe"):
+                instr.count("pairs_out", 42)
+                instr.record_chunk(worker=123, items=10, seconds=0.5)
+        text = str(instr.report(title="demo"))
+        assert "demo" in text
+        assert "blocking" in text
+        assert "probe" in text
+        assert "pairs_out=42" in text
+        assert "chunks=1 workers=1 slowest=0.500s" in text
+
+
+def _num_equal_predicate(l_row, r_row):
+    """Module-level (picklable) rule predicate for the pool tests."""
+    return l_row["num"] is not None and l_row["num"] == r_row["num"]
+
+
+def _rule_tables():
+    """Synthetic tables with many guaranteed equi-join matches."""
+    left = Table(
+        {"id": list(range(120)), "num": [f"N{i % 30}" for i in range(120)]},
+        name="L",
+    )
+    right = Table(
+        {"id": list(range(1000, 1080)), "num": [f"N{i % 40}" for i in range(80)]},
+        name="R",
+    )
+    return left, right
+
+
+@pytest.mark.parallel
+@needs_workers
+class TestParallelEquivalence:
+    """workers >= 2 must reproduce the serial results exactly."""
+
+    @pytest.fixture(scope="class")
+    def tables(self, case_study):
+        return case_study.projected
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_overlap_blocker(self, tables, workers):
+        blocker = OverlapBlocker(
+            "AwardTitle", "AwardTitle", threshold=3, normalizer=normalize_title
+        )
+        args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
+        serial = blocker.block_tables(*args)
+        parallel = blocker.block_tables(*args, workers=workers)
+        assert parallel.pairs == serial.pairs  # same pairs, same order
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_overlap_coefficient_blocker(self, tables, workers):
+        blocker = OverlapCoefficientBlocker(
+            "AwardTitle", "AwardTitle", threshold=0.7, normalizer=normalize_title
+        )
+        args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
+        serial = blocker.block_tables(*args)
+        parallel = blocker.block_tables(*args, workers=workers)
+        assert parallel.pairs == serial.pairs
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_rule_based_blocker_picklable_predicate(self, workers):
+        left, right = _rule_tables()
+        blocker = RuleBasedBlocker(_num_equal_predicate, index_attrs=("num", "num"))
+        serial = blocker.block_tables(left, right, "id", "id")
+        parallel = blocker.block_tables(left, right, "id", "id", workers=workers)
+        assert serial.pairs  # the synthetic tables must actually join
+        assert parallel.pairs == serial.pairs
+
+    def test_rule_based_blocker_lambda_falls_back(self):
+        left, right = _rule_tables()
+        predicate = lambda l, r: l["num"] is not None and l["num"] == r["num"]  # noqa: E731
+        blocker = RuleBasedBlocker(predicate, index_attrs=("num", "num"))
+        serial = blocker.block_tables(left, right, "id", "id")
+        instr = Instrumentation()
+        parallel = blocker.block_tables(left, right, "id", "id", workers=2, instrumentation=instr)
+        assert serial.pairs
+        assert parallel.pairs == serial.pairs
+        # the unpicklable predicate must have forced the serial fallback
+        evaluate = instr.find("evaluate")
+        assert evaluate.counters.get("parallel_fallbacks") == 1
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_feature_extraction(self, tables, workers):
+        blocker = OverlapBlocker(
+            "AwardTitle", "AwardTitle", threshold=3, normalizer=normalize_title
+        )
+        candidates = blocker.block_tables(
+            tables.umetrics, tables.usda, tables.l_key, tables.r_key
+        )
+        fs = generate_features(
+            tables.umetrics, tables.usda, exclude_attrs=[tables.l_key]
+        )
+        serial = extract_feature_vectors(candidates, fs)
+        parallel = extract_feature_vectors(candidates, fs, workers=workers)
+        assert parallel.pairs == serial.pairs
+        assert parallel.feature_names == serial.feature_names
+        assert np.array_equal(parallel.values, serial.values, equal_nan=True)
+
+    def test_down_sample(self, tables):
+        serial = down_sample(
+            tables.umetrics, tables.usda, ["AwardTitle"], b_size=50, a_size=60,
+            rng=np.random.default_rng(11),
+        )
+        parallel = down_sample(
+            tables.umetrics, tables.usda, ["AwardTitle"], b_size=50, a_size=60,
+            rng=np.random.default_rng(11), workers=2,
+        )
+        for s_table, p_table in zip(serial, parallel):
+            assert p_table[tables.l_key] == s_table[tables.l_key]
+
+    def test_instrumented_parallel_blocking_reports_chunks(self, tables):
+        instr = Instrumentation()
+        OverlapBlocker(
+            "AwardTitle", "AwardTitle", threshold=3, normalizer=normalize_title
+        ).block_tables(
+            tables.umetrics, tables.usda, tables.l_key, tables.r_key,
+            workers=2, instrumentation=instr,
+        )
+        probe = instr.find("probe")
+        assert probe is not None and probe.chunks
+        text = str(instr.report())
+        assert "probe" in text and "pairs_out" in text
