@@ -63,7 +63,12 @@ class AttrEquivalenceBlocker(Blocker):
         *,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        store: Any | None = None,
     ) -> CandidateSet:
+        if store is not None:
+            return self._memoized(
+                store, ltable, rtable, l_key, r_key, name, workers, instrumentation
+            )
         # The equi-join is a single hash pass — workers are accepted for
         # interface uniformity but there is nothing worth parallelising.
         del workers

@@ -8,6 +8,8 @@ drop obvious non-matches, never plausible matches.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..errors import BlockingError
 from ..runtime.instrument import Instrumentation
 from ..table import Table
@@ -28,6 +30,11 @@ class Blocker:
     ``instrumentation``
         Optional :class:`~repro.runtime.instrument.Instrumentation` that
         receives stage timings and pair counters.
+    ``store``
+        Optional :class:`~repro.store.store.ArtifactStore`. When given,
+        the blocker is memoized by the content fingerprints of its config
+        and both input tables (see :func:`repro.store.cached_block`);
+        ``None`` (the default) computes unconditionally.
     """
 
     #: Subclasses set this for nicer candidate-set names.
@@ -43,9 +50,41 @@ class Blocker:
         *,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        store: "Any | None" = None,
     ) -> CandidateSet:
         """Produce the candidate set for (ltable, rtable)."""
         raise NotImplementedError
+
+    def _memoized(
+        self,
+        store: "Any",
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        name: str,
+        workers: int,
+        instrumentation: Instrumentation | None,
+    ) -> CandidateSet:
+        """Route ``block_tables`` through an artifact store.
+
+        Imported lazily: ``repro.store`` depends on blocking (codecs build
+        candidate sets), so the dependency must not also run this way at
+        import time.
+        """
+        from ..store.stages import cached_block
+
+        return cached_block(
+            store,
+            self,
+            ltable,
+            rtable,
+            l_key,
+            r_key,
+            name=name,
+            workers=workers,
+            instrumentation=instrumentation,
+        )
 
     def _validate_inputs(
         self, ltable: Table, rtable: Table, l_key: str, r_key: str, attrs: list[tuple[Table, str]]

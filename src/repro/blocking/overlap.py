@@ -108,7 +108,12 @@ class OverlapBlocker(Blocker):
         *,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        store: Any | None = None,
     ) -> CandidateSet:
+        if store is not None:
+            return self._memoized(
+                store, ltable, rtable, l_key, r_key, name, workers, instrumentation
+            )
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )

@@ -57,9 +57,15 @@ class CaseStudyRun:
 
     Stages are cached properties computed on first access, in dependency
     order; a bench that only needs blocking never pays for matching.
+
+    An optional :class:`~repro.store.store.ArtifactStore` makes the run
+    incremental *across processes*: a second run over the same scenario
+    (or a patched variant) reuses every blocking / feature-extraction /
+    prediction artifact whose input fingerprints are unchanged.
     """
 
     config: ScenarioConfig = field(default_factory=ScenarioConfig)
+    store: "object | None" = None
 
     @cached_property
     def scenario(self) -> Scenario:
@@ -83,12 +89,12 @@ class CaseStudyRun:
     # ------------------------------------------------------------ §7
     @cached_property
     def blocking(self) -> BlockingOutcome:
-        return run_blocking(self.projected)
+        return run_blocking(self.projected, store=self.store)
 
     @cached_property
     def blocking_v2(self) -> BlockingOutcome:
         """Blocking over the revised projected tables (same blockers)."""
-        return run_blocking(self.projected_v2)
+        return run_blocking(self.projected_v2, store=self.store)
 
     # ------------------------------------------------------------ §8
     @cached_property
@@ -108,6 +114,7 @@ class CaseStudyRun:
             self.labeling.labels,
             self.projected_v2,
             seed=self.config.seed,
+            store=self.store,
         )
 
     # ------------------------------------------------------------ §10/12
@@ -118,11 +125,13 @@ class CaseStudyRun:
             self.labeling.labels,
             self.matching.feature_set,
             self.matching.matcher,
+            store=self.store,
         )
         return run_combined_workflow(
             self.projected_v2, self.projected_extra,
             self.labeling.labels, self.matching.feature_set, matcher,
             with_negative_rules=False,
+            store=self.store,
         )
 
     @cached_property
@@ -132,11 +141,13 @@ class CaseStudyRun:
             self.labeling.labels,
             self.matching.feature_set,
             self.matching.matcher,
+            store=self.store,
         )
         return run_combined_workflow(
             self.projected_v2, self.projected_extra,
             self.labeling.labels, self.matching.feature_set, matcher,
             with_negative_rules=True,
+            store=self.store,
         )
 
     # ------------------------------------------------------------ §11

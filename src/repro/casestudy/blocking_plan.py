@@ -73,16 +73,18 @@ def run_blocking(
     debug_top_k: int = 100,
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    store=None,
 ) -> BlockingOutcome:
     """Execute the blocking plan and the debugger check.
 
     ``workers >= 2`` parallelises the two title blockers (the AE blocker is
     a hash join, not worth chunking); an ``instrumentation`` handle records
-    per-blocker stage timings and pair counts.
+    per-blocker stage timings and pair counts; a ``store`` memoizes each
+    blocker's candidate set by content fingerprints.
     """
     ae, overlap, coefficient = make_blockers()
     args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
-    kwargs = {"workers": workers, "instrumentation": instrumentation}
+    kwargs = {"workers": workers, "instrumentation": instrumentation, "store": store}
     with stage(instrumentation, "C1:attr_equiv"):
         c1 = ae.block_tables(*args, name="C1", **kwargs)
     with stage(instrumentation, "C2:overlap_k3"):

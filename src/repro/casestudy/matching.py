@@ -100,13 +100,18 @@ def run_matching(
     labels: LabeledPairs,
     tables: ProjectedTables,
     seed: int = 45,
+    store=None,
 ) -> MatchingOutcome:
-    """Execute the full Section-9 pipeline."""
+    """Execute the full Section-9 pipeline.
+
+    A ``store`` memoizes the three feature extractions (training matrix,
+    case-insensitive training matrix, prediction matrix) by content.
+    """
     features = base_feature_set(tables)
     sure = sure_match_pairs(candidates)
     pairs, y = training_labels(labels, sure)
 
-    matrix = extract_feature_vectors(candidates, features, pairs=pairs)
+    matrix = extract_feature_vectors(candidates, features, pairs=pairs, store=store)
     initial_selection = select_matcher(
         default_matchers(seed=seed), matrix, y, n_folds=5, seed=seed
     )
@@ -116,7 +121,9 @@ def run_matching(
 
     # the fix: case-insensitive variants of the title features
     features_ci = add_case_insensitive_variants(features, attrs=["AwardTitle"])
-    matrix_ci = extract_feature_vectors(candidates, features_ci, pairs=pairs)
+    matrix_ci = extract_feature_vectors(
+        candidates, features_ci, pairs=pairs, store=store
+    )
     final_selection = select_matcher(
         default_matchers(seed=seed), matrix_ci, y, n_folds=5, seed=seed
     )
@@ -129,7 +136,7 @@ def run_matching(
     to_predict = candidates.difference(
         candidates.subset(sure, name="sure"), name="C_minus_sure"
     )
-    predict_matrix = extract_feature_vectors(to_predict, features_ci)
+    predict_matrix = extract_feature_vectors(to_predict, features_ci, store=store)
     predicted = matcher.predict_matches(predict_matrix)
 
     matches = list(sure) + [p for p in predicted if p not in set(sure)]

@@ -94,6 +94,7 @@ def train_workflow_matcher(
     matcher: MLMatcher,
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    store=None,
 ) -> MLMatcher:
     """Train (a clone of) *matcher* exactly as Section 9 did: drop Unsure
     pairs and the *M1* sure matches, keep the project-number-rule pairs.
@@ -108,7 +109,7 @@ def train_workflow_matcher(
     pairs, y = training_labels(labels, sure)
     matrix = extract_feature_vectors(
         candidates, feature_set, pairs=pairs,
-        workers=workers, instrumentation=instrumentation,
+        workers=workers, instrumentation=instrumentation, store=store,
     )
     with stage(instrumentation, "fit_matcher"):
         trained = matcher.clone()
@@ -149,13 +150,17 @@ def run_combined_workflow(
     with_negative_rules: bool = False,
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    store=None,
 ) -> CombinedWorkflowOutcome:
     """Run the Figure-9 (or, with negative rules, Figure-10) workflow.
 
     ``workers`` fans the blocking probes and feature extraction of both
     table slices over a process pool; ``instrumentation`` collects a stage
     tree (one subtree per slice) renderable via
-    :meth:`~repro.runtime.instrument.Instrumentation.report`.
+    :meth:`~repro.runtime.instrument.Instrumentation.report`. A ``store``
+    makes the run incremental: re-running with added negative rules (the
+    Figure-10 patch) reuses every blocking, extraction and prediction
+    artifact, since those stages' input fingerprints are unchanged.
     """
     workflow = EMWorkflow(
         name="figure10" if with_negative_rules else "figure9",
@@ -167,13 +172,13 @@ def run_combined_workflow(
         original_result = workflow.run(
             original.umetrics, original.usda, original.l_key, original.r_key,
             matcher, feature_set,
-            workers=workers, instrumentation=instrumentation,
+            workers=workers, instrumentation=instrumentation, store=store,
         )
     with stage(instrumentation, "extra_slice"):
         extra_result = workflow.run(
             extra.umetrics, extra.usda, extra.l_key, extra.r_key,
             matcher, feature_set,
-            workers=workers, instrumentation=instrumentation,
+            workers=workers, instrumentation=instrumentation, store=store,
         )
     kept_original = [
         p for p in original_result.predicted_matches

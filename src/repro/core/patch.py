@@ -15,16 +15,32 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from ..blocking.candidate_set import Pair
+from ..errors import WorkflowError
 from ..labeling.labels import LabeledPairs
+
+
+def _as_pair(value: object) -> Pair:
+    """Coerce to a (left-id, right-id) tuple, rejecting any other arity.
+
+    A 3-tuple in a match set is always a caller bug (a pair zipped with a
+    score, or a raw csv row), and letting it through poisons every
+    downstream set operation — so fail at the merge boundary.
+    """
+    pair = tuple(value)  # type: ignore[arg-type]
+    if len(pair) != 2:
+        raise WorkflowError(
+            f"match pairs must be (left-id, right-id) 2-tuples, got {pair!r}"
+        )
+    return pair
 
 
 def combine_with_precedence(
     old_predictions: Mapping[Pair, int], new_predictions: Mapping[Pair, int]
 ) -> dict[Pair, int]:
     """Merge prediction maps; the *new* workflow wins on overlap."""
-    combined = {tuple(p): int(v) for p, v in old_predictions.items()}
+    combined = {_as_pair(p): int(v) for p, v in old_predictions.items()}
     for pair, value in new_predictions.items():
-        combined[tuple(pair)] = int(value)
+        combined[_as_pair(pair)] = int(value)
     return combined
 
 
@@ -38,7 +54,7 @@ def merge_match_sets(match_sets: Sequence[Iterable[Pair]]) -> list[Pair]:
     merged: list[Pair] = []
     for matches in match_sets:
         for pair in matches:
-            pair = tuple(pair)
+            pair = _as_pair(pair)
             if pair not in seen:
                 seen.add(pair)
                 merged.append(pair)

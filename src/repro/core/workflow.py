@@ -74,32 +74,50 @@ class EMWorkflow:
         r_key: str,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        store=None,
     ) -> tuple[CandidateSet, CandidateSet, CandidateSet]:
         """Stages 1-3: returns (C1 sure matches, C2 blocked, C = C2 - C1).
 
         The sure-match pairs are force-included in C2 (the case study's
         blocking step 1 exists precisely to keep every M1 pair in the
         candidate set) and then carved out of C for prediction.
+
+        With a *store*, the rule pass and every blocker are memoized by
+        the content fingerprints of their inputs — ``cached_block`` is
+        invoked here (not via a blocker kwarg) so third-party blockers
+        whose signatures predate the store still cache.
         """
         if not self.blockers and not self.positive_rules:
             raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
+        if store is not None:
+            from ..store.stages import cached_block, cached_sure_matches
         with stage(instrumentation, "positive_rules"):
-            if self.positive_rules:
+            if not self.positive_rules:
+                c1 = CandidateSet(ltable, rtable, l_key, r_key, name="C1")
+            elif store is not None:
+                c1 = cached_sure_matches(
+                    store, self.positive_rules, ltable, rtable, l_key, r_key,
+                    name="C1", instrumentation=instrumentation,
+                )
+            else:
                 c1 = sure_matches(
                     self.positive_rules, ltable, rtable, l_key, r_key, name="C1"
                 )
-            else:
-                c1 = CandidateSet(ltable, rtable, l_key, r_key, name="C1")
             count(instrumentation, "sure_pairs", len(c1))
         blocked = []
         for blocker in self.blockers:
             with stage(instrumentation, f"block:{blocker.short_name}"):
-                blocked.append(
-                    blocker.block_tables(
+                if store is not None:
+                    result = cached_block(
+                        store, blocker, ltable, rtable, l_key, r_key,
+                        workers=workers, instrumentation=instrumentation,
+                    )
+                else:
+                    result = blocker.block_tables(
                         ltable, rtable, l_key, r_key,
                         workers=workers, instrumentation=instrumentation,
                     )
-                )
+                blocked.append(result)
         c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
         c = c2.difference(c1, name="C")
         count(instrumentation, "candidates", len(c2))
@@ -115,8 +133,14 @@ class EMWorkflow:
         feature_set: FeatureSet,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        store=None,
     ) -> WorkflowResult:
-        """Run all stages with a *trained* matcher."""
+        """Run all stages with a *trained* matcher.
+
+        With a *store*, blocking, feature extraction and prediction are
+        each memoized by input fingerprints, so a patched re-run (say,
+        added negative rules) reuses every unchanged stage.
+        """
         if not matcher.is_fitted:
             raise WorkflowError(
                 f"workflow {self.name!r} needs a trained matcher; "
@@ -124,14 +148,22 @@ class EMWorkflow:
             )
         c1, c2, c = self.build_candidates(
             ltable, rtable, l_key, r_key,
-            workers=workers, instrumentation=instrumentation,
+            workers=workers, instrumentation=instrumentation, store=store,
         )
         if len(c):
             matrix = extract_feature_vectors(
-                c, feature_set, workers=workers, instrumentation=instrumentation
+                c, feature_set,
+                workers=workers, instrumentation=instrumentation, store=store,
             )
             with stage(instrumentation, "predict"):
-                predicted = matcher.predict_matches(matrix)
+                if store is not None:
+                    from ..store.stages import cached_predict
+
+                    predicted = cached_predict(
+                        store, matcher, matrix, instrumentation=instrumentation
+                    )
+                else:
+                    predicted = matcher.predict_matches(matrix)
         else:
             predicted = []
         if self.negative_rules:

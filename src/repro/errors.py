@@ -65,3 +65,12 @@ class WorkflowError(ReproError):
 
 class DatasetError(ReproError):
     """Synthetic scenario generation was given invalid parameters."""
+
+
+class StoreError(ReproError):
+    """The artifact store hit a bad root, unknown kind or corrupt artifact."""
+
+
+class UncacheableError(StoreError):
+    """A pipeline input has no stable fingerprint (e.g. an unregistered
+    callable), so its stage must be computed rather than cached."""

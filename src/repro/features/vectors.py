@@ -106,13 +106,28 @@ def extract_feature_vectors(
     pairs: Sequence[Pair] | None = None,
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    store=None,
 ) -> FeatureMatrix:
     """Compute the feature matrix for *pairs* (default: all candidates).
 
     ``workers >= 2`` splits the pair list into contiguous index chunks and
     evaluates them in a process pool; the result is identical to the
-    serial computation (``workers=1``, the default).
+    serial computation (``workers=1``, the default). With a *store*, the
+    extraction is memoized by the content fingerprints of the base
+    tables, the pair list and the feature-set recipes (lazy import: the
+    store's codecs build :class:`FeatureMatrix` objects from this module).
     """
+    if store is not None:
+        from ..store.stages import cached_extract
+
+        return cached_extract(
+            store,
+            candidates,
+            feature_set,
+            pairs=pairs,
+            workers=workers,
+            instrumentation=instrumentation,
+        )
     if pairs is None:
         pairs = candidates.pairs
     pairs = [tuple(p) for p in pairs]

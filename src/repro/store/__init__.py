@@ -1,0 +1,75 @@
+"""Content-addressed artifact store for incremental workflow re-execution.
+
+Create an :class:`ArtifactStore` over a directory and pass it as the
+opt-in ``store=`` argument of :class:`~repro.core.workflow.EMWorkflow`,
+the blockers, :func:`~repro.features.vectors.extract_feature_vectors` or
+the case-study entry points. Re-running a patched workflow then recomputes
+only the stages whose input fingerprints changed;
+:meth:`ArtifactStore.explain` reports what was reused and why. See
+``docs/store.md``.
+"""
+
+from .codecs import (
+    CANDIDATES,
+    FEATURE_MATRIX,
+    LABELS,
+    MATCHER,
+    PACKAGED_WORKFLOW,
+    PAIR_LIST,
+    ArtifactCodec,
+    CandidateSetCodec,
+    FeatureMatrixCodec,
+    LabeledPairsCodec,
+    MatcherCodec,
+    PackagedWorkflowCodec,
+    PairListCodec,
+)
+from .fingerprint import (
+    CODE_SALT,
+    canonical_bytes,
+    fingerprint_blocker,
+    fingerprint_feature_set,
+    fingerprint_labels,
+    fingerprint_matcher,
+    fingerprint_matrix,
+    fingerprint_pairs,
+    fingerprint_positive_rules,
+    fingerprint_table,
+    fingerprint_value,
+)
+from .stages import cached_block, cached_extract, cached_predict, cached_sure_matches
+from .store import ArtifactStore, StoreEvent, StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEvent",
+    "StoreStats",
+    "ArtifactCodec",
+    "CandidateSetCodec",
+    "FeatureMatrixCodec",
+    "LabeledPairsCodec",
+    "MatcherCodec",
+    "PackagedWorkflowCodec",
+    "PairListCodec",
+    "CANDIDATES",
+    "FEATURE_MATRIX",
+    "LABELS",
+    "MATCHER",
+    "PACKAGED_WORKFLOW",
+    "PAIR_LIST",
+    "CODE_SALT",
+    "canonical_bytes",
+    "fingerprint_value",
+    "fingerprint_table",
+    "fingerprint_blocker",
+    "fingerprint_positive_rules",
+    "fingerprint_feature_set",
+    "fingerprint_pairs",
+    "fingerprint_labels",
+    "fingerprint_matcher",
+    "fingerprint_matrix",
+    "cached_block",
+    "cached_sure_matches",
+    "cached_extract",
+    "cached_predict",
+]

@@ -1,0 +1,243 @@
+"""Stable content fingerprints for pipeline inputs.
+
+A fingerprint is a SHA-256 digest over a *canonical* byte encoding of a
+value — type-tagged and length-prefixed, so ``1``, ``1.0``, ``"1"`` and
+``[1]`` can never collide, dict key order never matters, and the digest of
+a given Table / blocker config / feature set is identical across processes
+and sessions. These digests are the cache keys of the
+:class:`~repro.store.store.ArtifactStore`: a stage is reusable exactly
+when every input fingerprint (plus the code-version salt) is unchanged.
+
+Configured components fingerprint through their *recipes*, not their
+Python objects: blockers via :func:`repro.core.serialize.serialize_blocker`
+(plus the tokenizer registry, which the packaging format does not need but
+a cache key does), feature sets via their
+:attr:`~repro.features.feature.Feature.spec` tuples, matchers via
+:func:`repro.core.serialize.serialize_model`. Anything that cannot be
+reduced to plain data — a custom feature function, an unregistered
+normalizer — raises :class:`~repro.errors.UncacheableError`, and callers
+fall back to computing the stage (never to guessing a key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import UncacheableError, WorkflowError
+from ..table import Table
+
+#: Salt mixed into every store key. Bump when a pipeline stage changes
+#: behaviour without changing its config schema, so stale artifacts from
+#: older code can never be served as current results.
+CODE_SALT = "repro-store/1"
+
+
+# ----------------------------------------------------------------------
+# canonical byte encoding
+# ----------------------------------------------------------------------
+def _walk(obj: Any, out: list[bytes]) -> None:
+    if obj is None:
+        out.append(b"N;")
+    elif obj is True or obj is False:  # before int: bool subclasses int
+        out.append(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, (int, np.integer)):
+        out.append(b"I%d;" % int(obj))
+    elif isinstance(obj, (float, np.floating)):
+        # repr is the shortest exact round-trip form; nan/inf included
+        out.append(b"F" + repr(float(obj)).encode("ascii") + b";")
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out.append(b"S%d:" % len(data))
+        out.append(data)
+    elif isinstance(obj, bytes):
+        out.append(b"X%d:" % len(obj))
+        out.append(obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        header = f"A{arr.dtype.str}{arr.shape}:".encode("ascii")
+        out.append(header)
+        out.append(arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"L%d[" % len(obj))
+        for item in obj:
+            _walk(item, out)
+        out.append(b"]")
+    elif isinstance(obj, dict):
+        out.append(b"D%d{" % len(obj))
+        for key in sorted(obj, key=lambda k: canonical_bytes(k)):
+            _walk(key, out)
+            _walk(obj[key], out)
+        out.append(b"}")
+    elif isinstance(obj, (set, frozenset)):
+        out.append(b"Z%d{" % len(obj))
+        for item in sorted(obj, key=canonical_bytes):
+            _walk(item, out)
+        out.append(b"}")
+    else:
+        raise UncacheableError(
+            f"cannot fingerprint a {type(obj).__name__} value: {obj!r}"
+        )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """The canonical (type-tagged, order-independent) encoding of *obj*."""
+    out: list[bytes] = []
+    _walk(obj, out)
+    return b"".join(out)
+
+
+def fingerprint_value(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of *obj*."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# tables (memoized — fingerprinting a full table walks every cell)
+# ----------------------------------------------------------------------
+_TABLE_MEMO: "weakref.WeakKeyDictionary[Table, str]" = weakref.WeakKeyDictionary()
+
+
+def fingerprint_table(table: Table) -> str:
+    """Content fingerprint of a table: column names, order and every cell.
+
+    The table *name* is deliberately excluded — the store is
+    content-addressed, and renaming a table must not invalidate artifacts.
+    The digest is memoized per table object under the same immutability
+    idiom the :class:`~repro.runtime.cache.TokenCache` documents (mutating
+    methods return new tables); a table whose cell lists are edited in
+    place behind the memo must go through a fresh object.
+    """
+    cached = _TABLE_MEMO.get(table)
+    if cached is None:
+        payload = {
+            "columns": table.columns,
+            "cells": [table[c] for c in table.columns],
+        }
+        cached = fingerprint_value(payload)
+        _TABLE_MEMO[table] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# callables go through registries — identity of code, not of objects
+# ----------------------------------------------------------------------
+def _tokenizer_name(fn: Any) -> str:
+    from ..text.tokenizers import TOKENIZERS
+
+    for name, candidate in TOKENIZERS.items():
+        if candidate is fn:
+            return name
+    raise UncacheableError(f"tokenizer {fn!r} is not in the TOKENIZERS registry")
+
+
+def _extractor_name(fn: Any) -> str:
+    from ..rules.positive import _identity
+    from ..text.patterns import award_number_suffix
+
+    registry = {_identity: "identity", award_number_suffix: "award_number_suffix"}
+    try:
+        return registry[fn]
+    except (KeyError, TypeError):
+        raise UncacheableError(
+            f"rule extractor {fn!r} is not a registered extractor"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# pipeline components
+# ----------------------------------------------------------------------
+def fingerprint_blocker(blocker: Any) -> str:
+    """Fingerprint a blocker's full configuration.
+
+    Reuses the :mod:`repro.core.serialize` packaging recipe, extended with
+    the tokenizer's registry name (two overlap blockers differing only in
+    tokenizer must not share a cache key, even though the packaging format
+    pins the default tokenizer and does not record it).
+    """
+    from ..core.serialize import serialize_blocker
+
+    try:
+        config = serialize_blocker(blocker)
+    except WorkflowError as exc:
+        raise UncacheableError(str(exc)) from exc
+    tokenizer = getattr(blocker, "tokenizer", None)
+    if tokenizer is not None:
+        config["tokenizer"] = _tokenizer_name(tokenizer)
+    return fingerprint_value(config)
+
+
+def fingerprint_positive_rules(rules: Iterable[Any]) -> str:
+    """Fingerprint a list of :class:`~repro.rules.positive.ExactNumberRule`."""
+    specs = []
+    for rule in rules:
+        specs.append(
+            {
+                "name": rule.name,
+                "l_attr": rule.l_attr,
+                "r_attr": rule.r_attr,
+                "l_extract": _extractor_name(rule.l_extract),
+                "r_extract": _extractor_name(rule.r_extract),
+            }
+        )
+    return fingerprint_value(specs)
+
+
+def fingerprint_feature_set(feature_set: Iterable[Any]) -> str:
+    """Fingerprint a feature set via the structured spec recipes."""
+    specs = []
+    for feature in feature_set:
+        if feature.spec is None:
+            raise UncacheableError(
+                f"feature {feature.name!r} wraps a custom function (no spec recipe)"
+            )
+        specs.append([feature.name, list(feature.spec)])
+    return fingerprint_value(specs)
+
+
+def fingerprint_pairs(pairs: Sequence[Any]) -> str:
+    """Fingerprint an ordered list of (left-id, right-id) pairs."""
+    return fingerprint_value([list(p) for p in pairs])
+
+
+def fingerprint_labels(labels: Any) -> str:
+    """Fingerprint a :class:`~repro.labeling.labels.LabeledPairs` store."""
+    return fingerprint_value(
+        [[list(pair), label.value] for pair, label in labels.items()]
+    )
+
+
+def fingerprint_matcher(matcher: Any) -> str:
+    """Fingerprint a *fitted* ML matcher (model structure + imputer means)."""
+    from ..core.serialize import serialize_model
+
+    if not matcher.is_fitted:
+        raise UncacheableError(
+            f"matcher {matcher.name!r} is unfitted; only trained matchers fingerprint"
+        )
+    try:
+        model = serialize_model(matcher.model)
+    except WorkflowError as exc:
+        raise UncacheableError(str(exc)) from exc
+    return fingerprint_value(
+        {
+            "name": matcher.name,
+            "model": model,
+            "imputer_means": [float(v) for v in matcher._imputer._means],
+            "features": list(matcher._feature_names or []),
+        }
+    )
+
+
+def fingerprint_matrix(matrix: Any) -> str:
+    """Fingerprint a :class:`~repro.features.vectors.FeatureMatrix` by content."""
+    return fingerprint_value(
+        {
+            "pairs": [list(p) for p in matrix.pairs],
+            "features": list(matrix.feature_names),
+            "values": matrix.values,
+        }
+    )

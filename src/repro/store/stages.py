@@ -1,0 +1,206 @@
+"""Store-backed wrappers for the cacheable pipeline stages.
+
+Each ``cached_*`` function mirrors one expensive stage — blocking, sure
+matches, feature extraction, prediction — and is what the pipeline calls
+when a :class:`~repro.store.store.ArtifactStore` is supplied. The wrapper
+fingerprints the stage's inputs, asks the store to memoize, and falls back
+to plain computation (recorded as a *bypass*, never an error) whenever an
+input has no stable fingerprint.
+
+The pipeline modules import this module lazily inside their functions:
+``core.serialize`` imports the blockers and workflow at module level, so
+the store package may depend on them but not the other way around.
+
+``workers`` is deliberately **excluded** from every cache key: the
+chunked executor guarantees parallel results are bit-identical to serial
+ones, so a stage computed with 8 workers is the same artifact as one
+computed with 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import UncacheableError
+from ..features.vectors import extract_feature_vectors
+from ..rules.positive import sure_matches
+from ..runtime.instrument import Instrumentation
+from .codecs import CANDIDATES, FEATURE_MATRIX, PAIR_LIST
+from .fingerprint import (
+    fingerprint_blocker,
+    fingerprint_feature_set,
+    fingerprint_matcher,
+    fingerprint_matrix,
+    fingerprint_pairs,
+    fingerprint_positive_rules,
+    fingerprint_table,
+    fingerprint_value,
+)
+from .store import ArtifactStore
+
+
+def _table_label(table: Any, fallback: str) -> str:
+    return getattr(table, "name", "") or fallback
+
+
+def cached_block(
+    store: ArtifactStore,
+    blocker: Any,
+    ltable: Any,
+    rtable: Any,
+    l_key: str,
+    r_key: str,
+    *,
+    name: str = "",
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
+) -> Any:
+    """Run (or reuse) ``blocker.block_tables`` through the store."""
+    label = (
+        f"block:{blocker.short_name}:"
+        f"{_table_label(ltable, 'ltable')}|{_table_label(rtable, 'rtable')}"
+    )
+    try:
+        parts = {
+            "blocker": fingerprint_blocker(blocker),
+            "ltable": fingerprint_table(ltable),
+            "rtable": fingerprint_table(rtable),
+            "keys": fingerprint_value((l_key, r_key)),
+        }
+    except UncacheableError as exc:
+        store.bypass(label, str(exc), instrumentation)
+        return blocker.block_tables(
+            ltable,
+            rtable,
+            l_key,
+            r_key,
+            name=name,
+            workers=workers,
+            instrumentation=instrumentation,
+        )
+    return store.memoize(
+        "candidates",
+        label,
+        parts,
+        lambda: blocker.block_tables(
+            ltable,
+            rtable,
+            l_key,
+            r_key,
+            name=name,
+            workers=workers,
+            instrumentation=instrumentation,
+        ),
+        CANDIDATES,
+        instrumentation=instrumentation,
+        context={"ltable": ltable, "rtable": rtable, "name": name},
+    )
+
+
+def cached_sure_matches(
+    store: ArtifactStore,
+    rules: Sequence[Any],
+    ltable: Any,
+    rtable: Any,
+    l_key: str,
+    r_key: str,
+    *,
+    name: str = "sure_matches",
+    instrumentation: Instrumentation | None = None,
+) -> Any:
+    """Run (or reuse) the positive-rule pass through the store."""
+    label = (
+        f"sure_matches:{_table_label(ltable, 'ltable')}|"
+        f"{_table_label(rtable, 'rtable')}"
+    )
+    try:
+        parts = {
+            "rules": fingerprint_positive_rules(rules),
+            "ltable": fingerprint_table(ltable),
+            "rtable": fingerprint_table(rtable),
+            "keys": fingerprint_value((l_key, r_key)),
+        }
+    except UncacheableError as exc:
+        store.bypass(label, str(exc), instrumentation)
+        return sure_matches(rules, ltable, rtable, l_key, r_key, name=name)
+    return store.memoize(
+        "candidates",
+        label,
+        parts,
+        lambda: sure_matches(rules, ltable, rtable, l_key, r_key, name=name),
+        CANDIDATES,
+        instrumentation=instrumentation,
+        context={"ltable": ltable, "rtable": rtable, "name": name},
+    )
+
+
+def cached_extract(
+    store: ArtifactStore,
+    candidates: Any,
+    feature_set: Any,
+    *,
+    pairs: Sequence[Any] | None = None,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
+) -> Any:
+    """Run (or reuse) feature-vector extraction through the store."""
+    label = f"extract:{candidates.name or 'candidates'}"
+    key_pairs = list(candidates.pairs) if pairs is None else [tuple(p) for p in pairs]
+    try:
+        parts = {
+            "ltable": fingerprint_table(candidates.ltable),
+            "rtable": fingerprint_table(candidates.rtable),
+            "keys": fingerprint_value((candidates.l_key, candidates.r_key)),
+            "pairs": fingerprint_pairs(key_pairs),
+            "features": fingerprint_feature_set(feature_set),
+        }
+    except UncacheableError as exc:
+        store.bypass(label, str(exc), instrumentation)
+        return extract_feature_vectors(
+            candidates,
+            feature_set,
+            pairs=pairs,
+            workers=workers,
+            instrumentation=instrumentation,
+        )
+    return store.memoize(
+        "feature_matrix",
+        label,
+        parts,
+        lambda: extract_feature_vectors(
+            candidates,
+            feature_set,
+            pairs=pairs,
+            workers=workers,
+            instrumentation=instrumentation,
+        ),
+        FEATURE_MATRIX,
+        instrumentation=instrumentation,
+    )
+
+
+def cached_predict(
+    store: ArtifactStore,
+    matcher: Any,
+    matrix: Any,
+    *,
+    instrumentation: Instrumentation | None = None,
+) -> list:
+    """Run (or reuse) ``matcher.predict_matches`` through the store."""
+    label = f"predict:{matcher.name}"
+    try:
+        parts = {
+            "matrix": fingerprint_matrix(matrix),
+            "matcher": fingerprint_matcher(matcher),
+        }
+    except UncacheableError as exc:
+        store.bypass(label, str(exc), instrumentation)
+        return matcher.predict_matches(matrix)
+    return store.memoize(
+        "pairs",
+        label,
+        parts,
+        lambda: matcher.predict_matches(matrix),
+        PAIR_LIST,
+        instrumentation=instrumentation,
+    )

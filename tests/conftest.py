@@ -10,6 +10,16 @@ from repro.datasets import ScenarioConfig, generate_scenario
 from repro.table import Table
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ snapshots instead of asserting "
+        "against them (review the diff before committing)",
+    )
+
+
 def small_config(seed: int = 45) -> ScenarioConfig:
     """A ~5x-downsized scenario with the same structure as the default."""
     return ScenarioConfig(

@@ -127,6 +127,22 @@ class TestPatching:
         merged = merge_match_sets([[(1, 2), (3, 4)], [(3, 4), (5, 6)]])
         assert merged == [(1, 2), (3, 4), (5, 6)]
 
+    def test_merge_match_sets_rejects_non_pairs(self):
+        # a 3-tuple (e.g. a pair zipped with a score) must fail loudly
+        with pytest.raises(WorkflowError, match="2-tuples"):
+            merge_match_sets([[(1, 2)], [(3, 4, 0.9)]])
+        with pytest.raises(WorkflowError, match="2-tuples"):
+            merge_match_sets([[(1,)]])
+
+    def test_merge_match_sets_accepts_list_pairs(self):
+        assert merge_match_sets([[[1, 2]], [(1, 2)]]) == [(1, 2)]
+
+    def test_precedence_rejects_non_pairs(self):
+        with pytest.raises(WorkflowError, match="2-tuples"):
+            combine_with_precedence({(1, 2, 3): 1}, {})
+        with pytest.raises(WorkflowError, match="2-tuples"):
+            combine_with_precedence({}, {(1, 2, 3): 1})
+
     def test_label_reuse_full(self):
         labels = LabeledPairs([((1, 2), Label.YES), ((3, 4), Label.NO)])
         report = label_reuse(labels, [(1, 2), (3, 4), (5, 6)])
