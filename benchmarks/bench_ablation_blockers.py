@@ -46,6 +46,8 @@ def test_ablation_single_blockers_vs_union(benchmark, run, emit_report):
     emit_report(
         "ablation_blockers",
         render_report("Ablation A1 — single blockers vs union", rows),
+        rows=rows,
+        data={"recalls": recalls},
     )
 
     union_recall = recalls["C1 ∪ C2 ∪ C3 (the paper's plan)"]

@@ -49,6 +49,8 @@ def test_ablation_case_insensitive_features(benchmark, run, emit_report):
     emit_report(
         "ablation_case_features",
         render_report("Ablation A2 — case handling in features", rows),
+        rows=rows,
+        data={"best_cv_f1": best},
     )
 
     # the paper's fix should not lose to the case-sensitive baseline

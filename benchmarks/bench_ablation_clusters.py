@@ -50,6 +50,7 @@ def test_ablation_record_vs_cluster_level(benchmark, run, emit_report):
     emit_report(
         "ablation_clusters",
         render_report("Ablation A4 — record vs cluster level", rows),
+        rows=rows,
     )
 
     # the paper's reading: one-to-many exists but record-level remains usable

@@ -49,6 +49,7 @@ def test_ablation_rules_vs_learning_vs_hybrid(benchmark, run, emit_report):
     emit_report(
         "ablation_hybrid",
         render_report("Ablation A3 — rules vs learning vs hybrid", rows),
+        rows=rows,
     )
 
     iris = quality["rules only (IRIS)"]

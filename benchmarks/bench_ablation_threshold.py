@@ -64,6 +64,7 @@ def test_ablation_threshold_vs_rules(benchmark, run, emit_report):
     emit_report(
         "ablation_threshold",
         render_report("Ablation A5 — threshold tuning vs negative rules", rows),
+        rows=rows,
     )
 
     # shape: tuning can push precision up but at a recall price on the

@@ -52,7 +52,8 @@ def test_fig2_raw_table_sizes(benchmark, run, emit_report):
         ReportRow("extra UMETRICS records (Sec. 10)", 496, scenario.extra_award_agg.num_rows)
     )
     assert scenario.extra_award_agg.num_rows == 496
-    emit_report("fig2_raw_tables", render_report("Figure 2 — raw table summary", rows))
+    emit_report("fig2_raw_tables", render_report("Figure 2 — raw table summary", rows),
+                rows=rows)
     # the Figure-2 style summary table renders for all seven tables
     summary = summarize_tables(
         [getattr(scenario, attr) for attr, *_ in FIGURE2]

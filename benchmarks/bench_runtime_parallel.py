@@ -55,6 +55,7 @@ def test_runtime_parallel(run, emit_report):
     assert parallel_block.candidates.pairs == serial_block.candidates.pairs
     assert parallel_block.c2.pairs == serial_block.c2.pairs
     assert parallel_block.c3.pairs == serial_block.c3.pairs
+    timings = {"blocking_serial": serial_s, "blocking_parallel": parallel_s}
     lines += [
         f"blocking   serial={serial_s:.3f}s  parallel={parallel_s:.3f}s  "
         f"speedup={serial_s / parallel_s:.2f}x  |C|={len(parallel_block.candidates)}",
@@ -71,6 +72,7 @@ def test_runtime_parallel(run, emit_report):
     )
     assert parallel_matrix.pairs == serial_matrix.pairs
     assert np.array_equal(parallel_matrix.values, serial_matrix.values, equal_nan=True)
+    timings.update(extraction_serial=serial_s, extraction_parallel=parallel_s)
     lines += [
         f"extraction serial={serial_s:.3f}s  parallel={parallel_s:.3f}s  "
         f"speedup={serial_s / parallel_s:.2f}x  "
@@ -84,4 +86,7 @@ def test_runtime_parallel(run, emit_report):
         "",
         str(feat_instr.report()),
     ]
-    emit_report("runtime_parallel", "\n".join(lines))
+    emit_report(
+        "runtime_parallel", "\n".join(lines),
+        data={"workers": WORKERS, **timings},
+    )

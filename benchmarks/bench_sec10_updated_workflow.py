@@ -61,6 +61,7 @@ def test_sec10_updated_workflow(benchmark, run, emit_report):
     emit_report(
         "sec10_updated_workflow",
         render_report("Section 10 — revised definition + extra data (Figure 9)", rows),
+        rows=rows,
     )
 
     # shape assertions

@@ -47,6 +47,7 @@ def test_sec11_accuracy_estimation(benchmark, run, emit_report):
         "sec11_accuracy",
         render_report("Section 11 — Corleone accuracy estimation", rows)
         + "\n\n" + outcome.table(stage) + "\n\n" + outcome.table(first),
+        rows=rows,
     )
 
     # the paper's qualitative findings

@@ -57,6 +57,7 @@ def test_sec12_negative_rules(benchmark, run, emit_report):
     emit_report(
         "sec12_negative_rules",
         render_report("Section 12 — negative rules (Figure 10)", rows),
+        rows=rows,
     )
 
     # the paper's crossover structure, asserted on exact ground truth

@@ -55,6 +55,7 @@ def test_sec12_packaging_roundtrip(benchmark, run, emit_report, tmp_path):
     emit_report(
         "sec12_packaging",
         render_report("Section 12 next steps — workflow packaging", rows),
+        rows=rows,
     )
 
     assert set(replayed.matches) == set(development.matches), (

@@ -40,7 +40,8 @@ def test_sec6_preprocess(benchmark, run, emit_report):
     ]
     for name, overlap in overlaps.items():
         rows.append(ReportRow(f"value overlap: {name}", 0.0, overlap))
-    emit_report("sec6_preprocess", render_report("Section 6 — pre-processing", rows))
+    emit_report("sec6_preprocess", render_report("Section 6 — pre-processing", rows),
+                rows=rows)
 
     assert projected.umetrics.columns == PAPER_UMETRICS_SCHEMA
     assert projected.usda.columns == PAPER_USDA_SCHEMA

@@ -53,7 +53,15 @@ def test_sec7_blocking(benchmark, run, emit_report):
         f"serial={serial_s:.3f}s  workers=2: {parallel_s:.3f}s\n\n"
         + str(instr.report())
     )
-    emit_report("sec7_blocking", text)
+    emit_report(
+        "sec7_blocking", text,
+        rows=rows,
+        data={
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "threshold_sweep": {str(k): v for k, v in sweep.items()},
+        },
+    )
 
     # shape assertions (the paper's qualitative structure)
     assert sweep[1] > 50 * sweep[3] > 0, "K=1 must explode relative to K=3"

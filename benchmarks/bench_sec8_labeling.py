@@ -35,7 +35,8 @@ def test_sec8_labeling(benchmark, run, emit_report):
                   PAPER_LABELING["round1_updated"], outcome.labels_updated_after_meeting),
         ReportRow("LOO discrepancy buckets", "D1/D2/D3", str(outcome.discrepancy_buckets)),
     ]
-    emit_report("sec8_labeling", render_report("Section 8 — sampling & labeling", rows))
+    emit_report("sec8_labeling", render_report("Section 8 — sampling & labeling", rows),
+                rows=rows)
 
     assert counts.total == 300
     # shape: a usable minority of positives, a small Unsure tail

@@ -76,7 +76,14 @@ def test_sec9_matching(benchmark, run, emit_report):
         f"serial={serial_s:.3f}s  workers=2: {parallel_s:.3f}s\n\n"
         + str(instr.report())
     )
-    emit_report("sec9_matching", text)
+    emit_report(
+        "sec9_matching", text,
+        rows=rows,
+        data={
+            "extract_serial_seconds": serial_s,
+            "extract_parallel_seconds": parallel_s,
+        },
+    )
 
     assert len(outcome.initial_selection.scores) == 6
     assert best.f1 > 0.5

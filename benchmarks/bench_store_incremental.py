@@ -65,7 +65,16 @@ def test_store_incremental_patch_replay(benchmark, run, tmp_path, emit_report):
         "",
         warm_store.explain(title="warm-replay reuse ledger"),
     ]
-    emit_report("store_incremental", "\n".join(lines))
+    emit_report(
+        "store_incremental", "\n".join(lines),
+        data={
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "cold_hits": cold_stats.hits, "cold_misses": cold_stats.misses,
+            "warm_hits": warm_stats.hits, "warm_misses": warm_stats.misses,
+        },
+    )
 
     # the patch replay reuses EVERY artifact: blocking, sure-match rules,
     # feature extraction and prediction all have unchanged fingerprints

@@ -6,17 +6,21 @@ shared :class:`~repro.casestudy.CaseStudyRun` and the per-bench timing
 wraps the stage-specific recomputation.
 
 Every bench writes its paper-vs-measured report to
-``benchmarks/out/<name>.txt`` *and* prints it (run pytest with ``-s`` to
-see reports inline).
+``benchmarks/out/<name>.txt`` *and* a machine-readable
+``benchmarks/out/<name>.json`` (schema:
+:func:`repro.obs.manifest.benchmark_result`) *and* prints it (run pytest
+with ``-s`` to see reports inline).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.casestudy import CaseStudyRun
+from repro.obs import benchmark_result
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -29,11 +33,21 @@ def run() -> CaseStudyRun:
 
 @pytest.fixture(scope="session")
 def emit_report():
-    """Write a report to benchmarks/out/ and echo it to stdout."""
+    """Write a report to benchmarks/out/ and echo it to stdout.
+
+    ``rows`` (paper-vs-measured ReportRows) and ``data`` (free-form
+    headline numbers) land in the JSON sidecar; the text report stays the
+    human-readable artifact.
+    """
     OUT_DIR.mkdir(exist_ok=True)
 
-    def emit(name: str, text: str) -> None:
+    def emit(name: str, text: str, rows=None, data=None) -> None:
         (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        payload = benchmark_result(name, rows=rows, data=data)
+        (OUT_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
         print(f"\n{text}\n")
 
     return emit

@@ -5,9 +5,14 @@ Commands
 ``casestudy``   run the end-to-end case study and print each stage's summary
 ``release``     generate the synthetic data bundle as CSV files
 ``profile``     profile the raw tables (the Section-4 exploration report)
+``trace``       inspect telemetry: ``trace summary`` (hotspots + flamegraph
+                from a JSONL trace), ``trace diff`` (two run manifests)
 
 Common options: ``--seed N`` (default 45), ``--small`` (a ~5x downsized
 scenario that runs in well under a minute), ``--out DIR`` (for release).
+``casestudy`` additionally takes ``--trace PATH`` (write a JSONL trace),
+``--manifest PATH`` (write a RunManifest JSON, implies provenance
+collection) and ``--workers N``.
 """
 
 from __future__ import annotations
@@ -35,7 +40,22 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
 
 
 def _cmd_casestudy(args: argparse.Namespace) -> int:
-    run = CaseStudyRun(config=_config(args))
+    trace_path = getattr(args, "trace", None)
+    manifest_path = getattr(args, "manifest", None)
+    workers = getattr(args, "workers", 1)
+    instrumentation = None
+    writer = None
+    if trace_path is not None or manifest_path is not None:
+        from .obs import TraceWriter, TracingInstrumentation
+
+        writer = TraceWriter(trace_path) if trace_path is not None else None
+        instrumentation = TracingInstrumentation(writer=writer)
+    run = CaseStudyRun(
+        config=_config(args),
+        workers=workers,
+        instrumentation=instrumentation,
+        provenance=manifest_path is not None,
+    )
     print("== Section 7, blocking ==")
     print(run.blocking.summary())
     print("\n== Section 8, labeling ==")
@@ -57,6 +77,16 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         ("learning+rules", run.final_workflow.matches),
     ):
         print(f"  {name:<15} {evaluate_matches(matches, truth)}")
+    if manifest_path is not None:
+        from .obs import RunManifest
+
+        run.monitoring  # one §12 monitoring round, recorded in the manifest
+        manifest = RunManifest.from_case_study(run)
+        manifest.write(manifest_path)
+        print(f"\nwrote run manifest to {manifest_path}")
+    if writer is not None:
+        writer.close()
+        print(f"wrote trace to {trace_path}")
     return 0
 
 
@@ -79,6 +109,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.cli import cmd_trace_diff, cmd_trace_summary
+
+    if args.trace_command == "summary":
+        return cmd_trace_summary(args.trace, top=args.top)
+    return cmd_trace_diff(args.old, args.new, strict_counts=args.strict_counts)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    # Mirrored on each subparser so `repro casestudy --small` works too;
+    # SUPPRESS keeps an omitted flag from clobbering the top-level value.
+    parser.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    parser.add_argument("--small", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="use a ~5x downsized scenario")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="UMETRICS entity-matching case study"
@@ -87,15 +134,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--small", action="store_true",
                         help="use a ~5x downsized scenario")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("casestudy", help="run the end-to-end case study")
+    casestudy = sub.add_parser("casestudy", help="run the end-to-end case study")
+    _add_common(casestudy)
+    casestudy.add_argument("--trace", metavar="PATH",
+                           help="write a JSONL stage trace to PATH")
+    casestudy.add_argument("--manifest", metavar="PATH",
+                           help="write a RunManifest JSON to PATH "
+                                "(implies provenance collection)")
+    casestudy.add_argument("--workers", type=int, default=1,
+                           help="process-pool width for the hot stages")
     release = sub.add_parser("release", help="export the data bundle as CSVs")
+    _add_common(release)
     release.add_argument("--out", default="umetrics_release")
-    sub.add_parser("profile", help="profile the raw tables")
+    profile = sub.add_parser("profile", help="profile the raw tables")
+    _add_common(profile)
+    trace = sub.add_parser("trace", help="inspect traces and run manifests")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summary = trace_sub.add_parser(
+        "summary", help="hotspot table + flamegraph from a JSONL trace"
+    )
+    summary.add_argument("trace", help="path to a JSONL trace file")
+    summary.add_argument("--top", type=int, default=15,
+                         help="rows in the hotspot table")
+    diff = trace_sub.add_parser(
+        "diff", help="compare two run manifests stage by stage"
+    )
+    diff.add_argument("old", help="baseline manifest JSON")
+    diff.add_argument("new", help="candidate manifest JSON")
+    diff.add_argument("--strict-counts", action="store_true",
+                      help="exit nonzero when headline counts differ")
     args = parser.parse_args(argv)
     handlers = {
         "casestudy": _cmd_casestudy,
         "release": _cmd_release,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

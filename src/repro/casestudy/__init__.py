@@ -15,6 +15,7 @@ from ..blocking.candidate_set import Pair
 from ..datasets.iris import iris_matcher
 from ..datasets.scenario import Scenario, ScenarioConfig, generate_scenario
 from ..labeling.oracle import ExpertOracle
+from ..runtime.instrument import Instrumentation, stage
 from .accuracy import AccuracyOutcome, run_accuracy_estimation
 from .blocking_plan import BlockingOutcome, run_blocking, threshold_sweep
 from .matching import MatchingOutcome, base_feature_set, run_matching
@@ -62,93 +63,136 @@ class CaseStudyRun:
     incremental *across processes*: a second run over the same scenario
     (or a patched variant) reuses every blocking / feature-extraction /
     prediction artifact whose input fingerprints are unchanged.
+
+    Telemetry is equally optional: an ``instrumentation`` handle (plain
+    or a :class:`~repro.obs.trace.TracingInstrumentation`) collects one
+    stage subtree per section — each stage property materializes its
+    dependencies *before* opening its own stage, so the tree shape does
+    not depend on which property is accessed first — ``workers`` fans the
+    hot paths over a process pool, and ``provenance=True`` records
+    per-pair match lineage on the updated/final workflows (see
+    :meth:`~repro.casestudy.CombinedWorkflowOutcome.explain_pair`). A
+    finished run serializes to a machine-readable record via
+    :meth:`repro.obs.manifest.RunManifest.from_case_study`.
     """
 
     config: ScenarioConfig = field(default_factory=ScenarioConfig)
     store: "object | None" = None
+    workers: int = 1
+    instrumentation: Instrumentation | None = None
+    provenance: bool = False
 
     @cached_property
     def scenario(self) -> Scenario:
-        return generate_scenario(self.config)
+        with stage(self.instrumentation, "generate_scenario"):
+            return generate_scenario(self.config)
 
     # ------------------------------------------------------------ §6
     @cached_property
     def projected(self) -> ProjectedTables:
         """First-pass projected tables (no ProjectNumber yet)."""
-        return preprocess(self.scenario, include_project_number=False)
+        scenario = self.scenario
+        with stage(self.instrumentation, "preprocess"):
+            return preprocess(scenario, include_project_number=False)
 
     @cached_property
     def projected_v2(self) -> ProjectedTables:
         """Section-10 revision: USDAProjected gains ProjectNumber."""
-        return preprocess(self.scenario, include_project_number=True)
+        scenario = self.scenario
+        with stage(self.instrumentation, "preprocess"):
+            return preprocess(scenario, include_project_number=True)
 
     @cached_property
     def projected_extra(self) -> ProjectedTables:
-        return preprocess_extra(self.scenario, include_project_number=True)
+        scenario = self.scenario
+        with stage(self.instrumentation, "preprocess"):
+            return preprocess_extra(scenario, include_project_number=True)
 
     # ------------------------------------------------------------ §7
     @cached_property
     def blocking(self) -> BlockingOutcome:
-        return run_blocking(self.projected, store=self.store)
+        tables = self.projected
+        with stage(self.instrumentation, "sec7:blocking"):
+            return run_blocking(
+                tables, workers=self.workers,
+                instrumentation=self.instrumentation, store=self.store,
+            )
 
     @cached_property
     def blocking_v2(self) -> BlockingOutcome:
         """Blocking over the revised projected tables (same blockers)."""
-        return run_blocking(self.projected_v2, store=self.store)
+        tables = self.projected_v2
+        with stage(self.instrumentation, "sec7:blocking"):
+            return run_blocking(
+                tables, workers=self.workers,
+                instrumentation=self.instrumentation, store=self.store,
+            )
 
     # ------------------------------------------------------------ §8
     @cached_property
     def labeling(self) -> LabelingOutcome:
-        return run_sampling_and_labeling(
-            self.blocking_v2.candidates,
-            self.projected.truth,
-            base_feature_set(self.projected),
-            seed=self.config.seed,
-        )
+        blocking = self.blocking_v2
+        tables = self.projected
+        with stage(self.instrumentation, "sec8:labeling"):
+            return run_sampling_and_labeling(
+                blocking.candidates,
+                tables.truth,
+                base_feature_set(tables),
+                seed=self.config.seed,
+            )
 
     # ------------------------------------------------------------ §9
     @cached_property
     def matching(self) -> MatchingOutcome:
-        return run_matching(
-            self.blocking_v2.candidates,
-            self.labeling.labels,
-            self.projected_v2,
-            seed=self.config.seed,
-            store=self.store,
-        )
+        blocking = self.blocking_v2
+        labeling = self.labeling
+        tables = self.projected_v2
+        with stage(self.instrumentation, "sec9:matching"):
+            return run_matching(
+                blocking.candidates,
+                labeling.labels,
+                tables,
+                seed=self.config.seed,
+                workers=self.workers,
+                instrumentation=self.instrumentation,
+                store=self.store,
+            )
 
     # ------------------------------------------------------------ §10/12
+    def _combined_workflow(
+        self, stage_name: str, with_negative_rules: bool
+    ) -> CombinedWorkflowOutcome:
+        blocking = self.blocking_v2
+        labeling = self.labeling
+        matching = self.matching
+        original, extra = self.projected_v2, self.projected_extra
+        with stage(self.instrumentation, stage_name):
+            matcher = train_workflow_matcher(
+                blocking.candidates,
+                labeling.labels,
+                matching.feature_set,
+                matching.matcher,
+                workers=self.workers,
+                instrumentation=self.instrumentation,
+                store=self.store,
+            )
+            return run_combined_workflow(
+                original, extra,
+                labeling.labels, matching.feature_set, matcher,
+                with_negative_rules=with_negative_rules,
+                workers=self.workers,
+                instrumentation=self.instrumentation,
+                store=self.store,
+                provenance=self.provenance,
+            )
+
     @cached_property
     def updated_workflow(self) -> CombinedWorkflowOutcome:
-        matcher = train_workflow_matcher(
-            self.blocking_v2.candidates,
-            self.labeling.labels,
-            self.matching.feature_set,
-            self.matching.matcher,
-            store=self.store,
-        )
-        return run_combined_workflow(
-            self.projected_v2, self.projected_extra,
-            self.labeling.labels, self.matching.feature_set, matcher,
-            with_negative_rules=False,
-            store=self.store,
-        )
+        return self._combined_workflow("sec10:updated_workflow", False)
 
     @cached_property
     def final_workflow(self) -> CombinedWorkflowOutcome:
-        matcher = train_workflow_matcher(
-            self.blocking_v2.candidates,
-            self.labeling.labels,
-            self.matching.feature_set,
-            self.matching.matcher,
-            store=self.store,
-        )
-        return run_combined_workflow(
-            self.projected_v2, self.projected_extra,
-            self.labeling.labels, self.matching.feature_set, matcher,
-            with_negative_rules=True,
-            store=self.store,
-        )
+        return self._combined_workflow("sec12:final_workflow", True)
 
     # ------------------------------------------------------------ §11
     @cached_property
@@ -157,30 +201,61 @@ class CaseStudyRun:
 
     @cached_property
     def iris_matches(self) -> list[Pair]:
-        matcher = iris_matcher()
-        original = matcher.predict_tables(
-            self.projected_v2.umetrics, self.projected_v2.usda,
-            self.projected_v2.l_key, self.projected_v2.r_key,
-        )
-        extra = matcher.predict_tables(
-            self.projected_extra.umetrics, self.projected_extra.usda,
-            self.projected_extra.l_key, self.projected_extra.r_key,
-        )
-        return list(original.pairs) + list(extra.pairs)
+        v2, extra_tables = self.projected_v2, self.projected_extra
+        with stage(self.instrumentation, "iris_baseline"):
+            matcher = iris_matcher()
+            original = matcher.predict_tables(
+                v2.umetrics, v2.usda, v2.l_key, v2.r_key,
+            )
+            extra = matcher.predict_tables(
+                extra_tables.umetrics, extra_tables.usda,
+                extra_tables.l_key, extra_tables.r_key,
+            )
+            return list(original.pairs) + list(extra.pairs)
 
     @cached_property
     def accuracy(self) -> AccuracyOutcome:
         from .sampling import make_oracles
 
-        authority, _, _ = make_oracles(self.combined_truth, self.config.seed)
-        return run_accuracy_estimation(
-            self.final_workflow.consolidated_candidates,
-            predictions={
-                "learning-based": list(self.updated_workflow.matches),
-                "IRIS (rules)": self.iris_matches,
-                "learning + negative rules": list(self.final_workflow.matches),
-            },
-            oracle=authority,
-            sample_sizes=(200, 400),
-            seed=self.config.seed,
-        )
+        final = self.final_workflow
+        updated = self.updated_workflow
+        iris = self.iris_matches
+        truth = self.combined_truth
+        with stage(self.instrumentation, "sec11:accuracy"):
+            authority, _, _ = make_oracles(truth, self.config.seed)
+            return run_accuracy_estimation(
+                final.consolidated_candidates,
+                predictions={
+                    "learning-based": list(updated.matches),
+                    "IRIS (rules)": iris,
+                    "learning + negative rules": list(final.matches),
+                },
+                oracle=authority,
+                sample_sizes=(200, 400),
+                seed=self.config.seed,
+            )
+
+    # ------------------------------------------------------------ §12
+    @cached_property
+    def monitoring(self) -> "AccuracyMonitor":
+        """One Section-12 monitoring round over the final match batch.
+
+        The returned :class:`~repro.evaluation.monitor.AccuracyMonitor`
+        carries the report history; the run manifest embeds its JSON
+        export so drift checks are recorded alongside timings.
+        """
+        from ..evaluation.monitor import AccuracyMonitor
+        from .sampling import make_oracles
+
+        final = self.final_workflow
+        truth = self.combined_truth
+        with stage(self.instrumentation, "sec12:monitoring"):
+            authority, _, _ = make_oracles(truth, self.config.seed)
+            monitor = AccuracyMonitor(seed=self.config.seed)
+            monitor.check_batch(
+                "final_workflow",
+                final.consolidated_candidates,
+                list(final.matches),
+                authority,
+            )
+            return monitor

@@ -36,6 +36,7 @@ from ..matchers import (
     select_matcher,
 )
 from ..rules.positive import ExactNumberRule, m1_rule
+from ..runtime.instrument import Instrumentation, stage
 from .preprocess import ProjectedTables
 
 
@@ -100,44 +101,62 @@ def run_matching(
     labels: LabeledPairs,
     tables: ProjectedTables,
     seed: int = 45,
+    workers: int = 1,
+    instrumentation: Instrumentation | None = None,
     store=None,
 ) -> MatchingOutcome:
     """Execute the full Section-9 pipeline.
 
     A ``store`` memoizes the three feature extractions (training matrix,
-    case-insensitive training matrix, prediction matrix) by content.
+    case-insensitive training matrix, prediction matrix) by content;
+    ``workers``/``instrumentation`` parallelize and time those
+    extractions plus the two cross-validated selections.
     """
     features = base_feature_set(tables)
     sure = sure_match_pairs(candidates)
     pairs, y = training_labels(labels, sure)
 
-    matrix = extract_feature_vectors(candidates, features, pairs=pairs, store=store)
-    initial_selection = select_matcher(
-        default_matchers(seed=seed), matrix, y, n_folds=5, seed=seed
+    matrix = extract_feature_vectors(
+        candidates, features, pairs=pairs,
+        workers=workers, instrumentation=instrumentation, store=store,
     )
+    with stage(instrumentation, "select_matcher"):
+        initial_selection = select_matcher(
+            default_matchers(seed=seed), matrix, y, n_folds=5, seed=seed
+        )
 
     # debug the first winner: half/half mismatch analysis
-    mismatches = find_mismatches(initial_selection.best.clone(), matrix, y, seed=seed)
+    with stage(instrumentation, "find_mismatches"):
+        mismatches = find_mismatches(
+            initial_selection.best.clone(), matrix, y, seed=seed
+        )
 
     # the fix: case-insensitive variants of the title features
     features_ci = add_case_insensitive_variants(features, attrs=["AwardTitle"])
     matrix_ci = extract_feature_vectors(
-        candidates, features_ci, pairs=pairs, store=store
+        candidates, features_ci, pairs=pairs,
+        workers=workers, instrumentation=instrumentation, store=store,
     )
-    final_selection = select_matcher(
-        default_matchers(seed=seed), matrix_ci, y, n_folds=5, seed=seed
-    )
+    with stage(instrumentation, "select_matcher"):
+        final_selection = select_matcher(
+            default_matchers(seed=seed), matrix_ci, y, n_folds=5, seed=seed
+        )
 
     # train the final winner on all usable labeled pairs
-    matcher = final_selection.best.clone()
-    matcher.fit(matrix_ci, y)
+    with stage(instrumentation, "fit_matcher"):
+        matcher = final_selection.best.clone()
+        matcher.fit(matrix_ci, y)
 
     # predict over C minus the sure matches
     to_predict = candidates.difference(
         candidates.subset(sure, name="sure"), name="C_minus_sure"
     )
-    predict_matrix = extract_feature_vectors(to_predict, features_ci, store=store)
-    predicted = matcher.predict_matches(predict_matrix)
+    predict_matrix = extract_feature_vectors(
+        to_predict, features_ci,
+        workers=workers, instrumentation=instrumentation, store=store,
+    )
+    with stage(instrumentation, "predict"):
+        predicted = matcher.predict_matches(predict_matrix)
 
     matches = list(sure) + [p for p in predicted if p not in set(sure)]
     return MatchingOutcome(

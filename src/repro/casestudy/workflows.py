@@ -86,6 +86,22 @@ class CombinedWorkflowOutcome:
             f"final matches={len(self.matches)}"
         )
 
+    def explain_pair(self, a, b):
+        """Lineage of pair ``(a, b)`` from whichever table slice saw it.
+
+        The combined match set is the union of the two slices' final
+        matches, so the slice that knows the pair owns its lineage;
+        unknown pairs explain through the original slice (an all-negative
+        lineage). Requires ``provenance=True`` at workflow time.
+        """
+        from ..obs.provenance import require_provenance
+
+        for result in (self.original, self.extra):
+            provenance = require_provenance(result.provenance)
+            if provenance.knows((a, b)):
+                return provenance.explain_pair(a, b)
+        return require_provenance(self.original.provenance).explain_pair(a, b)
+
 
 def train_workflow_matcher(
     candidates: CandidateSet,
@@ -151,6 +167,7 @@ def run_combined_workflow(
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
     store=None,
+    provenance: bool = False,
 ) -> CombinedWorkflowOutcome:
     """Run the Figure-9 (or, with negative rules, Figure-10) workflow.
 
@@ -161,6 +178,8 @@ def run_combined_workflow(
     makes the run incremental: re-running with added negative rules (the
     Figure-10 patch) reuses every blocking, extraction and prediction
     artifact, since those stages' input fingerprints are unchanged.
+    ``provenance=True`` records per-pair match lineage on both slices
+    (see :meth:`CombinedWorkflowOutcome.explain_pair`).
     """
     workflow = EMWorkflow(
         name="figure10" if with_negative_rules else "figure9",
@@ -173,12 +192,14 @@ def run_combined_workflow(
             original.umetrics, original.usda, original.l_key, original.r_key,
             matcher, feature_set,
             workers=workers, instrumentation=instrumentation, store=store,
+            provenance=provenance,
         )
     with stage(instrumentation, "extra_slice"):
         extra_result = workflow.run(
             extra.umetrics, extra.usda, extra.l_key, extra.r_key,
             matcher, feature_set,
             workers=workers, instrumentation=instrumentation, store=store,
+            provenance=provenance,
         )
     kept_original = [
         p for p in original_result.predicted_matches

@@ -35,7 +35,12 @@ from ..table import Table
 
 @dataclass(frozen=True)
 class WorkflowResult:
-    """Everything a workflow run produced, stage by stage."""
+    """Everything a workflow run produced, stage by stage.
+
+    ``provenance`` is populated only when the run asked for it
+    (``provenance=True``); :meth:`explain_pair` then reports any pair's
+    full decision lineage.
+    """
 
     sure_matches: CandidateSet
     blocked: CandidateSet
@@ -43,10 +48,19 @@ class WorkflowResult:
     predicted_matches: tuple[Pair, ...]
     flipped: tuple[tuple[Pair, str], ...]
     matches: tuple[Pair, ...]
+    provenance: "object | None" = None
 
     @property
     def num_matches(self) -> int:
         return len(self.matches)
+
+    def explain_pair(self, a, b):
+        """Lineage of pair ``(a, b)`` — blockers, rules, score, verdict.
+
+        Requires the workflow to have run with ``provenance=True``."""
+        from ..obs.provenance import require_provenance
+
+        return require_provenance(self.provenance).explain_pair(a, b)
 
     def summary(self) -> str:
         return (
@@ -75,6 +89,7 @@ class EMWorkflow:
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
         store=None,
+        provenance=None,
     ) -> tuple[CandidateSet, CandidateSet, CandidateSet]:
         """Stages 1-3: returns (C1 sure matches, C2 blocked, C = C2 - C1).
 
@@ -86,6 +101,11 @@ class EMWorkflow:
         the content fingerprints of their inputs — ``cached_block`` is
         invoked here (not via a blocker kwarg) so third-party blockers
         whose signatures predate the store still cache.
+
+        With a *provenance* collector
+        (:class:`~repro.obs.provenance.MatchProvenance`), each positive
+        rule's pair set and each blocker's output are recorded so
+        ``explain_pair`` can name the exact emitters of any candidate.
         """
         if not self.blockers and not self.positive_rules:
             raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
@@ -104,6 +124,11 @@ class EMWorkflow:
                     self.positive_rules, ltable, rtable, l_key, r_key, name="C1"
                 )
             count(instrumentation, "sure_pairs", len(c1))
+            if provenance is not None:
+                for rule in self.positive_rules:
+                    provenance.record_rule(
+                        rule.name, rule.pairs(ltable, rtable, l_key, r_key).pairs
+                    )
         blocked = []
         for blocker in self.blockers:
             with stage(instrumentation, f"block:{blocker.short_name}"):
@@ -118,6 +143,8 @@ class EMWorkflow:
                         workers=workers, instrumentation=instrumentation,
                     )
                 blocked.append(result)
+                if provenance is not None:
+                    provenance.record_blocker(blocker.short_name, result.pairs)
         c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
         c = c2.difference(c1, name="C")
         count(instrumentation, "candidates", len(c2))
@@ -134,21 +161,34 @@ class EMWorkflow:
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
         store=None,
+        provenance: bool = False,
     ) -> WorkflowResult:
         """Run all stages with a *trained* matcher.
 
         With a *store*, blocking, feature extraction and prediction are
         each memoized by input fingerprints, so a patched re-run (say,
         added negative rules) reuses every unchanged stage.
+
+        With ``provenance=True``, a
+        :class:`~repro.obs.provenance.MatchProvenance` records per-pair
+        lineage — emitting blockers, firing positive rule, matcher score
+        vs threshold, flipping negative rule — at the cost of one extra
+        ``predict_proba`` pass; the match results are unchanged.
         """
         if not matcher.is_fitted:
             raise WorkflowError(
                 f"workflow {self.name!r} needs a trained matcher; "
                 f"{matcher.name!r} is unfitted"
             )
+        collector = None
+        if provenance:
+            from ..obs.provenance import MatchProvenance
+
+            collector = MatchProvenance(self.name)
         c1, c2, c = self.build_candidates(
             ltable, rtable, l_key, r_key,
             workers=workers, instrumentation=instrumentation, store=store,
+            provenance=collector,
         )
         if len(c):
             matrix = extract_feature_vectors(
@@ -164,6 +204,8 @@ class EMWorkflow:
                     )
                 else:
                     predicted = matcher.predict_matches(matrix)
+            if collector is not None:
+                collector.record_scores(matcher.predict_proba(matrix))
         else:
             predicted = []
         if self.negative_rules:
@@ -171,6 +213,8 @@ class EMWorkflow:
         else:
             kept, flipped = list(predicted), []
         final = list(c1.pairs) + [p for p in kept if p not in c1]
+        if collector is not None:
+            collector.record_outcome(predicted, flipped, final)
         return WorkflowResult(
             sure_matches=c1,
             blocked=c2,
@@ -178,4 +222,5 @@ class EMWorkflow:
             predicted_matches=tuple(predicted),
             flipped=tuple(flipped),
             matches=tuple(final),
+            provenance=collector,
         )

@@ -74,3 +74,8 @@ class StoreError(ReproError):
 class UncacheableError(StoreError):
     """A pipeline input has no stable fingerprint (e.g. an unregistered
     callable), so its stage must be computed rather than cached."""
+
+
+class ObsError(ReproError):
+    """Telemetry problem: a malformed trace or manifest, an invalid
+    metric configuration, or provenance that was never collected."""

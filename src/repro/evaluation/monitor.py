@@ -99,6 +99,30 @@ class AccuracyMonitor:
     def history(self) -> list[MonitoringReport]:
         return list(self._history)
 
+    def export_history(self) -> list[dict]:
+        """The report history as plain dicts, oldest first.
+
+        This is the shape embedded in run manifests (the ``monitoring``
+        section of :class:`~repro.obs.manifest.RunManifest`)."""
+        return [
+            {
+                "batch": report.batch,
+                "precision": {
+                    "low": report.precision.low,
+                    "high": report.precision.high,
+                },
+                "sample_size": report.sample_size,
+                "flagged": report.flagged,
+            }
+            for report in self._history
+        ]
+
+    def history_json(self, indent: int = 2) -> str:
+        """The report history serialized as a JSON array."""
+        import json
+
+        return json.dumps(self.export_history(), indent=indent)
+
     def needs_redevelopment(self) -> bool:
         """True when the most recent batch was flagged."""
         return bool(self._history) and self._history[-1].flagged

@@ -1,0 +1,80 @@
+"""repro.obs — structured traces, metrics, provenance and run manifests.
+
+The telemetry layer over the toolkit's instrumentation:
+
+* :mod:`~repro.obs.trace` — a JSONL trace emitter layered on
+  :class:`~repro.runtime.instrument.Instrumentation`
+  (:class:`TracingInstrumentation`), plus a parser that reconstructs the
+  exact stage tree from a trace file (:func:`load_trace`);
+* :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms fed by the executor, token cache,
+  artifact store and workflow stages;
+* :mod:`~repro.obs.provenance` — per-pair :class:`MatchProvenance`
+  collected by :meth:`EMWorkflow.run(provenance=True)
+  <repro.core.workflow.EMWorkflow.run>`, queried via ``explain_pair``;
+* :mod:`~repro.obs.manifest` — :class:`RunManifest` JSON records written
+  by the case study and every benchmark, and :func:`diff_manifests` for
+  regression comparison (``python -m repro trace diff``).
+
+Everything is opt-in: with no trace writer, no registry, no manifest and
+``provenance=False`` (the defaults everywhere), pipeline behaviour and
+outputs are bit-identical to a build without this package.
+"""
+
+from .manifest import (
+    ManifestDiff,
+    RunManifest,
+    benchmark_result,
+    diff_manifests,
+    platform_info,
+    stage_timings,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_metrics,
+    observe_cache,
+    observe_stage_tree,
+    observe_store,
+)
+from .provenance import MatchProvenance, PairLineage, require_provenance
+from .trace import (
+    ListSink,
+    TraceWriter,
+    TracingInstrumentation,
+    load_trace,
+    read_trace,
+    trace_to_stats,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ListSink",
+    "ManifestDiff",
+    "MatchProvenance",
+    "MetricsRegistry",
+    "PairLineage",
+    "RunManifest",
+    "TraceWriter",
+    "TracingInstrumentation",
+    "benchmark_result",
+    "collect_metrics",
+    "diff_manifests",
+    "load_trace",
+    "observe_cache",
+    "observe_stage_tree",
+    "observe_store",
+    "platform_info",
+    "read_trace",
+    "require_provenance",
+    "stage_timings",
+    "trace_to_stats",
+]

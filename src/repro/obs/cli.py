@@ -1,0 +1,104 @@
+"""``python -m repro trace`` — summarize traces, diff manifests.
+
+Two sub-commands:
+
+``trace summary TRACE``
+    parse a JSONL trace, print a top-N hotspot table (aggregated by stage
+    name, self-time vs total-time) and a text flamegraph of the stage
+    tree;
+``trace diff OLD NEW``
+    load two run manifests and print stage-by-stage count and timing
+    deltas; with ``--strict-counts`` exit non-zero when any headline
+    count field differs (timing deltas are always report-only).
+"""
+
+from __future__ import annotations
+
+from ..runtime.instrument import StageStats, merge_siblings
+from .manifest import RunManifest, diff_manifests
+from .trace import load_trace
+
+
+def hotspots(root: StageStats) -> list[dict[str, float]]:
+    """Aggregate a stage tree by stage name, sorted by self-time.
+
+    ``total`` is the summed wall time of all same-named stages, ``self``
+    that total minus time attributed to their children (a stage calling
+    only other stages has ~zero self-time), ``calls`` the occurrence count.
+    """
+    by_name: dict[str, dict[str, float]] = {}
+
+    def walk(stats: StageStats, is_root: bool) -> None:
+        if not is_root:
+            entry = by_name.setdefault(
+                stats.name, {"name": stats.name, "total": 0.0, "self": 0.0, "calls": 0}
+            )
+            entry["total"] += stats.seconds
+            entry["self"] += stats.seconds - sum(c.seconds for c in stats.children)
+            entry["calls"] += 1
+        for child in stats.children:
+            walk(child, False)
+
+    walk(root, True)
+    return sorted(by_name.values(), key=lambda e: (-e["self"], e["name"]))
+
+
+def render_hotspots(root: StageStats, top: int = 15) -> str:
+    """The hotspot table of a stage tree."""
+    rows = hotspots(root)
+    grand_total = sum(c.seconds for c in root.children) or 1.0
+    lines = [
+        f"hotspots for {root.name!r} "
+        f"({sum(c.seconds for c in root.children):.3f}s total)",
+        f"{'stage':<32} {'self':>9} {'total':>9} {'calls':>6} {'self%':>6}",
+    ]
+    for entry in rows[:top]:
+        lines.append(
+            f"{entry['name']:<32} {entry['self']:>8.3f}s {entry['total']:>8.3f}s "
+            f"{entry['calls']:>6.0f} {100 * entry['self'] / grand_total:>5.1f}%"
+        )
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more stage name(s)")
+    return "\n".join(lines)
+
+
+def render_flamegraph(root: StageStats, width: int = 40) -> str:
+    """An indented text flamegraph: one bar per (merged) stage node.
+
+    Bars are proportional to each stage's share of the root's total;
+    repeated same-name siblings merge into one ``xN`` bar, exactly like
+    :class:`~repro.runtime.instrument.StageReport` lines.
+    """
+    total = sum(c.seconds for c in root.children)
+    lines = [f"{root.name}  {total:.3f}s"]
+    if total <= 0:
+        total = 1.0
+
+    def walk(stats: StageStats, occurrences: int, depth: int) -> None:
+        bar = "#" * max(1, round(width * stats.seconds / total))
+        name = stats.name if occurrences == 1 else f"{stats.name} x{occurrences}"
+        lines.append(f"{'  ' * depth}{bar} {name} {stats.seconds:.3f}s")
+        for child, n in merge_siblings(stats.children):
+            walk(child, n, depth + 1)
+
+    for child, n in merge_siblings(root.children):
+        walk(child, n, 1)
+    return "\n".join(lines)
+
+
+def cmd_trace_summary(trace_path: str, top: int = 15) -> int:
+    """Handler for ``python -m repro trace summary``."""
+    root = load_trace(trace_path)
+    print(render_hotspots(root, top=top))
+    print()
+    print(render_flamegraph(root))
+    return 0
+
+
+def cmd_trace_diff(old_path: str, new_path: str, strict_counts: bool = False) -> int:
+    """Handler for ``python -m repro trace diff``."""
+    diff = diff_manifests(RunManifest.load(old_path), RunManifest.load(new_path))
+    print(diff.render())
+    if strict_counts and not diff.counts_match:
+        return 1
+    return 0

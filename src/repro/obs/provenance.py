@@ -1,0 +1,214 @@
+"""Per-pair match provenance: *why* did a pair end up (not) matched?
+
+The paper's team debugged mismatches by hand-inspecting pairs; Panda-style
+decision-level explanations make that a query instead. When an
+:class:`~repro.core.workflow.EMWorkflow` runs with ``provenance=True`` it
+fills a :class:`MatchProvenance` while executing — which blocker(s)
+emitted each candidate, which positive rule pre-matched it, the matcher's
+score against its threshold, and any negative rule that flipped it — and
+:meth:`MatchProvenance.explain_pair` assembles the full
+:class:`PairLineage` for any pair.
+
+The lineage invariant (checked by :meth:`MatchProvenance.validate`):
+every final match terminates in exactly one of {positive rule, matcher
+accept}, and every flipped pair names the negative rule that fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..blocking.candidate_set import Pair
+from ..errors import ObsError
+
+
+@dataclass(frozen=True)
+class PairLineage:
+    """The complete decision path of one record pair through a workflow.
+
+    ``score``/``threshold`` are ``None`` for pairs the matcher never saw
+    (sure matches are carved out of the prediction set; pairs outside the
+    candidate set are never featurized).
+    """
+
+    pair: Pair
+    blockers: tuple[str, ...]       # blockers whose output contains the pair
+    positive_rule: str | None       # sure-match rule that fired, if any
+    score: float | None             # matcher P(match), if predicted over
+    threshold: float | None         # decision threshold used by the matcher
+    predicted: bool                 # matcher predicted "match"
+    negative_rule: str | None       # negative rule that flipped it, if any
+    final: bool                     # in the workflow's final matches
+
+    @property
+    def in_candidates(self) -> bool:
+        return bool(self.blockers) or self.positive_rule is not None
+
+    @property
+    def terminal(self) -> str | None:
+        """What the lineage of a *final match* terminates in:
+        ``"positive_rule"`` or ``"matcher"`` (``None`` for non-matches)."""
+        if not self.final:
+            return None
+        return "positive_rule" if self.positive_rule is not None else "matcher"
+
+    def describe(self) -> str:
+        """A short human-readable audit line."""
+        if not self.in_candidates:
+            return f"pair {self.pair!r}: not in the candidate set"
+        parts = []
+        if self.positive_rule is not None:
+            parts.append(f"sure match by rule {self.positive_rule!r}")
+        if self.blockers:
+            parts.append(f"blocked by {', '.join(self.blockers)}")
+        if self.score is not None:
+            comparison = ">=" if self.score >= (self.threshold or 0.0) else "<"
+            parts.append(
+                f"matcher score {self.score:.3f} {comparison} "
+                f"threshold {self.threshold:.2f}"
+            )
+        if self.negative_rule is not None:
+            parts.append(f"FLIPPED by negative rule {self.negative_rule!r}")
+        parts.append("-> MATCH" if self.final else "-> non-match")
+        return f"pair {self.pair!r}: " + "; ".join(parts)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "pair": list(self.pair),
+            "blockers": list(self.blockers),
+            "positive_rule": self.positive_rule,
+            "score": self.score,
+            "threshold": self.threshold,
+            "predicted": self.predicted,
+            "negative_rule": self.negative_rule,
+            "final": self.final,
+            "terminal": self.terminal,
+        }
+
+
+class MatchProvenance:
+    """Decision records of one workflow run, queryable per pair.
+
+    Filled by :meth:`repro.core.workflow.EMWorkflow.run` (with
+    ``provenance=True``); everything is plain sets/dicts keyed by
+    ``(left_id, right_id)`` tuples.
+    """
+
+    def __init__(self, workflow: str, threshold: float = 0.5) -> None:
+        self.workflow = workflow
+        self.threshold = threshold
+        self.rule_pairs: dict[str, frozenset[Pair]] = {}
+        self.blocker_pairs: dict[str, frozenset[Pair]] = {}
+        self.scores: dict[Pair, float] = {}
+        self.predicted: frozenset[Pair] = frozenset()
+        self.flipped: dict[Pair, str] = {}
+        self.final: frozenset[Pair] = frozenset()
+
+    # -- builders (called by the workflow) -----------------------------
+    def record_rule(self, name: str, pairs: Iterable[Pair]) -> None:
+        pairs = frozenset(tuple(p) for p in pairs)
+        previous = self.rule_pairs.get(name, frozenset())
+        self.rule_pairs[name] = previous | pairs
+
+    def record_blocker(self, name: str, pairs: Iterable[Pair]) -> None:
+        pairs = frozenset(tuple(p) for p in pairs)
+        previous = self.blocker_pairs.get(name, frozenset())
+        self.blocker_pairs[name] = previous | pairs
+
+    def record_scores(self, scores: dict[Pair, float]) -> None:
+        self.scores.update({tuple(p): float(s) for p, s in scores.items()})
+
+    def record_outcome(
+        self,
+        predicted: Iterable[Pair],
+        flipped: Iterable[tuple[Pair, str]],
+        final: Iterable[Pair],
+    ) -> None:
+        self.predicted = frozenset(tuple(p) for p in predicted)
+        self.flipped = {tuple(p): rule for p, rule in flipped}
+        self.final = frozenset(tuple(p) for p in final)
+
+    # -- queries -------------------------------------------------------
+    def knows(self, pair: Pair) -> bool:
+        """Did this run's candidate universe (or final set) see the pair?"""
+        pair = tuple(pair)
+        return (
+            pair in self.final
+            or pair in self.scores
+            or any(pair in pairs for pairs in self.rule_pairs.values())
+            or any(pair in pairs for pairs in self.blocker_pairs.values())
+        )
+
+    def explain_pair(self, a: Any, b: Any) -> PairLineage:
+        """The full lineage of pair ``(a, b)`` through this workflow."""
+        pair = (a, b)
+        score = self.scores.get(pair)
+        return PairLineage(
+            pair=pair,
+            blockers=tuple(
+                name for name, pairs in self.blocker_pairs.items() if pair in pairs
+            ),
+            positive_rule=next(
+                (name for name, pairs in self.rule_pairs.items() if pair in pairs),
+                None,
+            ),
+            score=score,
+            threshold=self.threshold if score is not None else None,
+            predicted=pair in self.predicted,
+            negative_rule=self.flipped.get(pair),
+            final=pair in self.final,
+        )
+
+    def validate(self) -> list[str]:
+        """Check the lineage invariant; returns violations (empty = ok).
+
+        * every final match terminates in exactly one of
+          {positive rule, matcher accept};
+        * no final match was flipped;
+        * every flipped pair names its negative rule and is not final.
+        """
+        problems = []
+        for pair in sorted(self.final, key=repr):
+            lineage = self.explain_pair(*pair)
+            by_rule = lineage.positive_rule is not None
+            by_matcher = (
+                lineage.predicted
+                and lineage.score is not None
+                and lineage.score >= self.threshold
+            )
+            if by_rule == by_matcher:  # both or neither
+                problems.append(
+                    f"{pair!r}: final match must terminate in exactly one of "
+                    f"rule/matcher (rule={lineage.positive_rule!r}, "
+                    f"score={lineage.score!r})"
+                )
+            if lineage.negative_rule is not None:
+                problems.append(
+                    f"{pair!r}: final match was flipped by {lineage.negative_rule!r}"
+                )
+        for pair, rule in self.flipped.items():
+            if not rule:
+                problems.append(f"{pair!r}: flipped without a rule name")
+            if pair in self.final:
+                problems.append(f"{pair!r}: flipped pair present in final matches")
+        return problems
+
+    def summary(self) -> str:
+        return (
+            f"provenance[{self.workflow}]: "
+            f"{len(self.final)} final, {len(self.scores)} scored, "
+            f"{len(self.flipped)} flipped, "
+            f"{sum(len(p) for p in self.rule_pairs.values())} rule pairs, "
+            f"{len(self.blocker_pairs)} blockers"
+        )
+
+
+def require_provenance(provenance: "MatchProvenance | None") -> MatchProvenance:
+    """Raise a helpful error when a result was produced without lineage."""
+    if provenance is None:
+        raise ObsError(
+            "no provenance was collected; re-run the workflow with "
+            "provenance=True to record match lineage"
+        )
+    return provenance

@@ -1,0 +1,233 @@
+"""JSONL trace emission and parsing, layered on the stage instrumentation.
+
+The paper's team spent days waiting on blocking and feature-extraction
+runs with no record of where the time went; PR 1's
+:class:`~repro.runtime.instrument.Instrumentation` keeps an in-process
+stage tree, but the tree dies with the process. A
+:class:`TracingInstrumentation` streams the same events — span start/end
+with wall-clock timestamps, counters, executor chunk records — to a JSONL
+file as they happen, so a run that crashes (or is still running) leaves an
+inspectable artifact, and :func:`load_trace` reconstructs the exact
+:class:`~repro.runtime.instrument.StageStats` tree from the file.
+
+Trace format (one JSON object per line):
+
+``{"event": "trace", "version": 1, "name": ..., "ts": ...}``
+    header; ``name`` is the root stage name, ``ts`` a wall-clock epoch.
+``{"event": "start", "span": i, "parent": p, "name": ..., "ts": ...}``
+    a stage opened; spans are numbered in open order, the implicit root
+    is span ``0``.
+``{"event": "end", "span": i, "ts": ..., "seconds": s}``
+    the stage closed; ``seconds`` is the monotonic-clock duration (what
+    the in-process tree records — wall timestamps are informational).
+``{"event": "counter", "span": i, "name": ..., "value": v}``
+    one :meth:`~repro.runtime.instrument.Instrumentation.count` call.
+``{"event": "chunk", "span": i, "worker": w, "items": n, "seconds": s}``
+    one executor chunk record.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import ObsError
+from ..runtime.instrument import ChunkRecord, Instrumentation, StageStats
+
+TRACE_VERSION = 1
+
+
+class TraceWriter:
+    """Append-only JSONL event sink backed by a file.
+
+    Lines are flushed per event so a killed run still leaves a readable
+    prefix (every event is self-contained; the parser tolerates missing
+    ``end`` events for spans that were open at the time of death).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ListSink:
+    """In-memory event sink (tests, ad-hoc inspection)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class TracingInstrumentation(Instrumentation):
+    """An :class:`~repro.runtime.instrument.Instrumentation` that streams
+    every stage event to a trace sink and, optionally, a metrics registry.
+
+    Parameters
+    ----------
+    name:
+        Root stage name (also recorded in the trace header).
+    writer:
+        Any object with ``emit(dict)`` — a :class:`TraceWriter`, a
+        :class:`ListSink`, or ``None`` to collect only the in-process tree.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` fed live:
+        per-stage latency histograms, candidate-set-size distributions
+        from the standard pair counters, and executor chunk durations.
+        (Do not *also* run :func:`~repro.obs.metrics.observe_stage_tree`
+        over the finished tree with the same registry — that would count
+        every stage twice.)
+
+    The in-process tree is identical to what the base class builds, so
+    everything accepting ``instrumentation=`` works unchanged.
+    """
+
+    def __init__(self, name: str = "total", writer=None, metrics=None) -> None:
+        super().__init__(name)
+        self.writer = writer
+        self.metrics = metrics
+        self._span_ids: dict[int, int] = {id(self.root): 0}
+        self._next_span = 1
+        self._emit(
+            {"event": "trace", "version": TRACE_VERSION, "name": name,
+             "ts": time.time()}
+        )
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self.writer is not None:
+            self.writer.emit(event)
+
+    def _span(self, stats: StageStats) -> int:
+        return self._span_ids[id(stats)]
+
+    # -- instrumentation hooks -----------------------------------------
+    def _stage_started(self, stats: StageStats) -> None:
+        span = self._next_span
+        self._next_span += 1
+        self._span_ids[id(stats)] = span
+        parent = self._span_ids[id(self._stack[-2])]
+        self._emit(
+            {"event": "start", "span": span, "parent": parent,
+             "name": stats.name, "ts": time.time()}
+        )
+
+    def _stage_finished(self, stats: StageStats, elapsed: float) -> None:
+        self._emit(
+            {"event": "end", "span": self._span(stats), "ts": time.time(),
+             "seconds": elapsed}
+        )
+        if self.metrics is not None:
+            self.metrics.observe_stage(stats.name, elapsed)
+
+    def _counted(self, stats: StageStats, name: str, value: float) -> None:
+        self._emit(
+            {"event": "counter", "span": self._span(stats), "name": name,
+             "value": value}
+        )
+        if self.metrics is not None:
+            self.metrics.observe_counter(name, value)
+
+    def _chunk_recorded(self, stats: StageStats, record: ChunkRecord) -> None:
+        self._emit(
+            {"event": "chunk", "span": self._span(stats),
+             "worker": record.worker, "items": record.items,
+             "seconds": record.seconds}
+        )
+        if self.metrics is not None:
+            self.metrics.observe_chunk(record.items, record.seconds)
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """All events of a JSONL trace file, in emission order."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise ObsError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(event, dict) or "event" not in event:
+                raise ObsError(f"{path}:{lineno}: not a trace event: {line!r}")
+            events.append(event)
+    return events
+
+
+def trace_to_stats(events: Iterable[dict[str, Any]]) -> StageStats:
+    """Rebuild the stage tree a trace's emitting process held in memory.
+
+    The reconstruction is exact: span durations are taken from ``end``
+    events (JSON round-trips Python floats losslessly), counters re-sum
+    the counter events, chunk records are restored verbatim. Spans with
+    no ``end`` event (the process died mid-stage) keep ``seconds=0.0``.
+    """
+    spans: dict[int, StageStats] = {}
+    root: StageStats | None = None
+    for event in events:
+        kind = event.get("event")
+        if kind == "trace":
+            if root is not None:
+                raise ObsError("trace contains more than one header event")
+            root = StageStats(event.get("name", "total"))
+            spans[0] = root
+            continue
+        if root is None:
+            raise ObsError("trace does not start with a header event")
+        try:
+            if kind == "start":
+                stats = StageStats(event["name"])
+                spans[event["parent"]].children.append(stats)
+                spans[event["span"]] = stats
+            elif kind == "end":
+                spans[event["span"]].seconds += event["seconds"]
+            elif kind == "counter":
+                spans[event["span"]].count(event["name"], event["value"])
+            elif kind == "chunk":
+                spans[event["span"]].chunks.append(
+                    ChunkRecord(event["worker"], event["items"], event["seconds"])
+                )
+            else:
+                raise ObsError(f"unknown trace event type {kind!r}")
+        except KeyError as exc:
+            raise ObsError(f"malformed {kind!r} event: missing {exc}") from exc
+    if root is None:
+        raise ObsError("empty trace (no header event)")
+    return root
+
+
+def load_trace(path: str | Path) -> StageStats:
+    """Parse a JSONL trace file into its stage tree."""
+    return trace_to_stats(read_trace(path))
+
+
+def iter_spans(root: StageStats) -> Iterator[tuple[tuple[str, ...], StageStats]]:
+    """Depth-first ``(path, stats)`` walk of a stage tree, root included."""
+    stack: list[tuple[tuple[str, ...], StageStats]] = [((root.name,), root)]
+    while stack:
+        path, stats = stack.pop()
+        yield path, stats
+        for child in reversed(stats.children):
+            stack.append((path + (child.name,), child))

@@ -22,6 +22,7 @@ from .instrument import (
     StageReport,
     StageStats,
     count,
+    merge_siblings,
     stage,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "chunk_ranges",
     "count",
     "get_default_cache",
+    "merge_siblings",
     "stage",
 ]

@@ -49,10 +49,11 @@ class StageStats:
         self.counters[name] = self.counters.get(name, 0) + value
 
     def find(self, name: str) -> "StageStats | None":
-        """First descendant (depth-first) with the given name."""
+        """This node if its name matches, else the first matching
+        descendant (depth-first)."""
+        if self.name == name:
+            return self
         for child in self.children:
-            if child.name == name:
-                return child
             found = child.find(name)
             if found is not None:
                 return found
@@ -74,6 +75,11 @@ class Instrumentation:
     Counters and chunk records attach to the innermost open stage (or to
     the implicit root when no stage is open), so library code can call
     :meth:`count` without knowing how its caller nested it.
+
+    Sub-classes may override the ``_stage_started`` / ``_stage_finished`` /
+    ``_counted`` / ``_chunk_recorded`` hooks to stream the same events
+    elsewhere (see :class:`repro.obs.trace.TracingInstrumentation`); the
+    base implementations are no-ops.
     """
 
     def __init__(self, name: str = "total") -> None:
@@ -88,18 +94,37 @@ class Instrumentation:
     def stage(self, name: str) -> Iterator[StageStats]:
         stats = self.current.child(name)
         self._stack.append(stats)
+        self._stage_started(stats)
         started = time.perf_counter()
         try:
             yield stats
         finally:
-            stats.seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            stats.seconds += elapsed
             self._stack.pop()
+            self._stage_finished(stats, elapsed)
 
     def count(self, name: str, value: float = 1) -> None:
         self.current.count(name, value)
+        self._counted(self.current, name, value)
 
     def record_chunk(self, worker: int, items: int, seconds: float) -> None:
-        self.current.chunks.append(ChunkRecord(worker, items, seconds))
+        record = ChunkRecord(worker, items, seconds)
+        self.current.chunks.append(record)
+        self._chunk_recorded(self.current, record)
+
+    # -- subclass hooks (no-ops here) ----------------------------------
+    def _stage_started(self, stats: StageStats) -> None:
+        pass
+
+    def _stage_finished(self, stats: StageStats, elapsed: float) -> None:
+        pass
+
+    def _counted(self, stats: StageStats, name: str, value: float) -> None:
+        pass
+
+    def _chunk_recorded(self, stats: StageStats, record: ChunkRecord) -> None:
+        pass
 
     def find(self, name: str) -> StageStats | None:
         return self.root.find(name)
@@ -124,9 +149,41 @@ def count(instrumentation: Instrumentation | None, name: str, value: float = 1) 
         instrumentation.count(name, value)
 
 
+def merge_siblings(children: list[StageStats]) -> list[tuple[StageStats, int]]:
+    """Aggregate same-name siblings into ``(merged stats, occurrences)``.
+
+    A stage run in a loop (say, one blocker per iteration) produces one
+    sibling node per iteration; reports want a single line with an ``xN``
+    count, summed time, summed counters and pooled chunk records. The
+    merged node's children are the concatenation of all occurrences'
+    children (merged again, recursively, at render time). First-seen
+    order is preserved; a name that occurs once passes through unchanged.
+    """
+    merged: dict[str, StageStats] = {}
+    counts: dict[str, int] = {}
+    order: list[str] = []
+    for child in children:
+        if child.name not in merged:
+            merged[child.name] = StageStats(child.name)
+            counts[child.name] = 0
+            order.append(child.name)
+        counts[child.name] += 1
+        target = merged[child.name]
+        target.seconds += child.seconds
+        for key, value in child.counters.items():
+            target.count(key, value)
+        target.chunks.extend(child.chunks)
+        target.children.extend(child.children)
+    return [(merged[name], counts[name]) for name in order]
+
+
 @dataclass(frozen=True)
 class StageReport:
-    """Text renderer for a stage tree."""
+    """Text renderer for a stage tree.
+
+    Repeated same-name siblings (a stage inside a loop) are aggregated
+    into one ``name xN`` line with summed time via :func:`merge_siblings`.
+    """
 
     root: StageStats
     title: str = ""
@@ -141,8 +198,8 @@ class StageReport:
         if self.root.children:
             header += f"  {total:.3f}s"
         lines.append(self._line(header, self.root))
-        for child in self.root.children:
-            self._render(child, lines, depth=1)
+        for child, occurrences in merge_siblings(self.root.children):
+            self._render(child, occurrences, lines, depth=1)
         return "\n".join(lines)
 
     @staticmethod
@@ -156,8 +213,11 @@ class StageReport:
             )
         return label + ("  [" + ", ".join(extras) + "]" if extras else "")
 
-    def _render(self, stats: StageStats, lines: list[str], depth: int) -> None:
-        label = f"{'  ' * depth}{stats.name}  {stats.seconds:.3f}s"
+    def _render(
+        self, stats: StageStats, occurrences: int, lines: list[str], depth: int
+    ) -> None:
+        name = stats.name if occurrences == 1 else f"{stats.name} x{occurrences}"
+        label = f"{'  ' * depth}{name}  {stats.seconds:.3f}s"
         lines.append(self._line(label, stats))
-        for child in stats.children:
-            self._render(child, lines, depth + 1)
+        for child, n in merge_siblings(stats.children):
+            self._render(child, n, lines, depth + 1)
