@@ -1,0 +1,159 @@
+"""Microbenchmark — interned-id kernels vs their string references.
+
+Times every set-measure kernel against the string-set reference it must
+match bit-for-bit, over token sets drawn from the full-scale AwardTitle
+column (whitespace words and 3-grams — the recipes the case study's
+blockers and features actually use), plus the threshold-banded
+Levenshtein against the unbounded reference DP. Reports throughput
+(calls/sec and tokens/sec) and the kernel-vs-reference speedup per
+measure, and asserts every value agrees exactly while timing.
+
+Two kernel families are timed:
+
+* the **id-frozenset** kernels (``*_id_sets``) — the deployed hot path
+  for blocker verification and token features; the mean speedup over the
+  string references is asserted ``> 1.0``;
+* the **merge-array** kernels (``*_ids``) — the allocation-free
+  alternative, reported for reference without an assert (a Python-level
+  merge loop cannot beat CPython's C set intersection per call).
+
+Writes ``benchmarks/out/kernels.txt`` + ``.json``; the CI perf-smoke job
+runs this bench and uploads the JSON as an artifact so regressions show
+up as a number, not a feeling.
+"""
+
+import random
+import time
+
+from repro.runtime.cache import get_default_cache
+from repro.similarity import kernels
+from repro.similarity.sequence import levenshtein_distance
+from repro.similarity.set_based import (
+    cosine_set,
+    dice,
+    jaccard,
+    overlap_coefficient,
+    overlap_size,
+)
+from repro.text.normalize import normalize_title
+from repro.text.tokenizers import TOKENIZERS
+
+N_PAIRS = 60_000
+N_LEV_PAIRS = 1_500
+LEV_BOUND = 4
+
+#: (name, string reference, deployed id-set kernel, merge-array kernel)
+MEASURES = [
+    ("jaccard", jaccard, kernels.jaccard_id_sets, kernels.jaccard_ids),
+    ("cosine", cosine_set, kernels.cosine_id_sets, kernels.cosine_ids),
+    ("dice", dice, kernels.dice_id_sets, kernels.dice_ids),
+    (
+        "overlap_coefficient",
+        overlap_coefficient,
+        kernels.overlap_coefficient_id_sets,
+        kernels.overlap_coefficient_ids,
+    ),
+    (
+        "overlap_size",
+        overlap_size,
+        kernels.overlap_size_id_sets,
+        kernels.overlap_size_ids,
+    ),
+]
+
+
+def _title_pairs(table, attr, tokenizer, rng):
+    """(string sets, interned entries) for sampled row pairs."""
+    cache = get_default_cache()
+    tokens = cache.column_tokens(table, attr, tokenizer, normalize_title)
+    entries = cache.column_token_ids(table, attr, tokenizer, normalize_title)
+    rows = [i for i, t in enumerate(tokens) if t]
+    pairs = []
+    for _ in range(N_PAIRS):
+        i, j = rng.choice(rows), rng.choice(rows)
+        pairs.append((tokens[i], tokens[j], entries[i], entries[j]))
+    return pairs
+
+
+def _timed_loop(fn, args_list):
+    started = time.perf_counter()
+    out = [fn(*args) for args in args_list]
+    return out, time.perf_counter() - started
+
+
+def test_kernel_throughput(run, emit_report):
+    tables = run.projected
+    rng = random.Random(20260806)
+    lines = [
+        "Interned-id kernels vs string references (full-scale AwardTitle)",
+        "----------------------------------------------------------------",
+        f"pairs per measure: {N_PAIRS}  (values asserted equal while timing)",
+        "set = deployed id-frozenset kernel, merge = array merge kernel",
+        "",
+    ]
+    data = {"n_pairs": N_PAIRS}
+
+    set_speedups = []
+    for tok_name in ("ws", "qgm_3"):
+        tokenizer = TOKENIZERS[tok_name]
+        pairs = _title_pairs(tables.umetrics, "AwardTitle", tokenizer, rng)
+        token_volume = sum(len(a) + len(b) for a, b, _, _ in pairs)
+        str_args = [(a, b) for a, b, _, _ in pairs]
+        set_args = [(ea.ids, eb.ids) for _, _, ea, eb in pairs]
+        merge_args = [(ea.sorted, eb.sorted) for _, _, ea, eb in pairs]
+        lines.append(f"[{tok_name}] ~{token_volume / len(pairs):.1f} tokens/pair")
+        for name, reference, set_kernel, merge_kernel in MEASURES:
+            expected, ref_s = _timed_loop(reference, str_args)
+            got_set, set_s = _timed_loop(set_kernel, set_args)
+            got_merge, merge_s = _timed_loop(merge_kernel, merge_args)
+            assert got_set == expected, f"{name}/{tok_name}: set kernel diverged"
+            assert got_merge == expected, f"{name}/{tok_name}: merge kernel diverged"
+            speedup = ref_s / set_s
+            set_speedups.append(speedup)
+            data[f"{name}_{tok_name}_ref_s"] = ref_s
+            data[f"{name}_{tok_name}_set_kernel_s"] = set_s
+            data[f"{name}_{tok_name}_merge_kernel_s"] = merge_s
+            data[f"{name}_{tok_name}_set_speedup"] = speedup
+            data[f"{name}_{tok_name}_merge_speedup"] = ref_s / merge_s
+            lines.append(
+                f"  {name:<20} ref {len(pairs) / ref_s:>9.0f} calls/s"
+                f"  set {len(pairs) / set_s:>9.0f} calls/s"
+                f"  ({token_volume / set_s / 1e6:.1f}M tokens/s)"
+                f"  speedup {speedup:.2f}x"
+                f"  (merge {ref_s / merge_s:.2f}x)"
+            )
+        lines.append("")
+
+    # threshold-banded Levenshtein vs the unbounded reference
+    titles = [
+        str(normalize_title(v))
+        for v in tables.umetrics["AwardTitle"][:400]
+        if v is not None
+    ]
+    lev_pairs = [
+        (rng.choice(titles), rng.choice(titles)) for _ in range(N_LEV_PAIRS)
+    ]
+    expected, ref_s = _timed_loop(levenshtein_distance, lev_pairs)
+    bounded, kern_s = _timed_loop(
+        lambda a, b: kernels.levenshtein_bounded(a, b, LEV_BOUND), lev_pairs
+    )
+    assert bounded == [min(d, LEV_BOUND + 1) for d in expected]
+    data["levenshtein_bounded_speedup"] = ref_s / kern_s
+    data["levenshtein_bound"] = LEV_BOUND
+    lines += [
+        f"  levenshtein_bounded(k={LEV_BOUND}) vs full DP on {N_LEV_PAIRS} "
+        f"title pairs: speedup {ref_s / kern_s:.2f}x",
+    ]
+
+    mean_set_speedup = sum(set_speedups) / len(set_speedups)
+    data["mean_set_measure_speedup"] = mean_set_speedup
+    lines += [
+        "",
+        f"mean id-set measure speedup: {mean_set_speedup:.2f}x "
+        "(must stay > 1.0 — asserted)",
+    ]
+    assert mean_set_speedup > 1.0, (
+        f"interned id-set kernels no faster than string references "
+        f"({mean_set_speedup:.2f}x)"
+    )
+    emit_report("kernels", "\n".join(lines), data=data)

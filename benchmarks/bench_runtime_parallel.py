@@ -1,16 +1,29 @@
-"""Runtime — serial vs parallel blocking and feature extraction.
+"""Runtime — legacy strings vs interned kernels, serial vs shared-pool parallel.
 
-Times the two hot paths of the pipeline at full scale with ``workers=1``
-and ``workers=2`` (configurable via the ``REPRO_WORKERS`` environment
-variable; ``0``/``1`` skips the bench), asserts the parallel results are
-bit-identical to the serial ones, and writes the measured timings plus a
-parallel :class:`~repro.runtime.StageReport` to
-``benchmarks/out/runtime_parallel.txt``.
+Times the two hot paths of the pipeline at full scale three ways:
 
-The tables here are case-study-sized (thousands of rows), so process
-start-up and payload pickling can rival the saved compute — when parallel
-comes out slower the report documents parity rather than claiming a
-speedup, which is itself the honest full-scale result.
+* **legacy serial** — the pre-kernel string paths (``use_kernels(False)``);
+* **kernel serial** — the interned-id kernel paths (``workers=1``);
+* **kernel parallel** — the kernel paths with a single shared
+  :class:`~repro.runtime.WorkerPool` spanning blocking and extraction
+  (``REPRO_WORKERS`` workers, default 2).
+
+Bit-identity is asserted while timing: the kernel outputs must equal the
+legacy outputs pair-for-pair / cell-for-cell, and the parallel outputs
+must equal the serial ones. The timings are then compared against the
+frozen pre-kernel numbers in
+``benchmarks/baselines/runtime_parallel_pre_kernel.json`` (recorded on
+this container before the kernel substrate landed):
+
+* kernel serial must be ``>= 2x`` faster than the pre-kernel serial
+  total;
+* kernel parallel (shared pool) must beat the pre-kernel parallel total,
+  which paid pool start-up per stage.
+
+Parallel-vs-serial speedup on the *same* code is only asserted on hosts
+with enough cores (``cpu_count >= 4``): on the single-core CI container
+two workers time-slice one CPU, so parallel parity — not speedup — is
+the honest expectation there, and the report says which case it hit.
 """
 
 import os
@@ -23,9 +36,14 @@ import pytest
 from repro.casestudy.blocking_plan import run_blocking
 from repro.casestudy.matching import base_feature_set
 from repro.features import extract_feature_vectors
-from repro.runtime import Instrumentation
+from repro.obs import load_benchmark_result
+from repro.runtime import Instrumentation, WorkerPool
+from repro.similarity import kernels
 
 WORKERS = int(os.environ.get("REPRO_WORKERS", "2"))
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "baselines", "runtime_parallel_pre_kernel.json"
+)
 
 
 def _timed(fn, *args, **kwargs):
@@ -38,49 +56,127 @@ def _timed(fn, *args, **kwargs):
 @pytest.mark.skipif(WORKERS < 2, reason="REPRO_WORKERS < 2 disables parallel benches")
 def test_runtime_parallel(run, emit_report):
     tables = run.projected
+    cpus = os.cpu_count() or 1
     lines = [
-        "Runtime — serial vs parallel (full-scale tables)",
-        "------------------------------------------------",
-        f"workers: {WORKERS}",
+        "Runtime — legacy vs kernels, serial vs shared-pool parallel",
+        "-----------------------------------------------------------",
+        f"workers: {WORKERS}   host cpus: {cpus}",
         "",
     ]
 
-    # -- blocking ---------------------------------------------------------
-    run_blocking(tables)  # warm the shared token cache: both timed runs hit it
-    serial_block, serial_s = _timed(run_blocking, tables)
-    instr = Instrumentation("blocking(parallel)")
-    parallel_block, parallel_s = _timed(
-        run_blocking, tables, workers=WORKERS, instrumentation=instr
+    run_blocking(tables)  # warm the shared token cache: all timed runs hit it
+    features = base_feature_set(tables)
+
+    # -- legacy string paths (pre-kernel algorithms, serial) --------------
+    with kernels.use_kernels(False):
+        legacy_block, legacy_block_s = _timed(run_blocking, tables)
+        legacy_matrix, legacy_extract_s = _timed(
+            extract_feature_vectors, legacy_block.candidates, features
+        )
+
+    # -- kernel paths, serial ---------------------------------------------
+    serial_block, serial_block_s = _timed(run_blocking, tables)
+    serial_matrix, serial_extract_s = _timed(
+        extract_feature_vectors, serial_block.candidates, features
     )
+
+    # kernel outputs must be bit-identical to the legacy string paths
+    for stage in ("c1", "c2", "c3", "candidates"):
+        assert getattr(serial_block, stage).pairs == getattr(legacy_block, stage).pairs
+    assert serial_matrix.pairs == legacy_matrix.pairs
+    assert np.array_equal(serial_matrix.values, legacy_matrix.values, equal_nan=True)
+
+    # -- kernel paths, one shared pool across both stages -----------------
+    instr = Instrumentation("blocking(parallel)")
+    feat_instr = Instrumentation("extract(parallel)")
+    with WorkerPool(WORKERS) as pool:
+        parallel_block, parallel_block_s = _timed(
+            run_blocking, tables, workers=WORKERS, instrumentation=instr, pool=pool
+        )
+        parallel_matrix, parallel_extract_s = _timed(
+            extract_feature_vectors, parallel_block.candidates, features,
+            workers=WORKERS, instrumentation=feat_instr, pool=pool,
+        )
+        pool_bytes, pool_chunks = pool.pickled_bytes, pool.pickled_chunks
+
+    # parallel outputs must be bit-identical to serial
     assert parallel_block.candidates.pairs == serial_block.candidates.pairs
     assert parallel_block.c2.pairs == serial_block.c2.pairs
     assert parallel_block.c3.pairs == serial_block.c3.pairs
-    timings = {"blocking_serial": serial_s, "blocking_parallel": parallel_s}
-    lines += [
-        f"blocking   serial={serial_s:.3f}s  parallel={parallel_s:.3f}s  "
-        f"speedup={serial_s / parallel_s:.2f}x  |C|={len(parallel_block.candidates)}",
-    ]
-
-    # -- feature extraction ----------------------------------------------
-    features = base_feature_set(tables)
-    candidates = serial_block.candidates
-    serial_matrix, serial_s = _timed(extract_feature_vectors, candidates, features)
-    feat_instr = Instrumentation("extract(parallel)")
-    parallel_matrix, parallel_s = _timed(
-        extract_feature_vectors, candidates, features,
-        workers=WORKERS, instrumentation=feat_instr,
-    )
     assert parallel_matrix.pairs == serial_matrix.pairs
     assert np.array_equal(parallel_matrix.values, serial_matrix.values, equal_nan=True)
-    timings.update(extraction_serial=serial_s, extraction_parallel=parallel_s)
+
+    legacy_total = legacy_block_s + legacy_extract_s
+    serial_total = serial_block_s + serial_extract_s
+    parallel_total = parallel_block_s + parallel_extract_s
     lines += [
-        f"extraction serial={serial_s:.3f}s  parallel={parallel_s:.3f}s  "
-        f"speedup={serial_s / parallel_s:.2f}x  "
-        f"cells={parallel_matrix.values.size}",
+        f"blocking   legacy={legacy_block_s:.3f}s  kernel={serial_block_s:.3f}s  "
+        f"kernel+pool={parallel_block_s:.3f}s  |C|={len(parallel_block.candidates)}",
+        f"extraction legacy={legacy_extract_s:.3f}s  kernel={serial_extract_s:.3f}s  "
+        f"kernel+pool={parallel_extract_s:.3f}s  cells={parallel_matrix.values.size}",
+        f"total      legacy={legacy_total:.3f}s  kernel={serial_total:.3f}s  "
+        f"kernel+pool={parallel_total:.3f}s",
+        f"shared pool shipped {pool_chunks} chunks / {pool_bytes} pickled bytes",
         "",
-        "Parallel results are identical to serial (asserted pair-for-pair /",
-        "cell-for-cell above); a speedup < 1.00x documents parity — at this",
-        "table scale pool start-up can absorb the win.",
+    ]
+    timings = {
+        # historical keys: what a `workers=2` consumer of this report sees
+        "blocking_serial": serial_block_s,
+        "blocking_parallel": parallel_block_s,
+        "extraction_serial": serial_extract_s,
+        "extraction_parallel": parallel_extract_s,
+        "legacy_blocking_serial": legacy_block_s,
+        "legacy_extraction_serial": legacy_extract_s,
+        "cpu_count": cpus,
+        "pool_pickled_bytes": pool_bytes,
+        "pool_pickled_chunks": pool_chunks,
+    }
+
+    # -- versus the frozen pre-kernel baseline ----------------------------
+    baseline = load_benchmark_result(BASELINE)["data"]
+    base_serial = baseline["blocking_serial"] + baseline["extraction_serial"]
+    base_parallel = baseline["blocking_parallel"] + baseline["extraction_parallel"]
+    serial_speedup = base_serial / serial_total
+    parallel_speedup = base_parallel / parallel_total
+    timings.update(
+        baseline_serial_total=base_serial,
+        baseline_parallel_total=base_parallel,
+        serial_speedup_vs_baseline=serial_speedup,
+        parallel_speedup_vs_baseline=parallel_speedup,
+    )
+    lines += [
+        f"pre-kernel baseline: serial={base_serial:.3f}s  parallel={base_parallel:.3f}s",
+        f"kernel serial speedup vs baseline:          {serial_speedup:.2f}x "
+        "(must stay >= 2.0 — asserted)",
+        f"kernel+pool parallel speedup vs baseline:   {parallel_speedup:.2f}x "
+        "(must stay > 1.0 — asserted)",
+    ]
+    assert serial_speedup >= 2.0, (
+        f"kernel serial path lost its >=2x win over the pre-kernel baseline "
+        f"({serial_speedup:.2f}x)"
+    )
+    assert parallel_speedup > 1.0, (
+        f"shared-pool parallel path no faster than the pre-kernel parallel "
+        f"baseline ({parallel_speedup:.2f}x)"
+    )
+
+    if cpus >= 4:
+        assert parallel_total < serial_total, (
+            f"parallel ({parallel_total:.3f}s) slower than serial "
+            f"({serial_total:.3f}s) despite {cpus} cpus"
+        )
+        lines.append(
+            f"parallel vs serial (same kernels): {serial_total / parallel_total:.2f}x"
+        )
+    else:
+        lines.append(
+            f"parallel-vs-serial speedup not asserted: {cpus} cpu(s) — two "
+            "workers time-slice one core, so parity is the expected outcome."
+        )
+    lines += [
+        "",
+        "All three paths produce identical outputs (asserted pair-for-pair /",
+        "cell-for-cell above).",
         "",
         str(instr.report()),
         "",

@@ -64,14 +64,15 @@ class AttrEquivalenceBlocker(Blocker):
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
         store: Any | None = None,
+        pool: Any | None = None,
     ) -> CandidateSet:
         if store is not None:
             return self._memoized(
-                store, ltable, rtable, l_key, r_key, name, workers, instrumentation
+                store, ltable, rtable, l_key, r_key, name, workers, instrumentation, pool
             )
-        # The equi-join is a single hash pass — workers are accepted for
-        # interface uniformity but there is nothing worth parallelising.
-        del workers
+        # The equi-join is a single hash pass — workers/pool are accepted
+        # for interface uniformity but there is nothing worth parallelising.
+        del workers, pool
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )

@@ -35,6 +35,11 @@ class Blocker:
         the blocker is memoized by the content fingerprints of its config
         and both input tables (see :func:`repro.store.cached_block`);
         ``None`` (the default) computes unconditionally.
+    ``pool``
+        Optional shared :class:`~repro.runtime.executor.WorkerPool`. When
+        given it supplies the worker processes (overriding ``workers``)
+        and is reused across stages; the caller owns its lifetime.
+        Results are identical with or without it.
     """
 
     #: Subclasses set this for nicer candidate-set names.
@@ -51,6 +56,7 @@ class Blocker:
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
         store: "Any | None" = None,
+        pool: "Any | None" = None,
     ) -> CandidateSet:
         """Produce the candidate set for (ltable, rtable)."""
         raise NotImplementedError
@@ -65,6 +71,7 @@ class Blocker:
         name: str,
         workers: int,
         instrumentation: Instrumentation | None,
+        pool: "Any | None" = None,
     ) -> CandidateSet:
         """Route ``block_tables`` through an artifact store.
 
@@ -84,6 +91,7 @@ class Blocker:
             name=name,
             workers=workers,
             instrumentation=instrumentation,
+            pool=pool,
         )
 
     def _validate_inputs(

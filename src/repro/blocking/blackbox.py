@@ -38,10 +38,11 @@ class BlackBoxBlocker(Blocker):
         *,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        pool: "Any | None" = None,
     ) -> CandidateSet:
         # Scores can return any type and are usually ad-hoc closures; the
-        # quick-patch tool stays serial regardless of *workers*.
-        del workers
+        # quick-patch tool stays serial regardless of *workers*/*pool*.
+        del workers, pool
         self._validate_inputs(ltable, rtable, l_key, r_key, [])
         pairs = []
         l_rows = ltable.to_rows()

@@ -89,6 +89,21 @@ class CandidateSet:
     def pair_set(self) -> set[Pair]:
         return set(self._seen)
 
+    @property
+    def l_row_index(self) -> dict[Any, int]:
+        """Left record id -> row position in ``ltable`` (shared; don't mutate).
+
+        Columnar consumers (kernel feature extraction) use this to read
+        attribute values straight out of the table columns instead of
+        materializing a row dict per pair via :meth:`record_pair`.
+        """
+        return self._l_index
+
+    @property
+    def r_row_index(self) -> dict[Any, int]:
+        """Right record id -> row position in ``rtable`` (shared; don't mutate)."""
+        return self._r_index
+
     def left_row(self, lid: Any) -> dict[str, Any]:
         """Full left record for an id."""
         return self.ltable.row(self._l_index[lid])

@@ -11,13 +11,23 @@ Likelihood is the maximum, over the given attribute pairs, of the Jaccard
 similarity of lower-cased word tokens — the same cheap similarity
 MatchCatcher uses to surface survivors quickly. Candidate generation goes
 through an inverted index so the debugger never materialises A x B.
+
+When the kernel switch is on (default), tokenization goes through the
+shared :class:`~repro.runtime.cache.TokenCache` and Jaccard is computed
+over interned-id frozensets: the intersection/union counts are the same
+integers as over the string sets, so every score — and the ranking — is
+bit-identical, but the sets hash small ints instead of strings and warm
+runs skip tokenizing entirely.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from ..runtime.cache import get_default_cache
+from ..similarity import kernels
 from ..similarity.set_based import jaccard
 from ..table.column import is_missing
 from ..text.normalize import normalize_title
@@ -46,6 +56,19 @@ def _token_map(table, key: str, attr: str) -> dict[Any, frozenset[str]]:
     return out
 
 
+def _token_id_map(table, key: str, attr: str) -> dict[Any, frozenset]:
+    """Kernel twin of :func:`_token_map`: interned-id frozensets per row.
+
+    The cache applies the very same recipe
+    (``frozenset(whitespace(str(normalize_title(cell))))``, missing and
+    empty cells dropped), then swaps each token for its vocabulary id.
+    """
+    entries = get_default_cache().token_ids_by_id(
+        table, attr, key, whitespace, normalize_title
+    )
+    return {rid: entry.ids for rid, entry in entries.items()}
+
+
 def debug_blocker(
     candidates: CandidateSet,
     attr_pairs: Sequence[tuple[str, str]],
@@ -69,8 +92,14 @@ def debug_blocker(
 
     scored: dict[tuple[Any, Any], tuple[float, tuple[str, str]]] = {}
     for l_attr, r_attr in attr_pairs:
-        l_tokens = _token_map(ltable, l_key, l_attr)
-        r_tokens = _token_map(rtable, r_key, r_attr)
+        if kernels.kernels_enabled():
+            l_tokens = _token_id_map(ltable, l_key, l_attr)
+            r_tokens = _token_id_map(rtable, r_key, r_attr)
+            similarity = kernels.jaccard_id_sets
+        else:
+            l_tokens = _token_map(ltable, l_key, l_attr)
+            r_tokens = _token_map(rtable, r_key, r_attr)
+            similarity = jaccard
         index: dict[str, list[Any]] = {}
         for rid, tokens in r_tokens.items():
             for t in tokens:
@@ -82,13 +111,18 @@ def debug_blocker(
             for rid in seen:
                 if (lid, rid) in in_c:
                     continue
-                score = jaccard(tokens, r_tokens[rid])
+                score = similarity(tokens, r_tokens[rid])
                 key = (lid, rid)
                 if key not in scored or score > scored[key][0]:
                     scored[key] = (score, (l_attr, r_attr))
 
-    ranked = sorted(scored.items(), key=lambda kv: (-kv[1][0], str(kv[0])))
+    # nsmallest(k, ..., key) is documented to equal sorted(..., key)[:k],
+    # so the report is unchanged while the full O(n log n) sort becomes
+    # O(n log k) over the ~|A x B| scored survivors.
+    ranked = heapq.nsmallest(
+        top_k, scored.items(), key=lambda kv: (-kv[1][0], str(kv[0]))
+    )
     return [
         MissedPairReport(l_id=lid, r_id=rid, score=score, best_attrs=attrs)
-        for (lid, rid), (score, attrs) in ranked[:top_k]
+        for (lid, rid), (score, attrs) in ranked
     ]

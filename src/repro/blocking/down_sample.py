@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import BlockingError
 from ..runtime.cache import TokenCache, get_default_cache
-from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
 from ..table import Table
 from ..text.normalize import normalize_title
@@ -66,6 +66,7 @@ def down_sample(
     rng: np.random.Generator,
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> tuple[Table, Table]:
     """Down-sample (A, B) to roughly (*a_size*, *b_size*) rows.
 
@@ -94,7 +95,9 @@ def down_sample(
 
     with stage(instrumentation, "score"):
         ranges = chunk_ranges(len(a_row_tokens), workers)
-        executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+        executor = ChunkedExecutor(
+            workers=workers, instrumentation=instrumentation, pool=pool
+        )
         chunks = executor.map(
             _shared_count_chunk,
             [(a_row_tokens[start:stop], b_tokens) for start, stop in ranges],

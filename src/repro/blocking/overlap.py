@@ -8,11 +8,20 @@ so each left record only probes the index with its first
 ``len(tokens) - k + 1`` tokens under a global token ordering. Shared-token
 counts are then verified exactly.
 
-Tokenization goes through the shared
-:mod:`~repro.runtime.cache` (one pass per ``(attr, tokenizer,
-normalizer)`` recipe per table), and the probe loop is chunk-parallel over
-left records when ``workers >= 2`` — with results identical to the serial
-loop, which remains the default.
+Tokenization goes through the shared :mod:`~repro.runtime.cache` (one pass
+per ``(attr, tokenizer, normalizer)`` recipe per table). When the kernel
+switch (:func:`~repro.similarity.kernels.kernels_enabled`) is on — the
+default — the probe runs over interned ``array('i')`` token ids with the
+merge kernels; otherwise it runs the legacy ``frozenset[str]`` loop. Both
+paths emit the *same pairs in the same order*: the global token ordering
+``(doc_freq, token)`` is a total order computed once per run (not per
+record), the inverted-index rid lists are built in the same right-row
+order, and the per-record ``seen`` sets receive the same rid objects in
+the same sequence.
+
+The probe loop is chunk-parallel over left records when ``workers >= 2``
+(or a shared :class:`~repro.runtime.executor.WorkerPool` is passed) — with
+results identical to the serial loop, which remains the default.
 """
 
 from __future__ import annotations
@@ -21,9 +30,11 @@ from typing import Any, Callable
 
 from ..errors import BlockingError
 from ..runtime.cache import get_default_cache
-from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
+from ..similarity import kernels
 from ..table import Table
+from ..text.intern import id_array
 from ..text.tokenizers import Tokenizer, whitespace
 from .base import Blocker
 from .candidate_set import CandidateSet
@@ -35,19 +46,23 @@ def _probe_overlap_chunk(
     l_items: list[tuple[Any, frozenset[str]]],
     r_tokens: dict[Any, frozenset[str]],
     index: dict[str, list[Any]],
-    doc_freq: dict[str, int],
+    order: dict[str, int],
     k: int,
 ) -> list[tuple[Any, Any]]:
-    """Probe the inverted index for a chunk of left records.
+    """Probe the inverted index for a chunk of left records (string path).
 
     Module-level (and closure-free) so the chunked executor can ship it to
-    worker processes; the serial path runs the very same function.
+    worker processes; the serial path runs the very same function. *order*
+    is the global token rank under ``(doc_freq, token)`` — a total order,
+    so ranking sorts exactly like the tuple key did, but without
+    re-deriving it per record.
     """
+    rank = order.__getitem__
     pairs: list[tuple[Any, Any]] = []
     for lid, tokens in l_items:
         if len(tokens) < k:
             continue
-        ordered = sorted(tokens, key=lambda t: (doc_freq.get(t, 0), t))
+        ordered = sorted(tokens, key=rank)
         prefix = ordered[: len(ordered) - k + 1]
         seen: set[Any] = set()
         for t in prefix:
@@ -55,6 +70,33 @@ def _probe_overlap_chunk(
                 seen.add(rid)
         for rid in seen:
             if len(tokens & r_tokens[rid]) >= k:
+                pairs.append((lid, rid))
+    return pairs
+
+
+def _probe_overlap_ids_chunk(
+    l_items: list[tuple[Any, Any, Any]],
+    r_sets: dict[Any, Any],
+    index: dict[int, list[Any]],
+    k: int,
+) -> list[tuple[Any, Any]]:
+    """Kernel twin of :func:`_probe_overlap_chunk` over interned ids.
+
+    ``l_items`` carries ``(lid, prefix_ids, id_set)`` with the prefix
+    already cut under the global order (computed once in the parent), so
+    workers receive compact ``array('i')`` prefixes plus ``frozenset[int]``
+    verify sets and do integer set ops only. Emission order matches the
+    string path because the prefix order, the index rid lists, and hence
+    each ``seen`` set's insertion sequence are all identical.
+    """
+    pairs: list[tuple[Any, Any]] = []
+    for lid, prefix, a in l_items:
+        seen: set[Any] = set()
+        for tid in prefix:
+            for rid in index.get(tid, ()):
+                seen.add(rid)
+        for rid in seen:
+            if kernels.overlap_at_least(a, r_sets[rid], k):
                 pairs.append((lid, rid))
     return pairs
 
@@ -109,14 +151,35 @@ class OverlapBlocker(Blocker):
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
         store: Any | None = None,
+        pool: WorkerPool | None = None,
     ) -> CandidateSet:
         if store is not None:
             return self._memoized(
-                store, ltable, rtable, l_key, r_key, name, workers, instrumentation
+                store, ltable, rtable, l_key, r_key, name, workers, instrumentation, pool
             )
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
+        if kernels.kernels_enabled():
+            pairs = self._block_ids(
+                ltable, rtable, l_key, r_key, workers, instrumentation, pool
+            )
+        else:
+            pairs = self._block_strings(
+                ltable, rtable, l_key, r_key, workers, instrumentation, pool
+            )
+        return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)
+
+    def _block_strings(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        workers: int,
+        instrumentation: Instrumentation | None,
+        pool: WorkerPool | None,
+    ) -> list[tuple[Any, Any]]:
         cache = get_default_cache()
         hits_before = cache.hits
         with stage(instrumentation, "tokenize"):
@@ -126,7 +189,9 @@ class OverlapBlocker(Blocker):
             count(instrumentation, "r_records", len(r_tokens))
             count(instrumentation, "cache_hits", cache.hits - hits_before)
         # Global token order by document frequency (rarest first) makes the
-        # prefix filter probe the most selective tokens.
+        # prefix filter probe the most selective tokens. (doc_freq, token)
+        # is a total order, so ranking once here and sorting records by
+        # rank reproduces the per-record tuple sort exactly.
         with stage(instrumentation, "index"):
             doc_freq: dict[str, int] = {}
             for tokens in r_tokens.values():
@@ -136,18 +201,101 @@ class OverlapBlocker(Blocker):
             for rid, tokens in r_tokens.items():
                 for t in tokens:
                     index.setdefault(t, []).append(rid)
+            left_vocab = set()
+            for tokens in l_tokens.values():
+                left_vocab.update(tokens)
+            order = {
+                t: i
+                for i, t in enumerate(
+                    sorted(left_vocab, key=lambda t: (doc_freq.get(t, 0), t))
+                )
+            }
         with stage(instrumentation, "probe"):
             l_items = list(l_tokens.items())
             ranges = chunk_ranges(len(l_items), workers)
-            executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+            executor = ChunkedExecutor(
+                workers=workers, instrumentation=instrumentation, pool=pool
+            )
             chunks = executor.map(
                 _probe_overlap_chunk,
                 [
-                    (l_items[start:stop], r_tokens, index, doc_freq, self.threshold)
+                    (l_items[start:stop], r_tokens, index, order, self.threshold)
                     for start, stop in ranges
                 ],
                 sizes=[stop - start for start, stop in ranges],
             )
             pairs = [pair for chunk in chunks for pair in chunk]
             count(instrumentation, "pairs_out", len(pairs))
-        return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)
+        return pairs
+
+    def _block_ids(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        workers: int,
+        instrumentation: Instrumentation | None,
+        pool: WorkerPool | None,
+    ) -> list[tuple[Any, Any]]:
+        cache = get_default_cache()
+        hits_before = cache.hits
+        k = self.threshold
+        with stage(instrumentation, "tokenize"):
+            l_entries = cache.token_ids_by_id(
+                ltable, self.l_attr, l_key, self.tokenizer, self.normalizer
+            )
+            r_entries = cache.token_ids_by_id(
+                rtable, self.r_attr, r_key, self.tokenizer, self.normalizer
+            )
+            count(instrumentation, "l_records", len(l_entries))
+            count(instrumentation, "r_records", len(r_entries))
+            count(instrumentation, "cache_hits", cache.hits - hits_before)
+        with stage(instrumentation, "index"):
+            doc_freq: dict[int, int] = {}
+            for entry in r_entries.values():
+                for tid in entry.sorted:
+                    doc_freq[tid] = doc_freq.get(tid, 0) + 1
+            index: dict[int, list[Any]] = {}
+            # Outer loop in right-row order keeps every per-token rid list
+            # in the same order the string path builds it.
+            for rid, entry in r_entries.items():
+                for tid in entry.sorted:
+                    index.setdefault(tid, []).append(rid)
+            token_of = cache.vocabulary.token_of
+            left_vocab = {tid for entry in l_entries.values() for tid in entry.sorted}
+            rank = {
+                tid: i
+                for i, tid in enumerate(
+                    sorted(
+                        left_vocab,
+                        key=lambda tid: (doc_freq.get(tid, 0), token_of(tid)),
+                    )
+                )
+            }
+        with stage(instrumentation, "probe"):
+            by_rank = rank.__getitem__
+            l_items = []
+            for lid, entry in l_entries.items():
+                ids = entry.sorted
+                if len(ids) < k:
+                    continue
+                ordered = sorted(ids, key=by_rank)
+                prefix = id_array(ordered[: len(ordered) - k + 1])
+                l_items.append((lid, prefix, entry.ids))
+            r_sets = {rid: entry.ids for rid, entry in r_entries.items()}
+            ranges = chunk_ranges(len(l_items), workers)
+            executor = ChunkedExecutor(
+                workers=workers, instrumentation=instrumentation, pool=pool
+            )
+            chunks = executor.map(
+                _probe_overlap_ids_chunk,
+                [
+                    (l_items[start:stop], r_sets, index, k)
+                    for start, stop in ranges
+                ],
+                sizes=[stop - start for start, stop in ranges],
+            )
+            pairs = [pair for chunk in chunks for pair in chunk]
+            count(instrumentation, "pairs_out", len(pairs))
+        return pairs

@@ -8,8 +8,17 @@ counts are verified exactly against the size-aware bound
 ``ceil(t * min(|X|,|Y|))`` before the coefficient itself is checked.
 
 Like :class:`~repro.blocking.overlap.OverlapBlocker`, tokenization is
-memoized through the shared runtime cache and the probe loop chunks over
-left records when ``workers >= 2`` (identical results to serial).
+memoized through the shared runtime cache, the probe runs over interned
+id arrays when the kernel switch is on (default) and over the legacy
+``frozenset[str]`` sets otherwise, and the probe loop chunks over left
+records when ``workers >= 2`` — identical results on every path. Both
+paths probe each left record's tokens in the *iteration order of the
+parent's frozenset*, materialized in the parent before chunks ship (the
+kernel path via :class:`~repro.runtime.cache.InternedTokens.probe`, the
+string path via a token list): an unpickled frozenset may iterate in a
+different order than the original, and the per-record ``seen`` insertion
+sequence — and therefore pair emission order — must stay bit-identical
+to the serial loop.
 """
 
 from __future__ import annotations
@@ -19,8 +28,9 @@ from typing import Any, Callable
 
 from ..errors import BlockingError
 from ..runtime.cache import get_default_cache
-from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
+from ..similarity import kernels
 from ..similarity.set_based import overlap_coefficient
 from ..table import Table
 from ..text.tokenizers import Tokenizer, whitespace
@@ -31,19 +41,28 @@ Normalizer = Callable[[Any], Any]
 
 
 def _probe_coefficient_chunk(
-    l_items: list[tuple[Any, frozenset[str]]],
+    l_items: list[tuple[Any, list[str], frozenset[str]]],
     r_tokens: dict[Any, frozenset[str]],
     index: dict[str, list[Any]],
     threshold: float,
 ) -> list[tuple[Any, Any]]:
     """Candidate generation + exact verification for a chunk of left records
-    (module-level so worker processes can run it; serial uses it too)."""
+    (module-level so worker processes can run it; serial uses it too).
+
+    ``l_items`` carries ``(lid, probe, tokens)`` where *probe* is the
+    token list materialized **in the parent**, in the parent frozenset's
+    iteration order. Workers must probe from the list, not the frozenset:
+    a frozenset rebuilt by unpickling can iterate in a different order
+    than the original (reinsertion may land a different hash-table
+    layout), which would reorder ``seen`` — and with it the emitted pairs
+    — relative to the serial run. Lists round-trip order exactly.
+    """
     pairs: list[tuple[Any, Any]] = []
-    for lid, tokens in l_items:
+    for lid, probe, tokens in l_items:
         # Any pair reaching the threshold shares >= 1 token, so probing
         # every left token is a safe (and simple) candidate generator.
         seen: set[Any] = set()
-        for tok in tokens:
+        for tok in probe:
             for rid in index.get(tok, ()):
                 seen.add(rid)
         for rid in seen:
@@ -52,6 +71,40 @@ def _probe_coefficient_chunk(
             if len(tokens & rtoks) < needed:
                 continue
             if overlap_coefficient(tokens, rtoks) >= threshold - 1e-12:
+                pairs.append((lid, rid))
+    return pairs
+
+
+def _probe_coefficient_ids_chunk(
+    l_items: list[tuple[Any, Any, Any]],
+    r_sets: dict[Any, Any],
+    index: dict[int, list[Any]],
+    threshold: float,
+) -> list[tuple[Any, Any]]:
+    """Kernel twin of :func:`_probe_coefficient_chunk` over interned ids.
+
+    ``l_items`` carries ``(lid, probe_ids, id_set)`` where the probe
+    array replays the cached frozenset's iteration order. Verification is
+    one C-level int-set intersection per candidate
+    (:func:`~repro.similarity.kernels.intersect_count`); the surviving
+    coefficient is the same ``inter / min(|X|, |Y|)`` division over the
+    same integers the string path divides.
+    """
+    pairs: list[tuple[Any, Any]] = []
+    for lid, probe, a in l_items:
+        seen: set[Any] = set()
+        for tid in probe:
+            for rid in index.get(tid, ()):
+                seen.add(rid)
+        la = len(a)
+        for rid in seen:
+            b = r_sets[rid]
+            smaller = min(la, len(b))
+            needed = math.ceil(threshold * smaller - 1e-9)
+            inter = kernels.intersect_count(a, b)
+            if inter < needed:
+                continue
+            if inter / smaller >= threshold - 1e-12:
                 pairs.append((lid, rid))
     return pairs
 
@@ -99,14 +152,35 @@ class OverlapCoefficientBlocker(Blocker):
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
         store: Any | None = None,
+        pool: WorkerPool | None = None,
     ) -> CandidateSet:
         if store is not None:
             return self._memoized(
-                store, ltable, rtable, l_key, r_key, name, workers, instrumentation
+                store, ltable, rtable, l_key, r_key, name, workers, instrumentation, pool
             )
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
+        if kernels.kernels_enabled():
+            pairs = self._block_ids(
+                ltable, rtable, l_key, r_key, workers, instrumentation, pool
+            )
+        else:
+            pairs = self._block_strings(
+                ltable, rtable, l_key, r_key, workers, instrumentation, pool
+            )
+        return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)
+
+    def _block_strings(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        workers: int,
+        instrumentation: Instrumentation | None,
+        pool: WorkerPool | None,
+    ) -> list[tuple[Any, Any]]:
         cache = get_default_cache()
         hits_before = cache.hits
         with stage(instrumentation, "tokenize"):
@@ -121,9 +195,13 @@ class OverlapCoefficientBlocker(Blocker):
                 for t in tokens:
                     index.setdefault(t, []).append(rid)
         with stage(instrumentation, "probe"):
-            l_items = list(l_tokens.items())
+            l_items = [
+                (lid, list(tokens), tokens) for lid, tokens in l_tokens.items()
+            ]
             ranges = chunk_ranges(len(l_items), workers)
-            executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+            executor = ChunkedExecutor(
+                workers=workers, instrumentation=instrumentation, pool=pool
+            )
             chunks = executor.map(
                 _probe_coefficient_chunk,
                 [
@@ -134,4 +212,52 @@ class OverlapCoefficientBlocker(Blocker):
             )
             pairs = [pair for chunk in chunks for pair in chunk]
             count(instrumentation, "pairs_out", len(pairs))
-        return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)
+        return pairs
+
+    def _block_ids(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        workers: int,
+        instrumentation: Instrumentation | None,
+        pool: WorkerPool | None,
+    ) -> list[tuple[Any, Any]]:
+        cache = get_default_cache()
+        hits_before = cache.hits
+        with stage(instrumentation, "tokenize"):
+            l_entries = cache.token_ids_by_id(
+                ltable, self.l_attr, l_key, self.tokenizer, self.normalizer
+            )
+            r_entries = cache.token_ids_by_id(
+                rtable, self.r_attr, r_key, self.tokenizer, self.normalizer
+            )
+            count(instrumentation, "l_records", len(l_entries))
+            count(instrumentation, "r_records", len(r_entries))
+            count(instrumentation, "cache_hits", cache.hits - hits_before)
+        with stage(instrumentation, "index"):
+            index: dict[int, list[Any]] = {}
+            for rid, entry in r_entries.items():
+                for tid in entry.sorted:
+                    index.setdefault(tid, []).append(rid)
+        with stage(instrumentation, "probe"):
+            l_items = [
+                (lid, entry.probe, entry.ids) for lid, entry in l_entries.items()
+            ]
+            r_sets = {rid: entry.ids for rid, entry in r_entries.items()}
+            ranges = chunk_ranges(len(l_items), workers)
+            executor = ChunkedExecutor(
+                workers=workers, instrumentation=instrumentation, pool=pool
+            )
+            chunks = executor.map(
+                _probe_coefficient_ids_chunk,
+                [
+                    (l_items[start:stop], r_sets, index, self.threshold)
+                    for start, stop in ranges
+                ],
+                sizes=[stop - start for start, stop in ranges],
+            )
+            pairs = [pair for chunk in chunks for pair in chunk]
+            count(instrumentation, "pairs_out", len(pairs))
+        return pairs

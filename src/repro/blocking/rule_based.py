@@ -93,12 +93,15 @@ class RuleBasedBlocker(Blocker):
         *,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        pool: Any | None = None,
     ) -> CandidateSet:
         attrs = []
         if self.index_attrs is not None:
             attrs = [(ltable, self.index_attrs[0]), (rtable, self.index_attrs[1])]
         self._validate_inputs(ltable, rtable, l_key, r_key, attrs)
-        executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+        executor = ChunkedExecutor(
+            workers=workers, instrumentation=instrumentation, pool=pool
+        )
         with stage(instrumentation, "evaluate"):
             if self.index_attrs is not None:
                 pairs = self._block_indexed(ltable, rtable, l_key, r_key, executor)

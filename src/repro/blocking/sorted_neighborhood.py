@@ -76,9 +76,10 @@ class SortedNeighborhoodBlocker(Blocker):
         *,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        pool: Any | None = None,
     ) -> CandidateSet:
-        # A single sort dominates; workers accepted for interface uniformity.
-        del workers
+        # A single sort dominates; workers/pool accepted for uniformity.
+        del workers, pool
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )

@@ -15,6 +15,7 @@ from ..blocking.candidate_set import Pair
 from ..datasets.iris import iris_matcher
 from ..datasets.scenario import Scenario, ScenarioConfig, generate_scenario
 from ..labeling.oracle import ExpertOracle
+from ..runtime.executor import WorkerPool
 from ..runtime.instrument import Instrumentation, stage
 from .accuracy import AccuracyOutcome, run_accuracy_estimation
 from .blocking_plan import BlockingOutcome, run_blocking, threshold_sweep
@@ -74,6 +75,13 @@ class CaseStudyRun:
     :meth:`~repro.casestudy.CombinedWorkflowOutcome.explain_pair`). A
     finished run serializes to a machine-readable record via
     :meth:`repro.obs.manifest.RunManifest.from_case_study`.
+
+    When ``workers > 1`` the run opens **one**
+    :class:`~repro.runtime.executor.WorkerPool` on first use and shares
+    it across every stage (blocking probes, all feature extractions), so
+    process startup is paid once per run; :meth:`close` (or using the run
+    as a context manager) shuts it down. An externally supplied ``pool``
+    is used instead and never shut down here.
     """
 
     config: ScenarioConfig = field(default_factory=ScenarioConfig)
@@ -81,6 +89,35 @@ class CaseStudyRun:
     workers: int = 1
     instrumentation: Instrumentation | None = None
     provenance: bool = False
+    pool: WorkerPool | None = None
+    _owned_pool: WorkerPool | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def worker_pool(self) -> WorkerPool | None:
+        """The pool shared by every stage: the injected one, else a
+        run-owned pool created on first use (``None`` for serial runs)."""
+        if self.pool is not None:
+            return self.pool
+        if self.workers > 1:
+            if self._owned_pool is None:
+                self._owned_pool = WorkerPool(self.workers)
+            return self._owned_pool
+        return None
+
+    def close(self) -> None:
+        """Shut down the run-owned worker pool (idempotent; injected
+        pools are the caller's to close)."""
+        owned, self._owned_pool = self._owned_pool, None
+        if owned is not None:
+            owned.shutdown()
+
+    def __enter__(self) -> "CaseStudyRun":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @cached_property
     def scenario(self) -> Scenario:
@@ -116,6 +153,7 @@ class CaseStudyRun:
             return run_blocking(
                 tables, workers=self.workers,
                 instrumentation=self.instrumentation, store=self.store,
+                pool=self.worker_pool,
             )
 
     @cached_property
@@ -126,6 +164,7 @@ class CaseStudyRun:
             return run_blocking(
                 tables, workers=self.workers,
                 instrumentation=self.instrumentation, store=self.store,
+                pool=self.worker_pool,
             )
 
     # ------------------------------------------------------------ §8
@@ -156,6 +195,7 @@ class CaseStudyRun:
                 workers=self.workers,
                 instrumentation=self.instrumentation,
                 store=self.store,
+                pool=self.worker_pool,
             )
 
     # ------------------------------------------------------------ §10/12
@@ -175,6 +215,7 @@ class CaseStudyRun:
                 workers=self.workers,
                 instrumentation=self.instrumentation,
                 store=self.store,
+                pool=self.worker_pool,
             )
             return run_combined_workflow(
                 original, extra,
@@ -184,6 +225,7 @@ class CaseStudyRun:
                 instrumentation=self.instrumentation,
                 store=self.store,
                 provenance=self.provenance,
+                pool=self.worker_pool,
             )
 
     @cached_property

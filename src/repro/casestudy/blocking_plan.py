@@ -74,17 +74,25 @@ def run_blocking(
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
     store=None,
+    pool=None,
 ) -> BlockingOutcome:
     """Execute the blocking plan and the debugger check.
 
     ``workers >= 2`` parallelises the two title blockers (the AE blocker is
     a hash join, not worth chunking); an ``instrumentation`` handle records
     per-blocker stage timings and pair counts; a ``store`` memoizes each
-    blocker's candidate set by content fingerprints.
+    blocker's candidate set by content fingerprints; a shared ``pool``
+    lets both title blockers (and any later stage) reuse one set of
+    worker processes.
     """
     ae, overlap, coefficient = make_blockers()
     args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
-    kwargs = {"workers": workers, "instrumentation": instrumentation, "store": store}
+    kwargs = {
+        "workers": workers,
+        "instrumentation": instrumentation,
+        "store": store,
+        "pool": pool,
+    }
     with stage(instrumentation, "C1:attr_equiv"):
         c1 = ae.block_tables(*args, name="C1", **kwargs)
     with stage(instrumentation, "C2:overlap_k3"):

@@ -104,6 +104,7 @@ def run_matching(
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
     store=None,
+    pool=None,
 ) -> MatchingOutcome:
     """Execute the full Section-9 pipeline.
 
@@ -119,6 +120,7 @@ def run_matching(
     matrix = extract_feature_vectors(
         candidates, features, pairs=pairs,
         workers=workers, instrumentation=instrumentation, store=store,
+        pool=pool,
     )
     with stage(instrumentation, "select_matcher"):
         initial_selection = select_matcher(
@@ -136,6 +138,7 @@ def run_matching(
     matrix_ci = extract_feature_vectors(
         candidates, features_ci, pairs=pairs,
         workers=workers, instrumentation=instrumentation, store=store,
+        pool=pool,
     )
     with stage(instrumentation, "select_matcher"):
         final_selection = select_matcher(
@@ -154,6 +157,7 @@ def run_matching(
     predict_matrix = extract_feature_vectors(
         to_predict, features_ci,
         workers=workers, instrumentation=instrumentation, store=store,
+        pool=pool,
     )
     with stage(instrumentation, "predict"):
         predicted = matcher.predict_matches(predict_matrix)

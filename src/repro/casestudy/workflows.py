@@ -111,6 +111,7 @@ def train_workflow_matcher(
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
     store=None,
+    pool=None,
 ) -> MLMatcher:
     """Train (a clone of) *matcher* exactly as Section 9 did: drop Unsure
     pairs and the *M1* sure matches, keep the project-number-rule pairs.
@@ -126,6 +127,7 @@ def train_workflow_matcher(
     matrix = extract_feature_vectors(
         candidates, feature_set, pairs=pairs,
         workers=workers, instrumentation=instrumentation, store=store,
+        pool=pool,
     )
     with stage(instrumentation, "fit_matcher"):
         trained = matcher.clone()
@@ -168,6 +170,7 @@ def run_combined_workflow(
     instrumentation: Instrumentation | None = None,
     store=None,
     provenance: bool = False,
+    pool=None,
 ) -> CombinedWorkflowOutcome:
     """Run the Figure-9 (or, with negative rules, Figure-10) workflow.
 
@@ -192,14 +195,14 @@ def run_combined_workflow(
             original.umetrics, original.usda, original.l_key, original.r_key,
             matcher, feature_set,
             workers=workers, instrumentation=instrumentation, store=store,
-            provenance=provenance,
+            provenance=provenance, pool=pool,
         )
     with stage(instrumentation, "extra_slice"):
         extra_result = workflow.run(
             extra.umetrics, extra.usda, extra.l_key, extra.r_key,
             matcher, feature_set,
             workers=workers, instrumentation=instrumentation, store=store,
-            provenance=provenance,
+            provenance=provenance, pool=pool,
         )
     kept_original = [
         p for p in original_result.predicted_matches

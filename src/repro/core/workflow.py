@@ -90,6 +90,7 @@ class EMWorkflow:
         instrumentation: Instrumentation | None = None,
         store=None,
         provenance=None,
+        pool=None,
     ) -> tuple[CandidateSet, CandidateSet, CandidateSet]:
         """Stages 1-3: returns (C1 sure matches, C2 blocked, C = C2 - C1).
 
@@ -106,6 +107,10 @@ class EMWorkflow:
         (:class:`~repro.obs.provenance.MatchProvenance`), each positive
         rule's pair set and each blocker's output are recorded so
         ``explain_pair`` can name the exact emitters of any candidate.
+
+        A shared *pool* (:class:`~repro.runtime.executor.WorkerPool`) is
+        passed through to every blocker so all stages reuse the same
+        worker processes; the caller owns its lifetime.
         """
         if not self.blockers and not self.positive_rules:
             raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
@@ -136,11 +141,13 @@ class EMWorkflow:
                     result = cached_block(
                         store, blocker, ltable, rtable, l_key, r_key,
                         workers=workers, instrumentation=instrumentation,
+                        pool=pool,
                     )
                 else:
                     result = blocker.block_tables(
                         ltable, rtable, l_key, r_key,
                         workers=workers, instrumentation=instrumentation,
+                        pool=pool,
                     )
                 blocked.append(result)
                 if provenance is not None:
@@ -162,6 +169,7 @@ class EMWorkflow:
         instrumentation: Instrumentation | None = None,
         store=None,
         provenance: bool = False,
+        pool=None,
     ) -> WorkflowResult:
         """Run all stages with a *trained* matcher.
 
@@ -188,12 +196,13 @@ class EMWorkflow:
         c1, c2, c = self.build_candidates(
             ltable, rtable, l_key, r_key,
             workers=workers, instrumentation=instrumentation, store=store,
-            provenance=collector,
+            provenance=collector, pool=pool,
         )
         if len(c):
             matrix = extract_feature_vectors(
                 c, feature_set,
                 workers=workers, instrumentation=instrumentation, store=store,
+                pool=pool,
             )
             with stage(instrumentation, "predict"):
                 if store is not None:

@@ -6,14 +6,34 @@ missing. The companion :class:`FeatureMatrix` keeps the pair ids and
 feature names aligned with the rows/columns, which the debugging tools
 need to point back at records.
 
-Extraction is the Section-9 hot path (n pairs x d features Python calls);
-``extract_feature_vectors`` accepts ``workers=`` to spread contiguous
-pair-index chunks over a process pool. Worker processes rebuild the
-feature functions from their :attr:`~repro.features.feature.Feature.spec`
-recipes (the closures themselves do not pickle); features without a spec
-(custom black-box features) force the serial path, which is also the
-fallback whenever the pool cannot run. Parallel results are identical to
-serial ones: same chunk code, concatenated in pair order.
+Extraction is the Section-9 hot path (n pairs x d features Python calls).
+When the kernel switch (:func:`~repro.similarity.kernels.kernels_enabled`)
+is on — the default — extraction runs *columnar over interned ids*:
+
+* token set measures (``jac``/``cos``/``dice``/``overlap_coeff``) read
+  per-row sorted id arrays from the shared
+  :class:`~repro.runtime.cache.TokenCache` (each cell tokenized and
+  interned once per recipe, not once per pair per feature) and go through
+  the merge kernels in :mod:`repro.similarity.kernels`;
+* Monge-Elkan reads token *bags* in tokenizer order and memoizes its
+  inner Jaro-Winkler calls per distinct token-id pair;
+* string/numeric features keep their reference functions but memoize per
+  distinct ``(left value, right value)`` pair — cell values repeat
+  heavily across candidate pairs.
+
+All of it produces cell-for-cell identical matrices to the legacy
+row-dict loop (the kernels mirror the reference float expressions, and
+memoization only caches pure functions), which the bit-identity tests
+assert.
+
+``extract_feature_vectors`` accepts ``workers=`` (and an optional shared
+``pool=``) to spread contiguous pair-index chunks over a process pool;
+kernel chunks ship compact id arrays, legacy chunks rebuild feature
+functions from their :attr:`~repro.features.feature.Feature.spec` recipes
+(the closures themselves do not pickle). Features without a spec (custom
+black-box features) force the serial path, which is also the fallback
+whenever the pool cannot run. Parallel results are identical to serial
+ones: same chunk code, concatenated in pair order.
 """
 
 from __future__ import annotations
@@ -26,9 +46,12 @@ import numpy as np
 from ..blocking.candidate_set import CandidateSet, Pair
 from ..errors import FeatureError
 from ..ml.impute import MeanImputer
-from ..runtime.executor import ChunkedExecutor, chunk_ranges
+from ..runtime.cache import get_default_cache, lowercase
+from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
-from .feature import feature_from_spec
+from ..similarity import kernels
+from ..similarity.sequence import jaro_winkler
+from .feature import NAN, Feature, feature_from_spec
 from .generate import FeatureSet
 
 
@@ -88,7 +111,7 @@ def _extract_chunk(
     row_pairs: list[tuple[dict[str, Any], dict[str, Any]]],
     specs: list[tuple],
 ) -> np.ndarray:
-    """Compute the sub-matrix for a chunk of record pairs.
+    """Compute the sub-matrix for a chunk of record pairs (legacy path).
 
     Runs in worker processes: *specs* are rebuilt into live features there.
     """
@@ -100,6 +123,159 @@ def _extract_chunk(
     return values
 
 
+def _monge_elkan_ids(
+    a: Sequence[int],
+    b: Sequence[int],
+    token_map: dict[int, str],
+    jw_memo: dict[tuple[int, int], float],
+) -> float:
+    """Monge-Elkan over interned token bags, Jaro-Winkler inner similarity.
+
+    Mirrors :func:`~repro.similarity.hybrid.monge_elkan` step for step —
+    same guards, same left-to-right accumulation order — so the float is
+    bit-identical; the memo only skips *recomputing* a pure inner call.
+    """
+    if not len(a) and not len(b):
+        return 1.0
+    if not len(a) or not len(b):
+        return 0.0
+    total = 0.0
+    for ia in a:
+        ta = token_map[ia]
+        best = None
+        for ib in b:
+            key = (ia, ib)
+            sim = jw_memo.get(key)
+            if sim is None:
+                sim = jw_memo[key] = jaro_winkler(ta, token_map[ib])
+            if best is None or sim > best:
+                best = sim
+        total += best
+    return total / len(a)
+
+
+def _kernel_columns(
+    candidates: CandidateSet,
+    pairs: list[Pair],
+    features: list[Feature],
+) -> tuple[list[tuple], dict[int, str]]:
+    """Columnar inputs for the kernel extraction, one entry per feature.
+
+    Each column is ``(kind, meta, a_list, b_list)`` with the per-pair
+    inputs already gathered (``a_list[i]`` belongs to ``pairs[i]``):
+
+    * ``("set", measure, ids, ids)`` — id frozensets (``None`` marks a
+      missing cell) for the C-intersection set kernels;
+    * ``("mel", None, bag, bag)`` — tokenizer-order id bags;
+    * ``("value", spec, value, value)`` — raw cell values for
+      string/numeric/custom features (``spec`` rebuilds the function in
+      workers; it is ``None`` for custom features, which never leave the
+      serial path).
+
+    Also returns the token-id -> string map the Monge-Elkan inner
+    similarity needs (only ids actually reachable from *pairs*).
+    """
+    from ..text.tokenizers import TOKENIZERS
+
+    cache = get_default_cache()
+    ltable, rtable = candidates.ltable, candidates.rtable
+    l_index, r_index = candidates.l_row_index, candidates.r_row_index
+    li = [l_index[pair[0]] for pair in pairs]
+    ri = [r_index[pair[1]] for pair in pairs]
+    columns: list[tuple] = []
+    mel_ids: set[int] = set()
+    for feature in features:
+        spec = feature.spec
+        if spec is not None and spec[0] == "token":
+            _, l_attr, r_attr, measure, tokenizer_name, casefold = spec
+            tokenizer = TOKENIZERS[tokenizer_name]
+            normalizer = lowercase if casefold else None
+            if measure in kernels.SET_MEASURE_SET_KERNELS:
+                l_col = cache.column_token_ids(ltable, l_attr, tokenizer, normalizer)
+                r_col = cache.column_token_ids(rtable, r_attr, tokenizer, normalizer)
+                a_list = [
+                    entry.ids if entry is not None else None
+                    for entry in (l_col[i] for i in li)
+                ]
+                b_list = [
+                    entry.ids if entry is not None else None
+                    for entry in (r_col[i] for i in ri)
+                ]
+                columns.append(("set", measure, a_list, b_list))
+                continue
+            if measure == "mel":
+                l_col = cache.column_token_bag_ids(ltable, l_attr, tokenizer, normalizer)
+                r_col = cache.column_token_bag_ids(rtable, r_attr, tokenizer, normalizer)
+                a_list = [l_col[i] for i in li]
+                b_list = [r_col[i] for i in ri]
+                for bag in a_list:
+                    if bag is not None:
+                        mel_ids.update(bag)
+                for bag in b_list:
+                    if bag is not None:
+                        mel_ids.update(bag)
+                columns.append(("mel", None, a_list, b_list))
+                continue
+        l_col = ltable[feature.l_attr]
+        r_col = rtable[feature.r_attr]
+        columns.append(
+            ("value", spec, [l_col[i] for i in li], [r_col[i] for i in ri])
+        )
+    token_of = cache.vocabulary.token_of
+    token_map = {tid: token_of(tid) for tid in mel_ids}
+    return columns, token_map
+
+
+def _extract_kernel_chunk(
+    n: int,
+    columns: list[tuple],
+    token_map: dict[int, str],
+    functions: list[Any] | None = None,
+) -> np.ndarray:
+    """Evaluate kernel columns for *n* pairs (the serial path runs it
+    inline over all pairs; workers run it per chunk with *functions*
+    unset and rebuild value-feature functions from their specs)."""
+    values = np.empty((n, len(columns)))
+    jw_memo: dict[tuple[int, int], float] = {}
+    for j, (kind, meta, a_list, b_list) in enumerate(columns):
+        if kind == "set":
+            kern = kernels.SET_MEASURE_SET_KERNELS[meta]
+            for i in range(n):
+                a, b = a_list[i], b_list[i]
+                values[i, j] = NAN if a is None or b is None else kern(a, b)
+        elif kind == "mel":
+            for i in range(n):
+                a, b = a_list[i], b_list[i]
+                values[i, j] = (
+                    NAN
+                    if a is None or b is None
+                    else _monge_elkan_ids(a, b, token_map, jw_memo)
+                )
+        else:
+            fn = functions[j] if functions is not None else feature_from_spec(meta).function
+            if meta is None:
+                # custom feature: purity unknown, never memoize
+                for i in range(n):
+                    values[i, j] = fn(a_list[i], b_list[i])
+                continue
+            memo: dict[tuple[Any, Any], float] = {}
+            for i in range(n):
+                a, b = a_list[i], b_list[i]
+                try:
+                    value = memo[(a, b)]
+                except KeyError:
+                    value = memo[(a, b)] = fn(a, b)
+                except TypeError:  # unhashable cell value
+                    value = fn(a, b)
+                values[i, j] = value
+    return values
+
+
+def _slice_column(column: tuple, start: int, stop: int) -> tuple:
+    kind, meta, a_list, b_list = column
+    return (kind, meta, a_list[start:stop], b_list[start:stop])
+
+
 def extract_feature_vectors(
     candidates: CandidateSet,
     feature_set: FeatureSet,
@@ -107,15 +283,17 @@ def extract_feature_vectors(
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
     store=None,
+    pool: WorkerPool | None = None,
 ) -> FeatureMatrix:
     """Compute the feature matrix for *pairs* (default: all candidates).
 
-    ``workers >= 2`` splits the pair list into contiguous index chunks and
-    evaluates them in a process pool; the result is identical to the
-    serial computation (``workers=1``, the default). With a *store*, the
-    extraction is memoized by the content fingerprints of the base
-    tables, the pair list and the feature-set recipes (lazy import: the
-    store's codecs build :class:`FeatureMatrix` objects from this module).
+    ``workers >= 2`` (or a shared *pool*) splits the pair list into
+    contiguous index chunks and evaluates them in a process pool; the
+    result is identical to the serial computation (``workers=1``, the
+    default). With a *store*, the extraction is memoized by the content
+    fingerprints of the base tables, the pair list and the feature-set
+    recipes (lazy import: the store's codecs build :class:`FeatureMatrix`
+    objects from this module).
     """
     if store is not None:
         from ..store.stages import cached_extract
@@ -127,6 +305,7 @@ def extract_feature_vectors(
             pairs=pairs,
             workers=workers,
             instrumentation=instrumentation,
+            pool=pool,
         )
     if pairs is None:
         pairs = candidates.pairs
@@ -134,12 +313,28 @@ def extract_feature_vectors(
     n, d = len(pairs), len(feature_set)
     features = list(feature_set)
     specs = [f.spec for f in features]
+    parallel_ok = (
+        (workers > 1 or (pool is not None and pool.active))
+        and n > 1
+        and all(spec is not None for spec in specs)
+    )
     with stage(instrumentation, "extract_features"):
         count(instrumentation, "pairs", n)
         count(instrumentation, "cells", n * d)
-        if workers > 1 and n > 1 and all(spec is not None for spec in specs):
+        if kernels.kernels_enabled():
+            columns, token_map = _kernel_columns(candidates, pairs, features)
+            if parallel_ok:
+                values = _extract_kernel_parallel(
+                    columns, token_map, n, d, workers, instrumentation, pool,
+                    [f.function for f in features],
+                )
+            else:
+                values = _extract_kernel_chunk(
+                    n, columns, token_map, [f.function for f in features]
+                )
+        elif parallel_ok:
             values = _extract_parallel(
-                candidates, pairs, specs, workers, instrumentation, d
+                candidates, pairs, specs, workers, instrumentation, d, pool
             )
         else:
             values = np.empty((n, d))
@@ -150,6 +345,69 @@ def extract_feature_vectors(
     return FeatureMatrix(pairs=pairs, feature_names=feature_set.names, values=values)
 
 
+def _extract_kernel_parallel(
+    columns: list[tuple],
+    token_map: dict[int, str],
+    n: int,
+    d: int,
+    workers: int,
+    instrumentation: Instrumentation | None,
+    pool: WorkerPool | None,
+    functions: list[Any],
+) -> np.ndarray:
+    """Parallel kernel extraction with the mel columns kept in the parent.
+
+    Monge-Elkan resists row chunking: its cost is dominated by the
+    *distinct* token-pair Jaro-Winkler evaluations, and nearly every
+    distinct pair occurs in every row chunk — so each worker would redo
+    close to the whole memoized workload. Instead the set/value columns
+    (cleanly row-parallel) are submitted to the pool asynchronously and
+    the parent computes the mel columns with the run-wide memo *while the
+    workers run*, then scatters both into the result. Any pool failure
+    recomputes the submitted columns inline — identical either way.
+    """
+    effective = workers if workers > 1 else (pool.workers if pool else 1)
+    mel_idx = [j for j, c in enumerate(columns) if c[0] == "mel"]
+    rest_idx = [j for j, c in enumerate(columns) if c[0] != "mel"]
+    rest_cols = [columns[j] for j in rest_idx]
+    ranges = chunk_ranges(n, effective)
+    submitted = None
+    owner: WorkerPool | None = None
+    target = pool
+    if rest_cols and len(ranges) > 1:
+        if target is None:
+            target = owner = WorkerPool(min(effective, len(ranges)))
+        payloads = [
+            (stop - start, [_slice_column(c, start, stop) for c in rest_cols], {})
+            for start, stop in ranges
+        ]
+        submitted = target.submit_chunks(_extract_kernel_chunk, payloads)
+    values = np.empty((n, d))
+    if mel_idx:
+        values[:, mel_idx] = _extract_kernel_chunk(
+            n, [columns[j] for j in mel_idx], token_map
+        )
+    outcomes = None
+    if submitted is not None:
+        futures, shipped = submitted
+        outcomes = target.gather(futures)
+        if outcomes is not None:
+            count(instrumentation, "pickled_bytes", shipped)
+            count(instrumentation, "pickled_chunks", len(futures))
+            for (start, stop), (block, seconds, pid) in zip(ranges, outcomes):
+                if instrumentation is not None:
+                    instrumentation.record_chunk(pid, stop - start, seconds)
+                values[start:stop, rest_idx] = block
+    if owner is not None:
+        owner.shutdown()
+    if rest_cols and outcomes is None:
+        count(instrumentation, "parallel_fallbacks")
+        values[:, rest_idx] = _extract_kernel_chunk(
+            n, rest_cols, {}, [functions[j] for j in rest_idx]
+        )
+    return values
+
+
 def _extract_parallel(
     candidates: CandidateSet,
     pairs: list[Pair],
@@ -157,13 +415,16 @@ def _extract_parallel(
     workers: int,
     instrumentation: Instrumentation | None,
     d: int,
+    pool: WorkerPool | None = None,
 ) -> np.ndarray:
-    ranges = chunk_ranges(len(pairs), workers)
+    ranges = chunk_ranges(len(pairs), workers if workers > 1 else (pool.workers if pool else 1))
     payloads = []
     for start, stop in ranges:
         row_pairs = [candidates.record_pair(pair) for pair in pairs[start:stop]]
         payloads.append((row_pairs, specs))
-    executor = ChunkedExecutor(workers=workers, instrumentation=instrumentation)
+    executor = ChunkedExecutor(
+        workers=workers, instrumentation=instrumentation, pool=pool
+    )
     blocks = executor.map(
         _extract_chunk, payloads, sizes=[stop - start for start, stop in ranges]
     )

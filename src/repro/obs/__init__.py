@@ -26,6 +26,7 @@ from .manifest import (
     RunManifest,
     benchmark_result,
     diff_manifests,
+    load_benchmark_result,
     platform_info,
     stage_timings,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "benchmark_result",
     "collect_metrics",
     "diff_manifests",
+    "load_benchmark_result",
     "load_trace",
     "observe_cache",
     "observe_stage_tree",

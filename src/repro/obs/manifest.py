@@ -217,6 +217,26 @@ def benchmark_result(
     }
 
 
+def load_benchmark_result(path: str | Path) -> dict[str, Any]:
+    """Read a :func:`benchmark_result` payload back from disk, validated.
+
+    Used by benches that compare against a frozen baseline (e.g. the
+    pre-kernel runtime numbers in ``benchmarks/baselines/``). Raises
+    :class:`~repro.errors.ObsError` when the file is not a benchmark
+    payload of a known schema version, so a stale or hand-edited baseline
+    fails loudly instead of producing a nonsense speedup.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise ObsError(f"{path} is not a benchmark_result payload")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ObsError(
+            f"{path}: schema_version {version!r} != supported {SCHEMA_VERSION}"
+        )
+    return payload
+
+
 # ----------------------------------------------------------------------
 # diffing
 # ----------------------------------------------------------------------

@@ -14,8 +14,14 @@ argument defaults to ``workers=1, instrumentation=None``, which is the
 pre-runtime behaviour exactly.
 """
 
-from .cache import CacheStats, TokenCache, get_default_cache
-from .executor import CHUNKS_PER_WORKER, ChunkedExecutor, chunk_ranges
+from .cache import CacheStats, InternedTokens, TokenCache, get_default_cache
+from .executor import (
+    CHUNKS_PER_WORKER,
+    ChunkedExecutor,
+    WorkerPool,
+    chunk_ranges,
+    ensure_pool,
+)
 from .instrument import (
     ChunkRecord,
     Instrumentation,
@@ -32,11 +38,14 @@ __all__ = [
     "ChunkRecord",
     "ChunkedExecutor",
     "Instrumentation",
+    "InternedTokens",
     "StageReport",
     "StageStats",
     "TokenCache",
+    "WorkerPool",
     "chunk_ranges",
     "count",
+    "ensure_pool",
     "get_default_cache",
     "merge_siblings",
     "stage",

@@ -3,9 +3,23 @@
 The hot paths of the pipeline — blocking probes and feature-vector
 extraction — are embarrassingly parallel over *contiguous chunks* of an
 ordered work list (left-table rows, candidate-pair indices). The executor
-here runs those chunks through :class:`concurrent.futures.ProcessPoolExecutor`
-and concatenates the results in submission order, so the output is exactly
-what the serial loop would produce.
+here runs those chunks through a worker pool and concatenates the results
+in submission order, so the output is exactly what the serial loop would
+produce.
+
+Two layers:
+
+* :class:`WorkerPool` — a reusable, lazily started
+  :class:`~concurrent.futures.ProcessPoolExecutor` wrapper. A run opens
+  one pool and shares it across every stage (blocking probes, feature
+  extraction), so process startup is paid once per run instead of once
+  per ``map`` call. Payloads are pickled *in the parent* so the exact
+  shipped byte counts are known and surfaced as ``pickled_bytes`` /
+  ``pickled_chunks`` counters.
+* :class:`ChunkedExecutor` — the stage-facing mapper. It uses an injected
+  shared pool when given one, spins up a transient pool per call
+  otherwise (the historical behaviour), and always degrades to inline
+  serial execution when the pool cannot be used.
 
 Guarantees:
 
@@ -27,9 +41,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
 
 from .instrument import Instrumentation
 
@@ -66,11 +82,168 @@ def _timed_call(fn: Callable, payload: tuple) -> tuple[Any, float, int]:
     return result, time.perf_counter() - started, os.getpid()
 
 
+def _run_pickled(blob: bytes) -> tuple[Any, float, int]:
+    """Worker entry point: unpickle ``(fn, payload)`` and run it, timed.
+
+    The parent pickles the pair itself (see :meth:`WorkerPool.run_chunks`),
+    so the blob's length *is* the number of bytes shipped for the chunk —
+    no second serialization happens beyond the blob itself.
+    """
+    fn, payload = pickle.loads(blob)
+    started = time.perf_counter()
+    result = fn(*payload)
+    return result, time.perf_counter() - started, os.getpid()
+
+
 def _fork_context():
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
         return None
+
+
+class WorkerPool:
+    """A reusable process pool shared across pipeline stages.
+
+    The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
+    created lazily on the first :meth:`run_chunks` call and reused until
+    :meth:`shutdown`; a run pays worker startup once, not once per stage.
+    If the pool ever breaks (a worker dies, the platform cannot fork) the
+    pool marks itself broken and every later call returns ``None``, which
+    callers treat as "run the chunks inline instead".
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+        self._executor: ProcessPoolExecutor | None = None
+        self._broken = False
+        #: Total payload bytes shipped to workers over the pool's lifetime.
+        self.pickled_bytes = 0
+        #: Total chunks shipped to workers over the pool's lifetime.
+        self.pickled_chunks = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the pool can (still) run chunks in parallel."""
+        return self.workers > 1 and not self._broken
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_fork_context(),
+                )
+            except Exception:  # pragma: no cover - no process support
+                self._broken = True
+                return None
+        return self._executor
+
+    def submit_chunks(
+        self, fn: Callable, payloads: Sequence[tuple]
+    ) -> tuple[list, int] | None:
+        """Ship ``fn(*p)`` for each payload to the pool without waiting.
+
+        Returns ``(futures, shipped_bytes)`` — resolve with
+        :meth:`gather` — or ``None`` when the pool could not be used
+        (unpicklable payloads, broken pool). Byte/chunk counters are
+        charged at submission: the payloads have been shipped whether or
+        not the chunks later succeed. The caller may do other work (e.g.
+        a memo-bound column the workers cannot split) between submitting
+        and gathering.
+        """
+        if not self.active:
+            return None
+        try:
+            blobs = [
+                pickle.dumps((fn, p), protocol=pickle.HIGHEST_PROTOCOL)
+                for p in payloads
+            ]
+        except Exception:
+            # Unpicklable payload (e.g. a lambda predicate): the pool stays
+            # healthy; only this call degrades to the serial path.
+            return None
+        executor = self._ensure_executor()
+        if executor is None:
+            return None
+        try:
+            futures = [executor.submit(_run_pickled, blob) for blob in blobs]
+        except Exception:
+            self._broken = True
+            self.shutdown()
+            return None
+        shipped = sum(len(blob) for blob in blobs)
+        self.pickled_bytes += shipped
+        self.pickled_chunks += len(blobs)
+        return futures, shipped
+
+    def gather(self, futures: Sequence) -> list[tuple[Any, float, int]] | None:
+        """Outcomes of :meth:`submit_chunks` futures, in submission order.
+
+        ``None`` marks a broken pool (a worker died mid-chunk); the caller
+        then recomputes the chunks inline.
+        """
+        try:
+            return [f.result() for f in futures]
+        except Exception:
+            self._broken = True
+            self.shutdown()
+            return None
+
+    def run_chunks(
+        self, fn: Callable, payloads: Sequence[tuple]
+    ) -> tuple[list[tuple[Any, float, int]], int] | None:
+        """Run ``fn(*p)`` for each payload on the pool, in order.
+
+        Returns ``(outcomes, shipped_bytes)`` where each outcome is the
+        ``(result, seconds, pid)`` triple of one chunk, or ``None`` when
+        the pool could not be used (unpicklable payloads, broken pool) —
+        the caller then runs the same chunks inline, which produces
+        identical results by construction.
+        """
+        submitted = self.submit_chunks(fn, payloads)
+        if submitted is None:
+            return None
+        futures, shipped = submitted
+        outcomes = self.gather(futures)
+        if outcomes is None:
+            return None
+        return outcomes, shipped
+
+    def shutdown(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+@contextmanager
+def ensure_pool(workers: int, pool: WorkerPool | None = None) -> Iterator[WorkerPool | None]:
+    """Yield a shared pool for a run, owning its lifetime only if created here.
+
+    * *pool* given: yield it untouched (the caller who created it shuts it
+      down);
+    * ``workers > 1``: create a :class:`WorkerPool`, yield it, and shut it
+      down when the block exits;
+    * otherwise: yield ``None`` (strictly serial runs never build a pool).
+    """
+    if pool is not None:
+        yield pool
+        return
+    if workers > 1:
+        created = WorkerPool(workers)
+        try:
+            yield created
+        finally:
+            created.shutdown()
+        return
+    yield None
 
 
 class ChunkedExecutor:
@@ -84,20 +257,30 @@ class ChunkedExecutor:
     instrumentation:
         Optional :class:`~repro.runtime.instrument.Instrumentation`; when
         given, per-chunk durations and worker ids are recorded into the
-        currently open stage, plus ``parallel_fallbacks`` counts when the
+        currently open stage, plus ``pickled_bytes``/``pickled_chunks``
+        for shipped payloads and ``parallel_fallbacks`` counts when the
         pool could not be used.
+    pool:
+        Optional shared :class:`WorkerPool`. When given it overrides
+        *workers* and is reused across calls (and across executors);
+        without one, each parallel ``map`` spins up a transient pool —
+        the historical per-call behaviour.
     """
 
     def __init__(
         self,
         workers: int = 1,
         instrumentation: Instrumentation | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
-        self.workers = max(1, int(workers))
+        self.pool = pool
+        self.workers = pool.workers if pool is not None else max(1, int(workers))
         self.instrumentation = instrumentation
 
     @property
     def parallel(self) -> bool:
+        if self.pool is not None:
+            return self.pool.active
         return self.workers > 1
 
     def map(
@@ -116,11 +299,15 @@ class ChunkedExecutor:
             sizes = [1] * len(payloads)
         if not self.parallel or len(payloads) <= 1:
             return self._run_serial(fn, payloads, sizes)
-        outcomes = self._run_pool(fn, payloads)
-        if outcomes is None:
+        outcome = self._run_pool(fn, payloads)
+        if outcome is None:
             if self.instrumentation is not None:
                 self.instrumentation.count("parallel_fallbacks")
             return self._run_serial(fn, payloads, sizes)
+        outcomes, shipped = outcome
+        if self.instrumentation is not None:
+            self.instrumentation.count("pickled_bytes", shipped)
+            self.instrumentation.count("pickled_chunks", len(payloads))
         results = []
         for size, (result, seconds, pid) in zip(sizes, outcomes):
             if self.instrumentation is not None:
@@ -138,16 +325,8 @@ class ChunkedExecutor:
         return results
 
     def _run_pool(self, fn: Callable, payloads: list[tuple]):
-        """All chunk outcomes in submission order, or ``None`` on failure."""
-        context = _fork_context()
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(payloads)),
-                mp_context=context,
-            ) as pool:
-                futures = [pool.submit(_timed_call, fn, p) for p in payloads]
-                return [f.result() for f in futures]
-        except Exception:
-            # Unpicklable payloads, broken pools, sandboxed environments
-            # without process spawning: all degrade to the serial path.
-            return None
+        """Chunk outcomes + shipped bytes in submission order, or ``None``."""
+        if self.pool is not None:
+            return self.pool.run_chunks(fn, payloads)
+        with WorkerPool(min(self.workers, len(payloads))) as transient:
+            return transient.run_chunks(fn, payloads)

@@ -1,5 +1,12 @@
-"""String, set, hybrid and numeric similarity measures."""
+"""String, set, hybrid and numeric similarity measures.
 
+:mod:`~repro.similarity.kernels` holds the interned-id twins of the
+set-based measures (merge-based intersection over sorted int arrays) plus
+a threshold-banded Levenshtein; they return bit-identical values to the
+string references here.
+"""
+
+from . import kernels
 from .extra import TfIdfCosine, affine_gap, bag_distance, bag_similarity
 from .hybrid import SoftTfIdf, monge_elkan
 from .numeric import (
@@ -42,6 +49,7 @@ __all__ = [
     "jaccard",
     "jaro",
     "jaro_winkler",
+    "kernels",
     "levenshtein_distance",
     "levenshtein_similarity",
     "monge_elkan",

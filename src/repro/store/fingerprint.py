@@ -33,7 +33,9 @@ from ..table import Table
 #: Salt mixed into every store key. Bump when a pipeline stage changes
 #: behaviour without changing its config schema, so stale artifacts from
 #: older code can never be served as current results.
-CODE_SALT = "repro-store/1"
+#: /2: interned-id kernels under blocking/extraction (outputs unchanged by
+#: construction, but the hot-path implementations were rebuilt wholesale).
+CODE_SALT = "repro-store/2"
 
 
 # ----------------------------------------------------------------------

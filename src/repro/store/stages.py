@@ -11,10 +11,10 @@ The pipeline modules import this module lazily inside their functions:
 ``core.serialize`` imports the blockers and workflow at module level, so
 the store package may depend on them but not the other way around.
 
-``workers`` is deliberately **excluded** from every cache key: the
-chunked executor guarantees parallel results are bit-identical to serial
-ones, so a stage computed with 8 workers is the same artifact as one
-computed with 1.
+``workers`` and ``pool`` are deliberately **excluded** from every cache
+key: the chunked executor guarantees parallel results are bit-identical
+to serial ones, so a stage computed with 8 workers (or through a shared
+worker pool) is the same artifact as one computed with 1.
 """
 
 from __future__ import annotations
@@ -54,6 +54,7 @@ def cached_block(
     name: str = "",
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    pool: Any | None = None,
 ) -> Any:
     """Run (or reuse) ``blocker.block_tables`` through the store."""
     label = (
@@ -77,6 +78,7 @@ def cached_block(
             name=name,
             workers=workers,
             instrumentation=instrumentation,
+            pool=pool,
         )
     return store.memoize(
         "candidates",
@@ -90,6 +92,7 @@ def cached_block(
             name=name,
             workers=workers,
             instrumentation=instrumentation,
+            pool=pool,
         ),
         CANDIDATES,
         instrumentation=instrumentation,
@@ -142,6 +145,7 @@ def cached_extract(
     pairs: Sequence[Any] | None = None,
     workers: int = 1,
     instrumentation: Instrumentation | None = None,
+    pool: Any | None = None,
 ) -> Any:
     """Run (or reuse) feature-vector extraction through the store."""
     label = f"extract:{candidates.name or 'candidates'}"
@@ -162,6 +166,7 @@ def cached_extract(
             pairs=pairs,
             workers=workers,
             instrumentation=instrumentation,
+            pool=pool,
         )
     return store.memoize(
         "feature_matrix",
@@ -173,6 +178,7 @@ def cached_extract(
             pairs=pairs,
             workers=workers,
             instrumentation=instrumentation,
+            pool=pool,
         ),
         FEATURE_MATRIX,
         instrumentation=instrumentation,

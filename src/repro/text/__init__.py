@@ -1,5 +1,6 @@
-"""Text substrate: tokenizers, normalization, identifier pattern grammar."""
+"""Text substrate: tokenizers, normalization, interning, pattern grammar."""
 
+from .intern import ID_TYPECODE, Vocabulary, id_array
 from .normalize import (
     casefold_tokens,
     collapse_whitespace,
@@ -23,11 +24,14 @@ from .tokenizers import (
 )
 
 __all__ = [
+    "ID_TYPECODE",
     "KNOWN_AWARD_PATTERNS",
     "TOKENIZERS",
     "Tokenizer",
+    "Vocabulary",
     "alphanumeric",
     "award_number_suffix",
+    "id_array",
     "casefold_tokens",
     "collapse_whitespace",
     "comparable",

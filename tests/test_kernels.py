@@ -1,0 +1,244 @@
+"""Parity tests for the interned-id kernels.
+
+Two layers, matching the two guarantees the kernels make:
+
+* **Kernel parity** (property-based): every kernel in
+  :mod:`repro.similarity.kernels` returns *bit-identical* values to its
+  string/set reference on randomized unicode token multisets — including
+  empty sets, single tokens, and any interning order (results must depend
+  on id consistency, never on id values).
+* **End-to-end bit-identity**: the small-scenario blocking plan and
+  feature extraction produce the same candidate pairs (pair for pair, in
+  order) and the same feature matrix (cell for cell) with the kernel
+  switch on and off, serial and parallel.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.vectors import _monge_elkan_ids, extract_feature_vectors
+from repro.similarity import kernels
+from repro.similarity.hybrid import monge_elkan
+from repro.similarity.sequence import levenshtein_distance
+from repro.similarity.set_based import (
+    cosine_set,
+    dice,
+    jaccard,
+    overlap_coefficient,
+    overlap_size,
+)
+from repro.text.intern import Vocabulary, id_array
+from repro.text.tokenizers import whitespace
+
+# Unicode-heavy alphabet: ascii, accents, CJK, an astral-plane char.
+TOKEN_ALPHABET = "abcxyz0189éüñßλжя中文字\U0001f600-"
+
+token = st.text(alphabet=TOKEN_ALPHABET, min_size=1, max_size=6)
+token_sets = st.frozensets(token, max_size=12)
+token_bags = st.lists(token, max_size=10)
+
+
+def interned(vocab: Vocabulary, tokens: frozenset, seed: int):
+    """Sorted unique id array + id frozenset, interned in a random order."""
+    shuffled = sorted(tokens)
+    random.Random(seed).shuffle(shuffled)
+    ids = [vocab.intern(t) for t in shuffled]
+    return id_array(sorted(ids)), frozenset(ids)
+
+
+PARITY_CASES = [
+    (jaccard, kernels.jaccard_ids),
+    (dice, kernels.dice_ids),
+    (cosine_set, kernels.cosine_ids),
+    (overlap_coefficient, kernels.overlap_coefficient_ids),
+    (overlap_size, kernels.overlap_size_ids),
+]
+
+SET_PARITY_CASES = [
+    (jaccard, kernels.jaccard_id_sets),
+    (dice, kernels.dice_id_sets),
+    (cosine_set, kernels.cosine_id_sets),
+    (overlap_coefficient, kernels.overlap_coefficient_id_sets),
+    (overlap_size, kernels.overlap_size_id_sets),
+]
+
+
+class TestSetKernelParity:
+    @settings(max_examples=200, deadline=None)
+    @given(token_sets, token_sets, st.integers(0, 2**31))
+    def test_measures_bit_identical(self, a, b, seed):
+        # One shared vocabulary, randomized interning order: parity must
+        # hold for any id assignment, shared ids included.
+        vocab = Vocabulary()
+        ia, sa = interned(vocab, a, seed)
+        ib, sb = interned(vocab, b, seed + 1)
+        for reference, kernel in PARITY_CASES:
+            assert kernel(ia, ib) == reference(a, b), kernel.__name__
+        for reference, kernel in SET_PARITY_CASES:
+            assert kernel(sa, sb) == reference(a, b), kernel.__name__
+        assert kernels.intersect_count(sa, sb) == overlap_size(a, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(token_sets, token_sets, st.integers(0, 5), st.integers(0, 2**31))
+    def test_bounded_variants(self, a, b, k, seed):
+        vocab = Vocabulary()
+        ia, sa = interned(vocab, a, seed)
+        ib, sb = interned(vocab, b, seed + 1)
+        exact = len(a & b)
+        assert kernels.intersect_size(ia, ib) == exact
+        bounded = kernels.intersect_size_bounded(ia, ib, k)
+        if exact >= k:
+            assert bounded == exact
+        else:
+            assert bounded == -1 or bounded == exact  # may finish the merge
+            assert bounded < k
+        assert kernels.has_overlap_at_least(ia, ib, k) == (exact >= k)
+        assert kernels.overlap_at_least(sa, sb, k) == (exact >= k)
+
+    @settings(max_examples=150, deadline=None)
+    @given(token_sets, token_sets, st.integers(0, 2**31), st.integers(0, 2**31))
+    def test_vocabulary_permutation_invariance(self, a, b, seed1, seed2):
+        # Two vocabularies interning in different orders assign different
+        # ids; every kernel value must be unchanged.
+        v1, v2 = Vocabulary(), Vocabulary()
+        ia1, _ = interned(v1, a, seed1)
+        ib1, _ = interned(v1, b, seed1 + 1)
+        ia2, _ = interned(v2, a, seed2)
+        ib2, _ = interned(v2, b, seed2 + 1)
+        for _, kernel in PARITY_CASES:
+            assert kernel(ia1, ib1) == kernel(ia2, ib2), kernel.__name__
+
+    def test_edge_cases(self):
+        vocab = Vocabulary()
+        empty = id_array([])
+        single = id_array([vocab.intern("x")])
+        assert kernels.jaccard_ids(empty, empty) == jaccard(frozenset(), frozenset()) == 1.0
+        assert kernels.dice_ids(empty, single) == dice(frozenset(), frozenset("x")) == 0.0
+        assert kernels.cosine_ids(single, empty) == 0.0
+        assert kernels.overlap_coefficient_ids(empty, empty) == 1.0
+        assert kernels.overlap_size_ids(single, single) == 1
+        assert kernels.has_overlap_at_least(empty, single, 0) is True
+        assert kernels.has_overlap_at_least(empty, single, 1) is False
+        assert kernels.overlap_at_least(frozenset(), frozenset({1}), 0) is True
+        assert kernels.jaccard_id_sets(frozenset(), frozenset()) == 1.0
+
+
+class TestMongeElkanParity:
+    @settings(max_examples=150, deadline=None)
+    @given(token_bags, token_bags, st.integers(0, 2**31))
+    def test_bit_identical_to_reference(self, a, b, seed):
+        vocab = Vocabulary()
+        warm = sorted(set(a) | set(b))
+        random.Random(seed).shuffle(warm)
+        for t in warm:  # randomize id assignment
+            vocab.intern(t)
+        ia = vocab.intern_all(a)
+        ib = vocab.intern_all(b)
+        token_map = {tid: vocab.token_of(tid) for tid in set(ia) | set(ib)}
+        jw_memo: dict = {}
+        assert _monge_elkan_ids(ia, ib, token_map, jw_memo) == monge_elkan(a, b)
+        # memoized second call returns the same float
+        assert _monge_elkan_ids(ia, ib, token_map, jw_memo) == monge_elkan(a, b)
+
+
+class TestLevenshteinBounded:
+    text = st.text(alphabet=TOKEN_ALPHABET + " ", max_size=12)
+
+    @settings(max_examples=250, deadline=None)
+    @given(text, text, st.integers(0, 6))
+    def test_equals_clamped_reference(self, a, b, k):
+        assert kernels.levenshtein_bounded(a, b, k) == min(
+            levenshtein_distance(a, b), k + 1
+        )
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            kernels.levenshtein_bounded("a", "b", -1)
+
+
+class TestKernelSwitch:
+    def test_use_kernels_restores_previous_state(self):
+        before = kernels.kernels_enabled()
+        with kernels.use_kernels(not before):
+            assert kernels.kernels_enabled() is (not before)
+            with kernels.use_kernels(before):
+                assert kernels.kernels_enabled() is before
+            assert kernels.kernels_enabled() is (not before)
+        assert kernels.kernels_enabled() is before
+
+
+# ----------------------------------------------------------------------
+# end-to-end bit-identity: kernel path vs legacy string path
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def projected(case_study):
+    return case_study.projected
+
+
+def test_blocking_plan_bit_identical(projected):
+    from repro.casestudy.blocking_plan import run_blocking
+
+    with kernels.use_kernels(False):
+        legacy = run_blocking(projected)
+    with kernels.use_kernels(True):
+        kernel = run_blocking(projected)
+    for stage in ("c1", "c2", "c3", "candidates"):
+        l_pairs = getattr(legacy, stage).pairs
+        k_pairs = getattr(kernel, stage).pairs
+        assert l_pairs == k_pairs, f"{stage}: pair list or order differs"
+    assert legacy.debugger_top == kernel.debugger_top
+
+
+def test_feature_matrix_bit_identical(projected):
+    from repro.casestudy.blocking_plan import run_blocking
+    from repro.casestudy.matching import base_feature_set
+    from repro.features.generate import add_case_insensitive_variants
+
+    candidates = run_blocking(projected).candidates
+    fs = add_case_insensitive_variants(
+        base_feature_set(projected), attrs=["AwardTitle"]
+    )
+    with kernels.use_kernels(False):
+        legacy = extract_feature_vectors(candidates, fs)
+    with kernels.use_kernels(True):
+        kernel = extract_feature_vectors(candidates, fs)
+    assert legacy.pairs == kernel.pairs
+    assert legacy.feature_names == kernel.feature_names
+    assert np.array_equal(legacy.values, kernel.values, equal_nan=True)
+    # spot-check: matrices are finite where defined and non-degenerate
+    assert np.isfinite(kernel.values[~np.isnan(kernel.values)]).all()
+
+
+def test_overlap_blocker_kernel_off_matches_on(projected):
+    from repro.blocking import OverlapBlocker
+
+    blocker = OverlapBlocker("AwardTitle", "AwardTitle", threshold=3)
+    args = (projected.umetrics, projected.usda, projected.l_key, projected.r_key)
+    with kernels.use_kernels(False):
+        legacy = blocker.block_tables(*args)
+    with kernels.use_kernels(True):
+        kernel = blocker.block_tables(*args)
+    assert legacy.pairs == kernel.pairs
+
+
+def test_coefficient_blocker_kernel_off_matches_on(projected):
+    from repro.blocking import OverlapCoefficientBlocker
+    from repro.text.normalize import normalize_title
+
+    blocker = OverlapCoefficientBlocker(
+        "AwardTitle", "AwardTitle", threshold=0.7,
+        tokenizer=whitespace, normalizer=normalize_title,
+    )
+    args = (projected.umetrics, projected.usda, projected.l_key, projected.r_key)
+    with kernels.use_kernels(False):
+        legacy = blocker.block_tables(*args)
+    with kernels.use_kernels(True):
+        kernel = blocker.block_tables(*args)
+    assert legacy.pairs == kernel.pairs

@@ -22,7 +22,9 @@ from repro.runtime import (
     ChunkedExecutor,
     Instrumentation,
     TokenCache,
+    WorkerPool,
     chunk_ranges,
+    ensure_pool,
 )
 from repro.table import Table
 from repro.text import normalize_title, whitespace
@@ -289,3 +291,153 @@ class TestParallelEquivalence:
         assert probe is not None and probe.chunks
         text = str(instr.report())
         assert "probe" in text and "pairs_out" in text
+
+
+class TestWorkerPool:
+    def test_serial_pool_is_inert(self):
+        pool = WorkerPool(workers=1)
+        assert not pool.active
+        assert pool.run_chunks(_square_chunk, [([1, 2],)]) is None
+        pool.shutdown()  # no-op, idempotent
+
+    def test_unpicklable_payload_keeps_pool_healthy(self):
+        pool = WorkerPool(workers=2)
+        fn = lambda values: values  # noqa: E731 - unpicklable on purpose
+        assert pool.run_chunks(fn, [([1],)]) is None
+        assert pool.active  # only the one call degraded
+        pool.shutdown()
+
+    def test_broken_pool_stays_down(self):
+        pool = WorkerPool(workers=2)
+        pool._broken = True
+        assert not pool.active
+        assert pool.run_chunks(_square_chunk, [([1],)]) is None
+
+    @needs_workers
+    @pytest.mark.parallel
+    def test_reuse_across_calls_and_counters(self):
+        with WorkerPool(workers=2) as pool:
+            first = pool.run_chunks(_square_chunk, [([1, 2],), ([3],)])
+            executor = pool._executor
+            second = pool.run_chunks(_square_chunk, [([4],), ([5, 6],)])
+            assert pool._executor is executor  # same processes, reused
+        assert [r for r, _, _ in first[0]] == [[1, 4], [9]]
+        assert [r for r, _, _ in second[0]] == [[16], [25, 36]]
+        # the parent pickled the payloads itself: exact byte accounting
+        assert first[1] > 0 and second[1] > 0
+        assert pool.pickled_bytes == first[1] + second[1]
+        assert pool.pickled_chunks == 4
+
+    @needs_workers
+    @pytest.mark.parallel
+    def test_shared_pool_across_executors(self):
+        instr = Instrumentation()
+        with WorkerPool(workers=2) as pool:
+            results = []
+            for _ in range(2):  # two stages sharing one pool
+                executor = ChunkedExecutor(instrumentation=instr, pool=pool)
+                assert executor.parallel
+                results.append(executor.map(_square_chunk, [([1, 2],), ([3, 4],)]))
+        assert results == [[[1, 4], [9, 16]], [[1, 4], [9, 16]]]
+        assert instr.root.counters.get("pickled_chunks") == 4
+        assert instr.root.counters.get("pickled_bytes", 0) > 0
+
+    def test_executor_falls_back_when_pool_broken(self):
+        instr = Instrumentation()
+        pool = WorkerPool(workers=2)
+        pool._broken = True
+        executor = ChunkedExecutor(instrumentation=instr, pool=pool)
+        assert not executor.parallel
+        assert executor.map(_square_chunk, [([2],), ([3],)]) == [[4], [9]]
+
+    def test_ensure_pool_respects_ownership(self):
+        # injected pool: yielded untouched, not shut down on exit
+        mine = WorkerPool(workers=2)
+        with ensure_pool(4, pool=mine) as pool:
+            assert pool is mine
+        assert mine.active
+        mine.shutdown()
+        # serial: no pool at all
+        with ensure_pool(1) as pool:
+            assert pool is None
+        # workers > 1: created here, owned here
+        with ensure_pool(2) as pool:
+            assert isinstance(pool, WorkerPool) and pool.active
+        assert pool._executor is None  # shut down on exit
+
+
+class TestCaseStudyPoolLifecycle:
+    def test_serial_run_never_builds_a_pool(self):
+        from repro.casestudy import CaseStudyRun
+
+        run = CaseStudyRun()
+        assert run.worker_pool is None
+        run.close()
+
+    def test_injected_pool_is_not_owned(self):
+        from repro.casestudy import CaseStudyRun
+
+        pool = WorkerPool(workers=2)
+        run = CaseStudyRun(pool=pool)
+        assert run.worker_pool is pool
+        run.close()  # must not shut down a pool it does not own
+        assert pool.active
+        pool.shutdown()
+
+    def test_owned_pool_created_lazily_and_closed(self):
+        from repro.casestudy import CaseStudyRun
+
+        with CaseStudyRun(workers=2) as run:
+            pool = run.worker_pool
+            assert isinstance(pool, WorkerPool)
+            assert run.worker_pool is pool  # one pool per run
+        assert not pool.active or pool._executor is None
+
+
+class TestProbePayloadOrderStability:
+    """Probe order must survive the pickle boundary to worker processes.
+
+    An unpickled frozenset can iterate in a different order than the
+    original (reinsertion may produce a different hash-table layout), so
+    any chunk payload whose *output order* depends on token iteration
+    order must ship that order as a list, materialized in the parent.
+    """
+
+    @staticmethod
+    def _order_changing_frozenset():
+        """A frozenset whose pickle round trip reorders iteration.
+
+        Depends on this process's string-hash seed, so search for a
+        witness instead of hard-coding one.
+        """
+        import pickle
+        import random
+
+        rng = random.Random(7)
+        for size in range(8, 64):
+            for attempt in range(200):
+                items = [f"tok{rng.randrange(10**6)}_{i}" for i in range(size)]
+                rng.shuffle(items)
+                s = frozenset(items)
+                if list(pickle.loads(pickle.dumps(s))) != list(s):
+                    return s
+        return None
+
+    def test_coefficient_probe_order_survives_pickle(self):
+        import pickle
+
+        from repro.blocking.overlap_coefficient import _probe_coefficient_chunk
+
+        witness = self._order_changing_frozenset()
+        if witness is None:
+            pytest.skip("no order-changing frozenset under this hash seed")
+        # One right record per left token: every candidate survives, so
+        # pair emission order is exactly the probe order.
+        r_tokens = {f"r{i}": frozenset([tok]) for i, tok in enumerate(witness)}
+        index = {tok: [rid] for rid, toks in r_tokens.items() for tok in toks}
+        l_items = [("l0", list(witness), witness)]  # as _block_strings builds it
+        payload = (l_items, r_tokens, index, 1e-9)
+        shipped = pickle.loads(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert _probe_coefficient_chunk(*shipped) == _probe_coefficient_chunk(*payload)
