@@ -4,9 +4,9 @@ Times the two hot paths of the pipeline at full scale three ways:
 
 * **legacy serial** — the pre-kernel string paths (``use_kernels(False)``);
 * **kernel serial** — the interned-id kernel paths (``workers=1``);
-* **kernel parallel** — the kernel paths with a single shared
-  :class:`~repro.runtime.WorkerPool` spanning blocking and extraction
-  (``REPRO_WORKERS`` workers, default 2).
+* **kernel parallel** — the kernel paths under one
+  :class:`~repro.runtime.EngineSession` whose worker pool spans blocking
+  and extraction (``REPRO_WORKERS`` workers, default 2).
 
 Bit-identity is asserted while timing: the kernel outputs must equal the
 legacy outputs pair-for-pair / cell-for-cell, and the parallel outputs
@@ -37,7 +37,7 @@ from repro.casestudy.blocking_plan import run_blocking
 from repro.casestudy.matching import base_feature_set
 from repro.features import extract_feature_vectors
 from repro.obs import load_benchmark_result
-from repro.runtime import Instrumentation, WorkerPool
+from repro.runtime import EngineSession, Instrumentation
 from repro.similarity import kernels
 
 WORKERS = int(os.environ.get("REPRO_WORKERS", "2"))
@@ -86,17 +86,18 @@ def test_runtime_parallel(run, emit_report):
     assert serial_matrix.pairs == legacy_matrix.pairs
     assert np.array_equal(serial_matrix.values, legacy_matrix.values, equal_nan=True)
 
-    # -- kernel paths, one shared pool across both stages -----------------
+    # -- kernel paths, one session sharing its pool across both stages ----
     instr = Instrumentation("blocking(parallel)")
     feat_instr = Instrumentation("extract(parallel)")
-    with WorkerPool(WORKERS) as pool:
+    with EngineSession(workers=WORKERS, instrumentation=instr) as session:
         parallel_block, parallel_block_s = _timed(
-            run_blocking, tables, workers=WORKERS, instrumentation=instr, pool=pool
+            run_blocking, tables, session=session
         )
         parallel_matrix, parallel_extract_s = _timed(
             extract_feature_vectors, parallel_block.candidates, features,
-            workers=WORKERS, instrumentation=feat_instr, pool=pool,
+            session=session.derive(instrumentation=feat_instr),
         )
+        pool = session.worker_pool
         pool_bytes, pool_chunks = pool.pickled_bytes, pool.pickled_chunks
 
     # parallel outputs must be bit-identical to serial

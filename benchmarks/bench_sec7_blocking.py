@@ -12,7 +12,7 @@ import time
 
 from repro.casestudy.blocking_plan import run_blocking, threshold_sweep
 from repro.casestudy.report import PAPER_BLOCKING, ReportRow, render_report
-from repro.runtime import Instrumentation
+from repro.runtime import EngineSession, Instrumentation
 
 
 def test_sec7_blocking(benchmark, run, emit_report):
@@ -24,7 +24,8 @@ def test_sec7_blocking(benchmark, run, emit_report):
     serial_s = time.perf_counter() - started
     instr = Instrumentation("blocking(workers=2)")
     started = time.perf_counter()
-    parallel = run_blocking(tables, workers=2, instrumentation=instr)
+    with EngineSession(workers=2, instrumentation=instr):
+        parallel = run_blocking(tables)
     parallel_s = time.perf_counter() - started
     assert parallel.candidates.pairs == serial_again.candidates.pairs
     sweep = threshold_sweep(tables, thresholds=(1, 3, 7))

@@ -14,7 +14,7 @@ import numpy as np
 from repro.casestudy.matching import base_feature_set, run_matching
 from repro.casestudy.report import PAPER_MATCHING, ReportRow, render_report
 from repro.features import extract_feature_vectors
-from repro.runtime import Instrumentation
+from repro.runtime import EngineSession, Instrumentation
 
 
 def test_sec9_matching(benchmark, run, emit_report):
@@ -65,9 +65,8 @@ def test_sec9_matching(benchmark, run, emit_report):
     serial_s = time.perf_counter() - started
     instr = Instrumentation("extract(workers=2)")
     started = time.perf_counter()
-    parallel_matrix = extract_feature_vectors(
-        candidates, features, workers=2, instrumentation=instr
-    )
+    with EngineSession(workers=2, instrumentation=instr):
+        parallel_matrix = extract_feature_vectors(candidates, features)
     parallel_s = time.perf_counter() - started
     assert parallel_matrix.pairs == serial_matrix.pairs
     assert np.array_equal(parallel_matrix.values, serial_matrix.values, equal_nan=True)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 
 from repro.casestudy.workflows import run_combined_workflow, train_workflow_matcher
+from repro.runtime import EngineSession
 from repro.store import ArtifactStore
 
 
@@ -39,16 +40,20 @@ def test_store_incremental_patch_replay(benchmark, run, tmp_path, emit_report):
                                  store=cold_store)
     cold_seconds = time.perf_counter() - started
 
-    # warm replay: Figure 10 (the Section-10 patch) over the same store root
+    # warm replay: Figure 10 (the Section-10 patch) over the same store
+    # root — driven by an ambient EngineSession instead of the legacy
+    # store= kwarg, so this bench also asserts the two plumbing paths
+    # produce byte-identical artifacts and reuse decisions
     warm_store = ArtifactStore(root)
     started = time.perf_counter()
-    warm = benchmark.pedantic(
-        run_combined_workflow,
-        args=common,
-        kwargs={"with_negative_rules": True, "store": warm_store},
-        rounds=1,
-        iterations=1,
-    )
+    with EngineSession(store=warm_store):
+        warm = benchmark.pedantic(
+            run_combined_workflow,
+            args=common,
+            kwargs={"with_negative_rules": True},
+            rounds=1,
+            iterations=1,
+        )
     warm_seconds = time.perf_counter() - started
 
     cold_stats = cold_store.stats()

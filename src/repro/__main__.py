@@ -12,7 +12,10 @@ Common options: ``--seed N`` (default 45), ``--small`` (a ~5x downsized
 scenario that runs in well under a minute), ``--out DIR`` (for release).
 ``casestudy`` additionally takes ``--trace PATH`` (write a JSONL trace),
 ``--manifest PATH`` (write a RunManifest JSON, implies provenance
-collection) and ``--workers N``.
+collection), ``--workers N``, ``--store DIR`` (content-addressed artifact
+store; a re-run reuses every unchanged stage) and ``--no-kernels`` (force
+the pure-Python similarity paths). All of these configure one
+:class:`~repro.runtime.context.EngineSession` that carries the whole run.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import sys
 
 from .casestudy import CaseStudyRun
 from .datasets import ScenarioConfig, generate_scenario
+from .runtime.context import EngineSession
 from .datasets.release import save_scenario
 from .evaluation import evaluate_matches
 from .table import format_profile, profile_table
@@ -42,20 +46,34 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
 def _cmd_casestudy(args: argparse.Namespace) -> int:
     trace_path = getattr(args, "trace", None)
     manifest_path = getattr(args, "manifest", None)
-    workers = getattr(args, "workers", 1)
+    store_dir = getattr(args, "store", None)
+    config = _config(args)
     instrumentation = None
-    writer = None
-    if trace_path is not None or manifest_path is not None:
-        from .obs import TraceWriter, TracingInstrumentation
+    if trace_path is None and manifest_path is not None:
+        from .obs import TracingInstrumentation
 
-        writer = TraceWriter(trace_path) if trace_path is not None else None
-        instrumentation = TracingInstrumentation(writer=writer)
-    run = CaseStudyRun(
-        config=_config(args),
-        workers=workers,
+        instrumentation = TracingInstrumentation()
+    store = None
+    if store_dir is not None:
+        from .store import ArtifactStore
+
+        store = ArtifactStore(store_dir)
+    session = EngineSession(
+        workers=getattr(args, "workers", 1),
+        store=store,
+        trace_path=trace_path,
         instrumentation=instrumentation,
         provenance=manifest_path is not None,
+        kernels=False if getattr(args, "no_kernels", False) else None,
+        seed=config.seed,
     )
+    with session, CaseStudyRun(config=config, session=session) as run:
+        return _run_casestudy(run, trace_path, manifest_path)
+
+
+def _run_casestudy(
+    run: CaseStudyRun, trace_path: str | None, manifest_path: str | None
+) -> int:
     print("== Section 7, blocking ==")
     print(run.blocking.summary())
     print("\n== Section 8, labeling ==")
@@ -84,8 +102,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         manifest = RunManifest.from_case_study(run)
         manifest.write(manifest_path)
         print(f"\nwrote run manifest to {manifest_path}")
-    if writer is not None:
-        writer.close()
+    if trace_path is not None:
         print(f"wrote trace to {trace_path}")
     return 0
 
@@ -143,6 +160,12 @@ def main(argv: list[str] | None = None) -> int:
                                 "(implies provenance collection)")
     casestudy.add_argument("--workers", type=int, default=1,
                            help="process-pool width for the hot stages")
+    casestudy.add_argument("--store", metavar="DIR",
+                           help="artifact-store directory; re-runs reuse "
+                                "every unchanged stage")
+    casestudy.add_argument("--no-kernels", action="store_true",
+                           help="force the pure-Python similarity paths "
+                                "for this run")
     release = sub.add_parser("release", help="export the data bundle as CSVs")
     _add_common(release)
     release.add_argument("--out", default="umetrics_release")

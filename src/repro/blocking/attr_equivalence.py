@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ..runtime.instrument import Instrumentation, count
+from ..runtime.context import EngineSession
+from ..runtime.instrument import count
 from ..table import Table
 from ..table.column import is_missing
 from .base import Blocker
@@ -53,26 +54,19 @@ class AttrEquivalenceBlocker(Blocker):
             values = [None if is_missing(v) else preprocess(v) for v in values]
         return values
 
-    def block_tables(
+    def _compute_blocking(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        name: str = "",
-        *,
-        workers: int = 1,
-        instrumentation: Instrumentation | None = None,
-        store: Any | None = None,
-        pool: Any | None = None,
+        name: str,
     ) -> CandidateSet:
-        if store is not None:
-            return self._memoized(
-                store, ltable, rtable, l_key, r_key, name, workers, instrumentation, pool
-            )
-        # The equi-join is a single hash pass — workers/pool are accepted
-        # for interface uniformity but there is nothing worth parallelising.
-        del workers, pool
+        # The equi-join is a single hash pass — the session's pool is
+        # available for interface uniformity but there is nothing worth
+        # parallelising.
+        instrumentation = session.instrumentation
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import BlockingError
+from ..runtime.context import EngineSession, resolve_session
 from ..runtime.instrument import Instrumentation
 from ..table import Table
 from ..table.catalog import validate_key
@@ -20,21 +21,31 @@ from .candidate_set import CandidateSet
 class Blocker:
     """Abstract base class for blockers.
 
-    Every blocker accepts two runtime knobs (keyword-only, so positional
-    call sites are unaffected):
+    Subclasses implement :meth:`_compute_blocking`, which receives the
+    resolved :class:`~repro.runtime.context.EngineSession` and returns the
+    candidate set. The public :meth:`block_tables` is the shared driver:
+    it resolves the session (ambient ``with EngineSession(...)`` scope,
+    or a transient stand-in built from the legacy kwargs) and executes
+    through ``session.run_stage`` — one implementation of the store
+    memoization, chunk dispatch and tracing glue that each blocker
+    previously re-threaded.
+
+    The keyword-only runtime knobs are **deprecated shims** kept for
+    pre-session call sites; ``None`` always means "inherit from the
+    ambient session":
 
     ``workers``
-        Process count for chunk-parallel evaluation. The default ``1`` is
-        strictly serial; blockers without a parallel path accept and
-        ignore higher values. Parallel results are identical to serial.
+        Process count for chunk-parallel evaluation. Blockers without a
+        parallel path accept and ignore higher values. Parallel results
+        are identical to serial.
     ``instrumentation``
         Optional :class:`~repro.runtime.instrument.Instrumentation` that
         receives stage timings and pair counters.
     ``store``
-        Optional :class:`~repro.store.store.ArtifactStore`. When given,
-        the blocker is memoized by the content fingerprints of its config
-        and both input tables (see :func:`repro.store.cached_block`);
-        ``None`` (the default) computes unconditionally.
+        Optional :class:`~repro.store.store.ArtifactStore`. When
+        resolved (directly or from the session), the blocker is memoized
+        by the content fingerprints of its config and both input tables
+        (see :class:`repro.store.stages.BlockStage`).
     ``pool``
         Optional shared :class:`~repro.runtime.executor.WorkerPool`. When
         given it supplies the worker processes (overriding ``workers``)
@@ -53,46 +64,41 @@ class Blocker:
         r_key: str,
         name: str = "",
         *,
-        workers: int = 1,
+        workers: int | None = None,
         instrumentation: Instrumentation | None = None,
         store: "Any | None" = None,
         pool: "Any | None" = None,
+        session: EngineSession | None = None,
     ) -> CandidateSet:
         """Produce the candidate set for (ltable, rtable)."""
-        raise NotImplementedError
+        # Lazy import: repro.store depends on blocking (codecs rebuild
+        # candidate sets), so the reverse edge must not exist at import
+        # time.
+        from ..store.stages import BlockStage
 
-    def _memoized(
+        resolved = resolve_session(
+            session,
+            workers=workers,
+            instrumentation=instrumentation,
+            store=store,
+            pool=pool,
+        )
+        return resolved.run_stage(
+            BlockStage(self, ltable, rtable, l_key, r_key, name=name)
+        )
+
+    def _compute_blocking(
         self,
-        store: "Any",
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
         name: str,
-        workers: int,
-        instrumentation: Instrumentation | None,
-        pool: "Any | None" = None,
     ) -> CandidateSet:
-        """Route ``block_tables`` through an artifact store.
-
-        Imported lazily: ``repro.store`` depends on blocking (codecs build
-        candidate sets), so the dependency must not also run this way at
-        import time.
-        """
-        from ..store.stages import cached_block
-
-        return cached_block(
-            store,
-            self,
-            ltable,
-            rtable,
-            l_key,
-            r_key,
-            name=name,
-            workers=workers,
-            instrumentation=instrumentation,
-            pool=pool,
-        )
+        """Produce the candidate set (no store/trace glue — the session
+        already applied it)."""
+        raise NotImplementedError
 
     def _validate_inputs(
         self, ltable: Table, rtable: Table, l_key: str, r_key: str, attrs: list[tuple[Table, str]]

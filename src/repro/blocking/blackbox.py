@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
-from ..runtime.instrument import Instrumentation, count
+from ..runtime.context import EngineSession
+from ..runtime.instrument import count
 from ..table import Table
 from .base import Blocker
 from .candidate_set import CandidateSet
@@ -28,21 +29,18 @@ class BlackBoxBlocker(Blocker):
         self.score = score
         self.threshold = threshold
 
-    def block_tables(
+    def _compute_blocking(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        name: str = "",
-        *,
-        workers: int = 1,
-        instrumentation: Instrumentation | None = None,
-        pool: "Any | None" = None,
+        name: str,
     ) -> CandidateSet:
         # Scores can return any type and are usually ad-hoc closures; the
-        # quick-patch tool stays serial regardless of *workers*/*pool*.
-        del workers, pool
+        # quick-patch tool stays serial regardless of the session's pool.
+        instrumentation = session.instrumentation
         self._validate_inputs(ltable, rtable, l_key, r_key, [])
         pairs = []
         l_rows = ltable.to_rows()

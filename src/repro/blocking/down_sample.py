@@ -11,10 +11,13 @@ development-sized table pair that still contains matches to find.
 pointing the toolkit at full-size data needs it — and our synthetic
 employees/vendor tables at ``aux_scale=1.0`` would too.)
 
-Tokenization reuses the shared runtime cache (the same
+Tokenization reuses the session's token cache (the same
 ``(attr, whitespace, normalize_title)`` recipe the title blockers use, so
 a prior blocking pass makes down-sampling's A-side scan free), and the
-shared-token counting over A chunks across processes with ``workers >= 2``.
+shared-token counting over A chunks across the session's pool when it has
+``workers >= 2``. Down-sampling implements the stage-operator protocol
+with ``cache_kind = None``: its ``rng`` input has no stable fingerprint,
+so it is uncacheable by design and never touches the artifact store.
 """
 
 from __future__ import annotations
@@ -24,8 +27,8 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import BlockingError
-from ..runtime.cache import TokenCache, get_default_cache
-from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
+from ..runtime.context import EngineSession, StageOperator, resolve_session
+from ..runtime.executor import chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
 from ..table import Table
 from ..text.normalize import normalize_title
@@ -33,7 +36,7 @@ from ..text.tokenizers import whitespace
 
 
 def _table_row_tokens(
-    table: Table, attrs: Sequence[str], cache: TokenCache
+    table: Table, attrs: Sequence[str], cache
 ) -> list[set[str]]:
     """Per-row union of normalized word tokens over *attrs* (cached)."""
     columns = [
@@ -57,6 +60,74 @@ def _shared_count_chunk(
     return [len(tokens & b_tokens) for tokens in row_tokens]
 
 
+class DownSampleStage(StageOperator):
+    """Stage operator for :func:`down_sample`.
+
+    ``trace_name``/``cache_kind`` stay ``None``: the body opens its own
+    ``tokenize``/``score`` stages (as it always has), and the random
+    generator makes the output unfingerprintable, so the store is never
+    consulted.
+    """
+
+    def __init__(
+        self,
+        table_a: Table,
+        table_b: Table,
+        attrs: Sequence[str],
+        b_size: int,
+        a_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.table_a = table_a
+        self.table_b = table_b
+        self.attrs = attrs
+        self.b_size = b_size
+        self.a_size = a_size
+        self.rng = rng
+
+    def label(self) -> str:
+        return f"down_sample:{self.table_a.name or 'A'}|{self.table_b.name or 'B'}"
+
+    def compute(self, session: EngineSession) -> tuple[Table, Table]:
+        table_a, table_b, attrs = self.table_a, self.table_b, self.attrs
+        if self.b_size < 1 or self.a_size < 1:
+            raise BlockingError("down_sample sizes must be >= 1")
+        for attr in attrs:
+            if attr not in table_a or attr not in table_b:
+                raise BlockingError(f"attribute {attr!r} must exist in both tables")
+        b_size = min(self.b_size, table_b.num_rows)
+        a_size = min(self.a_size, table_a.num_rows)
+        b_indices = [
+            int(i)
+            for i in self.rng.choice(table_b.num_rows, size=b_size, replace=False)
+        ]
+        sampled_b = table_b.take(b_indices, name=f"{table_b.name}_sample")
+
+        instrumentation = session.instrumentation
+        cache = session.token_cache
+        with stage(instrumentation, "tokenize"):
+            # the B sample's token universe
+            b_tokens: set[str] = set()
+            for tokens in _table_row_tokens(sampled_b, attrs, cache):
+                b_tokens.update(tokens)
+            a_row_tokens = _table_row_tokens(table_a, attrs, cache)
+
+        with stage(instrumentation, "score"):
+            ranges = chunk_ranges(len(a_row_tokens), session.workers)
+            chunks = session.map_chunks(
+                _shared_count_chunk,
+                [(a_row_tokens[start:stop], b_tokens) for start, stop in ranges],
+                sizes=[stop - start for start, stop in ranges],
+            )
+            shared_counts = np.array([c for chunk in chunks for c in chunk], dtype=int)
+            count(instrumentation, "a_rows_scored", len(a_row_tokens))
+        order = np.argsort(-shared_counts, kind="stable")
+        keep = [int(i) for i in order[:a_size]]
+        keep.sort()
+        sampled_a = table_a.take(keep, name=f"{table_a.name}_sample")
+        return sampled_a, sampled_b
+
+
 def down_sample(
     table_a: Table,
     table_b: Table,
@@ -64,9 +135,11 @@ def down_sample(
     b_size: int,
     a_size: int,
     rng: np.random.Generator,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
-    pool: "WorkerPool | None" = None,
+    pool: "object | None" = None,
+    *,
+    session: EngineSession | None = None,
 ) -> tuple[Table, Table]:
     """Down-sample (A, B) to roughly (*a_size*, *b_size*) rows.
 
@@ -74,39 +147,13 @@ def down_sample(
     (over *attrs*, word-tokenized and normalized) with the B sample,
     breaking ties toward earlier rows. A records sharing no tokens are
     only used to pad up to *a_size* when too few candidates exist.
+
+    ``workers``/``instrumentation``/``pool`` are deprecated shims over the
+    ambient :class:`~repro.runtime.context.EngineSession`.
     """
-    if b_size < 1 or a_size < 1:
-        raise BlockingError("down_sample sizes must be >= 1")
-    for attr in attrs:
-        if attr not in table_a or attr not in table_b:
-            raise BlockingError(f"attribute {attr!r} must exist in both tables")
-    b_size = min(b_size, table_b.num_rows)
-    a_size = min(a_size, table_a.num_rows)
-    b_indices = [int(i) for i in rng.choice(table_b.num_rows, size=b_size, replace=False)]
-    sampled_b = table_b.take(b_indices, name=f"{table_b.name}_sample")
-
-    cache = get_default_cache()
-    with stage(instrumentation, "tokenize"):
-        # the B sample's token universe
-        b_tokens: set[str] = set()
-        for tokens in _table_row_tokens(sampled_b, attrs, cache):
-            b_tokens.update(tokens)
-        a_row_tokens = _table_row_tokens(table_a, attrs, cache)
-
-    with stage(instrumentation, "score"):
-        ranges = chunk_ranges(len(a_row_tokens), workers)
-        executor = ChunkedExecutor(
-            workers=workers, instrumentation=instrumentation, pool=pool
-        )
-        chunks = executor.map(
-            _shared_count_chunk,
-            [(a_row_tokens[start:stop], b_tokens) for start, stop in ranges],
-            sizes=[stop - start for start, stop in ranges],
-        )
-        shared_counts = np.array([c for chunk in chunks for c in chunk], dtype=int)
-        count(instrumentation, "a_rows_scored", len(a_row_tokens))
-    order = np.argsort(-shared_counts, kind="stable")
-    keep = [int(i) for i in order[:a_size]]
-    keep.sort()
-    sampled_a = table_a.take(keep, name=f"{table_a.name}_sample")
-    return sampled_a, sampled_b
+    resolved = resolve_session(
+        session, workers=workers, instrumentation=instrumentation, pool=pool
+    )
+    return resolved.run_stage(
+        DownSampleStage(table_a, table_b, attrs, b_size, a_size, rng)
+    )

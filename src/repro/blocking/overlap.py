@@ -19,9 +19,10 @@ record), the inverted-index rid lists are built in the same right-row
 order, and the per-record ``seen`` sets receive the same rid objects in
 the same sequence.
 
-The probe loop is chunk-parallel over left records when ``workers >= 2``
-(or a shared :class:`~repro.runtime.executor.WorkerPool` is passed) — with
-results identical to the serial loop, which remains the default.
+The probe loop is chunk-parallel over left records when the resolved
+:class:`~repro.runtime.context.EngineSession` has ``workers >= 2`` (or a
+shared :class:`~repro.runtime.executor.WorkerPool`) — with results
+identical to the serial loop, which remains the default.
 """
 
 from __future__ import annotations
@@ -29,9 +30,9 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
-from ..runtime.cache import get_default_cache
-from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
-from ..runtime.instrument import Instrumentation, count, stage
+from ..runtime.context import EngineSession
+from ..runtime.executor import chunk_ranges
+from ..runtime.instrument import count, stage
 from ..similarity import kernels
 from ..table import Table
 from ..text.intern import id_array
@@ -135,56 +136,42 @@ class OverlapBlocker(Blocker):
         self.tokenizer = tokenizer
         self.normalizer = normalizer
 
-    def _tokens_by_id(self, table: Table, attr: str, key: str) -> dict[Any, frozenset[str]]:
-        return get_default_cache().tokens_by_id(
-            table, attr, key, self.tokenizer, self.normalizer
-        )
-
-    def block_tables(
+    def _compute_blocking(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        name: str = "",
-        *,
-        workers: int = 1,
-        instrumentation: Instrumentation | None = None,
-        store: Any | None = None,
-        pool: WorkerPool | None = None,
+        name: str,
     ) -> CandidateSet:
-        if store is not None:
-            return self._memoized(
-                store, ltable, rtable, l_key, r_key, name, workers, instrumentation, pool
-            )
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
-        if kernels.kernels_enabled():
-            pairs = self._block_ids(
-                ltable, rtable, l_key, r_key, workers, instrumentation, pool
-            )
+        if session.kernels_enabled():
+            pairs = self._block_ids(session, ltable, rtable, l_key, r_key)
         else:
-            pairs = self._block_strings(
-                ltable, rtable, l_key, r_key, workers, instrumentation, pool
-            )
+            pairs = self._block_strings(session, ltable, rtable, l_key, r_key)
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)
 
     def _block_strings(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        workers: int,
-        instrumentation: Instrumentation | None,
-        pool: WorkerPool | None,
     ) -> list[tuple[Any, Any]]:
-        cache = get_default_cache()
+        instrumentation = session.instrumentation
+        cache = session.token_cache
         hits_before = cache.hits
         with stage(instrumentation, "tokenize"):
-            l_tokens = self._tokens_by_id(ltable, self.l_attr, l_key)
-            r_tokens = self._tokens_by_id(rtable, self.r_attr, r_key)
+            l_tokens = cache.tokens_by_id(
+                ltable, self.l_attr, l_key, self.tokenizer, self.normalizer
+            )
+            r_tokens = cache.tokens_by_id(
+                rtable, self.r_attr, r_key, self.tokenizer, self.normalizer
+            )
             count(instrumentation, "l_records", len(l_tokens))
             count(instrumentation, "r_records", len(r_tokens))
             count(instrumentation, "cache_hits", cache.hits - hits_before)
@@ -212,11 +199,8 @@ class OverlapBlocker(Blocker):
             }
         with stage(instrumentation, "probe"):
             l_items = list(l_tokens.items())
-            ranges = chunk_ranges(len(l_items), workers)
-            executor = ChunkedExecutor(
-                workers=workers, instrumentation=instrumentation, pool=pool
-            )
-            chunks = executor.map(
+            ranges = chunk_ranges(len(l_items), session.workers)
+            chunks = session.map_chunks(
                 _probe_overlap_chunk,
                 [
                     (l_items[start:stop], r_tokens, index, order, self.threshold)
@@ -230,15 +214,14 @@ class OverlapBlocker(Blocker):
 
     def _block_ids(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        workers: int,
-        instrumentation: Instrumentation | None,
-        pool: WorkerPool | None,
     ) -> list[tuple[Any, Any]]:
-        cache = get_default_cache()
+        instrumentation = session.instrumentation
+        cache = session.token_cache
         hits_before = cache.hits
         k = self.threshold
         with stage(instrumentation, "tokenize"):
@@ -284,11 +267,8 @@ class OverlapBlocker(Blocker):
                 prefix = id_array(ordered[: len(ordered) - k + 1])
                 l_items.append((lid, prefix, entry.ids))
             r_sets = {rid: entry.ids for rid, entry in r_entries.items()}
-            ranges = chunk_ranges(len(l_items), workers)
-            executor = ChunkedExecutor(
-                workers=workers, instrumentation=instrumentation, pool=pool
-            )
-            chunks = executor.map(
+            ranges = chunk_ranges(len(l_items), session.workers)
+            chunks = session.map_chunks(
                 _probe_overlap_ids_chunk,
                 [
                     (l_items[start:stop], r_sets, index, k)

@@ -27,9 +27,9 @@ import math
 from typing import Any, Callable
 
 from ..errors import BlockingError
-from ..runtime.cache import get_default_cache
-from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
-from ..runtime.instrument import Instrumentation, count, stage
+from ..runtime.context import EngineSession
+from ..runtime.executor import chunk_ranges
+from ..runtime.instrument import count, stage
 from ..similarity import kernels
 from ..similarity.set_based import overlap_coefficient
 from ..table import Table
@@ -136,56 +136,42 @@ class OverlapCoefficientBlocker(Blocker):
         self.tokenizer = tokenizer
         self.normalizer = normalizer
 
-    def _tokens_by_id(self, table: Table, attr: str, key: str) -> dict[Any, frozenset[str]]:
-        return get_default_cache().tokens_by_id(
-            table, attr, key, self.tokenizer, self.normalizer
-        )
-
-    def block_tables(
+    def _compute_blocking(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        name: str = "",
-        *,
-        workers: int = 1,
-        instrumentation: Instrumentation | None = None,
-        store: Any | None = None,
-        pool: WorkerPool | None = None,
+        name: str,
     ) -> CandidateSet:
-        if store is not None:
-            return self._memoized(
-                store, ltable, rtable, l_key, r_key, name, workers, instrumentation, pool
-            )
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )
-        if kernels.kernels_enabled():
-            pairs = self._block_ids(
-                ltable, rtable, l_key, r_key, workers, instrumentation, pool
-            )
+        if session.kernels_enabled():
+            pairs = self._block_ids(session, ltable, rtable, l_key, r_key)
         else:
-            pairs = self._block_strings(
-                ltable, rtable, l_key, r_key, workers, instrumentation, pool
-            )
+            pairs = self._block_strings(session, ltable, rtable, l_key, r_key)
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)
 
     def _block_strings(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        workers: int,
-        instrumentation: Instrumentation | None,
-        pool: WorkerPool | None,
     ) -> list[tuple[Any, Any]]:
-        cache = get_default_cache()
+        instrumentation = session.instrumentation
+        cache = session.token_cache
         hits_before = cache.hits
         with stage(instrumentation, "tokenize"):
-            l_tokens = self._tokens_by_id(ltable, self.l_attr, l_key)
-            r_tokens = self._tokens_by_id(rtable, self.r_attr, r_key)
+            l_tokens = cache.tokens_by_id(
+                ltable, self.l_attr, l_key, self.tokenizer, self.normalizer
+            )
+            r_tokens = cache.tokens_by_id(
+                rtable, self.r_attr, r_key, self.tokenizer, self.normalizer
+            )
             count(instrumentation, "l_records", len(l_tokens))
             count(instrumentation, "r_records", len(r_tokens))
             count(instrumentation, "cache_hits", cache.hits - hits_before)
@@ -198,11 +184,8 @@ class OverlapCoefficientBlocker(Blocker):
             l_items = [
                 (lid, list(tokens), tokens) for lid, tokens in l_tokens.items()
             ]
-            ranges = chunk_ranges(len(l_items), workers)
-            executor = ChunkedExecutor(
-                workers=workers, instrumentation=instrumentation, pool=pool
-            )
-            chunks = executor.map(
+            ranges = chunk_ranges(len(l_items), session.workers)
+            chunks = session.map_chunks(
                 _probe_coefficient_chunk,
                 [
                     (l_items[start:stop], r_tokens, index, self.threshold)
@@ -216,15 +199,14 @@ class OverlapCoefficientBlocker(Blocker):
 
     def _block_ids(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        workers: int,
-        instrumentation: Instrumentation | None,
-        pool: WorkerPool | None,
     ) -> list[tuple[Any, Any]]:
-        cache = get_default_cache()
+        instrumentation = session.instrumentation
+        cache = session.token_cache
         hits_before = cache.hits
         with stage(instrumentation, "tokenize"):
             l_entries = cache.token_ids_by_id(
@@ -246,11 +228,8 @@ class OverlapCoefficientBlocker(Blocker):
                 (lid, entry.probe, entry.ids) for lid, entry in l_entries.items()
             ]
             r_sets = {rid: entry.ids for rid, entry in r_entries.items()}
-            ranges = chunk_ranges(len(l_items), workers)
-            executor = ChunkedExecutor(
-                workers=workers, instrumentation=instrumentation, pool=pool
-            )
-            chunks = executor.map(
+            ranges = chunk_ranges(len(l_items), session.workers)
+            chunks = session.map_chunks(
                 _probe_coefficient_ids_chunk,
                 [
                     (l_items[start:stop], r_sets, index, self.threshold)

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..runtime.context import EngineSession
 from ..runtime.executor import ChunkedExecutor, chunk_ranges
-from ..runtime.instrument import Instrumentation, count, stage
+from ..runtime.instrument import count, stage
 from ..table import Table
 from ..table.column import is_missing
 from .base import Blocker
@@ -83,25 +84,21 @@ class RuleBasedBlocker(Blocker):
         self.predicate = predicate
         self.index_attrs = index_attrs
 
-    def block_tables(
+    def _compute_blocking(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        name: str = "",
-        *,
-        workers: int = 1,
-        instrumentation: Instrumentation | None = None,
-        pool: Any | None = None,
+        name: str,
     ) -> CandidateSet:
         attrs = []
         if self.index_attrs is not None:
             attrs = [(ltable, self.index_attrs[0]), (rtable, self.index_attrs[1])]
         self._validate_inputs(ltable, rtable, l_key, r_key, attrs)
-        executor = ChunkedExecutor(
-            workers=workers, instrumentation=instrumentation, pool=pool
-        )
+        instrumentation = session.instrumentation
+        executor = session.executor()
         with stage(instrumentation, "evaluate"):
             if self.index_attrs is not None:
                 pairs = self._block_indexed(ltable, rtable, l_key, r_key, executor)

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
-from ..runtime.instrument import Instrumentation, count
+from ..runtime.context import EngineSession
+from ..runtime.instrument import count
 from ..table import Table
 from ..table.column import is_missing
 from .base import Blocker
@@ -66,20 +67,17 @@ class SortedNeighborhoodBlocker(Blocker):
             out.append((str(sort_key), side, rid))
         return out
 
-    def block_tables(
+    def _compute_blocking(
         self,
+        session: EngineSession,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        name: str = "",
-        *,
-        workers: int = 1,
-        instrumentation: Instrumentation | None = None,
-        pool: Any | None = None,
+        name: str,
     ) -> CandidateSet:
-        # A single sort dominates; workers/pool accepted for uniformity.
-        del workers, pool
+        # A single sort dominates; the session's pool goes unused.
+        instrumentation = session.instrumentation
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
         )

@@ -15,6 +15,7 @@ from ..blocking.candidate_set import Pair
 from ..datasets.iris import iris_matcher
 from ..datasets.scenario import Scenario, ScenarioConfig, generate_scenario
 from ..labeling.oracle import ExpertOracle
+from ..runtime.context import EngineSession
 from ..runtime.executor import WorkerPool
 from ..runtime.instrument import Instrumentation, stage
 from .accuracy import AccuracyOutcome, run_accuracy_estimation
@@ -76,12 +77,18 @@ class CaseStudyRun:
     finished run serializes to a machine-readable record via
     :meth:`repro.obs.manifest.RunManifest.from_case_study`.
 
-    When ``workers > 1`` the run opens **one**
-    :class:`~repro.runtime.executor.WorkerPool` on first use and shares
-    it across every stage (blocking probes, all feature extractions), so
-    process startup is paid once per run; :meth:`close` (or using the run
-    as a context manager) shuts it down. An externally supplied ``pool``
-    is used instead and never shut down here.
+    Every capability is carried by one
+    :class:`~repro.runtime.context.EngineSession`: pass ``session=`` to
+    supply it directly (its workers/store/instrumentation/provenance are
+    mirrored onto the matching run attributes, so manifests keep
+    working), or keep using the legacy
+    ``workers``/``store``/``instrumentation``/``provenance``/``pool``
+    fields, which are deprecated shims the run folds into an owned
+    session on first use. The session's pool is opened once and shared
+    across every stage (blocking probes, all feature extractions), so
+    process startup is paid once per run; :meth:`close` (or using the
+    run as a context manager) releases everything the run owns — a
+    supplied ``session`` or ``pool`` is the caller's to close.
     """
 
     config: ScenarioConfig = field(default_factory=ScenarioConfig)
@@ -90,28 +97,48 @@ class CaseStudyRun:
     instrumentation: Instrumentation | None = None
     provenance: bool = False
     pool: WorkerPool | None = None
-    _owned_pool: WorkerPool | None = field(
+    session: EngineSession | None = None
+    _owned_session: EngineSession | None = field(
         default=None, init=False, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        if self.session is not None:
+            # Mirror the session's fields so existing readers (manifests,
+            # reports, tests) see the effective configuration.
+            self.workers = self.session.workers
+            self.instrumentation = self.session.instrumentation
+            self.store = self.session.store
+            self.provenance = self.session.provenance
+
+    @property
+    def engine_session(self) -> EngineSession:
+        """The session every stage runs under: the injected one, else a
+        run-owned session folded from the legacy fields on first use."""
+        if self.session is not None:
+            return self.session
+        if self._owned_session is None:
+            self._owned_session = EngineSession(
+                workers=self.workers,
+                store=self.store,
+                instrumentation=self.instrumentation,
+                provenance=self.provenance,
+                pool=self.pool,
+                seed=self.config.seed,
+            )
+        return self._owned_session
+
     @property
     def worker_pool(self) -> WorkerPool | None:
-        """The pool shared by every stage: the injected one, else a
-        run-owned pool created on first use (``None`` for serial runs)."""
-        if self.pool is not None:
-            return self.pool
-        if self.workers > 1:
-            if self._owned_pool is None:
-                self._owned_pool = WorkerPool(self.workers)
-            return self._owned_pool
-        return None
+        """The pool shared by every stage (``None`` for serial runs)."""
+        return self.engine_session.worker_pool
 
     def close(self) -> None:
-        """Shut down the run-owned worker pool (idempotent; injected
-        pools are the caller's to close)."""
-        owned, self._owned_pool = self._owned_pool, None
+        """Release the run-owned session and its worker pool (idempotent;
+        an injected ``session`` or ``pool`` is the caller's to close)."""
+        owned, self._owned_session = self._owned_session, None
         if owned is not None:
-            owned.shutdown()
+            owned.close()
 
     def __enter__(self) -> "CaseStudyRun":
         return self
@@ -150,22 +177,14 @@ class CaseStudyRun:
     def blocking(self) -> BlockingOutcome:
         tables = self.projected
         with stage(self.instrumentation, "sec7:blocking"):
-            return run_blocking(
-                tables, workers=self.workers,
-                instrumentation=self.instrumentation, store=self.store,
-                pool=self.worker_pool,
-            )
+            return run_blocking(tables, session=self.engine_session)
 
     @cached_property
     def blocking_v2(self) -> BlockingOutcome:
         """Blocking over the revised projected tables (same blockers)."""
         tables = self.projected_v2
         with stage(self.instrumentation, "sec7:blocking"):
-            return run_blocking(
-                tables, workers=self.workers,
-                instrumentation=self.instrumentation, store=self.store,
-                pool=self.worker_pool,
-            )
+            return run_blocking(tables, session=self.engine_session)
 
     # ------------------------------------------------------------ §8
     @cached_property
@@ -192,10 +211,7 @@ class CaseStudyRun:
                 labeling.labels,
                 tables,
                 seed=self.config.seed,
-                workers=self.workers,
-                instrumentation=self.instrumentation,
-                store=self.store,
-                pool=self.worker_pool,
+                session=self.engine_session,
             )
 
     # ------------------------------------------------------------ §10/12
@@ -212,20 +228,14 @@ class CaseStudyRun:
                 labeling.labels,
                 matching.feature_set,
                 matching.matcher,
-                workers=self.workers,
-                instrumentation=self.instrumentation,
-                store=self.store,
-                pool=self.worker_pool,
+                session=self.engine_session,
             )
             return run_combined_workflow(
                 original, extra,
                 labeling.labels, matching.feature_set, matcher,
                 with_negative_rules=with_negative_rules,
-                workers=self.workers,
-                instrumentation=self.instrumentation,
-                store=self.store,
                 provenance=self.provenance,
-                pool=self.worker_pool,
+                session=self.engine_session,
             )
 
     @cached_property

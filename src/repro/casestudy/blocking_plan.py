@@ -24,6 +24,7 @@ from ..blocking import (
     overlap_report,
     union_candidates,
 )
+from ..runtime.context import EngineSession, resolve_session
 from ..runtime.instrument import Instrumentation, stage
 from ..text.normalize import normalize_title
 from ..text.patterns import award_number_suffix
@@ -71,34 +72,40 @@ class BlockingOutcome:
 def run_blocking(
     tables: ProjectedTables,
     debug_top_k: int = 100,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     store=None,
     pool=None,
+    *,
+    session: EngineSession | None = None,
 ) -> BlockingOutcome:
     """Execute the blocking plan and the debugger check.
 
-    ``workers >= 2`` parallelises the two title blockers (the AE blocker is
-    a hash join, not worth chunking); an ``instrumentation`` handle records
-    per-blocker stage timings and pair counts; a ``store`` memoizes each
-    blocker's candidate set by content fingerprints; a shared ``pool``
-    lets both title blockers (and any later stage) reuse one set of
-    worker processes.
+    A resolved session with ``workers >= 2`` parallelises the two title
+    blockers (the AE blocker is a hash join, not worth chunking); its
+    instrumentation records per-blocker stage timings and pair counts;
+    its store memoizes each blocker's candidate set by content
+    fingerprints; its pool lets both title blockers (and any later
+    stage) reuse one set of worker processes. The
+    ``workers``/``instrumentation``/``store``/``pool`` kwargs are
+    deprecated shims over the ambient session.
     """
+    resolved = resolve_session(
+        session,
+        workers=workers,
+        instrumentation=instrumentation,
+        store=store,
+        pool=pool,
+    )
+    instrumentation = resolved.instrumentation
     ae, overlap, coefficient = make_blockers()
     args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
-    kwargs = {
-        "workers": workers,
-        "instrumentation": instrumentation,
-        "store": store,
-        "pool": pool,
-    }
     with stage(instrumentation, "C1:attr_equiv"):
-        c1 = ae.block_tables(*args, name="C1", **kwargs)
+        c1 = ae.block_tables(*args, name="C1", session=resolved)
     with stage(instrumentation, "C2:overlap_k3"):
-        c2 = overlap.block_tables(*args, name="C2", **kwargs)
+        c2 = overlap.block_tables(*args, name="C2", session=resolved)
     with stage(instrumentation, "C3:coefficient"):
-        c3 = coefficient.block_tables(*args, name="C3", **kwargs)
+        c3 = coefficient.block_tables(*args, name="C3", session=resolved)
     with stage(instrumentation, "union"):
         candidates = union_candidates([c1, c2, c3], name="C")
     # The debugger ranks excluded pairs by the blocking attribute (titles):

@@ -36,6 +36,7 @@ from ..matchers import (
     select_matcher,
 )
 from ..rules.positive import ExactNumberRule, m1_rule
+from ..runtime.context import EngineSession, resolve_session
 from ..runtime.instrument import Instrumentation, stage
 from .preprocess import ProjectedTables
 
@@ -101,26 +102,36 @@ def run_matching(
     labels: LabeledPairs,
     tables: ProjectedTables,
     seed: int = 45,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     store=None,
     pool=None,
+    *,
+    session: EngineSession | None = None,
 ) -> MatchingOutcome:
     """Execute the full Section-9 pipeline.
 
-    A ``store`` memoizes the three feature extractions (training matrix,
-    case-insensitive training matrix, prediction matrix) by content;
-    ``workers``/``instrumentation`` parallelize and time those
-    extractions plus the two cross-validated selections.
+    A session store memoizes the three feature extractions (training
+    matrix, case-insensitive training matrix, prediction matrix) by
+    content; the session's workers/instrumentation parallelize and time
+    those extractions plus the two cross-validated selections. The
+    ``workers``/``instrumentation``/``store``/``pool`` kwargs are
+    deprecated shims over the ambient session.
     """
+    resolved = resolve_session(
+        session,
+        workers=workers,
+        instrumentation=instrumentation,
+        store=store,
+        pool=pool,
+    )
+    instrumentation = resolved.instrumentation
     features = base_feature_set(tables)
     sure = sure_match_pairs(candidates)
     pairs, y = training_labels(labels, sure)
 
     matrix = extract_feature_vectors(
-        candidates, features, pairs=pairs,
-        workers=workers, instrumentation=instrumentation, store=store,
-        pool=pool,
+        candidates, features, pairs=pairs, session=resolved
     )
     with stage(instrumentation, "select_matcher"):
         initial_selection = select_matcher(
@@ -136,9 +147,7 @@ def run_matching(
     # the fix: case-insensitive variants of the title features
     features_ci = add_case_insensitive_variants(features, attrs=["AwardTitle"])
     matrix_ci = extract_feature_vectors(
-        candidates, features_ci, pairs=pairs,
-        workers=workers, instrumentation=instrumentation, store=store,
-        pool=pool,
+        candidates, features_ci, pairs=pairs, session=resolved
     )
     with stage(instrumentation, "select_matcher"):
         final_selection = select_matcher(
@@ -155,9 +164,7 @@ def run_matching(
         candidates.subset(sure, name="sure"), name="C_minus_sure"
     )
     predict_matrix = extract_feature_vectors(
-        to_predict, features_ci,
-        workers=workers, instrumentation=instrumentation, store=store,
-        pool=pool,
+        to_predict, features_ci, session=resolved
     )
     with stage(instrumentation, "predict"):
         predicted = matcher.predict_matches(predict_matrix)

@@ -29,6 +29,7 @@ from ..labeling.labels import LabeledPairs
 from ..matchers.ml_matcher import MLMatcher
 from ..rules.negative import default_negative_rules
 from ..rules.positive import award_project_rule, m1_rule
+from ..runtime.context import EngineSession, resolve_session
 from ..runtime.instrument import Instrumentation, stage
 from ..table.ops import concat
 from .blocking_plan import make_blockers
@@ -108,10 +109,12 @@ def train_workflow_matcher(
     labels: LabeledPairs,
     feature_set: FeatureSet,
     matcher: MLMatcher,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     store=None,
     pool=None,
+    *,
+    session: EngineSession | None = None,
 ) -> MLMatcher:
     """Train (a clone of) *matcher* exactly as Section 9 did: drop Unsure
     pairs and the *M1* sure matches, keep the project-number-rule pairs.
@@ -122,14 +125,19 @@ def train_workflow_matcher(
     high-similarity positive from the sample. The rules still take
     precedence at prediction time (the workflow only predicts on C minus
     the sure matches of *both* rules)."""
+    resolved = resolve_session(
+        session,
+        workers=workers,
+        instrumentation=instrumentation,
+        store=store,
+        pool=pool,
+    )
     sure = sure_match_pairs(candidates)  # M1 only, as in Section 9
     pairs, y = training_labels(labels, sure)
     matrix = extract_feature_vectors(
-        candidates, feature_set, pairs=pairs,
-        workers=workers, instrumentation=instrumentation, store=store,
-        pool=pool,
+        candidates, feature_set, pairs=pairs, session=resolved
     )
-    with stage(instrumentation, "fit_matcher"):
+    with stage(resolved.instrumentation, "fit_matcher"):
         trained = matcher.clone()
         trained.fit(matrix, y)
     return trained
@@ -166,24 +174,37 @@ def run_combined_workflow(
     feature_set: FeatureSet,
     matcher: MLMatcher,
     with_negative_rules: bool = False,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     store=None,
-    provenance: bool = False,
+    provenance: "bool | object | None" = None,
     pool=None,
+    *,
+    session: EngineSession | None = None,
 ) -> CombinedWorkflowOutcome:
     """Run the Figure-9 (or, with negative rules, Figure-10) workflow.
 
-    ``workers`` fans the blocking probes and feature extraction of both
-    table slices over a process pool; ``instrumentation`` collects a stage
-    tree (one subtree per slice) renderable via
-    :meth:`~repro.runtime.instrument.Instrumentation.report`. A ``store``
+    A resolved session with ``workers >= 2`` fans the blocking probes and
+    feature extraction of both table slices over its process pool; its
+    instrumentation collects a stage tree (one subtree per slice)
+    renderable via
+    :meth:`~repro.runtime.instrument.Instrumentation.report`; its store
     makes the run incremental: re-running with added negative rules (the
     Figure-10 patch) reuses every blocking, extraction and prediction
     artifact, since those stages' input fingerprints are unchanged.
-    ``provenance=True`` records per-pair match lineage on both slices
-    (see :meth:`CombinedWorkflowOutcome.explain_pair`).
+    ``provenance=True`` (or a session with ``provenance=True``) records
+    per-pair match lineage on both slices — each slice gets its own fresh
+    collector (see :meth:`CombinedWorkflowOutcome.explain_pair`); the
+    other kwargs are deprecated shims over the ambient session.
     """
+    resolved = resolve_session(
+        session,
+        workers=workers,
+        instrumentation=instrumentation,
+        store=store,
+        pool=pool,
+    )
+    instrumentation = resolved.instrumentation
     workflow = EMWorkflow(
         name="figure10" if with_negative_rules else "figure9",
         positive_rules=positive_rules(),
@@ -194,15 +215,13 @@ def run_combined_workflow(
         original_result = workflow.run(
             original.umetrics, original.usda, original.l_key, original.r_key,
             matcher, feature_set,
-            workers=workers, instrumentation=instrumentation, store=store,
-            provenance=provenance, pool=pool,
+            provenance=provenance, session=resolved,
         )
     with stage(instrumentation, "extra_slice"):
         extra_result = workflow.run(
             extra.umetrics, extra.usda, extra.l_key, extra.r_key,
             matcher, feature_set,
-            workers=workers, instrumentation=instrumentation, store=store,
-            provenance=provenance, pool=pool,
+            provenance=provenance, session=resolved,
         )
     kept_original = [
         p for p in original_result.predicted_matches

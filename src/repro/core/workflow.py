@@ -28,8 +28,9 @@ from ..features.generate import FeatureSet
 from ..features.vectors import extract_feature_vectors
 from ..matchers.ml_matcher import MLMatcher
 from ..rules.negative import ComparableMismatchRule, apply_negative_rules
-from ..rules.positive import ExactNumberRule, sure_matches
-from ..runtime.instrument import Instrumentation, count, stage
+from ..rules.positive import ExactNumberRule
+from ..runtime.context import EngineSession, resolve_session
+from ..runtime.instrument import Instrumentation, count
 from ..table import Table
 
 
@@ -80,17 +81,35 @@ class EMWorkflow:
     blockers: list[Blocker] = field(default_factory=list)
     negative_rules: list[ComparableMismatchRule] = field(default_factory=list)
 
+    def _resolve_collector(self, provenance, session: EngineSession):
+        """Map the run's provenance argument onto a collector (or None).
+
+        ``None`` inherits the session policy; ``False`` is off; ``True``
+        builds a fresh per-run collector; anything else is an explicit
+        :class:`~repro.obs.provenance.MatchProvenance`-style collector.
+        """
+        policy = provenance if provenance is not None else session.provenance
+        if policy is None or policy is False:
+            return None
+        if policy is True:
+            from ..obs.provenance import MatchProvenance
+
+            return MatchProvenance(self.name)
+        return policy
+
     def build_candidates(
         self,
         ltable: Table,
         rtable: Table,
         l_key: str,
         r_key: str,
-        workers: int = 1,
+        workers: int | None = None,
         instrumentation: Instrumentation | None = None,
         store=None,
         provenance=None,
         pool=None,
+        *,
+        session: EngineSession | None = None,
     ) -> tuple[CandidateSet, CandidateSet, CandidateSet]:
         """Stages 1-3: returns (C1 sure matches, C2 blocked, C = C2 - C1).
 
@@ -98,60 +117,49 @@ class EMWorkflow:
         blocking step 1 exists precisely to keep every M1 pair in the
         candidate set) and then carved out of C for prediction.
 
-        With a *store*, the rule pass and every blocker are memoized by
-        the content fingerprints of their inputs — ``cached_block`` is
-        invoked here (not via a blocker kwarg) so third-party blockers
-        whose signatures predate the store still cache.
+        Each stage runs through ``session.run_stage``: with a store on
+        the resolved session, the rule pass and every blocker are
+        memoized by the content fingerprints of their inputs (operators
+        are built here — not via a blocker kwarg — so third-party
+        blockers whose signatures predate the store still cache), and
+        with a provenance collector (explicit, or carried by the
+        session), each positive rule's pair set and each blocker's
+        output are recorded so ``explain_pair`` can name the exact
+        emitters of any candidate.
 
-        With a *provenance* collector
-        (:class:`~repro.obs.provenance.MatchProvenance`), each positive
-        rule's pair set and each blocker's output are recorded so
-        ``explain_pair`` can name the exact emitters of any candidate.
-
-        A shared *pool* (:class:`~repro.runtime.executor.WorkerPool`) is
-        passed through to every blocker so all stages reuse the same
-        worker processes; the caller owns its lifetime.
+        ``workers``/``instrumentation``/``store``/``pool`` are deprecated
+        shims over the ambient session (``None`` inherits).
         """
         if not self.blockers and not self.positive_rules:
             raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
-        if store is not None:
-            from ..store.stages import cached_block, cached_sure_matches
-        with stage(instrumentation, "positive_rules"):
-            if not self.positive_rules:
-                c1 = CandidateSet(ltable, rtable, l_key, r_key, name="C1")
-            elif store is not None:
-                c1 = cached_sure_matches(
-                    store, self.positive_rules, ltable, rtable, l_key, r_key,
-                    name="C1", instrumentation=instrumentation,
-                )
-            else:
-                c1 = sure_matches(
-                    self.positive_rules, ltable, rtable, l_key, r_key, name="C1"
-                )
-            count(instrumentation, "sure_pairs", len(c1))
-            if provenance is not None:
-                for rule in self.positive_rules:
-                    provenance.record_rule(
-                        rule.name, rule.pairs(ltable, rtable, l_key, r_key).pairs
-                    )
+        from ..store.stages import BlockStage, SureMatchStage
+
+        resolved = resolve_session(
+            session,
+            workers=workers,
+            instrumentation=instrumentation,
+            store=store,
+            pool=pool,
+        )
+        collector = self._resolve_collector(provenance, resolved)
+        instrumentation = resolved.instrumentation
+        c1 = resolved.run_stage(
+            SureMatchStage(
+                self.positive_rules, ltable, rtable, l_key, r_key,
+                name="C1", trace_name="positive_rules",
+            ),
+            provenance=collector,
+        )
         blocked = []
         for blocker in self.blockers:
-            with stage(instrumentation, f"block:{blocker.short_name}"):
-                if store is not None:
-                    result = cached_block(
-                        store, blocker, ltable, rtable, l_key, r_key,
-                        workers=workers, instrumentation=instrumentation,
-                        pool=pool,
-                    )
-                else:
-                    result = blocker.block_tables(
-                        ltable, rtable, l_key, r_key,
-                        workers=workers, instrumentation=instrumentation,
-                        pool=pool,
-                    )
-                blocked.append(result)
-                if provenance is not None:
-                    provenance.record_blocker(blocker.short_name, result.pairs)
+            result = resolved.run_stage(
+                BlockStage(
+                    blocker, ltable, rtable, l_key, r_key,
+                    trace_name=f"block:{blocker.short_name}",
+                ),
+                provenance=collector,
+            )
+            blocked.append(result)
         c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
         c = c2.difference(c1, name="C")
         count(instrumentation, "candidates", len(c2))
@@ -165,54 +173,56 @@ class EMWorkflow:
         r_key: str,
         matcher: MLMatcher,
         feature_set: FeatureSet,
-        workers: int = 1,
+        workers: int | None = None,
         instrumentation: Instrumentation | None = None,
         store=None,
-        provenance: bool = False,
+        provenance: "bool | object | None" = None,
         pool=None,
+        *,
+        session: EngineSession | None = None,
     ) -> WorkflowResult:
         """Run all stages with a *trained* matcher.
 
-        With a *store*, blocking, feature extraction and prediction are
-        each memoized by input fingerprints, so a patched re-run (say,
-        added negative rules) reuses every unchanged stage.
+        With a store on the resolved session, blocking, feature
+        extraction and prediction are each memoized by input
+        fingerprints, so a patched re-run (say, added negative rules)
+        reuses every unchanged stage.
 
-        With ``provenance=True``, a
-        :class:`~repro.obs.provenance.MatchProvenance` records per-pair
-        lineage — emitting blockers, firing positive rule, matcher score
-        vs threshold, flipping negative rule — at the cost of one extra
-        ``predict_proba`` pass; the match results are unchanged.
+        *provenance* accepts a
+        :class:`~repro.obs.provenance.MatchProvenance` collector (also
+        the form a session's ``provenance=`` carries), ``True`` as a shim
+        building a fresh per-run collector, ``False`` to force it off, or
+        ``None`` to inherit the session policy. A collector records
+        per-pair lineage — emitting blockers, firing positive rule,
+        matcher score vs threshold, flipping negative rule — at the cost
+        of one extra ``predict_proba`` pass; the match results are
+        unchanged.
         """
         if not matcher.is_fitted:
             raise WorkflowError(
                 f"workflow {self.name!r} needs a trained matcher; "
                 f"{matcher.name!r} is unfitted"
             )
-        collector = None
-        if provenance:
-            from ..obs.provenance import MatchProvenance
+        from ..store.stages import PredictStage
 
-            collector = MatchProvenance(self.name)
+        resolved = resolve_session(
+            session,
+            workers=workers,
+            instrumentation=instrumentation,
+            store=store,
+            pool=pool,
+        )
+        collector = self._resolve_collector(provenance, resolved)
         c1, c2, c = self.build_candidates(
             ltable, rtable, l_key, r_key,
-            workers=workers, instrumentation=instrumentation, store=store,
-            provenance=collector, pool=pool,
+            provenance=collector if collector is not None else False,
+            session=resolved,
         )
         if len(c):
-            matrix = extract_feature_vectors(
-                c, feature_set,
-                workers=workers, instrumentation=instrumentation, store=store,
-                pool=pool,
+            matrix = extract_feature_vectors(c, feature_set, session=resolved)
+            predicted = resolved.run_stage(
+                PredictStage(matcher, matrix, trace_name="predict")
             )
-            with stage(instrumentation, "predict"):
-                if store is not None:
-                    from ..store.stages import cached_predict
-
-                    predicted = cached_predict(
-                        store, matcher, matrix, instrumentation=instrumentation
-                    )
-                else:
-                    predicted = matcher.predict_matches(matrix)
             if collector is not None:
                 collector.record_scores(matcher.predict_proba(matrix))
         else:

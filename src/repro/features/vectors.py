@@ -26,8 +26,10 @@ row-dict loop (the kernels mirror the reference float expressions, and
 memoization only caches pure functions), which the bit-identity tests
 assert.
 
-``extract_feature_vectors`` accepts ``workers=`` (and an optional shared
-``pool=``) to spread contiguous pair-index chunks over a process pool;
+``extract_feature_vectors`` resolves an
+:class:`~repro.runtime.context.EngineSession` (ambient, or built from the
+deprecated ``workers=``/``pool=`` shims) and spreads contiguous
+pair-index chunks over the session's process pool;
 kernel chunks ship compact id arrays, legacy chunks rebuild feature
 functions from their :attr:`~repro.features.feature.Feature.spec` recipes
 (the closures themselves do not pickle). Features without a spec (custom
@@ -46,8 +48,9 @@ import numpy as np
 from ..blocking.candidate_set import CandidateSet, Pair
 from ..errors import FeatureError
 from ..ml.impute import MeanImputer
-from ..runtime.cache import get_default_cache, lowercase
-from ..runtime.executor import ChunkedExecutor, WorkerPool, chunk_ranges
+from ..runtime.cache import TokenCache, lowercase
+from ..runtime.context import EngineSession, resolve_session
+from ..runtime.executor import WorkerPool, chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
 from ..similarity import kernels
 from ..similarity.sequence import jaro_winkler
@@ -158,6 +161,7 @@ def _kernel_columns(
     candidates: CandidateSet,
     pairs: list[Pair],
     features: list[Feature],
+    cache: TokenCache,
 ) -> tuple[list[tuple], dict[int, str]]:
     """Columnar inputs for the kernel extraction, one entry per feature.
 
@@ -177,7 +181,6 @@ def _kernel_columns(
     """
     from ..text.tokenizers import TOKENIZERS
 
-    cache = get_default_cache()
     ltable, rtable = candidates.ltable, candidates.rtable
     l_index, r_index = candidates.l_row_index, candidates.r_row_index
     li = [l_index[pair[0]] for pair in pairs]
@@ -280,33 +283,49 @@ def extract_feature_vectors(
     candidates: CandidateSet,
     feature_set: FeatureSet,
     pairs: Sequence[Pair] | None = None,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     store=None,
     pool: WorkerPool | None = None,
+    *,
+    session: EngineSession | None = None,
 ) -> FeatureMatrix:
     """Compute the feature matrix for *pairs* (default: all candidates).
 
-    ``workers >= 2`` (or a shared *pool*) splits the pair list into
-    contiguous index chunks and evaluates them in a process pool; the
-    result is identical to the serial computation (``workers=1``, the
-    default). With a *store*, the extraction is memoized by the content
-    fingerprints of the base tables, the pair list and the feature-set
-    recipes (lazy import: the store's codecs build :class:`FeatureMatrix`
-    objects from this module).
+    Runs as an :class:`~repro.store.stages.ExtractStage` through the
+    resolved :class:`~repro.runtime.context.EngineSession`: a session with
+    ``workers >= 2`` (or a shared pool) splits the pair list into
+    contiguous index chunks and evaluates them in a process pool — the
+    result is identical to the serial computation — and a session with a
+    store memoizes the extraction by the content fingerprints of the base
+    tables, the pair list and the feature-set recipes.
+    ``workers``/``instrumentation``/``store``/``pool`` are deprecated
+    shims over the ambient session (``None`` inherits).
     """
-    if store is not None:
-        from ..store.stages import cached_extract
+    # Lazy import: the store's codecs build FeatureMatrix objects from
+    # this module.
+    from ..store.stages import ExtractStage
 
-        return cached_extract(
-            store,
-            candidates,
-            feature_set,
-            pairs=pairs,
-            workers=workers,
-            instrumentation=instrumentation,
-            pool=pool,
-        )
+    resolved = resolve_session(
+        session,
+        workers=workers,
+        instrumentation=instrumentation,
+        store=store,
+        pool=pool,
+    )
+    return resolved.run_stage(ExtractStage(candidates, feature_set, pairs=pairs))
+
+
+def _extract_impl(
+    candidates: CandidateSet,
+    feature_set: FeatureSet,
+    pairs: Sequence[Pair] | None,
+    session: EngineSession,
+) -> FeatureMatrix:
+    """The extraction body (no store glue — the session already applied it)."""
+    workers = session.workers
+    instrumentation = session.instrumentation
+    pool = session.worker_pool
     if pairs is None:
         pairs = candidates.pairs
     pairs = [tuple(p) for p in pairs]
@@ -321,8 +340,10 @@ def extract_feature_vectors(
     with stage(instrumentation, "extract_features"):
         count(instrumentation, "pairs", n)
         count(instrumentation, "cells", n * d)
-        if kernels.kernels_enabled():
-            columns, token_map = _kernel_columns(candidates, pairs, features)
+        if session.kernels_enabled():
+            columns, token_map = _kernel_columns(
+                candidates, pairs, features, session.token_cache
+            )
             if parallel_ok:
                 values = _extract_kernel_parallel(
                     columns, token_map, n, d, workers, instrumentation, pool,
@@ -333,9 +354,7 @@ def extract_feature_vectors(
                     n, columns, token_map, [f.function for f in features]
                 )
         elif parallel_ok:
-            values = _extract_parallel(
-                candidates, pairs, specs, workers, instrumentation, d, pool
-            )
+            values = _extract_parallel(candidates, pairs, specs, d, session)
         else:
             values = np.empty((n, d))
             for i, pair in enumerate(pairs):
@@ -412,20 +431,17 @@ def _extract_parallel(
     candidates: CandidateSet,
     pairs: list[Pair],
     specs: list[tuple],
-    workers: int,
-    instrumentation: Instrumentation | None,
     d: int,
-    pool: WorkerPool | None = None,
+    session: EngineSession,
 ) -> np.ndarray:
+    workers = session.workers
+    pool = session.worker_pool
     ranges = chunk_ranges(len(pairs), workers if workers > 1 else (pool.workers if pool else 1))
     payloads = []
     for start, stop in ranges:
         row_pairs = [candidates.record_pair(pair) for pair in pairs[start:stop]]
         payloads.append((row_pairs, specs))
-    executor = ChunkedExecutor(
-        workers=workers, instrumentation=instrumentation, pool=pool
-    )
-    blocks = executor.map(
+    blocks = session.map_chunks(
         _extract_chunk, payloads, sizes=[stop - start for start, stop in ranges]
     )
     if not blocks:

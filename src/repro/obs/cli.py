@@ -3,9 +3,11 @@
 Two sub-commands:
 
 ``trace summary TRACE``
-    parse a JSONL trace, print a top-N hotspot table (aggregated by stage
-    name, self-time vs total-time) and a text flamegraph of the stage
-    tree;
+    print a top-N hotspot table (aggregated by stage name, self-time vs
+    total-time) and a text flamegraph of the stage tree. Accepts either a
+    JSONL trace or a :class:`RunManifest` JSON (e.g. one produced by a
+    session-driven ``casestudy --manifest`` run) — the manifest's
+    flattened stage paths are folded back into a tree;
 ``trace diff OLD NEW``
     load two run manifests and print stage-by-stage count and timing
     deltas; with ``--strict-counts`` exit non-zero when any headline
@@ -13,6 +15,9 @@ Two sub-commands:
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 from ..runtime.instrument import StageStats, merge_siblings
 from .manifest import RunManifest, diff_manifests
@@ -86,9 +91,51 @@ def render_flamegraph(root: StageStats, width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def manifest_stage_tree(manifest: RunManifest) -> StageStats:
+    """Rebuild a stage tree from a manifest's flattened ``a/b/c`` paths.
+
+    Repeated paths were aggregated at manifest time (summed seconds,
+    ``xN`` occurrences), so each path becomes one node; missing
+    intermediate paths (possible in hand-edited manifests) materialize
+    as zero-second nodes.
+    """
+    root = StageStats(manifest.name)
+    nodes: dict[str, StageStats] = {}
+
+    def node_for(path: str) -> StageStats:
+        if path in nodes:
+            return nodes[path]
+        head, _, leaf = path.rpartition("/")
+        parent = node_for(head) if head else root
+        nodes[path] = parent.child(leaf)
+        return nodes[path]
+
+    for path, record in sorted(manifest.stages.items()):
+        stats = node_for(path)
+        stats.seconds += float(record.get("seconds", 0.0))
+        for key, value in record.get("counters", {}).items():
+            stats.count(key, value)
+    return root
+
+
+def _load_stage_tree(path: str) -> StageStats:
+    """A stage tree from *path*: a RunManifest JSON or a JSONL trace.
+
+    A manifest is one JSON object spanning the file; a trace is one JSON
+    event per line — so whole-file parsing disambiguates them.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        data = None
+    if isinstance(data, dict) and "name" in data and "stages" in data:
+        return manifest_stage_tree(RunManifest.from_dict(data))
+    return load_trace(path)
+
+
 def cmd_trace_summary(trace_path: str, top: int = 15) -> int:
     """Handler for ``python -m repro trace summary``."""
-    root = load_trace(trace_path)
+    root = _load_stage_tree(trace_path)
     print(render_hotspots(root, top=top))
     print()
     print(render_flamegraph(root))

@@ -1,6 +1,12 @@
 """Parallel, instrumented runtime for the pipeline's hot paths.
 
-Three small pieces, all opt-in:
+The unifying entry point is :mod:`~repro.runtime.context` — an
+:class:`~repro.runtime.context.EngineSession` owns the pool, token
+cache, artifact store, instrumentation, metrics, provenance policy,
+kernels switch and seed, and `session.run_stage` is the single
+store/trace/provenance glue path every stage operator runs through.
+
+Underneath it, three small pieces, all opt-in:
 
 * :mod:`~repro.runtime.executor` — a chunked process-pool executor whose
   results are bit-identical to the serial loops it replaces;
@@ -15,6 +21,13 @@ pre-runtime behaviour exactly.
 """
 
 from .cache import CacheStats, InternedTokens, TokenCache, get_default_cache
+from .context import (
+    DEFAULT_SEED,
+    EngineSession,
+    StageOperator,
+    current_session,
+    resolve_session,
+)
 from .executor import (
     CHUNKS_PER_WORKER,
     ChunkedExecutor,
@@ -37,16 +50,21 @@ __all__ = [
     "CacheStats",
     "ChunkRecord",
     "ChunkedExecutor",
+    "DEFAULT_SEED",
+    "EngineSession",
     "Instrumentation",
     "InternedTokens",
+    "StageOperator",
     "StageReport",
     "StageStats",
     "TokenCache",
     "WorkerPool",
     "chunk_ranges",
     "count",
+    "current_session",
     "ensure_pool",
     "get_default_cache",
     "merge_siblings",
+    "resolve_session",
     "stage",
 ]

@@ -1,0 +1,414 @@
+"""One execution context for the whole pipeline: :class:`EngineSession`.
+
+The runtime capabilities grew one PR at a time — worker pools, the
+artifact store, tracing/metrics/provenance, the kernel switch — and each
+arrived as another optional keyword argument threaded through blockers,
+``extract_feature_vectors``, :class:`~repro.core.workflow.EMWorkflow` and
+the case-study entry points. Real EM is iterative (the paper's Section-10
+lesson): workflows are patched and re-run many times, and every re-run
+should compose *all* of those capabilities without per-call plumbing.
+
+An :class:`EngineSession` is the one object that owns them:
+
+* the shared :class:`~repro.runtime.executor.WorkerPool` (created lazily,
+  shut down on exit — including on exceptions);
+* the :class:`~repro.runtime.cache.TokenCache`;
+* the artifact store, instrumentation handle, metrics registry,
+  provenance switch, kernels switch and seed.
+
+Sessions install themselves as the ambient default via a
+:mod:`contextvars` variable, so callers write::
+
+    with EngineSession(workers=4, store=store):
+        run_combined_workflow(...)
+
+and every stage resolves the same pool/store/trace context with zero
+keyword threading. The legacy ``workers=`` / ``instrumentation=`` /
+``store=`` / ``pool=`` arguments survive as thin shims: each public entry
+point passes them to :func:`resolve_session`, which returns the ambient
+session, a derived override of it, or a transient stand-in that behaves
+exactly like the pre-session code path.
+
+The second half of this module is the **stage-operator protocol**
+(:class:`StageOperator` + :meth:`EngineSession.run_stage`): the one
+implementation of the store-fingerprint/lookup, tracing, counter and
+provenance glue that blocking, down-sampling, feature extraction and
+matcher prediction previously each re-implemented.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+from contextvars import ContextVar
+from typing import Any, Callable, Sequence
+
+from ..errors import UncacheableError
+from .cache import TokenCache, get_default_cache
+from .executor import ChunkedExecutor, WorkerPool
+from .instrument import Instrumentation, count, stage
+
+_CURRENT: ContextVar["EngineSession | None"] = ContextVar(
+    "repro_engine_session", default=None
+)
+
+DEFAULT_SEED = 45
+
+
+def current_session() -> "EngineSession | None":
+    """The innermost active ``with EngineSession(...)`` block, if any.
+
+    Context variables are per-thread (and per-async-task): a session
+    entered in one thread is invisible to others, so concurrent runs
+    cannot leak pools or stores into each other.
+    """
+    return _CURRENT.get()
+
+
+class StageOperator:
+    """One cacheable/traceable unit of pipeline work.
+
+    Implementations describe a stage declaratively — its trace name, its
+    artifact kind/codec/fingerprints for the store, its provenance
+    recording — and :meth:`EngineSession.run_stage` supplies the single
+    shared execution path. Default implementations make every aspect
+    optional: an operator with ``cache_kind = None`` never touches the
+    store, one with ``trace_name = None`` adds no stage node, and the
+    ``counters``/``record`` hooks default to no-ops.
+    """
+
+    #: Stage-tree node name; ``None`` adds no node (the operator's
+    #: ``compute`` may still open its own internal stages).
+    trace_name: str | None = None
+    #: Artifact kind for the store (``"candidates"``, ``"feature_matrix"``,
+    #: ``"pairs"``); ``None`` marks the stage uncacheable by design.
+    cache_kind: str | None = None
+    #: Codec used to encode/decode the stage's artifact.
+    codec: Any = None
+
+    def label(self) -> str:
+        """Human-readable stage label for the store's explain ledger."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> dict[str, str]:
+        """Input-name -> content-fingerprint parts for the cache key.
+
+        Raise :class:`~repro.errors.UncacheableError` when an input has no
+        stable fingerprint; the session records a store *bypass* and
+        computes unconditionally.
+        """
+        raise UncacheableError(f"{type(self).__name__} declares no fingerprint")
+
+    def store_context(self) -> dict[str, Any]:
+        """Extra kwargs for ``codec.decode`` (live objects a payload
+        cannot embed, e.g. the base tables of a candidate set)."""
+        return {}
+
+    def compute(self, session: "EngineSession") -> Any:
+        """Do the actual work, using the session for dispatch/telemetry."""
+        raise NotImplementedError
+
+    def counters(self, result: Any) -> dict[str, float]:
+        """Counters to record on the stage node once *result* exists."""
+        return {}
+
+    def record(self, provenance: Any, result: Any) -> None:
+        """Record *result* into a provenance collector (no-op default)."""
+
+
+class EngineSession:
+    """The execution context every pipeline layer resolves uniformly.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width shared by all stages. ``None``/``1`` is
+        strictly serial (bit-identical to parallel runs by construction).
+    store:
+        Optional :class:`~repro.store.store.ArtifactStore`; stages run
+        through :meth:`run_stage` are memoized by content fingerprints.
+    instrumentation:
+        Optional :class:`~repro.runtime.instrument.Instrumentation` (or
+        :class:`~repro.obs.trace.TracingInstrumentation`). Mutually
+        exclusive with *trace_path*.
+    trace_path:
+        Convenience: build a session-owned
+        :class:`~repro.obs.trace.TracingInstrumentation` streaming to a
+        JSONL file at this path; the writer is flushed per event and
+        closed by :meth:`close` — also when a stage raises.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`, fed live
+        when the session builds its own tracing instrumentation.
+    provenance:
+        Default provenance policy for workflow runs: ``False`` (off),
+        ``True`` (each workflow run builds its own collector), or a
+        :class:`~repro.obs.provenance.MatchProvenance` collector shared
+        by every run in the session.
+    kernels:
+        Interned-kernel switch override for the session's scope: ``None``
+        defers to the process default (``REPRO_KERNELS``), ``True`` /
+        ``False`` force it.
+    seed:
+        The session's random seed (CLI and case-study default).
+    pool:
+        An externally owned :class:`~repro.runtime.executor.WorkerPool`;
+        the session uses it but never shuts it down.
+    token_cache:
+        Tokenization memo-cache; defaults to the process-wide cache so
+        independent sessions still share tokenization work.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        store: Any = None,
+        instrumentation: Instrumentation | None = None,
+        trace_path: Any = None,
+        metrics: Any = None,
+        provenance: Any = False,
+        kernels: bool | None = None,
+        seed: int = DEFAULT_SEED,
+        pool: WorkerPool | None = None,
+        token_cache: TokenCache | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers)) if workers else 1
+        self.store = store
+        self.metrics = metrics
+        self.provenance = provenance
+        self.kernels = kernels
+        self.seed = seed
+        self.token_cache = token_cache if token_cache is not None else get_default_cache()
+        self._injected_pool = pool
+        self._owned_pool: WorkerPool | None = None
+        self._owned_writer: Any = None
+        self._pid = os.getpid()
+        self._tokens: list[Any] = []
+        self._closed = False
+        #: Transient sessions (built by :func:`resolve_session` to stand in
+        #: for legacy kwargs) never own a persistent pool: parallel maps
+        #: fall back to the executor's historical per-call pools, so
+        #: nothing outlives the call that asked for it.
+        self._transient = False
+        if trace_path is not None:
+            if instrumentation is not None:
+                raise ValueError(
+                    "pass either instrumentation= or trace_path=, not both"
+                )
+            from ..obs.trace import TraceWriter, TracingInstrumentation
+
+            self._owned_writer = TraceWriter(trace_path)
+            instrumentation = TracingInstrumentation(
+                writer=self._owned_writer, metrics=metrics
+            )
+        self.instrumentation = instrumentation
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def worker_pool(self) -> WorkerPool | None:
+        """The pool every stage shares.
+
+        The injected pool when one was given; otherwise a lazily created
+        session-owned pool (persistent sessions with ``workers > 1``
+        only). Fork-started worker processes inherit the session object
+        but must never touch the parent's pool handle, so a PID check
+        returns ``None`` in children.
+        """
+        if os.getpid() != self._pid:
+            return None
+        if self._injected_pool is not None:
+            return self._injected_pool
+        if self.workers > 1 and not self._transient and not self._closed:
+            if self._owned_pool is None:
+                self._owned_pool = WorkerPool(self.workers)
+            return self._owned_pool
+        return None
+
+    def kernels_enabled(self) -> bool:
+        """The session's interned-kernel switch.
+
+        ``kernels=True/False`` forces it for every stage in the session;
+        ``None`` defers to the process default (``REPRO_KERNELS`` /
+        :func:`~repro.similarity.kernels.use_kernels`).
+        """
+        if self.kernels is not None:
+            return bool(self.kernels)
+        from ..similarity.kernels import process_kernels_default
+
+        return process_kernels_default()
+
+    def executor(self) -> ChunkedExecutor:
+        """A chunk mapper wired to this session's pool and telemetry."""
+        return ChunkedExecutor(
+            workers=self.workers,
+            instrumentation=self.instrumentation,
+            pool=self.worker_pool,
+        )
+
+    def close(self) -> None:
+        """Release everything the session owns (idempotent).
+
+        Shuts down the session-created worker pool and closes the
+        session-created trace writer; injected pools and externally built
+        instrumentation are the caller's to manage.
+        """
+        self._closed = True
+        owned, self._owned_pool = self._owned_pool, None
+        if owned is not None and os.getpid() == self._pid:
+            owned.shutdown()
+        writer, self._owned_writer = self._owned_writer, None
+        if writer is not None:
+            writer.close()
+
+    def __enter__(self) -> "EngineSession":
+        self._tokens.append(_CURRENT.set(self))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Teardown runs on exceptions too: a raising stage must not leak
+        # worker processes or an unflushed trace file.
+        if self._tokens:
+            _CURRENT.reset(self._tokens.pop())
+        if not self._tokens:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # derivation (the legacy-kwarg shim)
+    # ------------------------------------------------------------------
+    def derive(self, **overrides: Any) -> "EngineSession":
+        """A transient view of this session with some fields overridden.
+
+        Shares the base session's pool, store, cache and telemetry unless
+        overridden; owns nothing (closing a derived session never touches
+        the base session's resources), so it is safe to build one per
+        legacy-kwarg call.
+        """
+        derived = EngineSession(
+            workers=overrides.get("workers", self.workers),
+            store=overrides.get("store", self.store),
+            instrumentation=overrides.get("instrumentation", self.instrumentation),
+            metrics=overrides.get("metrics", self.metrics),
+            provenance=overrides.get("provenance", self.provenance),
+            kernels=overrides.get("kernels", self.kernels),
+            seed=overrides.get("seed", self.seed),
+            pool=overrides.get("pool", self.worker_pool),
+            token_cache=overrides.get("token_cache", self.token_cache),
+        )
+        derived._transient = True
+        return derived
+
+    # ------------------------------------------------------------------
+    # the one stage-execution path
+    # ------------------------------------------------------------------
+    def run_stage(self, op: StageOperator, provenance: Any = None) -> Any:
+        """Execute *op* with the session's store/trace/provenance glue.
+
+        One implementation of what blocking, feature extraction,
+        down-sampling and prediction previously each re-implemented:
+
+        * open the operator's stage node (when it declares one);
+        * fingerprint the inputs and memoize through the artifact store
+          (bypassing — never failing — on unfingerprintable inputs);
+        * record the operator's counters on the stage node;
+        * record provenance when a collector is passed.
+        """
+        cm = (
+            self.instrumentation.stage(op.trace_name)
+            if self.instrumentation is not None and op.trace_name is not None
+            else nullcontext()
+        )
+        with cm:
+            result = self._stage_result(op)
+            for key, value in op.counters(result).items():
+                count(self.instrumentation, key, value)
+            if provenance is not None:
+                op.record(provenance, result)
+        return result
+
+    def _stage_result(self, op: StageOperator) -> Any:
+        store = self.store
+        if store is None or op.cache_kind is None or op.codec is None:
+            return op.compute(self)
+        try:
+            parts = op.fingerprint()
+        except UncacheableError as exc:
+            store.bypass(op.label(), str(exc), self.instrumentation)
+            return op.compute(self)
+        return store.memoize(
+            op.cache_kind,
+            op.label(),
+            parts,
+            lambda: op.compute(self),
+            op.codec,
+            instrumentation=self.instrumentation,
+            context=op.store_context(),
+        )
+
+    def map_chunks(
+        self,
+        fn: Callable,
+        payloads: Sequence[tuple],
+        sizes: Sequence[int] | None = None,
+    ) -> list[Any]:
+        """``[fn(*p) for p in payloads]`` through the session's executor."""
+        return self.executor().map(fn, payloads, sizes=sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"workers={self.workers}"]
+        if self.store is not None:
+            bits.append("store")
+        if self.instrumentation is not None:
+            bits.append("traced")
+        if self.kernels is not None:
+            bits.append(f"kernels={self.kernels}")
+        return f"EngineSession({', '.join(bits)})"
+
+
+def resolve_session(
+    session: EngineSession | None = None,
+    *,
+    workers: int | None = None,
+    instrumentation: Instrumentation | None = None,
+    store: Any = None,
+    pool: WorkerPool | None = None,
+    provenance: Any = None,
+    seed: int | None = None,
+) -> EngineSession:
+    """The session a legacy-kwarg call site should execute under.
+
+    Resolution order:
+
+    1. an explicitly passed *session* (with any legacy kwargs layered on
+       top as overrides);
+    2. the ambient :func:`current_session`, derived when legacy kwargs
+       override any of its fields;
+    3. a fresh transient session built purely from the legacy kwargs —
+       behaviourally identical to the pre-session code path.
+
+    ``None`` always means *inherit*: the legacy defaults (``workers=1``,
+    no store, no instrumentation) are exactly what an empty session
+    resolves to, so existing calls are unchanged bit for bit.
+    """
+    overrides: dict[str, Any] = {}
+    if workers is not None:
+        overrides["workers"] = workers
+    if instrumentation is not None:
+        overrides["instrumentation"] = instrumentation
+    if store is not None:
+        overrides["store"] = store
+    if pool is not None:
+        overrides["pool"] = pool
+    if provenance is not None:
+        overrides["provenance"] = provenance
+    if seed is not None:
+        overrides["seed"] = seed
+    base = session if session is not None else current_session()
+    if base is None:
+        resolved = EngineSession(**overrides)
+        resolved._transient = True
+        return resolved
+    if not overrides:
+        return base
+    return base.derive(**overrides)

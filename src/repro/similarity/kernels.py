@@ -40,13 +40,29 @@ _env = os.environ.get("REPRO_KERNELS", "1").strip().lower()
 _ENABLED = _env not in ("0", "false", "no", "off")
 
 
+def process_kernels_default() -> bool:
+    """The process-wide switch state, ignoring any ambient session.
+
+    ``REPRO_KERNELS=0`` starts with the legacy string paths;
+    :func:`use_kernels` toggles temporarily (the parity tests run both
+    paths in one process this way).
+    """
+    return _ENABLED
+
+
 def kernels_enabled() -> bool:
     """Whether the interned-id fast paths are active (default: yes).
 
-    Set ``REPRO_KERNELS=0`` to start with the legacy string paths, or use
-    :func:`use_kernels` to switch temporarily (the parity tests run both
-    paths in one process this way).
+    An ambient :class:`~repro.runtime.context.EngineSession` with
+    ``kernels=True/False`` overrides the process default for its scope
+    (e.g. ``python -m repro casestudy --no-kernels``); otherwise this is
+    :func:`process_kernels_default`.
     """
+    from ..runtime.context import current_session
+
+    session = current_session()
+    if session is not None and session.kernels is not None:
+        return bool(session.kernels)
     return _ENABLED
 
 

@@ -1,29 +1,35 @@
-"""Store-backed wrappers for the cacheable pipeline stages.
+"""Stage operators for the cacheable pipeline stages.
 
-Each ``cached_*`` function mirrors one expensive stage — blocking, sure
-matches, feature extraction, prediction — and is what the pipeline calls
-when a :class:`~repro.store.store.ArtifactStore` is supplied. The wrapper
-fingerprints the stage's inputs, asks the store to memoize, and falls back
-to plain computation (recorded as a *bypass*, never an error) whenever an
-input has no stable fingerprint.
+Each operator class describes one expensive stage — blocking, sure
+matches, feature extraction, matcher prediction — in the vocabulary of
+the stage-operator protocol
+(:class:`~repro.runtime.context.StageOperator`): an artifact kind and
+codec, content fingerprints over the stage's inputs, the compute
+callback, and optional counter/provenance hooks.
+:meth:`EngineSession.run_stage <repro.runtime.context.EngineSession.run_stage>`
+is the **single** implementation of the store-lookup / tracing /
+provenance glue those stages previously each re-implemented; everything
+here is declarative.
 
 The pipeline modules import this module lazily inside their functions:
 ``core.serialize`` imports the blockers and workflow at module level, so
 the store package may depend on them but not the other way around.
 
-``workers`` and ``pool`` are deliberately **excluded** from every cache
-key: the chunked executor guarantees parallel results are bit-identical
-to serial ones, so a stage computed with 8 workers (or through a shared
-worker pool) is the same artifact as one computed with 1.
+``workers`` and the shared pool are deliberately **excluded** from every
+cache key: the chunked executor guarantees parallel results are
+bit-identical to serial ones, so a stage computed with 8 workers is the
+same artifact as one computed with 1.
+
+The ``cached_*`` functions survive as deprecated shims for callers that
+predate sessions; each builds the matching operator and runs it through
+:func:`~repro.runtime.context.resolve_session`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
 
-from ..errors import UncacheableError
-from ..features.vectors import extract_feature_vectors
-from ..rules.positive import sure_matches
+from ..runtime.context import StageOperator, resolve_session
 from ..runtime.instrument import Instrumentation
 from .codecs import CANDIDATES, FEATURE_MATRIX, PAIR_LIST
 from .fingerprint import (
@@ -36,15 +42,236 @@ from .fingerprint import (
     fingerprint_table,
     fingerprint_value,
 )
-from .store import ArtifactStore
 
 
 def _table_label(table: Any, fallback: str) -> str:
     return getattr(table, "name", "") or fallback
 
 
+class BlockStage(StageOperator):
+    """One blocker application over a table pair."""
+
+    cache_kind = "candidates"
+    codec = CANDIDATES
+
+    def __init__(
+        self,
+        blocker: Any,
+        ltable: Any,
+        rtable: Any,
+        l_key: str,
+        r_key: str,
+        *,
+        name: str = "",
+        trace_name: str | None = None,
+    ) -> None:
+        self.blocker = blocker
+        self.ltable = ltable
+        self.rtable = rtable
+        self.l_key = l_key
+        self.r_key = r_key
+        self.name = name
+        self.trace_name = trace_name
+
+    def label(self) -> str:
+        return (
+            f"block:{self.blocker.short_name}:"
+            f"{_table_label(self.ltable, 'ltable')}|"
+            f"{_table_label(self.rtable, 'rtable')}"
+        )
+
+    def fingerprint(self) -> dict[str, str]:
+        return {
+            "blocker": fingerprint_blocker(self.blocker),
+            "ltable": fingerprint_table(self.ltable),
+            "rtable": fingerprint_table(self.rtable),
+            "keys": fingerprint_value((self.l_key, self.r_key)),
+        }
+
+    def store_context(self) -> dict[str, Any]:
+        return {"ltable": self.ltable, "rtable": self.rtable, "name": self.name}
+
+    def compute(self, session) -> Any:
+        from ..blocking.base import Blocker
+
+        blocker = self.blocker
+        if (
+            type(blocker)._compute_blocking is Blocker._compute_blocking
+            and type(blocker).block_tables is not Blocker.block_tables
+        ):
+            # Third-party blocker predating the session protocol: its own
+            # ``block_tables`` override *is* the compute. Call it with the
+            # legacy kwargs (no store — memoization already happened here).
+            return blocker.block_tables(
+                self.ltable, self.rtable, self.l_key, self.r_key, self.name,
+                workers=session.workers,
+                instrumentation=session.instrumentation,
+                pool=session.worker_pool,
+            )
+        return blocker._compute_blocking(
+            session, self.ltable, self.rtable, self.l_key, self.r_key, self.name
+        )
+
+    def record(self, provenance, result) -> None:
+        provenance.record_blocker(self.blocker.short_name, result.pairs)
+
+
+class SureMatchStage(StageOperator):
+    """The positive-rule (sure-match) pass of a workflow."""
+
+    cache_kind = "candidates"
+    codec = CANDIDATES
+    trace_name = None
+
+    def __init__(
+        self,
+        rules: Sequence[Any],
+        ltable: Any,
+        rtable: Any,
+        l_key: str,
+        r_key: str,
+        *,
+        name: str = "sure_matches",
+        trace_name: str | None = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.ltable = ltable
+        self.rtable = rtable
+        self.l_key = l_key
+        self.r_key = r_key
+        self.name = name
+        self.trace_name = trace_name
+        if not self.rules:
+            # An empty rule list is a constant empty candidate set — not
+            # worth a store entry (and the pre-session code never made one).
+            self.cache_kind = None
+
+    def label(self) -> str:
+        return (
+            f"sure_matches:{_table_label(self.ltable, 'ltable')}|"
+            f"{_table_label(self.rtable, 'rtable')}"
+        )
+
+    def fingerprint(self) -> dict[str, str]:
+        return {
+            "rules": fingerprint_positive_rules(self.rules),
+            "ltable": fingerprint_table(self.ltable),
+            "rtable": fingerprint_table(self.rtable),
+            "keys": fingerprint_value((self.l_key, self.r_key)),
+        }
+
+    def store_context(self) -> dict[str, Any]:
+        return {"ltable": self.ltable, "rtable": self.rtable, "name": self.name}
+
+    def compute(self, session) -> Any:
+        from ..blocking.candidate_set import CandidateSet
+        from ..rules.positive import sure_matches
+
+        if not self.rules:
+            return CandidateSet(
+                self.ltable, self.rtable, self.l_key, self.r_key, name=self.name
+            )
+        return sure_matches(
+            self.rules, self.ltable, self.rtable, self.l_key, self.r_key,
+            name=self.name,
+        )
+
+    def counters(self, result) -> dict[str, float]:
+        return {"sure_pairs": len(result)}
+
+    def record(self, provenance, result) -> None:
+        for rule in self.rules:
+            provenance.record_rule(
+                rule.name,
+                rule.pairs(self.ltable, self.rtable, self.l_key, self.r_key).pairs,
+            )
+
+
+class ExtractStage(StageOperator):
+    """Feature-vector extraction over (a subset of) a candidate set.
+
+    No ``trace_name``: the extraction body opens its own
+    ``extract_features`` stage, exactly where the pre-session code did —
+    inside the compute, so a store hit adds no stage node.
+    """
+
+    cache_kind = "feature_matrix"
+    codec = FEATURE_MATRIX
+
+    def __init__(
+        self,
+        candidates: Any,
+        feature_set: Any,
+        *,
+        pairs: Sequence[Any] | None = None,
+    ) -> None:
+        self.candidates = candidates
+        self.feature_set = feature_set
+        self.pairs = pairs
+
+    def label(self) -> str:
+        return f"extract:{self.candidates.name or 'candidates'}"
+
+    def _key_pairs(self) -> list[tuple]:
+        if self.pairs is None:
+            return list(self.candidates.pairs)
+        return [tuple(p) for p in self.pairs]
+
+    def fingerprint(self) -> dict[str, str]:
+        return {
+            "ltable": fingerprint_table(self.candidates.ltable),
+            "rtable": fingerprint_table(self.candidates.rtable),
+            "keys": fingerprint_value(
+                (self.candidates.l_key, self.candidates.r_key)
+            ),
+            "pairs": fingerprint_pairs(self._key_pairs()),
+            "features": fingerprint_feature_set(self.feature_set),
+        }
+
+    def compute(self, session) -> Any:
+        from ..features.vectors import _extract_impl
+
+        return _extract_impl(
+            self.candidates, self.feature_set, self.pairs, session
+        )
+
+
+class PredictStage(StageOperator):
+    """One ``matcher.predict_matches`` pass over a feature matrix."""
+
+    cache_kind = "pairs"
+    codec = PAIR_LIST
+
+    def __init__(
+        self, matcher: Any, matrix: Any, *, trace_name: str | None = None,
+        cached: bool = True,
+    ) -> None:
+        self.matcher = matcher
+        self.matrix = matrix
+        self.trace_name = trace_name
+        if not cached:
+            # Section 9's in-loop prediction predates the store and stays
+            # uncached so existing store ledgers/baselines are unchanged.
+            self.cache_kind = None
+
+    def label(self) -> str:
+        return f"predict:{self.matcher.name}"
+
+    def fingerprint(self) -> dict[str, str]:
+        return {
+            "matrix": fingerprint_matrix(self.matrix),
+            "matcher": fingerprint_matcher(self.matcher),
+        }
+
+    def compute(self, session) -> list:
+        return self.matcher.predict_matches(self.matrix)
+
+
+# ----------------------------------------------------------------------
+# deprecated pre-session shims
+# ----------------------------------------------------------------------
 def cached_block(
-    store: ArtifactStore,
+    store: Any,
     blocker: Any,
     ltable: Any,
     rtable: Any,
@@ -52,56 +279,21 @@ def cached_block(
     r_key: str,
     *,
     name: str = "",
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     pool: Any | None = None,
 ) -> Any:
-    """Run (or reuse) ``blocker.block_tables`` through the store."""
-    label = (
-        f"block:{blocker.short_name}:"
-        f"{_table_label(ltable, 'ltable')}|{_table_label(rtable, 'rtable')}"
+    """Deprecated: build a session and run a :class:`BlockStage`."""
+    session = resolve_session(
+        workers=workers, instrumentation=instrumentation, store=store, pool=pool
     )
-    try:
-        parts = {
-            "blocker": fingerprint_blocker(blocker),
-            "ltable": fingerprint_table(ltable),
-            "rtable": fingerprint_table(rtable),
-            "keys": fingerprint_value((l_key, r_key)),
-        }
-    except UncacheableError as exc:
-        store.bypass(label, str(exc), instrumentation)
-        return blocker.block_tables(
-            ltable,
-            rtable,
-            l_key,
-            r_key,
-            name=name,
-            workers=workers,
-            instrumentation=instrumentation,
-            pool=pool,
-        )
-    return store.memoize(
-        "candidates",
-        label,
-        parts,
-        lambda: blocker.block_tables(
-            ltable,
-            rtable,
-            l_key,
-            r_key,
-            name=name,
-            workers=workers,
-            instrumentation=instrumentation,
-            pool=pool,
-        ),
-        CANDIDATES,
-        instrumentation=instrumentation,
-        context={"ltable": ltable, "rtable": rtable, "name": name},
+    return session.run_stage(
+        BlockStage(blocker, ltable, rtable, l_key, r_key, name=name)
     )
 
 
 def cached_sure_matches(
-    store: ArtifactStore,
+    store: Any,
     rules: Sequence[Any],
     ltable: Any,
     rtable: Any,
@@ -111,102 +303,37 @@ def cached_sure_matches(
     name: str = "sure_matches",
     instrumentation: Instrumentation | None = None,
 ) -> Any:
-    """Run (or reuse) the positive-rule pass through the store."""
-    label = (
-        f"sure_matches:{_table_label(ltable, 'ltable')}|"
-        f"{_table_label(rtable, 'rtable')}"
-    )
-    try:
-        parts = {
-            "rules": fingerprint_positive_rules(rules),
-            "ltable": fingerprint_table(ltable),
-            "rtable": fingerprint_table(rtable),
-            "keys": fingerprint_value((l_key, r_key)),
-        }
-    except UncacheableError as exc:
-        store.bypass(label, str(exc), instrumentation)
-        return sure_matches(rules, ltable, rtable, l_key, r_key, name=name)
-    return store.memoize(
-        "candidates",
-        label,
-        parts,
-        lambda: sure_matches(rules, ltable, rtable, l_key, r_key, name=name),
-        CANDIDATES,
-        instrumentation=instrumentation,
-        context={"ltable": ltable, "rtable": rtable, "name": name},
+    """Deprecated: build a session and run a :class:`SureMatchStage`."""
+    session = resolve_session(instrumentation=instrumentation, store=store)
+    return session.run_stage(
+        SureMatchStage(rules, ltable, rtable, l_key, r_key, name=name)
     )
 
 
 def cached_extract(
-    store: ArtifactStore,
+    store: Any,
     candidates: Any,
     feature_set: Any,
     *,
     pairs: Sequence[Any] | None = None,
-    workers: int = 1,
+    workers: int | None = None,
     instrumentation: Instrumentation | None = None,
     pool: Any | None = None,
 ) -> Any:
-    """Run (or reuse) feature-vector extraction through the store."""
-    label = f"extract:{candidates.name or 'candidates'}"
-    key_pairs = list(candidates.pairs) if pairs is None else [tuple(p) for p in pairs]
-    try:
-        parts = {
-            "ltable": fingerprint_table(candidates.ltable),
-            "rtable": fingerprint_table(candidates.rtable),
-            "keys": fingerprint_value((candidates.l_key, candidates.r_key)),
-            "pairs": fingerprint_pairs(key_pairs),
-            "features": fingerprint_feature_set(feature_set),
-        }
-    except UncacheableError as exc:
-        store.bypass(label, str(exc), instrumentation)
-        return extract_feature_vectors(
-            candidates,
-            feature_set,
-            pairs=pairs,
-            workers=workers,
-            instrumentation=instrumentation,
-            pool=pool,
-        )
-    return store.memoize(
-        "feature_matrix",
-        label,
-        parts,
-        lambda: extract_feature_vectors(
-            candidates,
-            feature_set,
-            pairs=pairs,
-            workers=workers,
-            instrumentation=instrumentation,
-            pool=pool,
-        ),
-        FEATURE_MATRIX,
-        instrumentation=instrumentation,
+    """Deprecated: build a session and run an :class:`ExtractStage`."""
+    session = resolve_session(
+        workers=workers, instrumentation=instrumentation, store=store, pool=pool
     )
+    return session.run_stage(ExtractStage(candidates, feature_set, pairs=pairs))
 
 
 def cached_predict(
-    store: ArtifactStore,
+    store: Any,
     matcher: Any,
     matrix: Any,
     *,
     instrumentation: Instrumentation | None = None,
 ) -> list:
-    """Run (or reuse) ``matcher.predict_matches`` through the store."""
-    label = f"predict:{matcher.name}"
-    try:
-        parts = {
-            "matrix": fingerprint_matrix(matrix),
-            "matcher": fingerprint_matcher(matcher),
-        }
-    except UncacheableError as exc:
-        store.bypass(label, str(exc), instrumentation)
-        return matcher.predict_matches(matrix)
-    return store.memoize(
-        "pairs",
-        label,
-        parts,
-        lambda: matcher.predict_matches(matrix),
-        PAIR_LIST,
-        instrumentation=instrumentation,
-    )
+    """Deprecated: build a session and run a :class:`PredictStage`."""
+    session = resolve_session(instrumentation=instrumentation, store=store)
+    return session.run_stage(PredictStage(matcher, matrix))

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Fail CI when new code re-grows per-call session plumbing.
+
+The EngineSession refactor collapsed the ``workers=`` /
+``instrumentation=`` keyword threading into one ambient session plus a
+frozen shim layer (the modules listed in ``SHIM_MODULES``). This lint
+walks every other module under ``src/repro`` with ``ast`` and fails when
+it finds
+
+* a function/method *definition* declaring a ``workers`` or
+  ``instrumentation`` parameter, or
+* a *call* passing ``workers=`` / ``instrumentation=`` to anything other
+  than the session/runtime constructors that legitimately take them
+  (``EngineSession``, ``resolve_session``, ``derive``, ``WorkerPool``,
+  ``ChunkedExecutor``, ``Instrumentation``, ...).
+
+New code should accept/resolve an ``EngineSession`` instead (or rely on
+the ambient one); only the deprecated shim layer may keep the old
+keywords. Run locally with ``python tools/lint_session_plumbing.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+BANNED_KEYWORDS = {"workers", "instrumentation"}
+
+#: The frozen deprecated-shim layer: the only modules allowed to declare
+#: or thread the legacy keywords. Do not add entries — route new code
+#: through EngineSession instead.
+SHIM_MODULES = {
+    "repro/runtime/context.py",
+    "repro/runtime/executor.py",
+    "repro/runtime/instrument.py",
+    "repro/blocking/base.py",
+    "repro/blocking/down_sample.py",
+    "repro/features/vectors.py",
+    "repro/core/workflow.py",
+    "repro/store/stages.py",
+    "repro/casestudy/__init__.py",
+    "repro/casestudy/blocking_plan.py",
+    "repro/casestudy/matching.py",
+    "repro/casestudy/workflows.py",
+    # obs collectors and the store take an instrumentation handle as
+    # their *subject* (events are recorded onto it), not as threaded
+    # plumbing
+    "repro/obs/trace.py",
+    "repro/obs/metrics.py",
+    "repro/obs/manifest.py",
+    "repro/store/store.py",
+}
+
+#: Callees that legitimately accept the keywords everywhere: session
+#: and runtime-primitive constructors, the session shim resolver, and
+#: the metrics collector (which *consumes* an instrumentation handle).
+ALLOWED_CALLEES = {
+    "EngineSession",
+    "resolve_session",
+    "derive",
+    "WorkerPool",
+    "ChunkedExecutor",
+    "Instrumentation",
+    "TracingInstrumentation",
+    "collect_metrics",
+}
+
+
+def _callee_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr  # session.derive(...), obs.collect_metrics(...)
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            declared = [
+                a.arg
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+                if a.arg in BANNED_KEYWORDS
+            ]
+            for name in declared:
+                problems.append(
+                    f"{rel}:{node.lineno}: def {node.name}(... {name}= ...) "
+                    f"declares legacy session plumbing outside the shim layer"
+                )
+        elif isinstance(node, ast.Call):
+            callee = _callee_name(node)
+            if callee in ALLOWED_CALLEES:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in BANNED_KEYWORDS:
+                    problems.append(
+                        f"{rel}:{node.lineno}: call to {callee or '<expr>'}() "
+                        f"threads {keyword.arg}= — pass/enter an EngineSession "
+                        f"instead"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--src",
+        default=str(Path(__file__).resolve().parent.parent / "src"),
+        help="source root to scan (default: <repo>/src)",
+    )
+    args = parser.parse_args(argv)
+    src = Path(args.src)
+    problems: list[str] = []
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(src).as_posix()
+        if rel in SHIM_MODULES or rel == "repro/__main__.py":
+            continue
+        problems.extend(lint_file(path, rel))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(
+            f"\n{len(problems)} legacy-plumbing violation(s); the allowed "
+            f"shim layer is frozen in tools/lint_session_plumbing.py"
+        )
+        return 1
+    print("session-plumbing lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
