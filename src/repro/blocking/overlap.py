@@ -11,13 +11,17 @@ counts are then verified exactly.
 Tokenization goes through the shared :mod:`~repro.runtime.cache` (one pass
 per ``(attr, tokenizer, normalizer)`` recipe per table). When the kernel
 switch (:func:`~repro.similarity.kernels.kernels_enabled`) is on — the
-default — the probe runs over interned ``array('i')`` token ids with the
-merge kernels; otherwise it runs the legacy ``frozenset[str]`` loop. Both
-paths emit the *same pairs in the same order*: the global token ordering
+default — the probe runs over interned token ids shipped as columnar
+:class:`~repro.runtime.columnar.TokenColumn` chunks, and candidate
+verification is one batch keep-mask call
+(:func:`~repro.similarity.batch.overlap_at_least_batch`) per chunk;
+otherwise it runs the legacy ``frozenset[str]`` loop. Both paths emit
+the *same pairs in the same order*: the global token ordering
 ``(doc_freq, token)`` is a total order computed once per run (not per
 record), the inverted-index rid lists are built in the same right-row
-order, and the per-record ``seen`` sets receive the same rid objects in
-the same sequence.
+order, the per-record ``seen`` sets receive the same rid objects in the
+same sequence, and the keep-mask filters the ordered candidate list in
+place.
 
 The probe loop is chunk-parallel over left records when the resolved
 :class:`~repro.runtime.context.EngineSession` has ``workers >= 2`` (or a
@@ -30,10 +34,11 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import BlockingError
+from ..runtime.columnar import TokenColumn
 from ..runtime.context import EngineSession
 from ..runtime.executor import chunk_ranges
 from ..runtime.instrument import count, stage
-from ..similarity import kernels
+from ..similarity import batch
 from ..table import Table
 from ..text.intern import id_array
 from ..text.tokenizers import Tokenizer, whitespace
@@ -76,30 +81,45 @@ def _probe_overlap_chunk(
 
 
 def _probe_overlap_ids_chunk(
-    l_items: list[tuple[Any, Any, Any]],
-    r_sets: dict[Any, Any],
+    lids: list[Any],
+    prefixes: list[Any],
+    l_col: TokenColumn,
+    rids: tuple[Any, ...],
+    r_col: TokenColumn,
     index: dict[int, list[Any]],
     k: int,
 ) -> list[tuple[Any, Any]]:
-    """Kernel twin of :func:`_probe_overlap_chunk` over interned ids.
+    """Kernel twin of :func:`_probe_overlap_chunk` over columnar chunks.
 
-    ``l_items`` carries ``(lid, prefix_ids, id_set)`` with the prefix
-    already cut under the global order (computed once in the parent), so
-    workers receive compact ``array('i')`` prefixes plus ``frozenset[int]``
-    verify sets and do integer set ops only. Emission order matches the
-    string path because the prefix order, the index rid lists, and hence
-    each ``seen`` set's insertion sequence are all identical.
+    Workers receive whole columns — the chunk's left ids, per-record
+    ``array('i')`` prefixes cut under the global order (computed once in
+    the parent), and both sides' token sets as
+    :class:`~repro.runtime.columnar.TokenColumn` CSR buffers — instead of
+    per-record tuples of frozensets. Candidate generation walks the
+    inverted index exactly like the string path; verification is one
+    :func:`~repro.similarity.batch.overlap_at_least_batch` call over the
+    chunk's whole candidate list. Emission order matches the string path
+    because the prefix order, the index rid lists, and hence each
+    ``seen`` set's insertion sequence are all identical, and the batch
+    keep-mask filters the ordered candidate list in place.
     """
-    pairs: list[tuple[Any, Any]] = []
-    for lid, prefix, a in l_items:
+    l_sets = l_col.sets()
+    r_map = dict(zip(rids, r_col.sets()))
+    cand_pairs: list[tuple[Any, Any]] = []
+    cand_a: list[Any] = []
+    cand_b: list[Any] = []
+    for i, lid in enumerate(lids):
+        a = l_sets[i]
         seen: set[Any] = set()
-        for tid in prefix:
+        for tid in prefixes[i]:
             for rid in index.get(tid, ()):
                 seen.add(rid)
         for rid in seen:
-            if kernels.overlap_at_least(a, r_sets[rid], k):
-                pairs.append((lid, rid))
-    return pairs
+            cand_pairs.append((lid, rid))
+            cand_a.append(a)
+            cand_b.append(r_map[rid])
+    keep = batch.overlap_at_least_batch(cand_a, cand_b, k)
+    return [pair for pair, kept in zip(cand_pairs, keep) if kept]
 
 
 class OverlapBlocker(Blocker):
@@ -258,20 +278,33 @@ class OverlapBlocker(Blocker):
             }
         with stage(instrumentation, "probe"):
             by_rank = rank.__getitem__
-            l_items = []
+            lids: list[Any] = []
+            prefixes: list[Any] = []
+            kept_entries: list[Any] = []
             for lid, entry in l_entries.items():
                 ids = entry.sorted
                 if len(ids) < k:
                     continue
                 ordered = sorted(ids, key=by_rank)
-                prefix = id_array(ordered[: len(ordered) - k + 1])
-                l_items.append((lid, prefix, entry.ids))
-            r_sets = {rid: entry.ids for rid, entry in r_entries.items()}
-            ranges = chunk_ranges(len(l_items), session.workers)
+                lids.append(lid)
+                prefixes.append(id_array(ordered[: len(ordered) - k + 1]))
+                kept_entries.append(entry)
+            l_col = TokenColumn.from_entries(kept_entries)
+            rids = tuple(r_entries.keys())
+            r_col = TokenColumn.from_entries(r_entries.values())
+            ranges = chunk_ranges(len(lids), session.workers)
             chunks = session.map_chunks(
                 _probe_overlap_ids_chunk,
                 [
-                    (l_items[start:stop], r_sets, index, k)
+                    (
+                        lids[start:stop],
+                        prefixes[start:stop],
+                        l_col.slice(start, stop),
+                        rids,
+                        r_col,
+                        index,
+                        k,
+                    )
                     for start, stop in ranges
                 ],
                 sizes=[stop - start for start, stop in ranges],

@@ -8,9 +8,12 @@ counts are verified exactly against the size-aware bound
 ``ceil(t * min(|X|,|Y|))`` before the coefficient itself is checked.
 
 Like :class:`~repro.blocking.overlap.OverlapBlocker`, tokenization is
-memoized through the shared runtime cache, the probe runs over interned
-id arrays when the kernel switch is on (default) and over the legacy
-``frozenset[str]`` sets otherwise, and the probe loop chunks over left
+memoized through the shared runtime cache; when the kernel switch is on
+(default) the probe runs over interned ids shipped as columnar
+:class:`~repro.runtime.columnar.TokenColumn` chunks with one batch
+keep-mask call (:func:`~repro.similarity.batch.overlap_coefficient_at_least_batch`)
+verifying each chunk's ordered candidate list, and over the legacy
+``frozenset[str]`` sets otherwise; the probe loop chunks over left
 records when ``workers >= 2`` — identical results on every path. Both
 paths probe each left record's tokens in the *iteration order of the
 parent's frozenset*, materialized in the parent before chunks ship (the
@@ -27,10 +30,11 @@ import math
 from typing import Any, Callable
 
 from ..errors import BlockingError
+from ..runtime.columnar import TokenColumn
 from ..runtime.context import EngineSession
 from ..runtime.executor import chunk_ranges
 from ..runtime.instrument import count, stage
-from ..similarity import kernels
+from ..similarity import batch
 from ..similarity.set_based import overlap_coefficient
 from ..table import Table
 from ..text.tokenizers import Tokenizer, whitespace
@@ -76,37 +80,44 @@ def _probe_coefficient_chunk(
 
 
 def _probe_coefficient_ids_chunk(
-    l_items: list[tuple[Any, Any, Any]],
-    r_sets: dict[Any, Any],
+    lids: list[Any],
+    probes: list[Any],
+    l_col: TokenColumn,
+    rids: tuple[Any, ...],
+    r_col: TokenColumn,
     index: dict[int, list[Any]],
     threshold: float,
 ) -> list[tuple[Any, Any]]:
-    """Kernel twin of :func:`_probe_coefficient_chunk` over interned ids.
+    """Kernel twin of :func:`_probe_coefficient_chunk` over columnar chunks.
 
-    ``l_items`` carries ``(lid, probe_ids, id_set)`` where the probe
-    array replays the cached frozenset's iteration order. Verification is
-    one C-level int-set intersection per candidate
-    (:func:`~repro.similarity.kernels.intersect_count`); the surviving
-    coefficient is the same ``inter / min(|X|, |Y|)`` division over the
-    same integers the string path divides.
+    Workers receive whole columns — the chunk's left ids, per-record
+    ``probe`` arrays replaying each cached frozenset's iteration order
+    (materialized in the parent; see the module docstring), and both
+    sides' token sets as :class:`~repro.runtime.columnar.TokenColumn`
+    CSR buffers. Candidate generation walks the inverted index exactly
+    like the string path; verification is one
+    :func:`~repro.similarity.batch.overlap_coefficient_at_least_batch`
+    call over the chunk's whole candidate list — the same size-aware
+    count bound and coefficient comparisons over the same integers, with
+    the keep-mask filtering the ordered candidate list in place.
     """
-    pairs: list[tuple[Any, Any]] = []
-    for lid, probe, a in l_items:
+    l_sets = l_col.sets()
+    r_map = dict(zip(rids, r_col.sets()))
+    cand_pairs: list[tuple[Any, Any]] = []
+    cand_a: list[Any] = []
+    cand_b: list[Any] = []
+    for i, lid in enumerate(lids):
+        a = l_sets[i]
         seen: set[Any] = set()
-        for tid in probe:
+        for tid in probes[i]:
             for rid in index.get(tid, ()):
                 seen.add(rid)
-        la = len(a)
         for rid in seen:
-            b = r_sets[rid]
-            smaller = min(la, len(b))
-            needed = math.ceil(threshold * smaller - 1e-9)
-            inter = kernels.intersect_count(a, b)
-            if inter < needed:
-                continue
-            if inter / smaller >= threshold - 1e-12:
-                pairs.append((lid, rid))
-    return pairs
+            cand_pairs.append((lid, rid))
+            cand_a.append(a)
+            cand_b.append(r_map[rid])
+    keep = batch.overlap_coefficient_at_least_batch(cand_a, cand_b, threshold)
+    return [pair for pair, kept in zip(cand_pairs, keep) if kept]
 
 
 class OverlapCoefficientBlocker(Blocker):
@@ -224,15 +235,24 @@ class OverlapCoefficientBlocker(Blocker):
                 for tid in entry.sorted:
                     index.setdefault(tid, []).append(rid)
         with stage(instrumentation, "probe"):
-            l_items = [
-                (lid, entry.probe, entry.ids) for lid, entry in l_entries.items()
-            ]
-            r_sets = {rid: entry.ids for rid, entry in r_entries.items()}
-            ranges = chunk_ranges(len(l_items), session.workers)
+            lids = list(l_entries.keys())
+            probes = [entry.probe for entry in l_entries.values()]
+            l_col = TokenColumn.from_entries(l_entries.values())
+            rids = tuple(r_entries.keys())
+            r_col = TokenColumn.from_entries(r_entries.values())
+            ranges = chunk_ranges(len(lids), session.workers)
             chunks = session.map_chunks(
                 _probe_coefficient_ids_chunk,
                 [
-                    (l_items[start:stop], r_sets, index, self.threshold)
+                    (
+                        lids[start:stop],
+                        probes[start:stop],
+                        l_col.slice(start, stop),
+                        rids,
+                        r_col,
+                        index,
+                        self.threshold,
+                    )
                     for start, stop in ranges
                 ],
                 sizes=[stop - start for start, stop in ranges],

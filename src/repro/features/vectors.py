@@ -10,11 +10,13 @@ Extraction is the Section-9 hot path (n pairs x d features Python calls).
 When the kernel switch (:func:`~repro.similarity.kernels.kernels_enabled`)
 is on — the default — extraction runs *columnar over interned ids*:
 
-* token set measures (``jac``/``cos``/``dice``/``overlap_coeff``) read
-  per-row sorted id arrays from the shared
-  :class:`~repro.runtime.cache.TokenCache` (each cell tokenized and
-  interned once per recipe, not once per pair per feature) and go through
-  the merge kernels in :mod:`repro.similarity.kernels`;
+* token set measures (``jac``/``cos``/``dice``/``overlap_coeff``) are
+  gathered into :class:`~repro.runtime.columnar.TokenColumn` chunk
+  columns from the shared :class:`~repro.runtime.cache.TokenCache` (each
+  cell tokenized and interned once per recipe, not once per pair per
+  feature) and scored one *chunk* per call by the batch kernels in
+  :mod:`repro.similarity.batch` — no per-pair Python call survives on
+  the hot path;
 * Monge-Elkan reads token *bags* in tokenizer order and memoizes its
   inner Jaro-Winkler calls per distinct token-id pair;
 * string/numeric features keep their reference functions but memoize per
@@ -49,10 +51,11 @@ from ..blocking.candidate_set import CandidateSet, Pair
 from ..errors import FeatureError
 from ..ml.impute import MeanImputer
 from ..runtime.cache import TokenCache, lowercase
+from ..runtime.columnar import TokenColumn, gather_column
 from ..runtime.context import EngineSession, resolve_session
 from ..runtime.executor import WorkerPool, chunk_ranges
 from ..runtime.instrument import Instrumentation, count, stage
-from ..similarity import kernels
+from ..similarity import batch, kernels
 from ..similarity.sequence import jaro_winkler
 from .feature import NAN, Feature, feature_from_spec
 from .generate import FeatureSet
@@ -168,8 +171,10 @@ def _kernel_columns(
     Each column is ``(kind, meta, a_list, b_list)`` with the per-pair
     inputs already gathered (``a_list[i]`` belongs to ``pairs[i]``):
 
-    * ``("set", measure, ids, ids)`` — id frozensets (``None`` marks a
-      missing cell) for the C-intersection set kernels;
+    * ``("set", measure, TokenColumn, TokenColumn)`` — columnar token-id
+      sets for the batch kernels in :mod:`repro.similarity.batch`
+      (missing cells ride along as the columns' ``missing`` rows and
+      come out as NaN);
     * ``("mel", None, bag, bag)`` — tokenizer-order id bags;
     * ``("value", spec, value, value)`` — raw cell values for
       string/numeric/custom features (``spec`` rebuilds the function in
@@ -193,18 +198,12 @@ def _kernel_columns(
             _, l_attr, r_attr, measure, tokenizer_name, casefold = spec
             tokenizer = TOKENIZERS[tokenizer_name]
             normalizer = lowercase if casefold else None
-            if measure in kernels.SET_MEASURE_SET_KERNELS:
+            if measure in batch.BATCH_KERNELS:
                 l_col = cache.column_token_ids(ltable, l_attr, tokenizer, normalizer)
                 r_col = cache.column_token_ids(rtable, r_attr, tokenizer, normalizer)
-                a_list = [
-                    entry.ids if entry is not None else None
-                    for entry in (l_col[i] for i in li)
-                ]
-                b_list = [
-                    entry.ids if entry is not None else None
-                    for entry in (r_col[i] for i in ri)
-                ]
-                columns.append(("set", measure, a_list, b_list))
+                columns.append(
+                    ("set", measure, gather_column(l_col, li), gather_column(r_col, ri))
+                )
                 continue
             if measure == "mel":
                 l_col = cache.column_token_bag_ids(ltable, l_attr, tokenizer, normalizer)
@@ -242,10 +241,9 @@ def _extract_kernel_chunk(
     jw_memo: dict[tuple[int, int], float] = {}
     for j, (kind, meta, a_list, b_list) in enumerate(columns):
         if kind == "set":
-            kern = kernels.SET_MEASURE_SET_KERNELS[meta]
-            for i in range(n):
-                a, b = a_list[i], b_list[i]
-                values[i, j] = NAN if a is None or b is None else kern(a, b)
+            # one batch-kernel call scores the whole chunk column; missing
+            # cells surface as NaN straight from the kernel
+            values[:, j] = np.frombuffer(batch.score_batch(meta, a_list, b_list))
         elif kind == "mel":
             for i in range(n):
                 a, b = a_list[i], b_list[i]
@@ -276,6 +274,8 @@ def _extract_kernel_chunk(
 
 def _slice_column(column: tuple, start: int, stop: int) -> tuple:
     kind, meta, a_list, b_list = column
+    if isinstance(a_list, TokenColumn):
+        return (kind, meta, a_list.slice(start, stop), b_list.slice(start, stop))
     return (kind, meta, a_list[start:stop], b_list[start:stop])
 
 

@@ -1,12 +1,13 @@
 """String, set, hybrid and numeric similarity measures.
 
 :mod:`~repro.similarity.kernels` holds the interned-id twins of the
-set-based measures (merge-based intersection over sorted int arrays) plus
-a threshold-banded Levenshtein; they return bit-identical values to the
-string references here.
+set-based measures plus a threshold-banded Levenshtein;
+:mod:`~repro.similarity.batch` holds the chunk-level batch-columnar
+kernels the hot loops route through. All of them return bit-identical
+values to the string references here.
 """
 
-from . import kernels
+from . import batch, kernels
 from .extra import TfIdfCosine, affine_gap, bag_distance, bag_similarity
 from .hybrid import SoftTfIdf, monge_elkan
 from .numeric import (
@@ -41,6 +42,7 @@ __all__ = [
     "bag_distance",
     "bag_similarity",
     "absolute_difference",
+    "batch",
     "cosine_bag",
     "cosine_set",
     "dice",

@@ -21,6 +21,15 @@ The module-level switch (:func:`kernels_enabled` / :func:`use_kernels`)
 is how the pipeline selects between the kernel and legacy string paths;
 both produce identical outputs, which is what lets the golden snapshot
 and the bit-identity tests compare them pair-for-pair.
+
+Deployment note: the per-pair merge-array measures (``jaccard_ids`` and
+friends) are **not** routed anywhere. They regressed below the string
+references on qgm_3 tokens (0.40-0.86x, ``benchmarks/out/kernels.json``)
+because per-pair Python call overhead dominates the integer merges; the
+deployed hot paths are the id-frozenset kernels below and the
+chunk-level batch kernels in :mod:`repro.similarity.batch`. The merge
+functions stay as parity/bench references — see ``docs/performance.md``
+for the retirement decision and numbers.
 """
 
 from __future__ import annotations
@@ -221,12 +230,13 @@ def cosine_id_sets(a: "frozenset[int]", b: "frozenset[int]") -> float:
 
 overlap_size_id_sets = intersect_count
 
-#: Id-frozenset kernels by feature-spec measure name — the deployed hot
-#: path for token features: CPython's C set intersection over
-#: identity-hashed small ints beats both the string references and the
-#: Python-level merges below (~4-5x / ~2x respectively at case-study
-#: token counts). The merge-array kernels remain the allocation-free
-#: alternative and the parity tests pin both to the references.
+#: Id-frozenset kernels by feature-spec measure name — the deployed
+#: *per-pair* shape: CPython's C set intersection over identity-hashed
+#: small ints beats the string references ~2-5x at case-study token
+#: counts. The chunk-level batch kernels in
+#: :mod:`repro.similarity.batch` use the same arithmetic with the
+#: per-pair call overhead amortized away, and are what the extraction
+#: and blocker hot loops actually route through.
 SET_MEASURE_SET_KERNELS = {
     "jac": jaccard_id_sets,
     "cos": cosine_id_sets,
@@ -237,6 +247,11 @@ SET_MEASURE_SET_KERNELS = {
 
 # --------------------------------------------------------------------------
 # set measures over id arrays (expression-for-expression with set_based.py)
+#
+# RETIRED from routing: kept only as allocation-free parity/bench
+# references. kernels.json showed this family 0.40-0.86x vs the string
+# references on qgm_3 (the per-pair call + two-pointer loop overhead
+# dominates), so nothing dispatches through it anymore.
 # --------------------------------------------------------------------------
 
 overlap_size_ids = intersect_size
@@ -282,13 +297,6 @@ def cosine_ids(a: IntArray, b: IntArray) -> float:
     return intersect_size(a, b) / math.sqrt(la * lb)
 
 
-#: Set-measure kernels by the short names used in feature specs.
-SET_MEASURE_KERNELS = {
-    "jac": jaccard_ids,
-    "cos": cosine_ids,
-    "dice": dice_ids,
-    "overlap_coeff": overlap_coefficient_ids,
-}
 
 
 # --------------------------------------------------------------------------

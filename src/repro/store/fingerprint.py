@@ -35,7 +35,10 @@ from ..table import Table
 #: older code can never be served as current results.
 #: /2: interned-id kernels under blocking/extraction (outputs unchanged by
 #: construction, but the hot-path implementations were rebuilt wholesale).
-CODE_SALT = "repro-store/2"
+#: /3: batch-columnar scoring — blocker verification and token-feature
+#: columns route through chunk-level kernels over TokenColumn buffers
+#: (outputs bit-identical again, implementations rebuilt again).
+CODE_SALT = "repro-store/3"
 
 
 # ----------------------------------------------------------------------
