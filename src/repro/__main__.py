@@ -3,6 +3,11 @@
 Commands
 --------
 ``casestudy``   run the end-to-end case study and print each stage's summary
+``serve``       run the case study as an online service: build a
+                :class:`~repro.serving.MatchService`, probe late records via
+                ``match()``, and with ``--patch`` replay the Section-10
+                late-arriving records through the delta path (verified
+                against the batch rerun)
 ``release``     generate the synthetic data bundle as CSV files
 ``profile``     profile the raw tables (the Section-4 exploration report)
 ``trace``       inspect telemetry: ``trace summary`` (hotspots + flamegraph
@@ -107,6 +112,94 @@ def _run_casestudy(
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .casestudy.blocking_plan import make_blockers
+    from .casestudy.workflows import positive_rules, train_workflow_matcher
+    from .obs.metrics import MetricsRegistry
+    from .rules.negative import default_negative_rules
+    from .serving import MatchService
+
+    config = _config(args)
+    metrics = MetricsRegistry()
+    session = EngineSession(
+        workers=getattr(args, "workers", 1),
+        metrics=metrics,
+        seed=config.seed,
+    )
+    with session, CaseStudyRun(config=config, session=session) as run:
+        tables, extra = run.projected_v2, run.projected_extra
+        feature_set = run.matching.feature_set
+        matcher = train_workflow_matcher(
+            run.blocking_v2.candidates, run.labeling.labels,
+            feature_set, run.matching.matcher, session=session,
+        )
+        service = MatchService(
+            tables.umetrics, tables.usda, tables.l_key, tables.r_key,
+            matcher=matcher, feature_set=feature_set,
+            blockers=make_blockers(), positive_rules=positive_rules(),
+            negative_rules=default_negative_rules(), session=session,
+        )
+        initial = len(service.current_matches())
+        print(f"serving {len(service)} records, {initial} initial matches")
+        probes = min(args.probes, len(extra.umetrics))
+        probe_matches = 0
+        for i in range(probes):
+            probe_matches += len(service.match(extra.umetrics.row(i)).matches)
+        print(f"probed {probes} late records: {probe_matches} matches")
+        counts = {
+            "records": len(service),
+            "initial_matches": initial,
+            "probes": probes,
+            "probe_matches": probe_matches,
+        }
+        status = 0
+        if args.patch:
+            result = service.apply_patch(upserts=extra.umetrics)
+            reference = run.final_workflow
+            delta_ok = tuple(result.matches) == tuple(reference.extra.matches)
+            total_ok = set(service.current_matches()) == set(reference.matches)
+            counts.update(
+                patch_upserts=len(result.upserted),
+                patch_sure=len(result.sure_matches),
+                patch_candidates=len(result.candidates),
+                patch_to_predict=len(result.to_predict),
+                patch_predicted=len(result.predicted_matches),
+                patch_flipped=len(result.flipped),
+                patch_matches=len(result.matches),
+                patch_retired=len(result.retired),
+                total_matches=len(service.current_matches()),
+                delta_equals_rerun=bool(delta_ok and total_ok),
+            )
+            verdict = "OK" if delta_ok and total_ok else "MISMATCH"
+            print(
+                f"patched {len(result.upserted)} late records through the "
+                f"delta path: {len(result.matches)} delta matches, "
+                f"{counts['total_matches']} total; delta == rerun: {verdict}"
+            )
+            if not (delta_ok and total_ok):
+                status = 1
+        print()
+        print(metrics.render("serving metrics"))
+        if args.json is not None:
+            histograms = {
+                name: metrics.histograms[name].snapshot()
+                for name in ("serve:match_seconds", "serve:patch_seconds")
+                if name in metrics.histograms
+            }
+            payload = {
+                "schema": "repro/serve-report/1",
+                "counts": counts,
+                "latency": histograms,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nwrote serve report to {args.json}")
+        return status
+
+
 def _cmd_release(args: argparse.Namespace) -> int:
     scenario = generate_scenario(_config(args))
     directory = save_scenario(scenario, args.out)
@@ -166,6 +259,19 @@ def main(argv: list[str] | None = None) -> int:
     casestudy.add_argument("--no-kernels", action="store_true",
                            help="force the pure-Python similarity paths "
                                 "for this run")
+    serve = sub.add_parser(
+        "serve", help="online serving: delta patches + per-record match()"
+    )
+    _add_common(serve)
+    serve.add_argument("--patch", action="store_true",
+                       help="replay the Section-10 late records through the "
+                            "delta path and verify against the batch rerun")
+    serve.add_argument("--probes", type=int, default=5,
+                       help="late records to probe through match()")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool width for the hot stages")
+    serve.add_argument("--json", metavar="PATH",
+                       help="write a counts + latency report JSON to PATH")
     release = sub.add_parser("release", help="export the data bundle as CSVs")
     _add_common(release)
     release.add_argument("--out", default="umetrics_release")
@@ -189,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "casestudy": _cmd_casestudy,
+        "serve": _cmd_serve,
         "release": _cmd_release,
         "profile": _cmd_profile,
         "trace": _cmd_trace,

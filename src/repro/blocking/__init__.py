@@ -11,6 +11,14 @@ from .combiner import (
     union_candidates,
 )
 from .debugger import MissedPairReport, debug_blocker
+from .incremental import (
+    AttrEquivalenceIncremental,
+    IncrementalBlocking,
+    OverlapCoefficientIncremental,
+    OverlapIncremental,
+    PendingUpsert,
+    PostingIndex,
+)
 from .dedupe import canonical_records, dedupe_candidates, duplicate_clusters
 from .down_sample import down_sample
 from .overlap import OverlapBlocker
@@ -20,14 +28,20 @@ from .sorted_neighborhood import SortedNeighborhoodBlocker
 
 __all__ = [
     "AttrEquivalenceBlocker",
+    "AttrEquivalenceIncremental",
     "BlackBoxBlocker",
     "Blocker",
     "CandidateSet",
+    "IncrementalBlocking",
     "MissedPairReport",
     "OverlapBlocker",
     "OverlapCoefficientBlocker",
+    "OverlapCoefficientIncremental",
+    "OverlapIncremental",
     "OverlapReport",
     "Pair",
+    "PendingUpsert",
+    "PostingIndex",
     "RuleBasedBlocker",
     "SortedNeighborhoodBlocker",
     "canonical_records",

@@ -35,6 +35,7 @@ class AttrEquivalenceBlocker(Blocker):
     """
 
     short_name = "attr_equiv"
+    supports_incremental = True
 
     def __init__(
         self,
@@ -47,6 +48,19 @@ class AttrEquivalenceBlocker(Blocker):
         self.r_attr = r_attr
         self.l_preprocess = l_preprocess
         self.r_preprocess = r_preprocess
+
+    def incremental(
+        self,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        *,
+        session: EngineSession | None = None,
+    ) -> "Any":
+        """Delta-maintained handle; see :mod:`repro.blocking.incremental`."""
+        from .incremental import AttrEquivalenceIncremental
+
+        return AttrEquivalenceIncremental(self, rtable, l_key, r_key, session=session)
 
     def _values(self, table: Table, attr: str, preprocess: Preprocess | None):
         values = table[attr]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..errors import BlockingError
+from ..errors import BlockingError, IncrementalBlockingError
 from ..runtime.context import EngineSession, resolve_session
 from ..runtime.instrument import Instrumentation
 from ..table import Table
@@ -55,6 +55,55 @@ class Blocker:
 
     #: Subclasses set this for nicer candidate-set names.
     short_name = "blocker"
+
+    #: True when :meth:`incremental` vends a delta-maintained handle.
+    #: Implies the blocker's emission is independent per left row (the
+    #: property the segmented store layer also relies on).
+    supports_incremental = False
+
+    def incremental(
+        self,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        *,
+        session: EngineSession | None = None,
+    ) -> "Any":
+        """Vend an :class:`~repro.blocking.incremental.IncrementalBlocking`
+        handle over a fixed right table.
+
+        Blockers without posting-index maintenance raise a typed
+        :class:`~repro.errors.IncrementalBlockingError` — never a silent
+        fallback to a full re-block, whose cost callers must opt into
+        explicitly via :meth:`block_tables`.
+        """
+        raise IncrementalBlockingError(
+            f"{type(self).__name__} does not support incremental blocking: "
+            "no posting-index maintenance is defined for it; run "
+            "block_tables() for a full re-block instead"
+        )
+
+    def upsert(self, records: "Any", *_args: Any, **_kwargs: Any) -> "Any":
+        """Guard rail: upserts live on incremental *handles*, not on the
+        stateless blocker config.
+
+        Raises :class:`~repro.errors.IncrementalBlockingError` always —
+        with a pointer to :meth:`incremental` when this blocker supports
+        delta maintenance, and an explicit "not supported, re-block
+        instead" otherwise. Silently falling back to ``block_tables``
+        here would hide a full re-run behind an O(delta)-looking call.
+        """
+        if not self.supports_incremental:
+            raise IncrementalBlockingError(
+                f"{type(self).__name__} does not support incremental blocking: "
+                "no posting-index maintenance is defined for it; run "
+                "block_tables() for a full re-block instead"
+            )
+        raise IncrementalBlockingError(
+            f"{type(self).__name__} is a stateless blocker config; build a "
+            "delta-maintained handle with incremental(rtable, l_key, r_key) "
+            "and upsert on the handle"
+        )
 
     def block_tables(
         self,

@@ -139,6 +139,7 @@ class OverlapBlocker(Blocker):
     """
 
     short_name = "overlap"
+    supports_incremental = True
 
     def __init__(
         self,
@@ -155,6 +156,19 @@ class OverlapBlocker(Blocker):
         self.threshold = threshold
         self.tokenizer = tokenizer
         self.normalizer = normalizer
+
+    def incremental(
+        self,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        *,
+        session: EngineSession | None = None,
+    ) -> "Any":
+        """Delta-maintained handle; see :mod:`repro.blocking.incremental`."""
+        from .incremental import OverlapIncremental
+
+        return OverlapIncremental(self, rtable, l_key, r_key, session=session)
 
     def _compute_blocking(
         self,

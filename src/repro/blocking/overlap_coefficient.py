@@ -128,6 +128,7 @@ class OverlapCoefficientBlocker(Blocker):
     """
 
     short_name = "overlap_coeff"
+    supports_incremental = True
 
     def __init__(
         self,
@@ -146,6 +147,19 @@ class OverlapCoefficientBlocker(Blocker):
         self.threshold = threshold
         self.tokenizer = tokenizer
         self.normalizer = normalizer
+
+    def incremental(
+        self,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        *,
+        session: EngineSession | None = None,
+    ) -> "Any":
+        """Delta-maintained handle; see :mod:`repro.blocking.incremental`."""
+        from .incremental import OverlapCoefficientIncremental
+
+        return OverlapCoefficientIncremental(self, rtable, l_key, r_key, session=session)
 
     def _compute_blocking(
         self,

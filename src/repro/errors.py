@@ -31,6 +31,13 @@ class BlockingError(ReproError):
     """Invalid configuration or inputs for a blocker."""
 
 
+class IncrementalBlockingError(BlockingError):
+    """A blocker was asked for incremental (upsert/delete) maintenance it
+    does not support, or an incremental handle was misused. Raised instead
+    of silently falling back to a full re-block: callers must opt into the
+    cost of ``block_tables`` explicitly."""
+
+
 class FeatureError(ReproError):
     """Feature generation or feature-vector extraction failed."""
 
@@ -79,3 +86,8 @@ class UncacheableError(StoreError):
 class ObsError(ReproError):
     """Telemetry problem: a malformed trace or manifest, an invalid
     metric configuration, or provenance that was never collected."""
+
+
+class ServingError(ReproError):
+    """The online match service was mis-configured or received a patch
+    it cannot apply (e.g. rows missing the key column)."""

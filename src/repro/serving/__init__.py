@@ -1,0 +1,14 @@
+"""Online EM serving: a long-lived match service over delta blocking.
+
+:class:`MatchService` turns the batch workflow into a serving loop on a
+long-lived :class:`~repro.runtime.context.EngineSession` — ``match(record)``
+answers "who does this record match, and why?" in milliseconds, and
+``apply_patch(upserts, deletes)`` executes the paper's Section 10
+late-arriving-records scenario as an index update (delta blocking via
+:mod:`repro.blocking.incremental`) instead of a rerun. See
+``docs/serving.md``.
+"""
+
+from .service import MatchResponse, MatchService, PatchResult, RankedCandidate
+
+__all__ = ["MatchResponse", "MatchService", "PatchResult", "RankedCandidate"]

@@ -1,0 +1,494 @@
+"""The online match service: delta patches + a per-record serving loop.
+
+:class:`MatchService` holds one fixed right table, one trained matcher
+and one delta-maintained :class:`~repro.blocking.incremental`
+handle per blocker, all resolved against a long-lived
+:class:`~repro.runtime.context.EngineSession`. Two entry points:
+
+``apply_patch(upserts, deletes)``
+    Executes the batch workflow *restricted to the patch*: positive
+    rules over the batch table -> C1, handle previews per blocker ->
+    delta C2 (same union/difference semantics as
+    :meth:`~repro.core.workflow.EMWorkflow.build_candidates`), feature
+    extraction and prediction over C = C2 - C1, negative rules, final
+    delta matches ``C1 + (kept - C1)``. Because every stage is the
+    workflow's own code path over the same inputs — the handles' delta
+    pairs are bit-identical to ``block_tables`` on the batch, extraction
+    is per-pair pure, prediction is per-row pure — a patch's
+    :class:`PatchResult` equals the :class:`~repro.core.workflow.WorkflowResult`
+    of a from-scratch run over the batch slice, field for field
+    (``tests/test_incremental.py`` proves it differentially, including
+    the full Section 10 replay).
+
+    Fault tolerance: all computation runs off handle *previews*; the
+    handles and the service's per-record state are committed only after
+    every stage succeeded. A matcher that raises mid-patch leaves the
+    indexes uncorrupted, the session pool alive and the trace
+    well-formed (``tests/test_serving.py``).
+
+``match(record)``
+    Probes the posting indexes and positive rules with one record —
+    without mutating anything — scores the surviving candidates through
+    the trained matcher, flags negative-rule flips, and returns ranked
+    :class:`RankedCandidate` rows with per-candidate provenance (which
+    blockers emitted it, which rule fired, score vs. flip).
+
+Per-call latency histograms (``serve:match_seconds``,
+``serve:patch_seconds`` over :data:`~repro.obs.metrics.LATENCY_BUCKETS`)
+and counters land in the session's
+:class:`~repro.obs.metrics.MetricsRegistry` (or a service-owned one when
+the session carries none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..blocking.candidate_set import CandidateSet, Pair
+from ..blocking.combiner import union_candidates
+from ..core.patch import merge_match_sets
+from ..errors import ServingError
+from ..features.vectors import extract_feature_vectors
+from ..obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..runtime.context import EngineSession, resolve_session
+from ..table import Table
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One scored candidate from :meth:`MatchService.match`, with lineage."""
+
+    pair: Pair
+    #: Matcher probability; ``None`` for sure matches (rules don't score).
+    score: float | None
+    #: Positive rule that fired, or ``None``.
+    sure_rule: str | None
+    #: Blockers that emitted the pair, in blocker order.
+    blockers: tuple[str, ...]
+    #: Negative rule that flipped the pair, or ``None``.
+    flipped_by: str | None
+    #: Final verdict under workflow semantics: sure, or predicted and
+    #: not flipped.
+    is_match: bool
+
+
+@dataclass(frozen=True)
+class MatchResponse:
+    """Ranked candidates for one probed record."""
+
+    record_id: Any
+    candidates: tuple[RankedCandidate, ...]
+    seconds: float
+
+    @property
+    def matches(self) -> tuple[Pair, ...]:
+        return tuple(c.pair for c in self.candidates if c.is_match)
+
+
+@dataclass(frozen=True)
+class PatchResult:
+    """The delta a patch produced — the workflow result of its batch.
+
+    ``sure_matches`` through ``matches`` mirror
+    :class:`~repro.core.workflow.WorkflowResult` field-for-field for the
+    batch slice; ``retired`` lists the match pairs that the touched
+    (replaced or deleted) records contributed before the patch and no
+    longer do.
+    """
+
+    upserted: tuple[Any, ...]
+    deleted: tuple[Any, ...]
+    sure_matches: tuple[Pair, ...]
+    candidates: tuple[Pair, ...]
+    to_predict: tuple[Pair, ...]
+    predicted_matches: tuple[Pair, ...]
+    flipped: tuple[tuple[Pair, str], ...]
+    matches: tuple[Pair, ...]
+    retired: tuple[Pair, ...]
+    provenance: Any = None
+    seconds: float = 0.0
+
+    def explain_pair(self, a: Any, b: Any):
+        """Lineage of pair ``(a, b)`` (needs ``provenance=True``)."""
+        from ..obs.provenance import require_provenance
+
+        return require_provenance(self.provenance).explain_pair(a, b)
+
+
+class MatchService:
+    """A serving loop over one (evolving left, fixed right) table pair.
+
+    Parameters
+    ----------
+    ltable:
+        Initial left records; loaded through the same delta path every
+        later patch uses (``apply_patch(upserts=ltable)``), so the
+        service starts bit-equal to a batch workflow run over *ltable*.
+    rtable:
+        The fixed right table the posting indexes are built over.
+    matcher:
+        A *trained* :class:`~repro.matchers.ml_matcher.MLMatcher`.
+    feature_set, blockers, positive_rules, negative_rules:
+        The workflow recipe; every blocker must support incremental
+        maintenance (:class:`~repro.errors.IncrementalBlockingError`
+        otherwise — no silent full re-blocks).
+    session:
+        The long-lived :class:`~repro.runtime.context.EngineSession` the
+        service binds to (ambient session when ``None``). The session
+        outlives every call; the service never tears it down.
+    """
+
+    def __init__(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        *,
+        matcher: Any,
+        feature_set: Any,
+        blockers: Sequence[Any],
+        positive_rules: Sequence[Any] = (),
+        negative_rules: Sequence[Any] = (),
+        name: str = "serve",
+        session: EngineSession | None = None,
+    ) -> None:
+        if not matcher.is_fitted:
+            raise ServingError(
+                f"match service {name!r} needs a trained matcher; "
+                f"{matcher.name!r} is unfitted"
+            )
+        if not blockers and not positive_rules:
+            raise ServingError(
+                f"match service {name!r} has no blockers and no positive rules"
+            )
+        self.name = name
+        self.rtable = rtable
+        self.l_key = l_key
+        self.r_key = r_key
+        self.matcher = matcher
+        self.feature_set = feature_set
+        self.positive_rules = list(positive_rules)
+        self.negative_rules = list(negative_rules)
+        self._session = resolve_session(session)
+        self.metrics: MetricsRegistry = self._session.metrics or MetricsRegistry()
+        self.handles = [
+            blocker.incremental(rtable, l_key, r_key, session=self._session)
+            for blocker in blockers
+        ]
+        self._r_row_index = {
+            value: indices[0] for value, indices in rtable.value_index(r_key).items()
+        }
+        # Live per-record state, all keyed by left id in insertion order.
+        self._rows: dict[Any, dict[str, Any]] = {}
+        self._sure: dict[Any, tuple[Pair, ...]] = {}
+        self._kept: dict[Any, tuple[Pair, ...]] = {}
+        self._flipped: dict[Any, tuple[tuple[Pair, str], ...]] = {}
+        if len(ltable):
+            self.apply_patch(upserts=ltable)
+
+    # -- helpers -------------------------------------------------------
+
+    @property
+    def session(self) -> EngineSession:
+        return self._session
+
+    def live_ids(self) -> tuple[Any, ...]:
+        """Ids of the live left records, in insertion order."""
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _as_rows(self, upserts: "Table | Sequence[Mapping[str, Any]]") -> list[dict]:
+        if isinstance(upserts, Table):
+            return upserts.to_rows()
+        rows = [dict(r) for r in upserts]
+        for row in rows:
+            if self.l_key not in row:
+                raise ServingError(
+                    f"upsert record is missing the key column {self.l_key!r}"
+                )
+        return rows
+
+    def _resolve_collector(self, provenance: Any):
+        policy = (
+            provenance if provenance is not None else self._session.provenance
+        )
+        if policy is None or policy is False:
+            return None
+        if policy is True:
+            from ..obs.provenance import MatchProvenance
+
+            return MatchProvenance(self.name)
+        return policy
+
+    def _batch_workflow(
+        self, batch: Table, collector: Any
+    ) -> tuple[CandidateSet, list[Any], tuple, tuple, tuple, tuple, tuple]:
+        """Stages 1-6 of the workflow over the batch table.
+
+        Blocking comes from handle *previews* (pure; committed by the
+        caller only after everything below succeeded); every other stage
+        is the workflow's own operator over the same inputs.
+        """
+        from ..rules.negative import apply_negative_rules
+        from ..store.stages import PredictStage, SureMatchStage
+
+        session = self._session
+        c1 = session.run_stage(
+            SureMatchStage(
+                self.positive_rules, batch, self.rtable, self.l_key, self.r_key,
+                name="C1", trace_name="positive_rules",
+            ),
+            provenance=collector,
+        )
+        pendings = []
+        blocked = []
+        for handle in self.handles:
+            pending = handle.preview(batch)
+            pendings.append(pending)
+            result = CandidateSet(
+                batch, self.rtable, self.l_key, self.r_key,
+                pending.delta, name=handle.blocker.short_name,
+            )
+            blocked.append(result)
+            if collector is not None:
+                collector.record_blocker(handle.blocker.short_name, result.pairs)
+        c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
+        c = c2.difference(c1, name="C")
+        if len(c):
+            matrix = extract_feature_vectors(c, self.feature_set, session=session)
+            predicted = session.run_stage(
+                PredictStage(self.matcher, matrix, trace_name="predict")
+            )
+            if collector is not None:
+                collector.record_scores(self.matcher.predict_proba(matrix))
+        else:
+            predicted = []
+        if self.negative_rules:
+            kept, flipped = apply_negative_rules(predicted, c, self.negative_rules)
+        else:
+            kept, flipped = list(predicted), []
+        final = list(c1.pairs) + [p for p in kept if p not in c1]
+        if collector is not None:
+            collector.record_outcome(predicted, flipped, final)
+        return (
+            c1,
+            pendings,
+            tuple(c2.pairs),
+            tuple(c.pairs),
+            tuple(predicted),
+            tuple(flipped),
+            tuple(final),
+        )
+
+    # -- mutation ------------------------------------------------------
+
+    def apply_patch(
+        self,
+        upserts: "Table | Sequence[Mapping[str, Any]]" = (),
+        deletes: Iterable[Any] = (),
+        *,
+        provenance: Any = None,
+    ) -> PatchResult:
+        """Apply a patch (insert-or-replace rows, delete ids) as a delta.
+
+        Returns the batch's workflow result plus the retired pairs. All
+        state — posting indexes and per-record match bookkeeping — is
+        committed only after every stage succeeded; an exception leaves
+        the service exactly as before the call.
+        """
+        t0 = perf_counter()
+        rows = self._as_rows(upserts)
+        delete_ids = list(deletes)
+        collector = self._resolve_collector(provenance)
+        batch = Table.from_rows(rows, name="patch") if rows else None
+        if batch is not None:
+            c1, pendings, c2_pairs, c_pairs, predicted, flipped, final = (
+                self._batch_workflow(batch, collector)
+            )
+            order = tuple(batch[self.l_key])
+            sure_by: dict[Any, list[Pair]] = {lid: [] for lid in order}
+            kept_by: dict[Any, list[Pair]] = {lid: [] for lid in order}
+            flips_by: dict[Any, list[tuple[Pair, str]]] = {lid: [] for lid in order}
+            for pair in c1.pairs:
+                sure_by[pair[0]].append(pair)
+            in_c1 = set(c1.pairs)
+            flipped_pairs = {p for p, _ in flipped}
+            for pair in predicted:
+                if pair not in in_c1 and pair not in flipped_pairs:
+                    kept_by[pair[0]].append(pair)
+            for pair, rule in flipped:
+                flips_by[pair[0]].append((pair, rule))
+        else:
+            c1 = None
+            pendings, c2_pairs, c_pairs, predicted, flipped, final = (
+                [], (), (), (), (), ()
+            )
+            order = ()
+            sure_by, kept_by, flips_by = {}, {}, {}
+
+        # ---- commit point: nothing above mutated the service ----------
+        touched = list(delete_ids) + [lid for lid in order]
+        retired: list[Pair] = []
+        seen_retire: set[Pair] = set()
+        for lid in touched:
+            for pair in self._sure.get(lid, ()) + self._kept.get(lid, ()):
+                if pair not in seen_retire:
+                    seen_retire.add(pair)
+                    retired.append(pair)
+        deleted = tuple(lid for lid in delete_ids if lid in self._rows)
+        for lid in delete_ids:
+            for handle in self.handles:
+                handle.delete([lid])
+            self._rows.pop(lid, None)
+            self._sure.pop(lid, None)
+            self._kept.pop(lid, None)
+            self._flipped.pop(lid, None)
+        for handle, pending in zip(self.handles, pendings):
+            handle.commit(pending)
+        for row in rows:
+            lid = row[self.l_key]
+            # replace = delete + insert: a re-upserted record moves to the
+            # end of insertion order, matching the handles' commit order
+            for state in (self._rows, self._sure, self._kept, self._flipped):
+                state.pop(lid, None)
+            self._rows[lid] = row
+            self._sure[lid] = tuple(sure_by.get(lid, ()))
+            self._kept[lid] = tuple(kept_by.get(lid, ()))
+            self._flipped[lid] = tuple(flips_by.get(lid, ()))
+        seconds = perf_counter() - t0
+        metrics = self.metrics
+        metrics.histogram("serve:patch_seconds", LATENCY_BUCKETS).observe(seconds)
+        metrics.counter("serve:patch_calls").inc()
+        metrics.counter("serve:patch_upserts").inc(len(rows))
+        metrics.counter("serve:patch_deletes").inc(len(deleted))
+        metrics.counter("serve:delta_pairs").inc(len(c2_pairs))
+        return PatchResult(
+            upserted=order,
+            deleted=deleted,
+            sure_matches=tuple(c1.pairs) if c1 is not None else (),
+            candidates=c2_pairs,
+            to_predict=c_pairs,
+            predicted_matches=predicted,
+            flipped=flipped,
+            matches=final,
+            retired=tuple(retired),
+            provenance=collector,
+            seconds=seconds,
+        )
+
+    # -- read path -----------------------------------------------------
+
+    def match(self, record: Mapping[str, Any], *, top_k: int | None = None) -> MatchResponse:
+        """Rank the right-table candidates for one record (no mutation).
+
+        Candidates come from the positive rules and every posting-index
+        probe (handle previews — the indexes are read, never written);
+        non-sure candidates are scored by the matcher and checked against
+        the negative rules. Ranking: sure matches first (rules outrank
+        scores, as in the workflow), then by descending score with
+        emission order breaking ties.
+        """
+        t0 = perf_counter()
+        row = dict(record)
+        if self.l_key not in row:
+            raise ServingError(
+                f"match record is missing the key column {self.l_key!r}"
+            )
+        lid = row[self.l_key]
+        probe = Table.from_rows([row], name="probe")
+        sure_rule_of: dict[Pair, str] = {}
+        emitted: dict[Pair, list[str]] = {}
+        for rule in self.positive_rules:
+            for pair in rule.pairs(probe, self.rtable, self.l_key, self.r_key).pairs:
+                sure_rule_of.setdefault(pair, rule.name)
+                emitted.setdefault(pair, [])
+        for handle in self.handles:
+            for pair in handle.preview(probe).delta:
+                emitted.setdefault(pair, []).append(handle.blocker.short_name)
+        ordered_pairs = list(emitted)
+        to_score = [p for p in ordered_pairs if p not in sure_rule_of]
+        scores: dict[Pair, float] = {}
+        predicted: set[Pair] = set()
+        if to_score:
+            candidates = CandidateSet(
+                probe, self.rtable, self.l_key, self.r_key, to_score, name="probe"
+            )
+            matrix = extract_feature_vectors(
+                candidates, self.feature_set, session=self._session
+            )
+            scores = {
+                tuple(p): float(s)
+                for p, s in self.matcher.predict_proba(matrix).items()
+            }
+            predicted = set(self.matcher.predict_matches(matrix))
+        flipped_by: dict[Pair, str] = {}
+        if self.negative_rules and to_score:
+            r_index = self._r_row_index
+            for pair in to_score:
+                if pair not in predicted:
+                    continue
+                r_row = self.rtable.row(r_index[pair[1]])
+                for rule in self.negative_rules:
+                    if rule.fires(row, r_row):
+                        flipped_by[pair] = rule.name
+                        break
+        ranked = [
+            RankedCandidate(
+                pair=pair,
+                score=scores.get(pair),
+                sure_rule=sure_rule_of.get(pair),
+                blockers=tuple(emitted[pair]),
+                flipped_by=flipped_by.get(pair),
+                is_match=(
+                    pair in sure_rule_of
+                    or (pair in predicted and pair not in flipped_by)
+                ),
+            )
+            for pair in ordered_pairs
+        ]
+        index_of = {pair: i for i, pair in enumerate(ordered_pairs)}
+        ranked.sort(
+            key=lambda c: (
+                c.sure_rule is None,
+                -(c.score if c.score is not None else 0.0),
+                index_of[c.pair],
+            )
+        )
+        if top_k is not None:
+            ranked = ranked[:top_k]
+        seconds = perf_counter() - t0
+        metrics = self.metrics
+        metrics.histogram("serve:match_seconds", LATENCY_BUCKETS).observe(seconds)
+        metrics.counter("serve:match_calls").inc()
+        metrics.counter("serve:match_candidates").inc(len(ordered_pairs))
+        return MatchResponse(record_id=lid, candidates=tuple(ranked), seconds=seconds)
+
+    # -- accumulated view ----------------------------------------------
+
+    def current_matches(self) -> list[Pair]:
+        """All live matches, deduplicated in first-seen order.
+
+        Sure-match pairs across all live records first, then kept
+        predictions — the same precedence
+        :func:`~repro.core.patch.merge_match_sets` gives a sequence of
+        workflow slices. Set-equal to a from-scratch workflow run over
+        the live left table (asserted differentially in the test suite);
+        the insertion *order* reflects upsert history, as a log-structured
+        view should.
+        """
+        sure_all = [p for pairs in self._sure.values() for p in pairs]
+        kept_all = [p for pairs in self._kept.values() for p in pairs]
+        return merge_match_sets([sure_all, kept_all])
+
+    def current_flips(self) -> list[tuple[Pair, str]]:
+        """All live negative-rule flips, in insertion order."""
+        return [f for flips in self._flipped.values() for f in flips]
+
+    def blocking_state(self) -> list[dict[str, Any]]:
+        """Each handle's canonical state snapshot (differential testing)."""
+        return [handle.state_snapshot() for handle in self.handles]

@@ -26,6 +26,7 @@ from .codecs import (
 )
 from .fingerprint import (
     CODE_SALT,
+    SEGMENT_ROWS,
     canonical_bytes,
     fingerprint_blocker,
     fingerprint_feature_set,
@@ -35,8 +36,11 @@ from .fingerprint import (
     fingerprint_pairs,
     fingerprint_positive_rules,
     fingerprint_table,
+    fingerprint_table_segments,
     fingerprint_value,
+    segment_bounds,
 )
+from .segments import SegmentBlockStage, segmented_block
 from .stages import cached_block, cached_extract, cached_predict, cached_sure_matches
 from .store import ArtifactStore, StoreEvent, StoreStats
 
@@ -58,9 +62,14 @@ __all__ = [
     "PACKAGED_WORKFLOW",
     "PAIR_LIST",
     "CODE_SALT",
+    "SEGMENT_ROWS",
+    "SegmentBlockStage",
     "canonical_bytes",
     "fingerprint_value",
     "fingerprint_table",
+    "fingerprint_table_segments",
+    "segment_bounds",
+    "segmented_block",
     "fingerprint_blocker",
     "fingerprint_positive_rules",
     "fingerprint_feature_set",

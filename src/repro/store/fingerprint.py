@@ -38,7 +38,11 @@ from ..table import Table
 #: /3: batch-columnar scoring — blocker verification and token-feature
 #: columns route through chunk-level kernels over TokenColumn buffers
 #: (outputs bit-identical again, implementations rebuilt again).
-CODE_SALT = "repro-store/3"
+#: /4: segment fingerprints — the delta-aware store layer keys blocking
+#: artifacts by table *segments* (see :func:`fingerprint_table_segments`
+#: and :func:`repro.store.segments.segmented_block`), so whole-table and
+#: segment-level artifacts must never share a key space with /3 entries.
+CODE_SALT = "repro-store/4"
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +128,65 @@ def fingerprint_table(table: Table) -> str:
         }
         cached = fingerprint_value(payload)
         _TABLE_MEMO[table] = cached
+    return cached
+
+
+#: Default rows per fingerprint segment. Small enough that a patch of a
+#: few rows invalidates a sliver of a case-study-sized table, large
+#: enough that the per-segment store overhead (one artifact + one digest
+#: each) stays negligible.
+SEGMENT_ROWS = 256
+
+_SEGMENT_MEMO: "weakref.WeakKeyDictionary[Table, dict[int, tuple[str, ...]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def segment_bounds(n_rows: int, rows_per_segment: int = SEGMENT_ROWS) -> list[tuple[int, int]]:
+    """Half-open ``(start, stop)`` row ranges of each fingerprint segment."""
+    if rows_per_segment < 1:
+        raise UncacheableError(
+            f"rows_per_segment must be >= 1, got {rows_per_segment}"
+        )
+    return [
+        (start, min(start + rows_per_segment, n_rows))
+        for start in range(0, n_rows, rows_per_segment)
+    ]
+
+
+def fingerprint_table_segments(
+    table: Table, rows_per_segment: int = SEGMENT_ROWS
+) -> tuple[str, ...]:
+    """Per-segment content fingerprints of a table (row-range slices).
+
+    Each digest covers the column names plus the cells of one
+    ``rows_per_segment``-row slice, and nothing else — no segment index,
+    no table name, no neighbouring rows — so an edit to k rows changes
+    exactly the digests of the segments containing them, and two tables
+    sharing a row range (e.g. the original and a patched copy) share
+    those segments' digests. This is what lets the segmented store layer
+    (:func:`repro.store.segments.segmented_block`) reuse ~99% of blocking
+    artifacts when ~1% of a table changed, where the whole-table
+    :func:`fingerprint_table` key would invalidate 100%.
+
+    Memoized per ``(table object, rows_per_segment)`` under the same
+    immutability idiom as :func:`fingerprint_table`.
+    """
+    per_table = _SEGMENT_MEMO.get(table)
+    if per_table is None:
+        per_table = _SEGMENT_MEMO[table] = {}
+    cached = per_table.get(rows_per_segment)
+    if cached is None:
+        columns = table.columns
+        cells = [table[c] for c in columns]
+        digests = []
+        for start, stop in segment_bounds(len(table), rows_per_segment):
+            payload = {
+                "columns": columns,
+                "cells": [col[start:stop] for col in cells],
+            }
+            digests.append(fingerprint_value(payload))
+        cached = per_table[rows_per_segment] = tuple(digests)
     return cached
 
 

@@ -1,0 +1,110 @@
+"""Shared builders for the incremental-blocking / serving test suites.
+
+``tests/test_incremental.py`` (delta blocking ≡ batch rerun) and
+``tests/test_serving.py`` (MatchService) both need the same two worlds:
+
+* random two-attribute tables shaped like the case study's inputs (the
+  ``tests/test_prop_store.py`` generator, shared here), and
+* a tiny deterministic end-to-end world — tables, generated features, a
+  trained matcher, positive/negative rules and an incremental-capable
+  blocker — mirroring ``tests/test_core.py``'s workflow world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocking import (
+    AttrEquivalenceBlocker,
+    OverlapBlocker,
+    OverlapCoefficientBlocker,
+    full_cross_product,
+)
+from repro.features import extract_feature_vectors, generate_features
+from repro.matchers import MLMatcher
+from repro.ml import DecisionTreeClassifier
+from repro.rules import ComparableMismatchRule, ExactNumberRule
+from repro.table import Table
+
+WORDS = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    "iota", "kappa", "research", "award", "project", "study", "corn",
+    "soy", "wheat", "genome", "soil", "water",
+]
+
+COLUMNS = ("id", "num", "title")
+
+
+def incremental_blockers() -> list:
+    """One fresh instance of every blocker with incremental support."""
+    return [
+        AttrEquivalenceBlocker("num", "num"),
+        OverlapBlocker("title", "title", threshold=2),
+        OverlapCoefficientBlocker("title", "title", threshold=0.6),
+    ]
+
+
+def random_table(rng: np.random.Generator, n_rows: int | None = None,
+                 name: str = "T") -> Table:
+    """A random two-attribute table shaped like the case study's inputs."""
+    if n_rows is None:
+        n_rows = int(rng.integers(2, 12))
+    ids = list(range(1, n_rows + 1))
+    nums = [
+        None if rng.random() < 0.2
+        else f"{rng.choice(['A', 'B', 'C'])}{rng.integers(100, 999)}"
+        for _ in ids
+    ]
+    titles = [
+        " ".join(rng.choice(WORDS, size=rng.integers(1, 7)).tolist())
+        for _ in ids
+    ]
+    return Table({"id": ids, "num": nums, "title": titles}, name=name)
+
+
+def rows_table(rows: list[dict], columns=COLUMNS, name: str = "L") -> Table:
+    """A Table over *rows* that stays well-formed when the list is empty."""
+    return Table({c: [row.get(c) for row in rows] for c in columns}, name=name)
+
+
+def serving_world():
+    """A tiny trained world for MatchService tests.
+
+    Returns ``(left, right, features, matcher, positive_rules,
+    negative_rules, blockers)``. The right table's record 50 pairs with
+    any upsert carrying ``num="WIS00001"`` and an ``"a b c d"`` title —
+    predicted a match on text similarity, then flipped by the mismatch
+    rule — so negative-rule flips are reachable from a single upsert.
+    """
+    left = Table(
+        {
+            "id": [1, 2, 3, 4],
+            "num": ["A1", "B2", None, None],
+            "t": ["x y z w", "p q r s", "x y z w", "m n o p"],
+        },
+        name="L",
+    )
+    right = Table(
+        {
+            "id": [10, 20, 30, 40, 50],
+            "num": ["A1", None, None, None, "WIS00002"],
+            "t": ["x y z w", "p q r s", "x y z q", "far away words", "a b c d"],
+        },
+        name="R",
+    )
+    # features over the title only: the matcher must learn text
+    # similarity, leaving the num column to the positive/negative rules
+    # (so a WIS-number mismatch is predicted a match, then flipped)
+    features = generate_features(left, right, exclude_attrs=["id", "num"])
+    cs = full_cross_product(left, right, "id", "id")
+    pairs = [(1, 10), (2, 20), (1, 40), (4, 10)]
+    matrix = extract_feature_vectors(cs, features, pairs=pairs)
+    matcher = MLMatcher(DecisionTreeClassifier(), "DT").fit(matrix, [1, 1, 0, 0])
+    positive = [ExactNumberRule("eq", "num", "num")]
+    negative = [
+        ComparableMismatchRule(
+            "wis", "num", "num", known_patterns=frozenset({"XXX#####"})
+        )
+    ]
+    blockers = [OverlapBlocker("t", "t", threshold=3)]
+    return left, right, features, matcher, positive, negative, blockers

@@ -1,0 +1,324 @@
+"""Differential tests: delta blocking state ≡ from-scratch rerun.
+
+The contract under test (``src/repro/blocking/incremental.py``): a
+delta-maintained handle, after any interleaving of upserts and deletes,
+holds exactly the state a fresh handle would build over the surviving
+records, and every upsert's delta pairs are bit-identical — values AND
+order — to ``blocker.block_tables(batch_table, rtable)``.
+
+Random-breadth checks use the seeded-numpy idiom of
+``tests/test_prop_store.py``; interleaved-sequence convergence is
+property-based via hypothesis, with re-upserts of identical rows,
+deletes of absent ids, empty batches and empty-token records all inside
+the op space. The Section-10 replay drives the whole serving path
+(:meth:`repro.serving.MatchService.apply_patch` over the late-arriving
+records) and asserts it equals the batch Figure-10 rerun field for
+field — candidate sets, feature rows, predicted matches and per-pair
+provenance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import (
+    AttrEquivalenceBlocker,
+    BlackBoxBlocker,
+    CandidateSet,
+    OverlapBlocker,
+    PostingIndex,
+    RuleBasedBlocker,
+    SortedNeighborhoodBlocker,
+)
+from repro.errors import BlockingError, IncrementalBlockingError
+from repro.runtime.context import EngineSession
+from repro.table import Table
+
+from .helpers_serving import WORDS, incremental_blockers, random_table, rows_table
+
+N_CASES = 15
+
+BLOCKERS = incremental_blockers()
+RIGHT = random_table(np.random.default_rng(123), n_rows=10, name="R")
+
+
+class TestPostingIndex:
+    def test_add_remove_roundtrip(self):
+        index = PostingIndex()
+        index.add(1, ["a", "b"])
+        index.add(2, ["b"])
+        assert list(index.postings("b")) == [1, 2]
+        assert "a" in index and len(index) == 2
+        index.remove(1, ["a", "b"])
+        assert "a" not in index  # empty postings are dropped entirely
+        assert list(index.postings("b")) == [2]
+        assert len(index) == 1
+
+    def test_remove_absent_is_noop(self):
+        index = PostingIndex()
+        index.add(1, ["a"])
+        index.remove(2, ["a", "zzz"])
+        assert list(index.postings("a")) == [1]
+
+    def test_snapshot_is_history_independent(self):
+        evolved, fresh = PostingIndex(), PostingIndex()
+        evolved.add(1, ["x"])
+        evolved.add(2, ["x"])
+        evolved.remove(1, ["x"])
+        evolved.add(1, ["x"])
+        fresh.add(1, ["x"])
+        fresh.add(2, ["x"])
+        # live iteration reflects history; snapshots are canonical
+        assert list(evolved.postings("x")) == [2, 1]
+        assert list(fresh.postings("x")) == [1, 2]
+        assert evolved.snapshot() == fresh.snapshot()
+
+
+@pytest.mark.parametrize("blocker", BLOCKERS, ids=lambda b: b.short_name)
+class TestDeltaEqualsBatch:
+    def test_first_upsert_bit_identical_to_block_tables(self, blocker):
+        rng = np.random.default_rng(11)
+        for case in range(N_CASES):
+            left = random_table(rng, name="L")
+            right = random_table(rng, name="R")
+            handle = blocker.incremental(right, "id", "id")
+            delta = handle.upsert(left)
+            reference = blocker.block_tables(left, right, "id", "id")
+            assert delta == list(reference.pairs), f"case {case}"
+
+    def test_replacement_upsert_still_bit_identical(self, blocker):
+        # upserting ids the handle already holds must emit exactly what
+        # the batch path emits for the new batch (replace, not append)
+        rng = np.random.default_rng(12)
+        for case in range(N_CASES):
+            left = random_table(rng, name="L")
+            right = random_table(rng, name="R")
+            handle = blocker.incremental(right, "id", "id")
+            handle.upsert(left)
+            patched = random_table(rng, n_rows=len(left), name="patched")
+            delta = handle.upsert(patched)
+            reference = blocker.block_tables(patched, right, "id", "id")
+            assert delta == list(reference.pairs), f"case {case}"
+            assert set(handle.pairs()) == reference.pair_set()
+
+
+def _row(i: int, num: str | None, words: list[str]) -> dict:
+    return {"id": i, "num": num, "title": " ".join(words)}
+
+
+ROWS = st.builds(
+    _row,
+    st.integers(min_value=1, max_value=8),
+    st.one_of(st.none(), st.sampled_from(["A101", "B202", "C303"])),
+    st.lists(st.sampled_from(WORDS[:8]), max_size=5),
+)
+BATCHES = st.lists(ROWS, max_size=4, unique_by=lambda r: r["id"])
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("upsert"), BATCHES),
+        st.tuples(
+            st.just("delete"),
+            st.lists(st.integers(min_value=1, max_value=10), max_size=3),
+        ),
+    ),
+    max_size=6,
+)
+
+
+@pytest.mark.parametrize("blocker", BLOCKERS, ids=lambda b: b.short_name)
+@given(ops=OPS)
+@settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_interleaved_ops_converge_to_fresh_build(blocker, ops):
+    """Any upsert/delete interleaving lands on the fresh-build state."""
+    handle = blocker.incremental(RIGHT, "id", "id")
+    live: dict[int, dict] = {}
+    for op, payload in ops:
+        if op == "upsert":
+            delta = handle.upsert(rows_table(payload))
+            if payload:
+                reference = blocker.block_tables(
+                    rows_table(payload), RIGHT, "id", "id"
+                )
+                assert delta == list(reference.pairs)
+            else:
+                assert delta == []
+            for row in payload:
+                live.pop(row["id"], None)
+                live[row["id"]] = row
+        else:
+            retired = handle.delete(payload)
+            assert {lid for lid, _ in retired} <= set(payload) & set(live)
+            for lid in payload:
+                live.pop(lid, None)
+    fresh = blocker.incremental(RIGHT, "id", "id")
+    if live:
+        fresh.upsert(rows_table(list(live.values())))
+    assert handle.state_snapshot() == fresh.state_snapshot()
+    assert handle.pair_state() == fresh.pair_state()
+
+
+@pytest.mark.parametrize("blocker", BLOCKERS, ids=lambda b: b.short_name)
+class TestUpsertEdgeCases:
+    def test_reupsert_identical_rows_is_stable(self, blocker):
+        left = random_table(np.random.default_rng(21), n_rows=6, name="L")
+        handle = blocker.incremental(RIGHT, "id", "id")
+        first = handle.upsert(left)
+        before = handle.state_snapshot()
+        assert handle.upsert(left) == first
+        assert handle.state_snapshot() == before
+
+    def test_delete_absent_ids_is_graceful_noop(self, blocker):
+        left = random_table(np.random.default_rng(22), n_rows=5, name="L")
+        handle = blocker.incremental(RIGHT, "id", "id")
+        handle.upsert(left)
+        before = handle.state_snapshot()
+        assert handle.delete([999, -1]) == []
+        assert handle.state_snapshot() == before
+
+    def test_empty_upserts_are_noops(self, blocker):
+        handle = blocker.incremental(RIGHT, "id", "id")
+        assert handle.upsert([]) == []
+        assert handle.upsert(rows_table([])) == []
+        assert handle.pair_state() == {}
+
+    def test_missing_cell_clears_previous_state(self, blocker):
+        handle = blocker.incremental(RIGHT, "id", "id")
+        handle.upsert([{"id": 1, "num": "A101", "title": "alpha beta gamma"}])
+        handle.upsert([{"id": 1, "num": None, "title": None}])
+        assert handle.pairs_for(1) == ()
+        assert handle.pair_state() == {}
+        assert handle.state_snapshot()["index"] == {}
+
+
+def test_delete_returns_retired_pairs():
+    right = Table(
+        {"id": [10, 20], "num": ["A1", "A1"], "title": ["x", "y"]}, name="R"
+    )
+    handle = AttrEquivalenceBlocker("num", "num").incremental(right, "id", "id")
+    assert handle.upsert([{"id": 1, "num": "A1", "title": ""}]) == [
+        (1, 10), (1, 20)
+    ]
+    assert handle.delete([1]) == [(1, 10), (1, 20)]
+    assert handle.pairs() == []
+
+
+class TestTypedErrors:
+    """Satellite: no silent full-re-block fallback for unsupported blockers."""
+
+    NON_INCREMENTAL = [
+        RuleBasedBlocker(lambda left, right: True),
+        BlackBoxBlocker(lambda left, right: 1.0),
+        SortedNeighborhoodBlocker("title", "title"),
+    ]
+
+    def test_error_is_a_blocking_error(self):
+        assert issubclass(IncrementalBlockingError, BlockingError)
+
+    @pytest.mark.parametrize(
+        "blocker", NON_INCREMENTAL, ids=lambda b: type(b).__name__
+    )
+    def test_incremental_raises_typed_error(self, blocker):
+        assert not blocker.supports_incremental
+        with pytest.raises(
+            IncrementalBlockingError, match="does not support incremental"
+        ):
+            blocker.incremental(RIGHT, "id", "id")
+
+    @pytest.mark.parametrize(
+        "blocker", NON_INCREMENTAL, ids=lambda b: type(b).__name__
+    )
+    def test_upsert_raises_typed_error(self, blocker):
+        with pytest.raises(
+            IncrementalBlockingError, match="does not support incremental"
+        ):
+            blocker.upsert([{"id": 1, "title": "alpha"}])
+
+    def test_supporting_blocker_upsert_without_handle_raises(self):
+        # even a supporting blocker has no state to upsert into — the
+        # config object must direct callers to a handle, never silently
+        # fall back to a full re-block
+        blocker = OverlapBlocker("title", "title", threshold=2)
+        with pytest.raises(
+            IncrementalBlockingError, match="delta-maintained handle"
+        ):
+            blocker.upsert([{"id": 1, "title": "alpha"}])
+
+
+class TestSection10Replay:
+    def test_apply_patch_equals_figure10_rerun(self, case_study):
+        """The full Section-10 replay: late records through the delta path
+        equal the batch Figure-10 rerun field for field."""
+        from repro.casestudy import train_workflow_matcher
+        from repro.casestudy.blocking_plan import make_blockers
+        from repro.casestudy.workflows import positive_rules
+        from repro.core import EMWorkflow
+        from repro.features import extract_feature_vectors
+        from repro.rules.negative import default_negative_rules
+        from repro.serving import MatchService
+        from repro.store import fingerprint_matrix
+
+        run = case_study
+        tables, extra = run.projected_v2, run.projected_extra
+        reference = run.final_workflow
+        with EngineSession(seed=run.config.seed) as session:
+            matcher = train_workflow_matcher(
+                run.blocking_v2.candidates, run.labeling.labels,
+                run.matching.feature_set, run.matching.matcher,
+                session=session,
+            )
+            service = MatchService(
+                tables.umetrics, tables.usda, tables.l_key, tables.r_key,
+                matcher=matcher, feature_set=run.matching.feature_set,
+                blockers=make_blockers(), positive_rules=positive_rules(),
+                negative_rules=default_negative_rules(), session=session,
+            )
+            result = service.apply_patch(upserts=extra.umetrics, provenance=True)
+            batch = reference.extra
+            assert result.sure_matches == tuple(batch.sure_matches.pairs)
+            assert result.candidates == tuple(batch.blocked.pairs)
+            assert result.to_predict == tuple(batch.to_predict.pairs)
+            assert result.predicted_matches == batch.predicted_matches
+            assert result.flipped == batch.flipped
+            assert result.matches == batch.matches
+            assert set(service.current_matches()) == set(reference.matches)
+
+            # feature rows: extraction over the delta path's candidate
+            # pairs (re-keyed onto the service's tables) is bit-identical
+            # to the rerun's prediction inputs
+            delta_candidates = CandidateSet(
+                extra.umetrics, tables.usda, tables.l_key, tables.r_key,
+                list(result.to_predict), name="delta",
+            )
+            delta_matrix = extract_feature_vectors(
+                delta_candidates, run.matching.feature_set, session=session
+            )
+            rerun_matrix = extract_feature_vectors(
+                batch.to_predict, run.matching.feature_set, session=session
+            )
+            assert fingerprint_matrix(delta_matrix) == fingerprint_matrix(
+                rerun_matrix
+            )
+
+            # provenance: per-pair lineage equals a provenance-enabled
+            # batch rerun over the same slice
+            workflow = EMWorkflow(
+                name="figure10",
+                positive_rules=positive_rules(),
+                blockers=make_blockers(),
+                negative_rules=default_negative_rules(),
+            )
+            rerun = workflow.run(
+                extra.umetrics, extra.usda, extra.l_key, extra.r_key,
+                matcher, run.matching.feature_set,
+                provenance=True, session=session,
+            )
+            for pair in list(result.matches)[:10]:
+                assert result.explain_pair(*pair) == rerun.provenance.explain_pair(
+                    *pair
+                )

@@ -13,7 +13,12 @@ Properties:
 * canonical encoding separates types (``1`` vs ``1.0`` vs ``"1"`` vs
   ``[1]``) and ignores dict ordering;
 * metamorphic: permuting the row order of blocker inputs never changes
-  the candidate pair *set* a blocker produces.
+  the candidate pair *set* a blocker produces;
+* segment fingerprints: editing k rows changes exactly the digests of
+  the segments containing them, tables sharing a row range share those
+  segments' digests, and :func:`~repro.store.segmented_block` both
+  reproduces ``block_tables`` bit-identically and recomputes only the
+  invalidated segments on a patched rerun.
 """
 
 from __future__ import annotations
@@ -25,12 +30,19 @@ from repro.blocking import (
     AttrEquivalenceBlocker,
     OverlapBlocker,
     OverlapCoefficientBlocker,
+    RuleBasedBlocker,
 )
+from repro.errors import IncrementalBlockingError, UncacheableError
+from repro.runtime.context import EngineSession
 from repro.store import (
+    ArtifactStore,
     fingerprint_blocker,
     fingerprint_pairs,
     fingerprint_table,
+    fingerprint_table_segments,
     fingerprint_value,
+    segment_bounds,
+    segmented_block,
 )
 from repro.table import Table
 
@@ -219,3 +231,104 @@ class TestRowOrderMetamorphic:
         if all(list(t[c]) == list(p[c]) for c in t.columns):
             pytest.skip("permutation happened to be identity")
         assert fingerprint_table(t) != fingerprint_table(p)
+
+
+class TestSegmentFingerprints:
+    def test_bounds_cover_rows_exactly_once(self):
+        for n_rows in (0, 1, 7, 8, 9, 16):
+            bounds = segment_bounds(n_rows, 4)
+            covered = [i for start, stop in bounds for i in range(start, stop)]
+            assert covered == list(range(n_rows))
+
+    def test_invalid_segment_size_rejected(self):
+        with pytest.raises(UncacheableError, match="rows_per_segment"):
+            segment_bounds(10, 0)
+
+    def test_equal_content_equal_segment_digests(self):
+        rng = np.random.default_rng(30)
+        t = random_table(rng, n_rows=10)
+        clone = Table({c: list(t[c]) for c in t.columns}, name="renamed")
+        assert fingerprint_table_segments(t, 4) == fingerprint_table_segments(
+            clone, 4
+        )
+
+    def test_row_edit_invalidates_only_its_segment(self):
+        rng = np.random.default_rng(31)
+        for case in range(N_CASES):
+            t = random_table(rng, n_rows=20)
+            base = fingerprint_table_segments(t, 4)
+            row = int(rng.integers(0, len(t)))
+            edited = copy_with_cell(t, row, "title", t["title"][row] + "!")
+            digests = fingerprint_table_segments(edited, 4)
+            changed = [
+                i for i, (a, b) in enumerate(zip(base, digests)) if a != b
+            ]
+            assert changed == [row // 4], (
+                f"case {case}: row {row} edit invalidated segments {changed}"
+            )
+
+    def test_k_row_edits_invalidate_exactly_their_segments(self):
+        rng = np.random.default_rng(32)
+        t = random_table(rng, n_rows=24)
+        base = fingerprint_table_segments(t, 4)
+        rows = [1, 10, 11, 21]
+        edited = t
+        for row in rows:
+            edited = copy_with_cell(edited, row, "title", "corn soy wheat")
+        digests = fingerprint_table_segments(edited, 4)
+        changed = {i for i, (a, b) in enumerate(zip(base, digests)) if a != b}
+        assert changed == {row // 4 for row in rows}
+
+    def test_shared_row_ranges_share_digests_across_tables(self):
+        # appending rows leaves every full prefix segment's digest intact,
+        # so a patched copy reuses the original's artifacts
+        rng = np.random.default_rng(33)
+        t = random_table(rng, n_rows=8)
+        extra = random_table(rng, n_rows=4)
+        extended = Table(
+            {c: list(t[c]) + list(extra[c]) for c in t.columns}, name="ext"
+        )
+        assert (
+            fingerprint_table_segments(extended, 4)[:2]
+            == fingerprint_table_segments(t, 4)
+        )
+
+
+class TestSegmentedBlock:
+    @pytest.mark.parametrize("blocker", BLOCKERS, ids=lambda b: b.short_name)
+    def test_bit_equal_and_partial_invalidation(self, blocker, tmp_path):
+        rng = np.random.default_rng(34)
+        left = random_table(rng, n_rows=40, name="L")
+        right = random_table(rng, n_rows=12, name="R")
+        patched = copy_with_cell(left, 3, "title", "corn soy wheat genome")
+        # references computed OUTSIDE the store session, so the ledger
+        # below counts only segment stages
+        reference = blocker.block_tables(left, right, "id", "id")
+        patched_reference = blocker.block_tables(patched, right, "id", "id")
+        store = ArtifactStore(tmp_path / "store")
+        with EngineSession(store=store):
+            cold = segmented_block(
+                blocker, left, right, "id", "id", rows_per_segment=8
+            )
+            warm = segmented_block(
+                blocker, left, right, "id", "id", rows_per_segment=8
+            )
+            delta = segmented_block(
+                blocker, patched, right, "id", "id", rows_per_segment=8
+            )
+        assert cold.pairs == list(reference.pairs)
+        assert warm.pairs == cold.pairs
+        assert delta.pairs == list(patched_reference.pairs)
+        stats = store.stats()
+        # cold: all 5 segments compute; warm: all hit; patched rerun:
+        # only row 3's segment recomputes, the other 4 hit
+        assert stats.misses == 5 + 1
+        assert stats.hits == 5 + 4
+
+    def test_rejects_non_incremental_blocker(self, tmp_path):
+        rng = np.random.default_rng(35)
+        left, right = random_table(rng, name="L"), random_table(rng, name="R")
+        with pytest.raises(IncrementalBlockingError, match="segment-cached"):
+            segmented_block(
+                RuleBasedBlocker(lambda l, r: True), left, right, "id", "id"
+            )

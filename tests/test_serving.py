@@ -1,0 +1,325 @@
+"""MatchService tests: serving semantics, faults, metrics, statefulness.
+
+Covers the serving loop of :mod:`repro.serving`: bootstrap equivalence
+with the batch workflow, patch/delete bookkeeping (retired pairs),
+``match()`` ranking and lineage, typed configuration errors, the
+mid-patch fault regression (a raising matcher must leave the posting
+indexes uncommitted, the session pool alive and the trace well-formed —
+mirroring ``tests/test_session.py``), and a hypothesis stateful machine
+driving the service end to end against a rebuilt-from-scratch reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.blocking import OverlapBlocker, RuleBasedBlocker
+from repro.core import EMWorkflow
+from repro.errors import IncrementalBlockingError, ServingError
+from repro.matchers import MLMatcher
+from repro.ml import DecisionTreeClassifier
+from repro.obs.trace import load_trace
+from repro.runtime.context import EngineSession
+from repro.serving import MatchService
+from repro.table import Table
+
+from .helpers_serving import rows_table, serving_world
+
+SERVE_COLUMNS = ("id", "num", "t")
+
+
+def empty_left() -> Table:
+    return Table({"id": [], "num": [], "t": []}, name="L0")
+
+
+def build_service(ltable=None, *, matcher=None, blockers=None, session=None):
+    left, right, features, trained, positive, negative, default_blockers = (
+        serving_world()
+    )
+    return MatchService(
+        left if ltable is None else ltable, right, "id", "id",
+        matcher=trained if matcher is None else matcher,
+        feature_set=features,
+        blockers=default_blockers if blockers is None else blockers,
+        positive_rules=positive, negative_rules=negative,
+        session=session,
+    )
+
+
+class TestConstruction:
+    def test_unfitted_matcher_rejected(self):
+        unfitted = MLMatcher(DecisionTreeClassifier(), "DT")
+        with pytest.raises(ServingError, match="trained matcher"):
+            build_service(matcher=unfitted)
+
+    def test_empty_recipe_rejected(self):
+        left, right, features, matcher, *_ = serving_world()
+        with pytest.raises(ServingError, match="no blockers"):
+            MatchService(
+                left, right, "id", "id",
+                matcher=matcher, feature_set=features, blockers=[],
+            )
+
+    def test_non_incremental_blocker_rejected(self):
+        # the typed blocking error propagates — never a silent full re-block
+        with pytest.raises(IncrementalBlockingError, match="does not support"):
+            build_service(blockers=[RuleBasedBlocker(lambda l, r: True)])
+
+    def test_upsert_missing_key_rejected(self):
+        service = build_service(empty_left())
+        with pytest.raises(ServingError, match="missing the key column"):
+            service.apply_patch(upserts=[{"num": "A1", "t": "x"}])
+
+    def test_match_missing_key_rejected(self):
+        service = build_service(empty_left())
+        with pytest.raises(ServingError, match="missing the key column"):
+            service.match({"num": "A1", "t": "x"})
+
+
+class TestPatchSemantics:
+    def test_bootstrap_patch_equals_batch_workflow(self):
+        left, right, features, matcher, positive, negative, blockers = (
+            serving_world()
+        )
+        workflow = EMWorkflow(
+            name="serve", positive_rules=positive, blockers=blockers,
+            negative_rules=negative,
+        )
+        reference = workflow.run(left, right, "id", "id", matcher, features)
+        service = build_service(empty_left())
+        result = service.apply_patch(upserts=left)
+        assert result.upserted == tuple(left["id"])
+        assert result.sure_matches == tuple(reference.sure_matches.pairs)
+        assert result.candidates == tuple(reference.blocked.pairs)
+        assert result.to_predict == tuple(reference.to_predict.pairs)
+        assert result.predicted_matches == reference.predicted_matches
+        assert result.flipped == reference.flipped
+        assert result.matches == reference.matches
+        assert set(service.current_matches()) == set(reference.matches)
+
+    def test_delete_retires_matches(self):
+        service = build_service()
+        before = set(service.current_matches())
+        assert (1, 10) in before  # the eq-rule sure match
+        result = service.apply_patch(deletes=[1])
+        assert result.deleted == (1,)
+        assert result.matches == ()
+        assert (1, 10) in result.retired
+        assert set(service.current_matches()) == before - set(result.retired)
+        assert 1 not in service.live_ids()
+
+    def test_replacement_retires_old_pairs(self):
+        service = build_service()
+        replaced = {"id": 1, "num": None, "t": "far away words"}
+        result = service.apply_patch(upserts=[replaced])
+        assert result.deleted == ()
+        assert (1, 10) in result.retired  # the old row's sure match
+        assert (1, 10) not in service.current_matches()
+        # converged: equal to a fresh service over the mutated table
+        mutated = [
+            replaced if lid == 1 else service._rows[lid]
+            for lid in service.live_ids()
+        ]
+        fresh = build_service(rows_table(mutated, columns=SERVE_COLUMNS))
+        assert set(service.current_matches()) == set(fresh.current_matches())
+        assert service.blocking_state() == fresh.blocking_state()
+
+    def test_negative_rule_flip_recorded(self):
+        service = build_service()
+        row = {"id": 9, "num": "WIS00001", "t": "a b c d"}
+        result = service.apply_patch(upserts=[row])
+        assert ((9, 50), "wis") in result.flipped
+        assert (9, 50) in result.predicted_matches
+        assert (9, 50) not in result.matches
+        assert ((9, 50), "wis") in service.current_flips()
+
+
+class TestMatch:
+    def test_ranks_sure_first_with_lineage(self):
+        service = build_service()
+        response = service.match({"id": 9, "num": "A1", "t": "x y z w"})
+        assert response.record_id == 9
+        top = response.candidates[0]
+        assert top.pair == (9, 10)
+        assert top.sure_rule == "eq" and top.score is None and top.is_match
+        scored = [c for c in response.candidates if c.sure_rule is None]
+        assert scored, "blocking must contribute non-sure candidates"
+        for candidate in scored:
+            assert candidate.blockers and candidate.score is not None
+        assert (9, 10) in response.matches
+        assert service.match(
+            {"id": 9, "num": "A1", "t": "x y z w"}, top_k=1
+        ).candidates == (top,)
+
+    def test_match_is_read_only_and_deterministic(self):
+        service = build_service()
+        before = service.blocking_state()
+        row = {"id": 9, "num": "WIS00001", "t": "a b c d"}
+        first = service.match(row)
+        second = service.match(row)
+        assert service.blocking_state() == before
+        assert 9 not in service.live_ids()
+        key = lambda c: (c.pair, c.score, c.sure_rule, c.blockers,
+                         c.flipped_by, c.is_match)
+        assert list(map(key, first.candidates)) == list(
+            map(key, second.candidates)
+        )
+        flipped = next(c for c in first.candidates if c.pair == (9, 50))
+        assert flipped.flipped_by == "wis" and not flipped.is_match
+
+
+class TestMetrics:
+    def test_serving_metrics_recorded(self):
+        service = build_service()
+        service.match({"id": 9, "num": None, "t": "x y z w"})
+        metrics = service.metrics
+        assert metrics.counter("serve:patch_calls").value == 1  # bootstrap
+        assert metrics.counter("serve:patch_upserts").value == 4
+        assert metrics.counter("serve:match_calls").value == 1
+        for name in ("serve:match_seconds", "serve:patch_seconds"):
+            snapshot = metrics.histogram(name).snapshot()
+            assert snapshot["count"] >= 1
+            assert snapshot["p50"] is not None and snapshot["p95"] is not None
+
+    def test_session_registry_is_shared(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with EngineSession(metrics=registry) as session:
+            service = build_service(session=session)
+            assert service.metrics is registry
+        assert registry.counter("serve:patch_calls").value == 1
+
+
+class _BoomMatcher:
+    """Wraps a trained matcher; raises on predict while armed."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self.armed = False
+
+    @property
+    def is_fitted(self):
+        return self._inner.is_fitted
+
+    def predict_matches(self, matrix):
+        if self.armed:
+            raise RuntimeError("matcher exploded")
+        return self._inner.predict_matches(matrix)
+
+    def predict_proba(self, matrix):
+        return self._inner.predict_proba(matrix)
+
+
+def test_raising_patch_leaves_service_uncorrupted(tmp_path):
+    """Satellite regression: a matcher raising mid-patch must leave the
+    posting indexes uncommitted, the session pool alive and the trace
+    well-formed — and the next call must serve correct results."""
+    left, right, features, matcher, positive, negative, blockers = (
+        serving_world()
+    )
+    boom = _BoomMatcher(matcher)
+    trace_path = tmp_path / "trace.jsonl"
+    session = EngineSession(workers=2, trace_path=trace_path)
+    probe = {"id": 9, "num": None, "t": "x y z q"}
+    with session:
+        service = MatchService(
+            left, right, "id", "id",
+            matcher=boom, feature_set=features, blockers=blockers,
+            positive_rules=positive, negative_rules=negative, session=session,
+        )
+        pool = session.worker_pool
+        before_ids = service.live_ids()
+        before_matches = service.current_matches()
+        before_state = service.blocking_state()
+        boom.armed = True
+        with pytest.raises(RuntimeError, match="matcher exploded"):
+            service.apply_patch(upserts=[probe])
+        boom.armed = False
+        # nothing committed: indexes and bookkeeping as before the call
+        assert service.live_ids() == before_ids
+        assert service.current_matches() == before_matches
+        assert service.blocking_state() == before_state
+        # the session pool survived the fault
+        assert session.worker_pool is pool and (pool is None or pool.active)
+        # the next calls serve correct results on the uncorrupted state
+        retry = service.apply_patch(upserts=[probe])
+        fresh = build_service(
+            rows_table(left.to_rows() + [probe], columns=SERVE_COLUMNS)
+        )
+        assert set(service.current_matches()) == set(fresh.current_matches())
+        assert service.blocking_state() == fresh.blocking_state()
+        assert retry.upserted == (9,)
+        assert service.match(probe).record_id == 9
+    root = load_trace(trace_path)  # writer closed; partial events parse
+    assert root.find("predict") is not None
+
+
+SERVE_ROWS = st.builds(
+    lambda i, n, t: {"id": i, "num": n, "t": t},
+    st.integers(min_value=1, max_value=8),
+    st.one_of(st.none(), st.sampled_from(["A1", "B2", "WIS00001"])),
+    st.sampled_from(
+        ["x y z w", "p q r s", "x y z q", "m n o p", "a b c d", ""]
+    ),
+)
+SERVE_BATCHES = st.lists(SERVE_ROWS, max_size=3, unique_by=lambda r: r["id"])
+
+
+class ServiceConvergence(RuleBasedStateMachine):
+    """Drive a MatchService end to end: after every step it must equal a
+    fresh service rebuilt from scratch over the live rows."""
+
+    def __init__(self):
+        super().__init__()
+        self.service = build_service(empty_left())
+        self.model: dict[int, dict] = {}
+
+    @rule(batch=SERVE_BATCHES)
+    def upsert(self, batch):
+        result = self.service.apply_patch(upserts=batch)
+        assert result.upserted == tuple(row["id"] for row in batch)
+        for row in batch:
+            self.model.pop(row["id"], None)
+            self.model[row["id"]] = row
+
+    @rule(ids=st.lists(st.integers(min_value=1, max_value=8), max_size=3,
+                       unique=True))
+    def delete(self, ids):
+        result = self.service.apply_patch(deletes=ids)
+        assert set(result.deleted) == set(ids) & set(self.model)
+        for lid in ids:
+            self.model.pop(lid, None)
+
+    @rule(row=SERVE_ROWS)
+    def probe(self, row):
+        key = lambda c: (c.pair, c.score, c.sure_rule, c.blockers,
+                         c.flipped_by, c.is_match)
+        first = self.service.match(row)
+        second = self.service.match(row)
+        assert list(map(key, first.candidates)) == list(
+            map(key, second.candidates)
+        )
+
+    @invariant()
+    def equals_fresh_service(self):
+        fresh = build_service(
+            rows_table(list(self.model.values()), columns=SERVE_COLUMNS)
+        )
+        assert self.service.live_ids() == tuple(self.model)
+        assert set(self.service.current_matches()) == set(
+            fresh.current_matches()
+        )
+        assert set(self.service.current_flips()) == set(fresh.current_flips())
+        assert self.service.blocking_state() == fresh.blocking_state()
+
+
+ServiceConvergence.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+TestServiceConvergence = ServiceConvergence.TestCase

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fail CI when the serve CLI's headline counts drift from the baseline.
+
+``python -m repro serve --small --patch --json out.json`` writes a
+deterministic report (seeded scenario, strict-count delta verification);
+this guard diffs its ``counts`` dict key-by-key against the committed
+``benchmarks/baselines/serve_small.json``. Every key must be present on
+both sides with an equal value — a new counter, a dropped counter or a
+changed headline number all fail with the offending keys named, the same
+strict-counts contract ``repro trace diff --strict-counts`` applies to
+run manifests.
+
+Latency histograms are machine-dependent, so they are checked only for
+*shape*: each recorded histogram must carry at least one observation and
+finite p50/p95 estimates.
+
+Run locally with::
+
+    PYTHONPATH=src python -m repro serve --small --patch --json /tmp/serve.json
+    python tools/check_serve_baseline.py /tmp/serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "benchmarks" / "baselines" / "serve_small.json"
+SCHEMA = "repro/serve-report/1"
+
+
+def check(candidate: dict, baseline: dict) -> list[str]:
+    """All baseline violations (empty means the report matches)."""
+    problems: list[str] = []
+    for name, report in (("candidate", candidate), ("baseline", baseline)):
+        if report.get("schema") != SCHEMA:
+            problems.append(
+                f"{name} schema is {report.get('schema')!r}, expected {SCHEMA!r}"
+            )
+    got = candidate.get("counts", {})
+    want = baseline.get("counts", {})
+    for key in sorted(set(got) | set(want)):
+        if key not in want:
+            problems.append(f"counts[{key!r}] = {got[key]!r} has no baseline entry")
+        elif key not in got:
+            problems.append(f"counts[{key!r}] missing (baseline: {want[key]!r})")
+        elif got[key] != want[key]:
+            problems.append(
+                f"counts[{key!r}] = {got[key]!r}, baseline {want[key]!r}"
+            )
+    if not got.get("delta_equals_rerun", False):
+        problems.append("delta_equals_rerun is not true in the candidate report")
+    for name, histogram in sorted(candidate.get("latency", {}).items()):
+        if not histogram.get("count"):
+            problems.append(f"latency[{name!r}] recorded no observations")
+        elif histogram.get("p50") is None or histogram.get("p95") is None:
+            problems.append(f"latency[{name!r}] has no p50/p95 estimates")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="serve report JSON written by --json")
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="committed baseline report (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    candidate = json.loads(Path(args.report).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    problems = check(candidate, baseline)
+    if problems:
+        print(f"serve baseline check FAILED ({len(problems)} problems):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    counts = candidate["counts"]
+    print(
+        "serve baseline check OK: "
+        f"{counts['records']} records, {counts['total_matches']} matches, "
+        f"{len(counts)} counts matched"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
