@@ -8,8 +8,10 @@ wraps the stage-specific recomputation.
 Every bench writes its paper-vs-measured report to
 ``benchmarks/out/<name>.txt`` *and* a machine-readable
 ``benchmarks/out/<name>.json`` (schema:
-:func:`repro.obs.manifest.benchmark_result`) *and* prints it (run pytest
-with ``-s`` to see reports inline).
+:func:`repro.obs.manifest.benchmark_result`) *and* appends the same
+payload to ``benchmarks/history.jsonl`` — the cross-run trend log that
+``tools/check_bench_trend.py`` and ``python -m repro bench history``
+read — *and* prints it (run pytest with ``-s`` to see reports inline).
 """
 
 from __future__ import annotations
@@ -20,9 +22,10 @@ from pathlib import Path
 import pytest
 
 from repro.casestudy import CaseStudyRun
-from repro.obs import benchmark_result
+from repro.obs import append_history, benchmark_result
 
 OUT_DIR = Path(__file__).parent / "out"
+HISTORY = Path(__file__).parent / "history.jsonl"
 
 
 @pytest.fixture(scope="session")
@@ -48,6 +51,7 @@ def emit_report():
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        append_history(payload, HISTORY)
         print(f"\n{text}\n")
 
     return emit

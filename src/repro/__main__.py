@@ -11,16 +11,25 @@ Commands
 ``release``     generate the synthetic data bundle as CSV files
 ``profile``     profile the raw tables (the Section-4 exploration report)
 ``trace``       inspect telemetry: ``trace summary`` (hotspots + flamegraph
-                from a JSONL trace), ``trace diff`` (two run manifests)
+                from a JSONL trace), ``trace top`` (span self-time ranking,
+                per-worker utilization, ``--folded`` flamegraph stacks),
+                ``trace diff`` (two run manifests)
+``bench``       ``bench history`` — summarize the cross-run benchmark
+                trend log (``benchmarks/history.jsonl``)
 
 Common options: ``--seed N`` (default 45), ``--small`` (a ~5x downsized
 scenario that runs in well under a minute), ``--out DIR`` (for release).
 ``casestudy`` additionally takes ``--trace PATH`` (write a JSONL trace),
 ``--manifest PATH`` (write a RunManifest JSON, implies provenance
 collection), ``--workers N``, ``--store DIR`` (content-addressed artifact
-store; a re-run reuses every unchanged stage) and ``--no-kernels`` (force
-the pure-Python similarity paths). All of these configure one
-:class:`~repro.runtime.context.EngineSession` that carries the whole run.
+store; a re-run reuses every unchanged stage), ``--no-kernels`` (force
+the pure-Python similarity paths) and ``--resources`` (sample per-stage
+CPU/RSS/GC deltas into the trace). ``serve`` takes ``--metrics-port N``
+(expose Prometheus ``/metrics`` + ``/healthz`` over HTTP, with ``proc:*``
+gauges from a background resource sampler) and ``--linger-seconds X``
+(keep the endpoint up after the run — scrape smoke tests). All of these
+configure one :class:`~repro.runtime.context.EngineSession` that carries
+the whole run.
 """
 
 from __future__ import annotations
@@ -71,6 +80,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         provenance=manifest_path is not None,
         kernels=False if getattr(args, "no_kernels", False) else None,
         seed=config.seed,
+        resources=getattr(args, "resources", False),
     )
     with session, CaseStudyRun(config=config, session=session) as run:
         return _run_casestudy(run, trace_path, manifest_path)
@@ -182,14 +192,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 status = 1
         print()
         print(metrics.render("serving metrics"))
+        if args.metrics_port is not None:
+            # Started after the probe/patch work so the first scrape
+            # already sees populated serve:* histograms; the resource
+            # monitor adds live proc:* gauges next to them.
+            from .obs.export import MetricsServer
+
+            service.start_resource_monitor(interval=0.5)
+            server = MetricsServer(
+                service.metrics_text, port=args.metrics_port
+            ).start()
+            print(f"\nmetrics endpoint: {server.url}/metrics "
+                  f"(health: {server.url}/healthz)")
+            try:
+                if args.linger_seconds > 0:
+                    import time as _time
+
+                    _time.sleep(args.linger_seconds)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+                service.stop_resource_monitor()
         if args.json is not None:
             histograms = {
                 name: metrics.histograms[name].snapshot()
                 for name in ("serve:match_seconds", "serve:patch_seconds")
                 if name in metrics.histograms
             }
+            from .obs.manifest import git_sha
+
+            import time as _time
+
             payload = {
                 "schema": "repro/serve-report/1",
+                "timestamp": _time.time(),
+                "git_sha": git_sha(),
                 "counts": counts,
                 "latency": histograms,
             }
@@ -220,11 +258,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .obs.cli import cmd_trace_diff, cmd_trace_summary
+    from .obs.cli import cmd_trace_diff, cmd_trace_summary, cmd_trace_top
 
     if args.trace_command == "summary":
         return cmd_trace_summary(args.trace, top=args.top)
+    if args.trace_command == "top":
+        return cmd_trace_top(args.trace, top=args.top, folded=args.folded)
     return cmd_trace_diff(args.old, args.new, strict_counts=args.strict_counts)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.cli import cmd_bench_history
+
+    return cmd_bench_history(
+        args.history, benchmark=args.benchmark, metric=args.metric,
+        limit=args.limit,
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -259,6 +308,9 @@ def main(argv: list[str] | None = None) -> int:
     casestudy.add_argument("--no-kernels", action="store_true",
                            help="force the pure-Python similarity paths "
                                 "for this run")
+    casestudy.add_argument("--resources", action="store_true",
+                           help="sample per-stage CPU/RSS/GC deltas "
+                                "(recorded as resource trace events)")
     serve = sub.add_parser(
         "serve", help="online serving: delta patches + per-record match()"
     )
@@ -272,6 +324,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="process-pool width for the hot stages")
     serve.add_argument("--json", metavar="PATH",
                        help="write a counts + latency report JSON to PATH")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="expose Prometheus /metrics + /healthz on PORT "
+                            "(0 = OS-assigned) after the run completes")
+    serve.add_argument("--linger-seconds", type=float, default=60.0,
+                       metavar="X",
+                       help="keep the metrics endpoint up for X seconds "
+                            "(with --metrics-port; default 60)")
     release = sub.add_parser("release", help="export the data bundle as CSVs")
     _add_common(release)
     release.add_argument("--out", default="umetrics_release")
@@ -285,6 +345,14 @@ def main(argv: list[str] | None = None) -> int:
     summary.add_argument("trace", help="path to a JSONL trace file")
     summary.add_argument("--top", type=int, default=15,
                          help="rows in the hotspot table")
+    top = trace_sub.add_parser(
+        "top", help="span self-time ranking + per-worker utilization"
+    )
+    top.add_argument("trace", help="path to a JSONL trace file")
+    top.add_argument("--top", type=int, default=15,
+                     help="rows in the span ranking")
+    top.add_argument("--folded", action="store_true",
+                     help="emit folded stacks for flamegraph tools instead")
     diff = trace_sub.add_parser(
         "diff", help="compare two run manifests stage by stage"
     )
@@ -292,6 +360,20 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("new", help="candidate manifest JSON")
     diff.add_argument("--strict-counts", action="store_true",
                       help="exit nonzero when headline counts differ")
+    bench = sub.add_parser("bench", help="benchmark trend tooling")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    history = bench_sub.add_parser(
+        "history", help="summarize the cross-run benchmark trend log"
+    )
+    history.add_argument("--history", default="benchmarks/history.jsonl",
+                         help="trend log path "
+                              "(default: benchmarks/history.jsonl)")
+    history.add_argument("--benchmark", default=None,
+                         help="show only this benchmark's records")
+    history.add_argument("--metric", default=None,
+                         help="show only this data metric per record")
+    history.add_argument("--limit", type=int, default=20,
+                         help="records to show, newest last (default 20)")
     args = parser.parse_args(argv)
     handlers = {
         "casestudy": _cmd_casestudy,
@@ -299,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         "release": _cmd_release,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

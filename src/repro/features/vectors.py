@@ -413,9 +413,9 @@ def _extract_kernel_parallel(
         if outcomes is not None:
             count(instrumentation, "pickled_bytes", shipped)
             count(instrumentation, "pickled_chunks", len(futures))
-            for (start, stop), (block, seconds, pid) in zip(ranges, outcomes):
+            for (start, stop), (block, seconds, pid, extras) in zip(ranges, outcomes):
                 if instrumentation is not None:
-                    instrumentation.record_chunk(pid, stop - start, seconds)
+                    instrumentation.record_chunk(pid, stop - start, seconds, **extras)
                 values[start:stop, rest_idx] = block
     if owner is not None:
         owner.shutdown()

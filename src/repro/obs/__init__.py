@@ -13,21 +13,32 @@ The telemetry layer over the toolkit's instrumentation:
   collected by :meth:`EMWorkflow.run(provenance=True)
   <repro.core.workflow.EMWorkflow.run>`, queried via ``explain_pair``;
 * :mod:`~repro.obs.manifest` — :class:`RunManifest` JSON records written
-  by the case study and every benchmark, and :func:`diff_manifests` for
-  regression comparison (``python -m repro trace diff``).
+  by the case study and every benchmark, :func:`diff_manifests` for
+  regression comparison (``python -m repro trace diff``), and the
+  benchmark trend history (:func:`append_history`/:func:`read_history`);
+* :mod:`~repro.obs.resources` — per-stage CPU/RSS/GC deltas
+  (:class:`ResourceSampler`) and a background ``proc:*`` gauge sampler
+  for long-lived services (:class:`ResourceMonitor`);
+* :mod:`~repro.obs.export` — Prometheus text exposition over the
+  registry (:func:`render_prometheus`) and a stdlib ``/metrics`` +
+  ``/healthz`` HTTP endpoint (:class:`MetricsServer`).
 
 Everything is opt-in: with no trace writer, no registry, no manifest and
 ``provenance=False`` (the defaults everywhere), pipeline behaviour and
 outputs are bit-identical to a build without this package.
 """
 
+from .export import MetricsServer, prometheus_name, render_prometheus
 from .manifest import (
     ManifestDiff,
     RunManifest,
+    append_history,
     benchmark_result,
     diff_manifests,
+    git_sha,
     load_benchmark_result,
     platform_info,
+    read_history,
     stage_timings,
 )
 from .metrics import (
@@ -43,6 +54,7 @@ from .metrics import (
     observe_store,
 )
 from .provenance import MatchProvenance, PairLineage, require_provenance
+from .resources import ResourceMonitor, ResourceSampler, ResourceSnapshot
 from .trace import (
     ListSink,
     TraceWriter,
@@ -62,20 +74,29 @@ __all__ = [
     "ManifestDiff",
     "MatchProvenance",
     "MetricsRegistry",
+    "MetricsServer",
     "PairLineage",
+    "ResourceMonitor",
+    "ResourceSampler",
+    "ResourceSnapshot",
     "RunManifest",
     "TraceWriter",
     "TracingInstrumentation",
+    "append_history",
     "benchmark_result",
     "collect_metrics",
     "diff_manifests",
+    "git_sha",
     "load_benchmark_result",
     "load_trace",
     "observe_cache",
     "observe_stage_tree",
     "observe_store",
     "platform_info",
+    "prometheus_name",
+    "read_history",
     "read_trace",
+    "render_prometheus",
     "require_provenance",
     "stage_timings",
     "trace_to_stats",

@@ -1,6 +1,7 @@
-"""``python -m repro trace`` — summarize traces, diff manifests.
+"""``python -m repro trace`` — summarize traces, diff manifests —
+and ``python -m repro bench history`` — summarize the benchmark trend log.
 
-Two sub-commands:
+Sub-commands:
 
 ``trace summary TRACE``
     print a top-N hotspot table (aggregated by stage name, self-time vs
@@ -8,20 +9,37 @@ Two sub-commands:
     JSONL trace or a :class:`RunManifest` JSON (e.g. one produced by a
     session-driven ``casestudy --manifest`` run) — the manifest's
     flattened stage paths are folded back into a tree;
+``trace top TRACE``
+    rank individual span *paths* by self-time (where ``summary``
+    aggregates by name), then print the per-worker utilization table
+    built from executor chunk records — busy wall seconds, worker-side
+    CPU seconds, peak RSS and token-cache hit rates per worker process.
+    ``--folded`` emits folded stacks (``a;b;c <self-time-µs>``) for
+    standard flamegraph tools instead;
 ``trace diff OLD NEW``
     load two run manifests and print stage-by-stage count and timing
     deltas; with ``--strict-counts`` exit non-zero when any headline
-    count field differs (timing deltas are always report-only).
+    count field differs (timing deltas are always report-only);
+``bench history``
+    one line per recorded benchmark run in ``benchmarks/history.jsonl``
+    (timestamp, git sha, headline metrics), filterable by benchmark and
+    metric.
+
+The trace commands read with ``strict=False``: a service killed
+mid-write leaves a truncated trailing line, and inspection tooling
+should show the intact prefix instead of refusing the file.
 """
 
 from __future__ import annotations
 
 import json
+import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 from ..runtime.instrument import StageStats, merge_siblings
-from .manifest import RunManifest, diff_manifests
-from .trace import load_trace
+from .manifest import RunManifest, diff_manifests, read_history
+from .trace import iter_spans, load_trace
 
 
 def hotspots(root: StageStats) -> list[dict[str, float]]:
@@ -130,7 +148,128 @@ def _load_stage_tree(path: str) -> StageStats:
         data = None
     if isinstance(data, dict) and "name" in data and "stages" in data:
         return manifest_stage_tree(RunManifest.from_dict(data))
-    return load_trace(path)
+    # Non-strict: inspection tooling reads the intact prefix of a trace
+    # whose writer was killed mid-line, warning instead of refusing.
+    return load_trace(path, strict=False)
+
+
+def span_self_times(root: StageStats) -> list[dict]:
+    """Every span path with its self-time, chunk and resource detail.
+
+    Unlike :func:`hotspots` (which pools same-named stages wherever they
+    occur), each entry here is one *path* through the tree — so two
+    ``tokenize`` stages under different parents rank separately. Entries
+    carry the span's pooled chunk totals (worker CPU seconds, peak RSS,
+    cache hits/misses) and its ``resources`` record when present.
+    """
+    entries = []
+    for path, stats in iter_spans(root):
+        if len(path) == 1:  # the untimed root
+            continue
+        child_seconds = sum(c.seconds for c in stats.children)
+        entry = {
+            "path": "/".join(path[1:]),
+            "self": stats.seconds - child_seconds,
+            "total": stats.seconds,
+            "chunks": len(stats.chunks),
+            "chunk_cpu": sum(c.cpu_seconds for c in stats.chunks),
+            "chunk_peak_rss": max(
+                (c.peak_rss_bytes for c in stats.chunks), default=0
+            ),
+            "cache_hits": sum(c.cache_hits for c in stats.chunks),
+            "cache_misses": sum(c.cache_misses for c in stats.chunks),
+            "resources": stats.resources,
+        }
+        entries.append(entry)
+    entries.sort(key=lambda e: (-e["self"], e["path"]))
+    return entries
+
+
+def worker_utilization(root: StageStats) -> list[dict]:
+    """Per-worker totals pooled from every chunk record in the tree.
+
+    One row per worker pid: chunks run, items processed, busy wall
+    seconds, worker-side CPU seconds, the worker's peak RSS (max across
+    its chunks — ``ru_maxrss`` is a lifetime high-water mark) and its
+    token-cache hit/miss totals. Sorted by busy time, busiest first.
+    """
+    by_worker: dict[int, dict] = {}
+    for _, stats in iter_spans(root):
+        for chunk in stats.chunks:
+            row = by_worker.setdefault(
+                chunk.worker,
+                {"worker": chunk.worker, "chunks": 0, "items": 0,
+                 "busy": 0.0, "cpu": 0.0, "peak_rss": 0,
+                 "cache_hits": 0, "cache_misses": 0},
+            )
+            row["chunks"] += 1
+            row["items"] += chunk.items
+            row["busy"] += chunk.seconds
+            row["cpu"] += chunk.cpu_seconds
+            row["peak_rss"] = max(row["peak_rss"], chunk.peak_rss_bytes)
+            row["cache_hits"] += chunk.cache_hits
+            row["cache_misses"] += chunk.cache_misses
+    return sorted(by_worker.values(), key=lambda r: (-r["busy"], r["worker"]))
+
+
+def _mb(size_bytes: float) -> str:
+    return f"{size_bytes / (1024 * 1024):.1f}M" if size_bytes else "-"
+
+
+def render_top(root: StageStats, top: int = 15) -> str:
+    """The ``trace top`` report: span ranking + worker utilization."""
+    entries = span_self_times(root)
+    total = sum(c.seconds for c in root.children) or 1.0
+    lines = [
+        f"top spans for {root.name!r} by self-time "
+        f"({sum(c.seconds for c in root.children):.3f}s total)",
+        f"{'span':<44} {'self':>9} {'total':>9} {'self%':>6} "
+        f"{'wk-cpu':>8} {'wk-rss':>8}",
+    ]
+    for entry in entries[:top]:
+        cpu = f"{entry['chunk_cpu']:.3f}s" if entry["chunks"] else "-"
+        lines.append(
+            f"{entry['path']:<44} {entry['self']:>8.3f}s "
+            f"{entry['total']:>8.3f}s {100 * entry['self'] / total:>5.1f}% "
+            f"{cpu:>8} {_mb(entry['chunk_peak_rss']):>8}"
+        )
+    if len(entries) > top:
+        lines.append(f"... {len(entries) - top} more span(s)")
+    workers = worker_utilization(root)
+    lines.append("")
+    if not workers:
+        lines.append("no executor chunks recorded (nothing ran through a pool)")
+        return "\n".join(lines)
+    lines.append(
+        f"{'worker':<8} {'chunks':>6} {'items':>8} {'busy':>9} {'cpu':>9} "
+        f"{'util%':>6} {'peak rss':>9} {'cache hit%':>10}"
+    )
+    for row in workers:
+        util = 100 * row["cpu"] / row["busy"] if row["busy"] else 0.0
+        lookups = row["cache_hits"] + row["cache_misses"]
+        hit_rate = f"{100 * row['cache_hits'] / lookups:.1f}%" if lookups else "-"
+        lines.append(
+            f"{row['worker']:<8} {row['chunks']:>6} {row['items']:>8} "
+            f"{row['busy']:>8.3f}s {row['cpu']:>8.3f}s {util:>5.1f}% "
+            f"{_mb(row['peak_rss']):>9} {hit_rate:>10}"
+        )
+    return "\n".join(lines)
+
+
+def folded_stacks(root: StageStats) -> str:
+    """Folded-stack lines (``a;b;c <self-time-µs>``) for flamegraph tools.
+
+    One line per span path with a positive self-time, weights in integer
+    microseconds — the input format of Brendan Gregg's ``flamegraph.pl``
+    and of speedscope's "folded" importer.
+    """
+    lines = []
+    for path, stats in iter_spans(root):
+        self_seconds = stats.seconds - sum(c.seconds for c in stats.children)
+        micros = round(self_seconds * 1_000_000)
+        if micros > 0:
+            lines.append(";".join(path) + f" {micros}")
+    return "\n".join(lines)
 
 
 def cmd_trace_summary(trace_path: str, top: int = 15) -> int:
@@ -139,6 +278,56 @@ def cmd_trace_summary(trace_path: str, top: int = 15) -> int:
     print(render_hotspots(root, top=top))
     print()
     print(render_flamegraph(root))
+    return 0
+
+
+def cmd_trace_top(trace_path: str, top: int = 15, folded: bool = False) -> int:
+    """Handler for ``python -m repro trace top``."""
+    root = _load_stage_tree(trace_path)
+    text = folded_stacks(root) if folded else render_top(root, top=top)
+    try:
+        print(text)
+    except BrokenPipeError:  # e.g. `trace top ... | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def cmd_bench_history(
+    history_path: str,
+    benchmark: str | None = None,
+    metric: str | None = None,
+    limit: int = 20,
+) -> int:
+    """Handler for ``python -m repro bench history``."""
+    records = read_history(history_path)
+    if benchmark is not None:
+        records = [r for r in records if r.get("benchmark") == benchmark]
+    if not records:
+        print(f"no history records in {history_path}"
+              + (f" for benchmark {benchmark!r}" if benchmark else ""))
+        return 0
+    shown = records[-limit:]
+    print(f"{len(records)} record(s) in {history_path}; showing last {len(shown)}")
+    for record in shown:
+        ts = record.get("timestamp")
+        when = (
+            datetime.fromtimestamp(ts, tz=timezone.utc).strftime("%Y-%m-%d %H:%M")
+            if isinstance(ts, (int, float))
+            else "unknown-time    "
+        )
+        sha = (record.get("git_sha") or "-")[:10]
+        data = record.get("data", {})
+        if metric is not None:
+            detail = f"{metric}={data.get(metric, '-')}"
+        else:
+            numeric = [
+                f"{k}={v:g}" for k, v in sorted(data.items())
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            detail = " ".join(numeric[:4]) + (" ..." if len(numeric) > 4 else "")
+        print(f"{when}  {sha:>10}  {record.get('benchmark', '?'):<24} {detail}")
     return 0
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import platform as _platform
+import subprocess
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
@@ -26,6 +28,41 @@ from ..store.fingerprint import CODE_SALT
 from .metrics import collect_metrics
 
 SCHEMA_VERSION = 1
+
+#: Benchmark sidecars have their own schema: version 2 added the volatile
+#: ``timestamp``/``git_sha`` provenance fields. Readers accept both, so
+#: frozen version-1 baselines under ``benchmarks/baselines/`` keep loading.
+BENCH_SCHEMA_VERSION = 2
+SUPPORTED_BENCH_SCHEMA_VERSIONS = (1, BENCH_SCHEMA_VERSION)
+
+#: Sidecar fields that legitimately differ between two runs of the same
+#: code — trend/baseline checkers must exclude them from comparisons.
+VOLATILE_BENCH_FIELDS = frozenset({"timestamp", "git_sha"})
+
+_GIT_SHA_CACHE: dict[str, str | None] = {}
+
+
+def git_sha() -> str | None:
+    """The repo's current HEAD commit, or ``None`` outside a checkout.
+
+    Best-effort only (benchmarks must run from tarballs and containers
+    without git): any failure — no git binary, no repository, a timeout —
+    degrades to ``None``. Cached per process.
+    """
+    if "sha" not in _GIT_SHA_CACHE:
+        sha: str | None = None
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5.0,
+                cwd=Path(__file__).resolve().parent,
+            )
+            if out.returncode == 0:
+                sha = out.stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            sha = None
+        _GIT_SHA_CACHE["sha"] = sha
+    return _GIT_SHA_CACHE["sha"]
 
 
 def platform_info() -> dict[str, str]:
@@ -198,13 +235,18 @@ def benchmark_result(
     *rows* are paper-vs-measured rows (anything with
     ``name``/``paper``/``measured`` attributes, i.e.
     :class:`repro.casestudy.report.ReportRow`); *data* is free-form
-    headline numbers (timings, speedups, counts).
+    headline numbers (timings, speedups, counts). ``timestamp`` and
+    ``git_sha`` identify *when and at which commit* the run happened —
+    they are volatile by design (see :data:`VOLATILE_BENCH_FIELDS`) and
+    exist for the cross-run trend history, not for baseline comparison.
     """
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": name,
         "code_salt": CODE_SALT,
         "platform": platform_info(),
+        "timestamp": time.time(),
+        "git_sha": git_sha(),
         "rows": [
             {
                 "name": row.name,
@@ -230,11 +272,52 @@ def load_benchmark_result(path: str | Path) -> dict[str, Any]:
     if not isinstance(payload, dict) or "benchmark" not in payload:
         raise ObsError(f"{path} is not a benchmark_result payload")
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_BENCH_SCHEMA_VERSIONS:
         raise ObsError(
-            f"{path}: schema_version {version!r} != supported {SCHEMA_VERSION}"
+            f"{path}: schema_version {version!r} not in supported "
+            f"{SUPPORTED_BENCH_SCHEMA_VERSIONS}"
         )
     return payload
+
+
+def append_history(payload: dict[str, Any], path: str | Path) -> Path:
+    """Append one benchmark sidecar to a JSONL trend history.
+
+    One compact JSON object per line, flushed per append; every bench run
+    adds its row, and :mod:`tools.check_bench_trend` / ``python -m repro
+    bench history`` read the accumulated file. The history lives outside
+    version control (one line per local run) — the committed artefacts
+    are the tolerance bands in ``benchmarks/baselines/trend.json``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(jsonable(payload), separators=(",", ":")) + "\n")
+    return path
+
+
+def read_history(path: str | Path) -> list[dict[str, Any]]:
+    """All records of a trend history file, oldest first.
+
+    Malformed lines (a run killed mid-append) are skipped — history is
+    advisory data, and one truncated line must not hide every other run.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "benchmark" in record:
+                records.append(record)
+    return records
 
 
 # ----------------------------------------------------------------------

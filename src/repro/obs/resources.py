@@ -1,0 +1,255 @@
+"""Process resource telemetry: per-stage deltas and a background sampler.
+
+The case study's lesson is that end-to-end EM cost hides in unexpected
+stages — and not just wall-clock cost: the paper's team also fought
+memory blow-ups they could only observe by watching ``top``. This module
+gives the stage tree (and the serving loop) the same numbers as first
+class telemetry:
+
+* :class:`ResourceSampler` — a cheap snapshot source reading
+  ``resource.getrusage`` (CPU user/sys seconds, peak RSS) and
+  ``/proc/self/statm`` (current RSS; Linux only), plus the cumulative GC
+  collection count. Off Linux — or anywhere the ``resource`` module or
+  procfs is missing — every unavailable reading degrades to ``None``/
+  zero instead of raising, so the sampler is safe to attach
+  unconditionally.
+* Per-stage deltas: attach a sampler to an
+  :class:`~repro.runtime.instrument.Instrumentation` via
+  :meth:`~repro.runtime.instrument.Instrumentation.attach_resources` and
+  every stage records CPU user/sys seconds, RSS delta, peak RSS and GC
+  collections over its span into ``StageStats.resources`` — streamed by
+  :class:`~repro.obs.trace.TracingInstrumentation` as ``resource`` trace
+  events.
+* :class:`ResourceMonitor` — a daemon thread sampling the process every
+  ``interval`` seconds into ``proc:*`` gauges of a
+  :class:`~repro.obs.metrics.MetricsRegistry`; this is what a long-lived
+  :class:`~repro.serving.MatchService` exposes through ``/metrics``.
+
+Everything here is opt-in and read-only: attaching a sampler never
+changes pipeline outputs, and with no sampler attached (the default
+everywhere) behaviour is bit-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+try:  # pragma: no cover - the import itself never fails on POSIX
+    import resource as _resource
+except ImportError:  # pragma: no cover - Windows
+    _resource = None
+
+#: ``/proc/self/statm`` — present on Linux, absent elsewhere.
+_STATM = "/proc/self/statm"
+
+#: ``ru_maxrss`` unit: bytes on macOS, kilobytes everywhere else.
+_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def _page_size() -> int:
+    try:
+        return os.sysconf("SC_PAGE_SIZE")
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        return 4096
+
+
+_PAGE_SIZE = _page_size()
+
+
+def read_statm_rss() -> int | None:
+    """Current RSS in bytes from ``/proc/self/statm``, ``None`` off Linux."""
+    try:
+        with open(_STATM, "rb") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def gc_collection_count() -> int:
+    """Total GC collections across all generations since interpreter start."""
+    try:
+        return sum(int(s.get("collections", 0)) for s in gc.get_stats())
+    except Exception:  # pragma: no cover - gc.get_stats is CPython-specific
+        return 0
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """One point-in-time reading of the current process.
+
+    ``rss_bytes``/``peak_rss_bytes`` are ``None`` where the platform
+    offers no reading (no procfs, no ``resource`` module); CPU seconds
+    and GC counts degrade to ``0``/``0.0`` instead so deltas stay
+    well-defined everywhere.
+    """
+
+    ts: float
+    cpu_user: float
+    cpu_sys: float
+    rss_bytes: int | None
+    peak_rss_bytes: int | None
+    gc_collections: int
+
+
+class ResourceSampler:
+    """Snapshot source for process CPU/RSS/GC readings.
+
+    The sampler is stateless between snapshots (safe to share across
+    threads) and every reading is a couple of syscalls, so it is cheap
+    enough to wrap around every pipeline stage.
+    """
+
+    @property
+    def available(self) -> bool:
+        """Whether any OS-level reading (beyond GC counts) is possible."""
+        return _resource is not None or read_statm_rss() is not None
+
+    def snapshot(self) -> ResourceSnapshot:
+        cpu_user = cpu_sys = 0.0
+        peak: int | None = None
+        if _resource is not None:
+            usage = _resource.getrusage(_resource.RUSAGE_SELF)
+            cpu_user = usage.ru_utime
+            cpu_sys = usage.ru_stime
+            peak = int(usage.ru_maxrss) * _MAXRSS_UNIT
+        return ResourceSnapshot(
+            ts=time.time(),
+            cpu_user=cpu_user,
+            cpu_sys=cpu_sys,
+            rss_bytes=read_statm_rss(),
+            peak_rss_bytes=peak,
+            gc_collections=gc_collection_count(),
+        )
+
+    def stage_delta(
+        self, before: ResourceSnapshot, after: ResourceSnapshot
+    ) -> dict[str, float]:
+        """The JSON-ready per-stage resource record between two snapshots.
+
+        ``cpu_user``/``cpu_sys``/``gc_collections`` are deltas over the
+        stage; ``rss_delta_bytes`` is how much the resident set grew (or
+        shrank) across it; ``peak_rss_bytes`` is the process peak *at
+        stage end* (``ru_maxrss`` is a lifetime high-water mark, so a
+        stage cannot observe a peak lower than an earlier stage's).
+        Unavailable readings are omitted rather than recorded as zero.
+        """
+        delta: dict[str, float] = {
+            "cpu_user": after.cpu_user - before.cpu_user,
+            "cpu_sys": after.cpu_sys - before.cpu_sys,
+            "gc_collections": after.gc_collections - before.gc_collections,
+        }
+        if before.rss_bytes is not None and after.rss_bytes is not None:
+            delta["rss_delta_bytes"] = after.rss_bytes - before.rss_bytes
+        if after.peak_rss_bytes is not None:
+            delta["peak_rss_bytes"] = after.peak_rss_bytes
+        return delta
+
+
+def merge_resources(
+    target: dict[str, float] | None, delta: dict[str, float]
+) -> dict[str, float]:
+    """Fold one stage-delta record into an accumulated one.
+
+    Additive readings (CPU seconds, GC collections, RSS deltas) sum;
+    high-water marks (``peak_rss_bytes``) take the max — matching how
+    repeated same-name siblings aggregate in reports and manifests.
+    """
+    if target is None:
+        return dict(delta)
+    for key, value in delta.items():
+        if key == "peak_rss_bytes":
+            target[key] = max(target.get(key, value), value)
+        else:
+            target[key] = target.get(key, 0) + value
+    return target
+
+
+class ResourceMonitor:
+    """A daemon thread feeding ``proc:*`` gauges of a metrics registry.
+
+    Every ``interval`` seconds (and once immediately on :meth:`start`,
+    so gauges exist before the first interval elapses) the monitor
+    snapshots the process and records:
+
+    ``proc:rss_bytes``            current resident set (Linux only)
+    ``proc:peak_rss_bytes``       lifetime peak resident set
+    ``proc:cpu_user_seconds``     cumulative user CPU time
+    ``proc:cpu_sys_seconds``      cumulative system CPU time
+    ``proc:gc_collections``       cumulative GC collections
+    ``proc:uptime_seconds``       seconds since the monitor started
+    ``proc:samples``              (counter) samples taken so far
+
+    Unavailable readings leave their gauge unset. ``start``/``stop`` are
+    idempotent; the thread is a daemon, so a forgotten monitor never
+    blocks interpreter exit. Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        metrics: Any,
+        interval: float = 1.0,
+        sampler: ResourceSampler | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"monitor interval must be positive, got {interval}")
+        self.metrics = metrics
+        self.interval = float(interval)
+        self.sampler = sampler if sampler is not None else ResourceSampler()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def sample_once(self) -> ResourceSnapshot:
+        """Take one sample and record it (also used by the thread loop)."""
+        snap = self.sampler.snapshot()
+        metrics = self.metrics
+        if snap.rss_bytes is not None:
+            metrics.gauge("proc:rss_bytes").set(snap.rss_bytes)
+        if snap.peak_rss_bytes is not None:
+            metrics.gauge("proc:peak_rss_bytes").set(snap.peak_rss_bytes)
+        metrics.gauge("proc:cpu_user_seconds").set(snap.cpu_user)
+        metrics.gauge("proc:cpu_sys_seconds").set(snap.cpu_sys)
+        metrics.gauge("proc:gc_collections").set(snap.gc_collections)
+        if self._started_at is not None:
+            metrics.gauge("proc:uptime_seconds").set(snap.ts - self._started_at)
+        metrics.counter("proc:samples").inc()
+        return snap
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> "ResourceMonitor":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.time()
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ResourceMonitor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

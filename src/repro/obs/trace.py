@@ -22,21 +22,33 @@ Trace format (one JSON object per line):
     the in-process tree records — wall timestamps are informational).
 ``{"event": "counter", "span": i, "name": ..., "value": v}``
     one :meth:`~repro.runtime.instrument.Instrumentation.count` call.
-``{"event": "chunk", "span": i, "worker": w, "items": n, "seconds": s}``
-    one executor chunk record.
+``{"event": "chunk", "span": i, "worker": w, "items": n, "seconds": s, ...}``
+    one executor chunk record; version-2 traces add the worker-side
+    readings ``cpu_seconds``, ``peak_rss_bytes``, ``cache_hits`` and
+    ``cache_misses`` (absent fields read back as zero, so version-1
+    traces keep loading).
+``{"event": "resource", "span": i, "cpu_user": ..., "cpu_sys": ..., ...}``
+    per-stage resource delta (version 2; emitted after the span's
+    ``end`` when a :class:`~repro.obs.resources.ResourceSampler` is
+    attached). Keys mirror
+    :meth:`~repro.obs.resources.ResourceSampler.stage_delta`.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
 from ..errors import ObsError
 from ..runtime.instrument import ChunkRecord, Instrumentation, StageStats
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Optional worker-side chunk readings (version 2); zero when absent.
+_CHUNK_EXTRAS = ("cpu_seconds", "peak_rss_bytes", "cache_hits", "cache_misses")
 
 
 class TraceWriter:
@@ -146,20 +158,46 @@ class TracingInstrumentation(Instrumentation):
             self.metrics.observe_counter(name, value)
 
     def _chunk_recorded(self, stats: StageStats, record: ChunkRecord) -> None:
-        self._emit(
-            {"event": "chunk", "span": self._span(stats),
-             "worker": record.worker, "items": record.items,
-             "seconds": record.seconds}
-        )
+        event = {
+            "event": "chunk", "span": self._span(stats),
+            "worker": record.worker, "items": record.items,
+            "seconds": record.seconds,
+        }
+        for key in _CHUNK_EXTRAS:
+            value = getattr(record, key)
+            if value:
+                event[key] = value
+        self._emit(event)
         if self.metrics is not None:
             self.metrics.observe_chunk(record.items, record.seconds)
+
+    def _resource_recorded(self, stats: StageStats, delta: dict[str, float]) -> None:
+        self._emit({"event": "resource", "span": self._span(stats), **delta})
+        if self.metrics is not None:
+            if "cpu_user" in delta:
+                self.metrics.histogram("stage_cpu_seconds").observe(
+                    delta["cpu_user"] + delta.get("cpu_sys", 0.0)
+                )
+            if "peak_rss_bytes" in delta:
+                self.metrics.gauge("proc:peak_rss_bytes").set(
+                    delta["peak_rss_bytes"]
+                )
 
 
 # ----------------------------------------------------------------------
 # parsing
 # ----------------------------------------------------------------------
-def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """All events of a JSONL trace file, in emission order."""
+def read_trace(path: str | Path, strict: bool = True) -> list[dict[str, Any]]:
+    """All events of a JSONL trace file, in emission order.
+
+    With ``strict=False`` malformed lines are skipped with a warning
+    instead of raising — a process killed mid-write (a
+    :class:`~repro.serving.MatchService` taken down by SIGKILL, a full
+    disk) leaves a truncated trailing line, and the trace CLI should
+    still read the intact prefix. Tests and programmatic consumers keep
+    the default strict behaviour so real corruption is never silently
+    dropped.
+    """
     events = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -169,9 +207,22 @@ def read_trace(path: str | Path) -> list[dict[str, Any]]:
             try:
                 event = json.loads(line)
             except ValueError as exc:
-                raise ObsError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+                if strict:
+                    raise ObsError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+                warnings.warn(
+                    f"{path}:{lineno}: skipping malformed trace line "
+                    f"(truncated write?): {exc}",
+                    stacklevel=2,
+                )
+                continue
             if not isinstance(event, dict) or "event" not in event:
-                raise ObsError(f"{path}:{lineno}: not a trace event: {line!r}")
+                if strict:
+                    raise ObsError(f"{path}:{lineno}: not a trace event: {line!r}")
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-event trace line: {line!r}",
+                    stacklevel=2,
+                )
+                continue
             events.append(event)
     return events
 
@@ -207,8 +258,20 @@ def trace_to_stats(events: Iterable[dict[str, Any]]) -> StageStats:
                 spans[event["span"]].count(event["name"], event["value"])
             elif kind == "chunk":
                 spans[event["span"]].chunks.append(
-                    ChunkRecord(event["worker"], event["items"], event["seconds"])
+                    ChunkRecord(
+                        event["worker"], event["items"], event["seconds"],
+                        event.get("cpu_seconds", 0.0),
+                        event.get("peak_rss_bytes", 0),
+                        event.get("cache_hits", 0),
+                        event.get("cache_misses", 0),
+                    )
                 )
+            elif kind == "resource":
+                delta = {
+                    k: v for k, v in event.items()
+                    if k not in ("event", "span")
+                }
+                spans[event["span"]].add_resources(delta)
             else:
                 raise ObsError(f"unknown trace event type {kind!r}")
         except KeyError as exc:
@@ -218,9 +281,9 @@ def trace_to_stats(events: Iterable[dict[str, Any]]) -> StageStats:
     return root
 
 
-def load_trace(path: str | Path) -> StageStats:
+def load_trace(path: str | Path, strict: bool = True) -> StageStats:
     """Parse a JSONL trace file into its stage tree."""
-    return trace_to_stats(read_trace(path))
+    return trace_to_stats(read_trace(path, strict=strict))
 
 
 def iter_spans(root: StageStats) -> Iterator[tuple[tuple[str, ...], StageStats]]:

@@ -150,6 +150,14 @@ class EngineSession:
         ``False`` force it.
     seed:
         The session's random seed (CLI and case-study default).
+    resources:
+        When ``True``, attach a
+        :class:`~repro.obs.resources.ResourceSampler` to the session's
+        instrumentation (building a plain
+        :class:`~repro.runtime.instrument.Instrumentation` if the session
+        has none), so every stage records CPU/RSS/GC deltas — and traced
+        sessions stream them as ``resource`` events. Off by default:
+        resource probing never engages unless asked for.
     pool:
         An externally owned :class:`~repro.runtime.executor.WorkerPool`;
         the session uses it but never shuts it down.
@@ -169,6 +177,7 @@ class EngineSession:
         provenance: Any = False,
         kernels: bool | None = None,
         seed: int = DEFAULT_SEED,
+        resources: bool = False,
         pool: WorkerPool | None = None,
         token_cache: TokenCache | None = None,
     ) -> None:
@@ -201,6 +210,13 @@ class EngineSession:
             instrumentation = TracingInstrumentation(
                 writer=self._owned_writer, metrics=metrics
             )
+        if resources:
+            from ..obs.resources import ResourceSampler
+
+            if instrumentation is None:
+                instrumentation = Instrumentation()
+            if instrumentation.resources is None:
+                instrumentation.attach_resources(ResourceSampler())
         self.instrumentation = instrumentation
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -75,24 +76,59 @@ def chunk_ranges(n: int, workers: int, chunks_per_worker: int = CHUNKS_PER_WORKE
     return ranges
 
 
-def _timed_call(fn: Callable, payload: tuple) -> tuple[Any, float, int]:
-    """Run one chunk, returning (result, seconds, worker pid)."""
+def _peak_rss_bytes() -> int:
+    """This process's lifetime peak RSS in bytes (0 where unreadable)."""
+    try:
+        import resource as _resource
+    except ImportError:  # pragma: no cover - Windows
+        return 0
+    maxrss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is bytes on macOS, kilobytes everywhere else.
+    return int(maxrss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def _cache_counts() -> tuple[int, int]:
+    """The process-default token cache's (hits, misses), (0, 0) if unbuilt."""
+    from .cache import get_default_cache
+
+    stats = get_default_cache().stats()
+    return stats.hits, stats.misses
+
+
+def _measured_call(fn: Callable, payload: tuple) -> tuple[Any, float, int, dict]:
+    """Run one chunk with worker-side telemetry.
+
+    Returns ``(result, seconds, pid, extras)`` where *extras* carries
+    the readings only the executing process can take: CPU seconds burned
+    by the chunk, the process's peak RSS at chunk end (a lifetime
+    high-water mark, so across a worker's chunks it is non-decreasing),
+    and the worker-local token-cache hit/miss deltas over the chunk.
+    """
+    hits0, misses0 = _cache_counts()
+    cpu0 = time.process_time()
     started = time.perf_counter()
     result = fn(*payload)
-    return result, time.perf_counter() - started, os.getpid()
+    seconds = time.perf_counter() - started
+    cpu = time.process_time() - cpu0
+    hits1, misses1 = _cache_counts()
+    extras = {
+        "cpu_seconds": cpu,
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "cache_hits": hits1 - hits0,
+        "cache_misses": misses1 - misses0,
+    }
+    return result, seconds, os.getpid(), extras
 
 
-def _run_pickled(blob: bytes) -> tuple[Any, float, int]:
-    """Worker entry point: unpickle ``(fn, payload)`` and run it, timed.
+def _run_pickled(blob: bytes) -> tuple[Any, float, int, dict]:
+    """Worker entry point: unpickle ``(fn, payload)`` and run it, measured.
 
     The parent pickles the pair itself (see :meth:`WorkerPool.run_chunks`),
     so the blob's length *is* the number of bytes shipped for the chunk —
     no second serialization happens beyond the blob itself.
     """
     fn, payload = pickle.loads(blob)
-    started = time.perf_counter()
-    result = fn(*payload)
-    return result, time.perf_counter() - started, os.getpid()
+    return _measured_call(fn, payload)
 
 
 def _fork_context():
@@ -177,7 +213,7 @@ class WorkerPool:
         self.pickled_chunks += len(blobs)
         return futures, shipped
 
-    def gather(self, futures: Sequence) -> list[tuple[Any, float, int]] | None:
+    def gather(self, futures: Sequence) -> list[tuple[Any, float, int, dict]] | None:
         """Outcomes of :meth:`submit_chunks` futures, in submission order.
 
         ``None`` marks a broken pool (a worker died mid-chunk); the caller
@@ -192,11 +228,13 @@ class WorkerPool:
 
     def run_chunks(
         self, fn: Callable, payloads: Sequence[tuple]
-    ) -> tuple[list[tuple[Any, float, int]], int] | None:
+    ) -> tuple[list[tuple[Any, float, int, dict]], int] | None:
         """Run ``fn(*p)`` for each payload on the pool, in order.
 
         Returns ``(outcomes, shipped_bytes)`` where each outcome is the
-        ``(result, seconds, pid)`` triple of one chunk, or ``None`` when
+        ``(result, seconds, pid, extras)`` tuple of one chunk — *extras*
+        being the worker-side telemetry of :func:`_measured_call`
+        (CPU seconds, peak RSS, token-cache deltas) — or ``None`` when
         the pool could not be used (unpicklable payloads, broken pool) —
         the caller then runs the same chunks inline, which produces
         identical results by construction.
@@ -309,18 +347,18 @@ class ChunkedExecutor:
             self.instrumentation.count("pickled_bytes", shipped)
             self.instrumentation.count("pickled_chunks", len(payloads))
         results = []
-        for size, (result, seconds, pid) in zip(sizes, outcomes):
+        for size, (result, seconds, pid, extras) in zip(sizes, outcomes):
             if self.instrumentation is not None:
-                self.instrumentation.record_chunk(pid, size, seconds)
+                self.instrumentation.record_chunk(pid, size, seconds, **extras)
             results.append(result)
         return results
 
     def _run_serial(self, fn: Callable, payloads: list[tuple], sizes: Sequence[int]) -> list[Any]:
         results = []
         for payload, size in zip(payloads, sizes):
-            result, seconds, pid = _timed_call(fn, payload)
+            result, seconds, pid, extras = _measured_call(fn, payload)
             if self.instrumentation is not None:
-                self.instrumentation.record_chunk(pid, size, seconds)
+                self.instrumentation.record_chunk(pid, size, seconds, **extras)
             results.append(result)
         return results
 

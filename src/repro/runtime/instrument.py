@@ -18,16 +18,28 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 
 @dataclass
 class ChunkRecord:
-    """Timing of one executor chunk (serial chunks record worker ``0``)."""
+    """Timing of one executor chunk (serial chunks record the parent pid).
+
+    Beyond the parent-observed wall time, each chunk carries the
+    worker-side readings the executor measured around the chunk function:
+    CPU seconds actually burned, the worker process's peak RSS at chunk
+    end (a lifetime high-water mark), and the worker-local token-cache
+    hit/miss deltas. All default to zero so hand-built records and
+    pre-extension traces keep working.
+    """
 
     worker: int
     items: int
     seconds: float
+    cpu_seconds: float = 0.0
+    peak_rss_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -39,6 +51,9 @@ class StageStats:
     counters: dict[str, float] = field(default_factory=dict)
     chunks: list[ChunkRecord] = field(default_factory=list)
     children: list["StageStats"] = field(default_factory=list)
+    #: Per-stage resource deltas (CPU user/sys, RSS delta, peak RSS, GC
+    #: collections) — ``None`` unless a resource probe was attached.
+    resources: dict[str, float] | None = None
 
     def child(self, name: str) -> "StageStats":
         stats = StageStats(name)
@@ -47,6 +62,23 @@ class StageStats:
 
     def count(self, name: str, value: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value
+
+    def add_resources(self, delta: dict[str, float]) -> None:
+        """Fold a resource-delta record into this node.
+
+        Additive readings (CPU seconds, GC collections, RSS deltas) sum
+        across repeated recordings; high-water marks (``peak_rss_bytes``)
+        take the max — the same aggregation reports and manifests apply
+        to repeated same-name siblings.
+        """
+        if self.resources is None:
+            self.resources = dict(delta)
+            return
+        for key, value in delta.items():
+            if key == "peak_rss_bytes":
+                self.resources[key] = max(self.resources.get(key, value), value)
+            else:
+                self.resources[key] = self.resources.get(key, 0) + value
 
     def find(self, name: str) -> "StageStats | None":
         """This node if its name matches, else the first matching
@@ -77,24 +109,40 @@ class Instrumentation:
     :meth:`count` without knowing how its caller nested it.
 
     Sub-classes may override the ``_stage_started`` / ``_stage_finished`` /
-    ``_counted`` / ``_chunk_recorded`` hooks to stream the same events
-    elsewhere (see :class:`repro.obs.trace.TracingInstrumentation`); the
-    base implementations are no-ops.
+    ``_counted`` / ``_chunk_recorded`` / ``_resource_recorded`` hooks to
+    stream the same events elsewhere (see
+    :class:`repro.obs.trace.TracingInstrumentation`); the base
+    implementations are no-ops.
+
+    A resource probe (:class:`repro.obs.resources.ResourceSampler`, or
+    anything with the same ``snapshot``/``stage_delta`` contract) can be
+    attached via :meth:`attach_resources`; every stage then records its
+    CPU/RSS/GC delta into ``StageStats.resources`` and fires the
+    ``_resource_recorded`` hook. With no probe attached (the default)
+    nothing changes.
     """
 
     def __init__(self, name: str = "total") -> None:
         self.root = StageStats(name)
         self._stack: list[StageStats] = [self.root]
+        self.resources: Any = None
 
     @property
     def current(self) -> StageStats:
         return self._stack[-1]
+
+    def attach_resources(self, probe: Any) -> Any:
+        """Attach a resource probe sampled around every stage; returns it."""
+        self.resources = probe
+        return probe
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageStats]:
         stats = self.current.child(name)
         self._stack.append(stats)
         self._stage_started(stats)
+        probe = self.resources
+        before = probe.snapshot() if probe is not None else None
         started = time.perf_counter()
         try:
             yield stats
@@ -103,13 +151,29 @@ class Instrumentation:
             stats.seconds += elapsed
             self._stack.pop()
             self._stage_finished(stats, elapsed)
+            if before is not None:
+                delta = probe.stage_delta(before, probe.snapshot())
+                stats.add_resources(delta)
+                self._resource_recorded(stats, delta)
 
     def count(self, name: str, value: float = 1) -> None:
         self.current.count(name, value)
         self._counted(self.current, name, value)
 
-    def record_chunk(self, worker: int, items: int, seconds: float) -> None:
-        record = ChunkRecord(worker, items, seconds)
+    def record_chunk(
+        self,
+        worker: int,
+        items: int,
+        seconds: float,
+        cpu_seconds: float = 0.0,
+        peak_rss_bytes: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        record = ChunkRecord(
+            worker, items, seconds, cpu_seconds, peak_rss_bytes,
+            cache_hits, cache_misses,
+        )
         self.current.chunks.append(record)
         self._chunk_recorded(self.current, record)
 
@@ -124,6 +188,9 @@ class Instrumentation:
         pass
 
     def _chunk_recorded(self, stats: StageStats, record: ChunkRecord) -> None:
+        pass
+
+    def _resource_recorded(self, stats: StageStats, delta: dict[str, float]) -> None:
         pass
 
     def find(self, name: str) -> StageStats | None:
@@ -174,6 +241,8 @@ def merge_siblings(children: list[StageStats]) -> list[tuple[StageStats, int]]:
             target.count(key, value)
         target.chunks.extend(child.chunks)
         target.children.extend(child.children)
+        if child.resources is not None:
+            target.add_resources(child.resources)
     return [(merged[name], counts[name]) for name in order]
 
 

@@ -470,6 +470,40 @@ class MatchService:
 
     # -- accumulated view ----------------------------------------------
 
+    def metrics_text(self) -> str:
+        """The service's metrics in Prometheus text exposition format.
+
+        Renders the live registry (``serve:*`` histograms/counters, plus
+        ``proc:*`` gauges when :meth:`start_resource_monitor` is on) —
+        hand this bound method to
+        :class:`~repro.obs.export.MetricsServer` as its source.
+        """
+        from ..obs.export import render_prometheus
+
+        return render_prometheus(self.metrics)
+
+    def start_resource_monitor(self, interval: float = 1.0):
+        """Start (or return) the background ``proc:*`` gauge sampler.
+
+        The monitor feeds the service's own registry, so ``/metrics``
+        scrapes see process RSS/CPU/GC next to the ``serve:*`` series.
+        Idempotent; the thread is a daemon and can also be stopped
+        explicitly via :meth:`stop_resource_monitor`.
+        """
+        from ..obs.resources import ResourceMonitor
+
+        monitor = getattr(self, "_resource_monitor", None)
+        if monitor is None:
+            monitor = ResourceMonitor(self.metrics, interval=interval)
+            self._resource_monitor = monitor
+        return monitor.start()
+
+    def stop_resource_monitor(self) -> None:
+        """Stop the background resource sampler (no-op when not running)."""
+        monitor = getattr(self, "_resource_monitor", None)
+        if monitor is not None:
+            monitor.stop()
+
     def current_matches(self) -> list[Pair]:
         """All live matches, deduplicated in first-seen order.
 

@@ -321,8 +321,8 @@ class TestWorkerPool:
             executor = pool._executor
             second = pool.run_chunks(_square_chunk, [([4],), ([5, 6],)])
             assert pool._executor is executor  # same processes, reused
-        assert [r for r, _, _ in first[0]] == [[1, 4], [9]]
-        assert [r for r, _, _ in second[0]] == [[16], [25, 36]]
+        assert [r for r, *_ in first[0]] == [[1, 4], [9]]
+        assert [r for r, *_ in second[0]] == [[16], [25, 36]]
         # the parent pickled the payloads itself: exact byte accounting
         assert first[1] > 0 and second[1] > 0
         assert pool.pickled_bytes == first[1] + second[1]

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Gate benchmark results against committed per-metric tolerance bands.
+
+The PR-6 merge-kernel regression showed why: benchmark sidecars were
+written on every run, but nothing compared them across runs, so a
+deployed kernel family could quietly slow down until a hand-written
+assert happened to notice. This checker closes the loop:
+
+* ``benchmarks/baselines/trend.json`` commits, per benchmark, a band for
+  each gated metric of its sidecar's ``data`` section — ``min``, ``max``,
+  ``equals``, or ``{"value": v, "tolerance": t}`` (relative, so
+  ``tolerance: 0.25`` accepts ±25%).
+* The *latest* record of each gated benchmark is taken from
+  ``benchmarks/history.jsonl`` (appended by every bench run), falling
+  back to the ``benchmarks/out/<name>.json`` sidecar when the history
+  has none.
+* Any metric outside its band fails the check (exit 1) with a per-metric
+  report; a gated benchmark with no record at all is skipped unless
+  ``--require-all``.
+
+Volatile sidecar fields (``timestamp``, ``git_sha``) are never gated —
+bands apply to the measured numbers only.
+
+Usage::
+
+    python tools/check_bench_trend.py                 # every gated bench
+    python tools/check_bench_trend.py kernels serving # only these
+    python tools/check_bench_trend.py --require-all   # missing = failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TREND_PATH = REPO / "benchmarks" / "baselines" / "trend.json"
+HISTORY_PATH = REPO / "benchmarks" / "history.jsonl"
+OUT_DIR = REPO / "benchmarks" / "out"
+
+TREND_SCHEMA = "repro/bench-trend/1"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.manifest import read_history  # noqa: E402
+
+
+def load_trend(path: Path = TREND_PATH) -> dict:
+    spec = json.loads(path.read_text(encoding="utf-8"))
+    if spec.get("schema") != TREND_SCHEMA:
+        raise SystemExit(
+            f"{path}: unknown trend schema {spec.get('schema')!r} "
+            f"(expected {TREND_SCHEMA!r})"
+        )
+    return spec
+
+
+def latest_records(history_path: Path = HISTORY_PATH, out_dir: Path = OUT_DIR) -> dict:
+    """Newest sidecar per benchmark: history first, out/ sidecars as fallback."""
+    latest: dict[str, dict] = {}
+    for record in read_history(history_path):  # oldest first; last wins
+        latest[record["benchmark"]] = record
+    if out_dir.is_dir():
+        for path in sorted(out_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                continue
+            name = payload.get("benchmark")
+            if isinstance(name, str) and name not in latest:
+                latest[name] = payload
+    return latest
+
+
+def check_band(value, band) -> str | None:
+    """``None`` when *value* satisfies *band*, else a violation message."""
+    if value is None:
+        return "metric missing from the latest record"
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return f"metric is not numeric: {value!r}"
+    if "equals" in band:
+        if value != band["equals"]:
+            return f"{value:g} != required {band['equals']:g}"
+        return None
+    if "value" in band:
+        center = float(band["value"])
+        tolerance = float(band.get("tolerance", 0.0))
+        low = center * (1 - tolerance)
+        high = center * (1 + tolerance)
+        if not low <= value <= high:
+            return (
+                f"{value:g} outside {center:g} ±{tolerance:.0%} "
+                f"[{low:g}, {high:g}]"
+            )
+        return None
+    failures = []
+    if "min" in band and value < band["min"]:
+        failures.append(f"{value:g} < min {band['min']:g}")
+    if "max" in band and value > band["max"]:
+        failures.append(f"{value:g} > max {band['max']:g}")
+    return "; ".join(failures) or None
+
+
+def check(
+    trend: dict,
+    records: dict,
+    only: list[str] | None = None,
+    require_all: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Returns ``(violations, report_lines)`` for the gated benchmarks."""
+    violations: list[str] = []
+    lines: list[str] = []
+    benchmarks = trend.get("benchmarks", {})
+    if only:
+        unknown = sorted(set(only) - set(benchmarks))
+        if unknown:
+            raise SystemExit(
+                f"no trend bands for benchmark(s) {unknown} "
+                f"(gated: {sorted(benchmarks)})"
+            )
+        benchmarks = {name: benchmarks[name] for name in only}
+    for name, gate in sorted(benchmarks.items()):
+        record = records.get(name)
+        if record is None:
+            line = f"{name}: no record (history or sidecar)"
+            if require_all:
+                violations.append(line)
+                lines.append(f"FAIL {line}")
+            else:
+                lines.append(f"skip {line}")
+            continue
+        data = record.get("data", {})
+        for metric, band in sorted(gate.get("metrics", {}).items()):
+            problem = check_band(data.get(metric), band)
+            if problem is None:
+                lines.append(f"ok   {name}.{metric} = {data.get(metric):g}")
+            else:
+                violations.append(f"{name}.{metric}: {problem}")
+                lines.append(f"FAIL {name}.{metric}: {problem}")
+    return violations, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "benchmarks", nargs="*",
+        help="gate only these benchmark names (default: all gated)",
+    )
+    parser.add_argument(
+        "--trend", type=Path, default=TREND_PATH,
+        help="tolerance-band spec (default: benchmarks/baselines/trend.json)",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=HISTORY_PATH,
+        help="trend history JSONL (default: benchmarks/history.jsonl)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=OUT_DIR,
+        help="sidecar fallback directory (default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="fail when a gated benchmark has no record at all",
+    )
+    args = parser.parse_args(argv)
+    trend = load_trend(args.trend)
+    records = latest_records(args.history, args.out_dir)
+    violations, lines = check(
+        trend, records, only=args.benchmarks or None,
+        require_all=args.require_all,
+    )
+    print("\n".join(lines))
+    if violations:
+        print(f"\nbench trend check FAILED ({len(violations)} violation(s))")
+        return 1
+    print("\nbench trend check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,8 +92,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     payload = json.loads(args.path.read_text())
     # emit_report wraps the bench's data dict in an envelope with
-    # benchmark/platform metadata; accept both the wrapped and raw forms.
-    data = payload.get("data", payload)
+    # benchmark/platform metadata; accept both the wrapped and raw forms,
+    # and drop the volatile run-provenance fields (timestamp, git_sha)
+    # either way — only measured numbers are gated.
+    data = {
+        k: v for k, v in payload.get("data", payload).items()
+        if k not in ("timestamp", "git_sha")
+    }
     problems = check(data)
     if problems:
         print(f"check_kernel_families: FAIL ({args.path})")

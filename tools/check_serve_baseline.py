@@ -31,6 +31,10 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO / "benchmarks" / "baselines" / "serve_small.json"
 SCHEMA = "repro/serve-report/1"
 
+#: Report fields that legitimately differ between two runs of the same
+#: code (run provenance, not measurements) — never compared.
+VOLATILE_FIELDS = frozenset({"timestamp", "git_sha"})
+
 
 def check(candidate: dict, baseline: dict) -> list[str]:
     """All baseline violations (empty means the report matches)."""
@@ -40,8 +44,14 @@ def check(candidate: dict, baseline: dict) -> list[str]:
             problems.append(
                 f"{name} schema is {report.get('schema')!r}, expected {SCHEMA!r}"
             )
-    got = candidate.get("counts", {})
-    want = baseline.get("counts", {})
+    got = {
+        k: v for k, v in candidate.get("counts", {}).items()
+        if k not in VOLATILE_FIELDS
+    }
+    want = {
+        k: v for k, v in baseline.get("counts", {}).items()
+        if k not in VOLATILE_FIELDS
+    }
     for key in sorted(set(got) | set(want)):
         if key not in want:
             problems.append(f"counts[{key!r}] = {got[key]!r} has no baseline entry")
