@@ -23,8 +23,11 @@ scenario that runs in well under a minute), ``--out DIR`` (for release).
 ``--manifest PATH`` (write a RunManifest JSON, implies provenance
 collection), ``--workers N``, ``--store DIR`` (content-addressed artifact
 store; a re-run reuses every unchanged stage), ``--no-kernels`` (force
-the pure-Python similarity paths) and ``--resources`` (sample per-stage
-CPU/RSS/GC deltas into the trace). ``serve`` takes ``--metrics-port N``
+the pure-Python similarity paths), ``--resources`` (sample per-stage
+CPU/RSS/GC deltas into the trace) and ``--blocker CONFIG_JSON`` (a
+three-element JSON config list building the Section-7 plan through the
+blocker registry — see :mod:`repro.blocking.factory`). ``serve`` takes
+``--metrics-port N``
 (expose Prometheus ``/metrics`` + ``/healthz`` over HTTP, with ``proc:*``
 gauges from a background resource sampler) and ``--linger-seconds X``
 (keep the endpoint up after the run — scrape smoke tests). All of these
@@ -57,10 +60,32 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(seed=args.seed)
 
 
+def _parse_blocker_configs(raw: str):
+    """``--blocker`` payload -> blocker list via the factory registry.
+
+    Accepts one config object or a list of three; a path to a JSON file
+    is accepted too (starts with ``@``).
+    """
+    import json
+
+    from .blocking import create_blockers
+
+    if raw.startswith("@"):
+        with open(raw[1:], "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    else:
+        payload = json.loads(raw)
+    return create_blockers(payload)
+
+
 def _cmd_casestudy(args: argparse.Namespace) -> int:
     trace_path = getattr(args, "trace", None)
     manifest_path = getattr(args, "manifest", None)
     store_dir = getattr(args, "store", None)
+    blocker_json = getattr(args, "blocker", None)
+    blockers = (
+        _parse_blocker_configs(blocker_json) if blocker_json is not None else None
+    )
     config = _config(args)
     instrumentation = None
     if trace_path is None and manifest_path is not None:
@@ -82,7 +107,9 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         seed=config.seed,
         resources=getattr(args, "resources", False),
     )
-    with session, CaseStudyRun(config=config, session=session) as run:
+    with session, CaseStudyRun(
+        config=config, session=session, blockers=blockers
+    ) as run:
         return _run_casestudy(run, trace_path, manifest_path)
 
 
@@ -308,6 +335,11 @@ def main(argv: list[str] | None = None) -> int:
     casestudy.add_argument("--no-kernels", action="store_true",
                            help="force the pure-Python similarity paths "
                                 "for this run")
+    casestudy.add_argument("--blocker", metavar="CONFIG_JSON",
+                           help="replace the Section-7 blocking plan with "
+                                "blockers built by the registry factory: a "
+                                "JSON list of three {kind, ...} configs "
+                                "(or @path/to/configs.json)")
     casestudy.add_argument("--resources", action="store_true",
                            help="sample per-stage CPU/RSS/GC deltas "
                                 "(recorded as resource trace events)")
@@ -371,7 +403,8 @@ def main(argv: list[str] | None = None) -> int:
     history.add_argument("--benchmark", default=None,
                          help="show only this benchmark's records")
     history.add_argument("--metric", default=None,
-                         help="show only this data metric per record")
+                         help="show only these data metrics per record "
+                              "(comma-separated names)")
     history.add_argument("--limit", type=int, default=20,
                          help="records to show, newest last (default 20)")
     args = parser.parse_args(argv)

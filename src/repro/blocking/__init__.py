@@ -21,18 +21,37 @@ from .incremental import (
 )
 from .dedupe import canonical_records, dedupe_candidates, duplicate_clusters
 from .down_sample import down_sample
+from .factory import (
+    BLOCKER_REGISTRY,
+    BlockerConfig,
+    create_blocker,
+    create_blockers,
+    default_plan_configs,
+    register_blocker,
+)
+from .lsh import MinHashLSHBlocker, SimHashBlocker
 from .overlap import OverlapBlocker
 from .overlap_coefficient import OverlapCoefficientBlocker
+from .policy import UNCAPPED, BlockSizePolicy, resolve_policy
 from .rule_based import RuleBasedBlocker
+from .sharded import (
+    ShardedOverlapBlocker,
+    ShardedOverlapCoefficientBlocker,
+    token_shard,
+)
 from .sorted_neighborhood import SortedNeighborhoodBlocker
 
 __all__ = [
     "AttrEquivalenceBlocker",
     "AttrEquivalenceIncremental",
+    "BLOCKER_REGISTRY",
     "BlackBoxBlocker",
     "Blocker",
+    "BlockerConfig",
+    "BlockSizePolicy",
     "CandidateSet",
     "IncrementalBlocking",
+    "MinHashLSHBlocker",
     "MissedPairReport",
     "OverlapBlocker",
     "OverlapCoefficientBlocker",
@@ -43,8 +62,18 @@ __all__ = [
     "PendingUpsert",
     "PostingIndex",
     "RuleBasedBlocker",
+    "ShardedOverlapBlocker",
+    "ShardedOverlapCoefficientBlocker",
+    "SimHashBlocker",
     "SortedNeighborhoodBlocker",
+    "UNCAPPED",
     "canonical_records",
+    "create_blocker",
+    "create_blockers",
+    "default_plan_configs",
+    "register_blocker",
+    "resolve_policy",
+    "token_shard",
     "debug_blocker",
     "dedupe_candidates",
     "down_sample",

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..errors import IncrementalBlockingError
 from ..runtime.context import EngineSession
 from ..runtime.instrument import count
 from ..table import Table
 from ..table.column import is_missing
 from .base import Blocker
 from .candidate_set import CandidateSet
+from .policy import BlockSizePolicy, capped_keys, resolve_policy
 
 Preprocess = Callable[[Any], Any]
 
@@ -43,11 +45,14 @@ class AttrEquivalenceBlocker(Blocker):
         r_attr: str,
         l_preprocess: Preprocess | None = None,
         r_preprocess: Preprocess | None = None,
+        *,
+        block_size_policy: "BlockSizePolicy | int | None" = None,
     ) -> None:
         self.l_attr = l_attr
         self.r_attr = r_attr
         self.l_preprocess = l_preprocess
         self.r_preprocess = r_preprocess
+        self.block_size_policy = resolve_policy(block_size_policy)
 
     def incremental(
         self,
@@ -58,6 +63,11 @@ class AttrEquivalenceBlocker(Blocker):
         session: EngineSession | None = None,
     ) -> "Any":
         """Delta-maintained handle; see :mod:`repro.blocking.incremental`."""
+        if self.block_size_policy.capped:
+            raise IncrementalBlockingError(
+                "incremental blocking does not support block-size caps; "
+                "use an uncapped blocker for delta handles"
+            )
         from .incremental import AttrEquivalenceIncremental
 
         return AttrEquivalenceIncremental(self, rtable, l_key, r_key, session=session)
@@ -92,9 +102,16 @@ class AttrEquivalenceBlocker(Blocker):
         for rid, value in zip(r_ids, r_values):
             if not is_missing(value):
                 index.setdefault(value, []).append(rid)
+        capped = capped_keys(
+            {v: len(rids_) for v, rids_ in index.items()},
+            self.block_size_policy,
+            instrumentation,
+        )
         pairs = []
         for lid, value in zip(l_ids, l_values):
             if is_missing(value):
+                continue
+            if value in capped:
                 continue
             for rid in index.get(value, ()):
                 pairs.append((lid, rid))

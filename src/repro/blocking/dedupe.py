@@ -12,20 +12,29 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from ..clustering.unionfind import UnionFind
+from ..runtime.context import EngineSession, resolve_session
 from ..table import Table
 from .base import Blocker
 from .candidate_set import CandidateSet, Pair
 
 
 def dedupe_candidates(
-    table: Table, key: str, blocker: Blocker, name: str = "dedupe"
+    table: Table,
+    key: str,
+    blocker: Blocker,
+    name: str = "dedupe",
+    *,
+    session: EngineSession | None = None,
 ) -> CandidateSet:
     """Block *table* against itself, canonically.
 
     Self-pairs (a, a) are dropped and each unordered pair appears once,
-    oriented so the smaller key (by string order) is on the left.
+    oriented so the smaller key (by string order) is on the left. The
+    blocking pass runs under *session* (or the ambient session when
+    ``None``), like every stage operator.
     """
-    raw = blocker.block_tables(table, table, key, key)
+    resolved = resolve_session(session)
+    raw = blocker.block_tables(table, table, key, key, session=resolved)
     seen: set[tuple[Any, Any]] = set()
     pairs: list[Pair] = []
     for a, b in raw:

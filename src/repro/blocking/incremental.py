@@ -108,6 +108,41 @@ class PostingIndex:
         """All tokens with a non-empty posting."""
         return self._postings.keys()
 
+    @staticmethod
+    def shard_of(token: Any, shards: int) -> int:
+        """The token-hash range owning *token* under ``shards``-way sharding.
+
+        Delegates to :func:`repro.blocking.sharded.token_shard` — the same
+        splitmix64/FNV-1a partitioning the batch sharded blockers use —
+        so an incremental index split by ``shard_of`` holds exactly the
+        posting shard a batch worker would build for that range.
+        """
+        from .sharded import token_shard
+
+        return token_shard(token, shards)
+
+    def merge(self, other: "PostingIndex") -> "PostingIndex":
+        """Fold *other*'s postings into this index, in place.
+
+        Per token, *other*'s rids append after existing ones (duplicates
+        keep their first position, matching :meth:`add`'s idempotence).
+        Merging is associative, and for indexes holding **disjoint token
+        ranges** — the sharded layout — it is also order-independent up
+        to token insertion order, with snapshots exactly equal to the
+        single-index build (``tests/test_posting_shards.py``). Returns
+        ``self`` so shard folds chain.
+        """
+        postings = self._postings
+        for token, theirs in other._postings.items():
+            mine = postings.get(token)
+            if mine is None:
+                postings[token] = dict(theirs)
+            else:
+                for rid in theirs:
+                    if rid not in mine:
+                        mine[rid] = None
+        return self
+
     def snapshot(self, token_of: Callable[[Any], Any] | None = None) -> dict[Any, tuple]:
         """Canonical, history-independent view: ``{token: sorted rids}``.
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ..errors import BlockingError
+from ..errors import BlockingError, IncrementalBlockingError
 from ..runtime.columnar import TokenColumn
 from ..runtime.context import EngineSession
 from ..runtime.executor import chunk_ranges
@@ -44,6 +44,7 @@ from ..text.intern import id_array
 from ..text.tokenizers import Tokenizer, whitespace
 from .base import Blocker
 from .candidate_set import CandidateSet
+from .policy import BlockSizePolicy, capped_keys, resolve_policy
 
 Normalizer = Callable[[Any], Any]
 
@@ -54,6 +55,7 @@ def _probe_overlap_chunk(
     index: dict[str, list[Any]],
     order: dict[str, int],
     k: int,
+    capped: frozenset = frozenset(),
 ) -> list[tuple[Any, Any]]:
     """Probe the inverted index for a chunk of left records (string path).
 
@@ -61,7 +63,10 @@ def _probe_overlap_chunk(
     worker processes; the serial path runs the very same function. *order*
     is the global token rank under ``(doc_freq, token)`` — a total order,
     so ranking sorts exactly like the tuple key did, but without
-    re-deriving it per record.
+    re-deriving it per record. *capped* holds tokens whose posting lists
+    exceed the blocker's size cap: dropped from the probe prefix (after
+    the cut, so the cut itself is policy-independent), never from
+    verification.
     """
     rank = order.__getitem__
     pairs: list[tuple[Any, Any]] = []
@@ -70,6 +75,8 @@ def _probe_overlap_chunk(
             continue
         ordered = sorted(tokens, key=rank)
         prefix = ordered[: len(ordered) - k + 1]
+        if capped:
+            prefix = [t for t in prefix if t not in capped]
         seen: set[Any] = set()
         for t in prefix:
             for rid in index.get(t, ()):
@@ -136,6 +143,10 @@ class OverlapBlocker(Blocker):
     normalizer:
         Optional cell transform applied before tokenizing (the case study
         lower-cases and strips special characters here).
+    block_size_policy:
+        Optional :class:`~repro.blocking.policy.BlockSizePolicy` (or bare
+        int cap): posting lists longer than the cap are skipped at probe
+        time. ``None`` (default) probes everything.
     """
 
     short_name = "overlap"
@@ -148,6 +159,8 @@ class OverlapBlocker(Blocker):
         threshold: int = 1,
         tokenizer: Tokenizer = whitespace,
         normalizer: Normalizer | None = None,
+        *,
+        block_size_policy: "BlockSizePolicy | int | None" = None,
     ) -> None:
         if threshold < 1:
             raise BlockingError(f"overlap threshold must be >= 1, got {threshold}")
@@ -156,6 +169,7 @@ class OverlapBlocker(Blocker):
         self.threshold = threshold
         self.tokenizer = tokenizer
         self.normalizer = normalizer
+        self.block_size_policy = resolve_policy(block_size_policy)
 
     def incremental(
         self,
@@ -166,6 +180,11 @@ class OverlapBlocker(Blocker):
         session: EngineSession | None = None,
     ) -> "Any":
         """Delta-maintained handle; see :mod:`repro.blocking.incremental`."""
+        if self.block_size_policy.capped:
+            raise IncrementalBlockingError(
+                "incremental blocking does not support block-size caps; "
+                "use an uncapped blocker for delta handles"
+            )
         from .incremental import OverlapIncremental
 
         return OverlapIncremental(self, rtable, l_key, r_key, session=session)
@@ -231,13 +250,21 @@ class OverlapBlocker(Blocker):
                     sorted(left_vocab, key=lambda t: (doc_freq.get(t, 0), t))
                 )
             }
+            capped = capped_keys(doc_freq, self.block_size_policy, instrumentation)
         with stage(instrumentation, "probe"):
             l_items = list(l_tokens.items())
             ranges = chunk_ranges(len(l_items), session.workers)
             chunks = session.map_chunks(
                 _probe_overlap_chunk,
                 [
-                    (l_items[start:stop], r_tokens, index, order, self.threshold)
+                    (
+                        l_items[start:stop],
+                        r_tokens,
+                        index,
+                        order,
+                        self.threshold,
+                        capped,
+                    )
                     for start, stop in ranges
                 ],
                 sizes=[stop - start for start, stop in ranges],
@@ -290,6 +317,7 @@ class OverlapBlocker(Blocker):
                     )
                 )
             }
+            capped = capped_keys(doc_freq, self.block_size_policy, instrumentation)
         with stage(instrumentation, "probe"):
             by_rank = rank.__getitem__
             lids: list[Any] = []
@@ -300,8 +328,11 @@ class OverlapBlocker(Blocker):
                 if len(ids) < k:
                     continue
                 ordered = sorted(ids, key=by_rank)
+                prefix = ordered[: len(ordered) - k + 1]
+                if capped:
+                    prefix = [t for t in prefix if t not in capped]
                 lids.append(lid)
-                prefixes.append(id_array(ordered[: len(ordered) - k + 1]))
+                prefixes.append(id_array(prefix))
                 kept_entries.append(entry)
             l_col = TokenColumn.from_entries(kept_entries)
             rids = tuple(r_entries.keys())

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable
 
-from ..errors import BlockingError
+from ..errors import BlockingError, IncrementalBlockingError
 from ..runtime.columnar import TokenColumn
 from ..runtime.context import EngineSession
 from ..runtime.executor import chunk_ranges
@@ -37,9 +37,11 @@ from ..runtime.instrument import count, stage
 from ..similarity import batch
 from ..similarity.set_based import overlap_coefficient
 from ..table import Table
+from ..text.intern import id_array
 from ..text.tokenizers import Tokenizer, whitespace
 from .base import Blocker
 from .candidate_set import CandidateSet
+from .policy import BlockSizePolicy, capped_keys, resolve_policy
 
 Normalizer = Callable[[Any], Any]
 
@@ -137,6 +139,8 @@ class OverlapCoefficientBlocker(Blocker):
         threshold: float = 0.7,
         tokenizer: Tokenizer = whitespace,
         normalizer: Normalizer | None = None,
+        *,
+        block_size_policy: "BlockSizePolicy | int | None" = None,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise BlockingError(
@@ -147,6 +151,7 @@ class OverlapCoefficientBlocker(Blocker):
         self.threshold = threshold
         self.tokenizer = tokenizer
         self.normalizer = normalizer
+        self.block_size_policy = resolve_policy(block_size_policy)
 
     def incremental(
         self,
@@ -157,6 +162,11 @@ class OverlapCoefficientBlocker(Blocker):
         session: EngineSession | None = None,
     ) -> "Any":
         """Delta-maintained handle; see :mod:`repro.blocking.incremental`."""
+        if self.block_size_policy.capped:
+            raise IncrementalBlockingError(
+                "incremental blocking does not support block-size caps; "
+                "use an uncapped blocker for delta handles"
+            )
         from .incremental import OverlapCoefficientIncremental
 
         return OverlapCoefficientIncremental(self, rtable, l_key, r_key, session=session)
@@ -205,9 +215,21 @@ class OverlapCoefficientBlocker(Blocker):
             for rid, tokens in r_tokens.items():
                 for t in tokens:
                     index.setdefault(t, []).append(rid)
+            capped = capped_keys(
+                {t: len(rids_) for t, rids_ in index.items()},
+                self.block_size_policy,
+                instrumentation,
+            )
         with stage(instrumentation, "probe"):
+            # Probe lists replay the parent frozenset's iteration order;
+            # the cap filter preserves it (filters, never reorders).
             l_items = [
-                (lid, list(tokens), tokens) for lid, tokens in l_tokens.items()
+                (
+                    lid,
+                    [t for t in tokens if t not in capped] if capped else list(tokens),
+                    tokens,
+                )
+                for lid, tokens in l_tokens.items()
             ]
             ranges = chunk_ranges(len(l_items), session.workers)
             chunks = session.map_chunks(
@@ -248,9 +270,20 @@ class OverlapCoefficientBlocker(Blocker):
             for rid, entry in r_entries.items():
                 for tid in entry.sorted:
                     index.setdefault(tid, []).append(rid)
+            capped = capped_keys(
+                {tid: len(rids_) for tid, rids_ in index.items()},
+                self.block_size_policy,
+                instrumentation,
+            )
         with stage(instrumentation, "probe"):
             lids = list(l_entries.keys())
-            probes = [entry.probe for entry in l_entries.values()]
+            if capped:
+                probes = [
+                    id_array(t for t in entry.probe if t not in capped)
+                    for entry in l_entries.values()
+                ]
+            else:
+                probes = [entry.probe for entry in l_entries.values()]
             l_col = TokenColumn.from_entries(l_entries.values())
             rids = tuple(r_entries.keys())
             r_col = TokenColumn.from_entries(r_entries.values())

@@ -13,6 +13,7 @@ from typing import Any, Callable
 
 from ..errors import BlockingError
 from ..runtime.context import EngineSession
+from ..runtime.executor import chunk_ranges
 from ..runtime.instrument import count
 from ..table import Table
 from ..table.column import is_missing
@@ -20,6 +21,32 @@ from .base import Blocker
 from .candidate_set import CandidateSet
 
 KeyFunction = Callable[[Any], Any]
+
+
+def _window_chunk(
+    entries: list[tuple[str, str, Any]], length: int, w: int
+) -> list[tuple[Any, Any]]:
+    """Window pairing for one chunk of the merged sort order.
+
+    *entries* holds the chunk's ``length`` owned positions plus up to
+    ``w - 1`` look-ahead entries from the next chunk, so every window
+    anchored inside the chunk is complete. Module-level and closure-free
+    so the chunked executor can ship it to workers; concatenating chunk
+    outputs in order reproduces the serial loop exactly (each pair is
+    anchored at — and emitted by — its window's first position only).
+    """
+    pairs: list[tuple[Any, Any]] = []
+    for i in range(length):
+        _, side_i, rid_i = entries[i]
+        for j in range(i + 1, min(i + w, len(entries))):
+            _, side_j, rid_j = entries[j]
+            if side_i == side_j:
+                continue
+            if side_i == "L":
+                pairs.append((rid_i, rid_j))
+            else:
+                pairs.append((rid_j, rid_i))
+    return pairs
 
 
 class SortedNeighborhoodBlocker(Blocker):
@@ -76,7 +103,6 @@ class SortedNeighborhoodBlocker(Blocker):
         r_key: str,
         name: str,
     ) -> CandidateSet:
-        # A single sort dominates; the session's pool goes unused.
         instrumentation = session.instrumentation
         self._validate_inputs(
             ltable, rtable, l_key, r_key, [(ltable, self.l_attr), (rtable, self.r_attr)]
@@ -85,16 +111,19 @@ class SortedNeighborhoodBlocker(Blocker):
             rtable, self.r_attr, r_key, "R"
         )
         merged.sort(key=lambda e: (e[0], e[1], str(e[2])))
-        pairs = []
+        # The window loop is chunk-parallel over the merged order: each
+        # chunk ships its owned slice plus w-1 look-ahead entries, and
+        # in-order concatenation equals the serial loop bit for bit.
         w = self.window
-        for i, (_, side_i, rid_i) in enumerate(merged):
-            for j in range(i + 1, min(i + w, len(merged))):
-                _, side_j, rid_j = merged[j]
-                if side_i == side_j:
-                    continue
-                if side_i == "L":
-                    pairs.append((rid_i, rid_j))
-                else:
-                    pairs.append((rid_j, rid_i))
+        ranges = chunk_ranges(len(merged), session.workers)
+        chunks = session.map_chunks(
+            _window_chunk,
+            [
+                (merged[start : stop + w - 1], stop - start, w)
+                for start, stop in ranges
+            ],
+            sizes=[stop - start for start, stop in ranges],
+        )
+        pairs = [pair for chunk in chunks for pair in chunk]
         count(instrumentation, "pairs_out", len(pairs))
         return CandidateSet(ltable, rtable, l_key, r_key, pairs, name=name or self.short_name)

@@ -98,6 +98,10 @@ class CaseStudyRun:
     provenance: bool = False
     pool: WorkerPool | None = None
     session: EngineSession | None = None
+    #: Optional custom Section-7 plan (exactly three blockers, C1/C2/C3
+    #: order) — e.g. from ``repro.blocking.create_blockers``; ``None``
+    #: runs the paper recipe.
+    blockers: "list | None" = None
     _owned_session: EngineSession | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -177,14 +181,18 @@ class CaseStudyRun:
     def blocking(self) -> BlockingOutcome:
         tables = self.projected
         with stage(self.instrumentation, "sec7:blocking"):
-            return run_blocking(tables, session=self.engine_session)
+            return run_blocking(
+                tables, session=self.engine_session, blockers=self.blockers
+            )
 
     @cached_property
     def blocking_v2(self) -> BlockingOutcome:
         """Blocking over the revised projected tables (same blockers)."""
         tables = self.projected_v2
         with stage(self.instrumentation, "sec7:blocking"):
-            return run_blocking(tables, session=self.engine_session)
+            return run_blocking(
+                tables, session=self.engine_session, blockers=self.blockers
+            )
 
     # ------------------------------------------------------------ §8
     @cached_property

@@ -24,8 +24,9 @@ from ..blocking import (
     overlap_report,
     union_candidates,
 )
+from ..errors import BlockingError
 from ..runtime.context import EngineSession, resolve_session
-from ..runtime.instrument import Instrumentation, stage
+from ..runtime.instrument import stage
 from ..text.normalize import normalize_title
 from ..text.patterns import award_number_suffix
 from .preprocess import ProjectedTables
@@ -72,33 +73,34 @@ class BlockingOutcome:
 def run_blocking(
     tables: ProjectedTables,
     debug_top_k: int = 100,
-    workers: int | None = None,
-    instrumentation: Instrumentation | None = None,
-    store=None,
-    pool=None,
     *,
     session: EngineSession | None = None,
+    blockers: "list | None" = None,
 ) -> BlockingOutcome:
     """Execute the blocking plan and the debugger check.
 
-    A resolved session with ``workers >= 2`` parallelises the two title
-    blockers (the AE blocker is a hash join, not worth chunking); its
+    Runs under *session* (or the ambient session when ``None``): a
+    session with ``workers >= 2`` parallelises the two title blockers
+    (the AE blocker is a hash join, not worth chunking); its
     instrumentation records per-blocker stage timings and pair counts;
     its store memoizes each blocker's candidate set by content
     fingerprints; its pool lets both title blockers (and any later
-    stage) reuse one set of worker processes. The
-    ``workers``/``instrumentation``/``store``/``pool`` kwargs are
-    deprecated shims over the ambient session.
+    stage) reuse one set of worker processes.
+
+    *blockers* substitutes a custom three-blocker plan (e.g. built by
+    :func:`repro.blocking.create_blockers` from ``casestudy --blocker``
+    configs) for the paper's recipe; it must supply exactly three
+    blockers, applied in C1/C2/C3 order.
     """
-    resolved = resolve_session(
-        session,
-        workers=workers,
-        instrumentation=instrumentation,
-        store=store,
-        pool=pool,
-    )
+    resolved = resolve_session(session)
     instrumentation = resolved.instrumentation
-    ae, overlap, coefficient = make_blockers()
+    if blockers is None:
+        blockers = make_blockers()
+    if len(blockers) != 3:
+        raise BlockingError(
+            f"the Section-7 plan takes exactly 3 blockers, got {len(blockers)}"
+        )
+    ae, overlap, coefficient = blockers
     args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
     with stage(instrumentation, "C1:attr_equiv"):
         c1 = ae.block_tables(*args, name="C1", session=resolved)

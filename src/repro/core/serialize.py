@@ -32,8 +32,13 @@ from typing import Any
 import numpy as np
 
 from ..blocking.attr_equivalence import AttrEquivalenceBlocker
+from ..blocking.lsh import MinHashLSHBlocker, SimHashBlocker
 from ..blocking.overlap import OverlapBlocker
 from ..blocking.overlap_coefficient import OverlapCoefficientBlocker
+from ..blocking.sharded import (
+    ShardedOverlapBlocker,
+    ShardedOverlapCoefficientBlocker,
+)
 from ..errors import WorkflowError
 from ..features.feature import STRING_MEASURES, TOKEN_MEASURES, numeric_feature, string_feature, token_feature
 from ..features.generate import FeatureSet
@@ -235,7 +240,48 @@ def _preprocessor_name(fn) -> str | None:
     raise WorkflowError(f"cannot package preprocessor {fn!r}; register it first")
 
 
+def _policy_payload(blocker) -> dict[str, Any]:
+    """``{"max_block_size": n}`` when capped, else ``{}``.
+
+    The key is *omitted* (not null) for uncapped blockers so every
+    pre-existing payload — and therefore every store fingerprint of an
+    uncapped plan — stays byte-identical.
+    """
+    policy = getattr(blocker, "block_size_policy", None)
+    if policy is not None and policy.capped:
+        return {"max_block_size": policy.max_block_size}
+    return {}
+
+
+def _policy_arg(payload: dict[str, Any]) -> dict[str, Any]:
+    cap = payload.get("max_block_size")
+    return {"block_size_policy": cap} if cap is not None else {}
+
+
 def serialize_blocker(blocker) -> dict[str, Any]:
+    # Subclass kinds must be tested before their parents: a sharded
+    # blocker is-an overlap blocker, but its payload carries the shard
+    # count the parent kind would drop.
+    if isinstance(blocker, ShardedOverlapBlocker):
+        return {
+            "kind": "sharded_overlap",
+            "l_attr": blocker.l_attr,
+            "r_attr": blocker.r_attr,
+            "threshold": blocker.threshold,
+            "normalizer": _preprocessor_name(blocker.normalizer),
+            "shards": blocker.shards,
+            **_policy_payload(blocker),
+        }
+    if isinstance(blocker, ShardedOverlapCoefficientBlocker):
+        return {
+            "kind": "sharded_overlap_coefficient",
+            "l_attr": blocker.l_attr,
+            "r_attr": blocker.r_attr,
+            "threshold": blocker.threshold,
+            "normalizer": _preprocessor_name(blocker.normalizer),
+            "shards": blocker.shards,
+            **_policy_payload(blocker),
+        }
     if isinstance(blocker, AttrEquivalenceBlocker):
         return {
             "kind": "attr_equivalence",
@@ -243,6 +289,7 @@ def serialize_blocker(blocker) -> dict[str, Any]:
             "r_attr": blocker.r_attr,
             "l_preprocess": _preprocessor_name(blocker.l_preprocess),
             "r_preprocess": _preprocessor_name(blocker.r_preprocess),
+            **_policy_payload(blocker),
         }
     if isinstance(blocker, OverlapBlocker):
         return {
@@ -251,6 +298,7 @@ def serialize_blocker(blocker) -> dict[str, Any]:
             "r_attr": blocker.r_attr,
             "threshold": blocker.threshold,
             "normalizer": _preprocessor_name(blocker.normalizer),
+            **_policy_payload(blocker),
         }
     if isinstance(blocker, OverlapCoefficientBlocker):
         return {
@@ -259,6 +307,29 @@ def serialize_blocker(blocker) -> dict[str, Any]:
             "r_attr": blocker.r_attr,
             "threshold": blocker.threshold,
             "normalizer": _preprocessor_name(blocker.normalizer),
+            **_policy_payload(blocker),
+        }
+    if isinstance(blocker, MinHashLSHBlocker):
+        return {
+            "kind": "minhash_lsh",
+            "l_attr": blocker.l_attr,
+            "r_attr": blocker.r_attr,
+            "threshold": blocker.threshold,
+            "bands": blocker.bands,
+            "rows": blocker.rows,
+            "seed": blocker.seed,
+            "normalizer": _preprocessor_name(blocker.normalizer),
+            **_policy_payload(blocker),
+        }
+    if isinstance(blocker, SimHashBlocker):
+        return {
+            "kind": "simhash",
+            "l_attr": blocker.l_attr,
+            "r_attr": blocker.r_attr,
+            "max_hamming": blocker.max_hamming,
+            "seed": blocker.seed,
+            "normalizer": _preprocessor_name(blocker.normalizer),
+            **_policy_payload(blocker),
         }
     raise WorkflowError(f"cannot package blocker {type(blocker).__name__}")
 
@@ -270,16 +341,47 @@ def deserialize_blocker(payload: dict[str, Any]):
             payload["l_attr"], payload["r_attr"],
             l_preprocess=_PREPROCESSORS[payload["l_preprocess"]],
             r_preprocess=_PREPROCESSORS[payload["r_preprocess"]],
+            **_policy_arg(payload),
         )
     if kind == "overlap":
         return OverlapBlocker(
             payload["l_attr"], payload["r_attr"], threshold=payload["threshold"],
             normalizer=_PREPROCESSORS[payload["normalizer"]],
+            **_policy_arg(payload),
         )
     if kind == "overlap_coefficient":
         return OverlapCoefficientBlocker(
             payload["l_attr"], payload["r_attr"], threshold=payload["threshold"],
             normalizer=_PREPROCESSORS[payload["normalizer"]],
+            **_policy_arg(payload),
+        )
+    if kind == "sharded_overlap":
+        return ShardedOverlapBlocker(
+            payload["l_attr"], payload["r_attr"], threshold=payload["threshold"],
+            normalizer=_PREPROCESSORS[payload["normalizer"]],
+            shards=payload["shards"],
+            **_policy_arg(payload),
+        )
+    if kind == "sharded_overlap_coefficient":
+        return ShardedOverlapCoefficientBlocker(
+            payload["l_attr"], payload["r_attr"], threshold=payload["threshold"],
+            normalizer=_PREPROCESSORS[payload["normalizer"]],
+            shards=payload["shards"],
+            **_policy_arg(payload),
+        )
+    if kind == "minhash_lsh":
+        return MinHashLSHBlocker(
+            payload["l_attr"], payload["r_attr"], threshold=payload["threshold"],
+            bands=payload["bands"], rows=payload["rows"], seed=payload["seed"],
+            normalizer=_PREPROCESSORS[payload["normalizer"]],
+            **_policy_arg(payload),
+        )
+    if kind == "simhash":
+        return SimHashBlocker(
+            payload["l_attr"], payload["r_attr"],
+            max_hamming=payload["max_hamming"], seed=payload["seed"],
+            normalizer=_PREPROCESSORS[payload["normalizer"]],
+            **_policy_arg(payload),
         )
     raise WorkflowError(f"unknown blocker kind {kind!r}")
 

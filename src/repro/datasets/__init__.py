@@ -20,6 +20,7 @@ from .scenario import (
     numbers_agree,
     numbers_comparable_but_differ,
 )
+from .scale import ScaleConfig, iter_scale_rows, scale_tables, true_matches
 from .titles import (
     TitleFactory,
     perturb_tokens,
@@ -33,6 +34,7 @@ __all__ = [
     "FederalNumberFactory",
     "ForestNumberFactory",
     "Project",
+    "ScaleConfig",
     "Scenario",
     "ScenarioConfig",
     "StateNumberFactory",
@@ -44,10 +46,13 @@ __all__ = [
     "comparable_variant",
     "generate_scenario",
     "iris_matcher",
+    "iter_scale_rows",
     "make_borderline_predicate",
     "numbers_agree",
     "numbers_comparable_but_differ",
     "perturb_tokens",
+    "scale_tables",
+    "true_matches",
     "umetrics_style",
     "unique_award_number",
     "usda_style",

@@ -320,7 +320,8 @@ def cmd_bench_history(
         sha = (record.get("git_sha") or "-")[:10]
         data = record.get("data", {})
         if metric is not None:
-            detail = f"{metric}={data.get(metric, '-')}"
+            names = [m.strip() for m in metric.split(",") if m.strip()]
+            detail = " ".join(f"{m}={data.get(m, '-')}" for m in names)
         else:
             numeric = [
                 f"{k}={v:g}" for k, v in sorted(data.items())

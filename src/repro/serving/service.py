@@ -48,6 +48,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..blocking.candidate_set import CandidateSet, Pair
 from ..blocking.combiner import union_candidates
+from ..blocking.factory import BlockerConfig, create_blocker
 from ..core.patch import merge_match_sets
 from ..errors import ServingError
 from ..features.vectors import extract_feature_vectors
@@ -133,7 +134,11 @@ class MatchService:
     feature_set, blockers, positive_rules, negative_rules:
         The workflow recipe; every blocker must support incremental
         maintenance (:class:`~repro.errors.IncrementalBlockingError`
-        otherwise — no silent full re-blocks).
+        otherwise — no silent full re-blocks). Each blocker may be an
+        instance or a declarative config (a mapping /
+        :class:`~repro.blocking.factory.BlockerConfig`) built through
+        the registry, so a service bootstrap can share the exact config
+        file the CLI's ``--blocker`` flag consumes.
     session:
         The long-lived :class:`~repro.runtime.context.EngineSession` the
         service binds to (ambient session when ``None``). The session
@@ -172,6 +177,10 @@ class MatchService:
         self.feature_set = feature_set
         self.positive_rules = list(positive_rules)
         self.negative_rules = list(negative_rules)
+        blockers = [
+            create_blocker(b) if isinstance(b, (Mapping, BlockerConfig)) else b
+            for b in blockers
+        ]
         self._session = resolve_session(session)
         self.metrics: MetricsRegistry = self._session.metrics or MetricsRegistry()
         self.handles = [

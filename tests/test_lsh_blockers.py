@@ -1,0 +1,152 @@
+"""MinHash-LSH and SimHash blockers: determinism, verification, recall.
+
+LSH blockers are the one family allowed to trade recall for candidate
+volume, so the tests pin *how much*: on the case-study tables the
+MinHash blocker must keep ≥0.95 of the true matches the exact overlap
+blocker finds, and every emitted pair must pass its exact verification
+predicate (no unverified bucket noise leaks out).
+"""
+
+import pytest
+
+from repro.blocking import MinHashLSHBlocker, OverlapBlocker, SimHashBlocker
+from repro.errors import BlockingError, IncrementalBlockingError
+from repro.similarity import jaccard
+from repro.table import Table
+from repro.text import normalize_title, whitespace
+
+
+def token_set(value, normalizer=None):
+    if normalizer is not None:
+        value = normalizer(value)
+    return frozenset(whitespace(value or ""))
+
+
+def small_tables():
+    words = [f"w{i}" for i in range(14)]
+    l_titles = [" ".join(words[i : i + 5]) for i in range(9)] + ["", "w0"]
+    r_titles = [" ".join(words[i : i + 4]) for i in range(10)] + ["w0 w1 w2"]
+    left = Table(
+        {"id": list(range(len(l_titles))), "title": l_titles}, name="L"
+    )
+    right = Table(
+        {"id": list(range(len(r_titles))), "title": r_titles}, name="R"
+    )
+    return left, right
+
+
+class TestMinHashLSH:
+    def test_deterministic_across_runs(self):
+        left, right = small_tables()
+        blocker = MinHashLSHBlocker("title", "title", threshold=0.3, seed=11)
+        first = list(blocker.block_tables(left, right, "id", "id").pairs)
+        second = list(blocker.block_tables(left, right, "id", "id").pairs)
+        assert first == second
+        assert first  # the corpus overlaps enough to emit something
+
+    def test_every_emitted_pair_verifies(self):
+        left, right = small_tables()
+        threshold = 0.4
+        blocker = MinHashLSHBlocker("title", "title", threshold=threshold)
+        out = blocker.block_tables(left, right, "id", "id")
+        l_sets = {i: token_set(t) for i, t in zip(left["id"], left["title"])}
+        r_sets = {i: token_set(t) for i, t in zip(right["id"], right["title"])}
+        for lid, rid in out.pairs:
+            assert jaccard(l_sets[lid], r_sets[rid]) >= threshold
+
+    def test_seed_changes_buckets_not_verification(self):
+        left, right = small_tables()
+        for seed in (0, 1, 99):
+            blocker = MinHashLSHBlocker(
+                "title", "title", threshold=0.5, seed=seed
+            )
+            out = blocker.block_tables(left, right, "id", "id")
+            l_sets = {
+                i: token_set(t) for i, t in zip(left["id"], left["title"])
+            }
+            r_sets = {
+                i: token_set(t) for i, t in zip(right["id"], right["title"])
+            }
+            assert all(
+                jaccard(l_sets[lid], r_sets[rid]) >= 0.5
+                for lid, rid in out.pairs
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(BlockingError):
+            MinHashLSHBlocker("t", "t", threshold=0)
+        with pytest.raises(BlockingError):
+            MinHashLSHBlocker("t", "t", bands=0)
+        with pytest.raises(BlockingError):
+            MinHashLSHBlocker("t", "t", rows=0)
+
+    def test_incremental_unsupported(self):
+        left, right = small_tables()
+        blocker = MinHashLSHBlocker("title", "title")
+        with pytest.raises(IncrementalBlockingError):
+            blocker.incremental(right, "id", "id")
+
+    def test_recall_floor_against_overlap_blocker(self, case_study):
+        """≥0.95 of the exact overlap blocker's *true matches* survive
+        LSH bucketing on the case-study tables (fixed seed)."""
+        tables = case_study.projected_v2
+        exact = OverlapBlocker(
+            "AwardTitle", "AwardTitle", threshold=3, normalizer=normalize_title
+        )
+        exact_pairs = set(
+            exact.block_tables(
+                tables.umetrics, tables.usda, tables.l_key, tables.r_key
+            ).pairs
+        )
+        exact_true = exact_pairs & tables.truth
+        assert exact_true, "the small scenario has overlap-found matches"
+        lsh = MinHashLSHBlocker(
+            "AwardTitle",
+            "AwardTitle",
+            threshold=0.3,
+            normalizer=normalize_title,
+            seed=0,
+        )
+        lsh_pairs = set(
+            lsh.block_tables(
+                tables.umetrics, tables.usda, tables.l_key, tables.r_key
+            ).pairs
+        )
+        recall = len(lsh_pairs & exact_true) / len(exact_true)
+        assert recall >= 0.95, f"LSH recall {recall:.3f} below the 0.95 floor"
+
+
+class TestSimHash:
+    def test_deterministic_and_verified(self):
+        left, right = small_tables()
+        blocker = SimHashBlocker("title", "title", max_hamming=10)
+        first = list(blocker.block_tables(left, right, "id", "id").pairs)
+        second = list(blocker.block_tables(left, right, "id", "id").pairs)
+        assert first == second
+
+    def test_zero_hamming_only_identical_signatures(self):
+        left = Table({"id": [1, 2], "title": ["w0 w1 w2", "w7 w8 w9"]}, name="L")
+        right = Table({"id": [3, 4], "title": ["w0 w1 w2", "w4 w5 w6"]}, name="R")
+        blocker = SimHashBlocker("title", "title", max_hamming=0)
+        pairs = set(blocker.block_tables(left, right, "id", "id").pairs)
+        assert pairs == {(1, 3)}
+
+    def test_wider_radius_is_superset(self):
+        left, right = small_tables()
+        narrow = set(
+            SimHashBlocker("title", "title", max_hamming=2)
+            .block_tables(left, right, "id", "id")
+            .pairs
+        )
+        wide = set(
+            SimHashBlocker("title", "title", max_hamming=8)
+            .block_tables(left, right, "id", "id")
+            .pairs
+        )
+        assert narrow <= wide
+
+    def test_parameter_validation(self):
+        with pytest.raises(BlockingError):
+            SimHashBlocker("t", "t", max_hamming=-1)
+        with pytest.raises(BlockingError):
+            SimHashBlocker("t", "t", max_hamming=17)

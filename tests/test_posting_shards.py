@@ -1,0 +1,126 @@
+"""PostingIndex sharding primitives: ``shard_of`` / ``merge``.
+
+The sharded batch blockers partition posting lists by token-hash range;
+these tests pin the invariants that partitioning relies on — stable
+ownership, disjoint ranges covering every token, and ``merge`` folds
+that reproduce the single-index build exactly (values *and* posting
+order) regardless of fold order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import token_shard
+from repro.blocking.incremental import PostingIndex
+
+token_strategy = st.one_of(
+    st.integers(0, 500), st.text(max_size=8), st.sampled_from(["", "t", "tok"])
+)
+record_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.lists(token_strategy, max_size=6)),
+    max_size=25,
+)
+
+
+def build(records):
+    index = PostingIndex()
+    for rid, tokens in records:
+        index.add(rid, tokens)
+    return index
+
+
+class TestShardOf:
+    def test_delegates_to_token_shard(self):
+        for token in ["award", "title", 17, 0, "", "x" * 40]:
+            for shards in (1, 2, 5, 8):
+                assert PostingIndex.shard_of(token, shards) == token_shard(
+                    token, shards
+                )
+
+    def test_range_and_stability(self):
+        tokens = [f"tok{i}" for i in range(200)] + list(range(200))
+        for shards in (1, 3, 8):
+            owners = [PostingIndex.shard_of(t, shards) for t in tokens]
+            assert all(0 <= o < shards for o in owners)
+            assert owners == [PostingIndex.shard_of(t, shards) for t in tokens]
+
+    def test_single_shard_owns_everything(self):
+        assert all(
+            PostingIndex.shard_of(t, 1) == 0 for t in ["a", "b", 3, None, ""]
+        )
+
+
+def ordered_view(index):
+    """Order-sensitive postings view (``snapshot`` sorts rids away)."""
+    return {t: list(index.postings(t)) for t in index.tokens()}
+
+
+class TestMerge:
+    def test_disjoint_range_fold_equals_single_build(self):
+        """Shard a build by token-hash range, merge the shards back, and
+        the result snapshots identically to the unsharded index."""
+        records = [(rid, [f"t{(rid * 7 + k) % 13}" for k in range(4)]) for rid in range(20)]
+        whole = build(records)
+        for shards in (1, 2, 4, 8):
+            parts = [PostingIndex() for _ in range(shards)]
+            for rid, tokens in records:
+                for token in tokens:
+                    parts[PostingIndex.shard_of(token, shards)].add(rid, [token])
+            # Disjoint-range invariant: each token lives in exactly one shard.
+            seen = {}
+            for i, part in enumerate(parts):
+                for token in part.tokens():
+                    assert token not in seen, (token, seen[token], i)
+                    seen[token] = i
+            merged = PostingIndex()
+            for part in parts:
+                assert merged.merge(part) is merged
+            assert merged.snapshot() == whole.snapshot()
+            assert ordered_view(merged) == ordered_view(whole)
+
+    def test_fold_order_irrelevant_for_disjoint_ranges(self):
+        records = [(rid, [f"w{rid % 5}", f"v{rid % 3}"]) for rid in range(12)]
+        whole = build(records)
+        parts = [PostingIndex() for _ in range(4)]
+        for rid, tokens in records:
+            for token in tokens:
+                parts[PostingIndex.shard_of(token, 4)].add(rid, [token])
+        forward = PostingIndex()
+        for part in parts:
+            forward.merge(part)
+        backward = PostingIndex()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.snapshot() == backward.snapshot() == whole.snapshot()
+
+    def test_overlapping_merge_appends_and_dedups(self):
+        a = PostingIndex()
+        a.add(1, ["x"])
+        a.add(2, ["x", "y"])
+        b = PostingIndex()
+        b.add(2, ["x"])  # duplicate: keeps its first (a-side) position
+        b.add(3, ["x", "z"])
+        a.merge(b)
+        assert list(a.postings("x")) == [1, 2, 3]
+        assert list(a.postings("y")) == [2]
+        assert list(a.postings("z")) == [3]
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_strategy, record_strategy, record_strategy)
+    def test_merge_is_associative(self, ra, rb, rc):
+        left = build(ra).merge(build(rb).merge(build(rc)))
+        right = build(ra).merge(build(rb)).merge(build(rc))
+        assert left.snapshot() == right.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(record_strategy, st.sampled_from([1, 2, 3, 8]))
+    def test_sharded_rebuild_matches_whole(self, records, shards):
+        whole = build(records)
+        parts = [PostingIndex() for _ in range(shards)]
+        for rid, tokens in records:
+            for token in tokens:
+                parts[PostingIndex.shard_of(token, shards)].add(rid, [token])
+        merged = PostingIndex()
+        for part in parts:
+            merged.merge(part)
+        assert merged.snapshot() == whole.snapshot()

@@ -5,8 +5,13 @@ import pytest
 
 from repro.blocking import (
     AttrEquivalenceBlocker,
+    BlockSizePolicy,
+    MinHashLSHBlocker,
     OverlapBlocker,
     OverlapCoefficientBlocker,
+    ShardedOverlapBlocker,
+    ShardedOverlapCoefficientBlocker,
+    SimHashBlocker,
     full_cross_product,
 )
 from repro.core import EMWorkflow, PackagedWorkflow, feature_from_name, feature_set_from_names
@@ -126,6 +131,16 @@ class TestBlockerSerialization:
                            normalizer=normalize_title),
             OverlapCoefficientBlocker("AwardTitle", "AwardTitle", threshold=0.7,
                                       normalizer=normalize_title),
+            OverlapBlocker("AwardTitle", "AwardTitle", threshold=1,
+                           block_size_policy=BlockSizePolicy(max_block_size=5)),
+            ShardedOverlapBlocker("AwardTitle", "AwardTitle", threshold=1,
+                                  shards=4),
+            ShardedOverlapCoefficientBlocker("AwardTitle", "AwardTitle",
+                                             threshold=0.5, shards=2,
+                                             block_size_policy=3),
+            MinHashLSHBlocker("AwardTitle", "AwardTitle", threshold=0.3,
+                              bands=16, rows=2, seed=7),
+            SimHashBlocker("AwardTitle", "AwardTitle", max_hamming=8, seed=3),
         ],
     )
     def test_roundtrip(self, blocker):
@@ -144,6 +159,22 @@ class TestBlockerSerialization:
         blocker = AttrEquivalenceBlocker("a", "b", l_preprocess=str.lower)
         with pytest.raises(WorkflowError, match="preprocessor"):
             serialize_blocker(blocker)
+
+    def test_uncapped_payload_omits_policy_key(self):
+        """Uncapped blockers serialize byte-identically to pre-policy
+        builds, so existing artifact-store fingerprints stay valid."""
+        payload = serialize_blocker(OverlapBlocker("t", "t", threshold=2))
+        assert "max_block_size" not in payload
+        capped = serialize_blocker(
+            OverlapBlocker("t", "t", threshold=2, block_size_policy=9)
+        )
+        assert capped["max_block_size"] == 9
+
+    def test_sharded_roundtrip_keeps_shards(self):
+        blocker = ShardedOverlapBlocker("t", "t", threshold=2, shards=5)
+        clone = deserialize_blocker(serialize_blocker(blocker))
+        assert type(clone) is ShardedOverlapBlocker
+        assert clone.shards == 5
 
 
 class TestPackagedWorkflow:

@@ -41,7 +41,6 @@ SHIM_MODULES = {
     "repro/core/workflow.py",
     "repro/store/stages.py",
     "repro/casestudy/__init__.py",
-    "repro/casestudy/blocking_plan.py",
     "repro/casestudy/matching.py",
     "repro/casestudy/workflows.py",
     # obs collectors and the store take an instrumentation handle as
