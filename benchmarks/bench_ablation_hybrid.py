@@ -14,8 +14,8 @@ ground truth, four strategies over the same inputs:
 from repro.casestudy.report import ReportRow, render_report
 from repro.casestudy.workflows import run_combined_workflow, train_workflow_matcher
 from repro.core.workflow import EMWorkflow
-from repro.casestudy.blocking_plan import make_blockers
 from repro.evaluation import evaluate_matches
+from repro.plan import figure10_spec, recipe_from_spec
 
 
 def test_ablation_rules_vs_learning_vs_hybrid(benchmark, run, emit_report):
@@ -26,7 +26,8 @@ def test_ablation_rules_vs_learning_vs_hybrid(benchmark, run, emit_report):
     )
 
     def learning_only():
-        workflow = EMWorkflow(name="ml_only", blockers=make_blockers())
+        blockers = list(recipe_from_spec(figure10_spec()).blockers)
+        workflow = EMWorkflow(name="ml_only", blockers=blockers)
         original = workflow.run(
             run.projected_v2.umetrics, run.projected_v2.usda,
             "RecordId", "RecordId", matcher, run.matching.feature_set,

@@ -11,11 +11,10 @@ has — while timing the full save/load/replay cycle.
 
 import json
 
-from repro.casestudy.blocking_plan import make_blockers
 from repro.casestudy.report import ReportRow, render_report
-from repro.casestudy.workflows import positive_rules, train_workflow_matcher
-from repro.core import EMWorkflow, PackagedWorkflow
-from repro.rules import default_negative_rules
+from repro.casestudy.workflows import train_workflow_matcher
+from repro.core import PackagedWorkflow
+from repro.plan import figure10_workflow
 
 
 def test_sec12_packaging_roundtrip(benchmark, run, emit_report, tmp_path):
@@ -24,12 +23,7 @@ def test_sec12_packaging_roundtrip(benchmark, run, emit_report, tmp_path):
         run.matching.feature_set, run.matching.matcher,
     )
     package = PackagedWorkflow(
-        EMWorkflow(
-            name="figure10",
-            positive_rules=positive_rules(),
-            blockers=make_blockers(),
-            negative_rules=default_negative_rules(),
-        ),
+        figure10_workflow(),
         matcher,
         run.matching.feature_set,
     )

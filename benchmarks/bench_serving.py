@@ -18,15 +18,12 @@ from __future__ import annotations
 
 import time
 
-from repro.casestudy.blocking_plan import make_blockers
-from repro.core import EMWorkflow
 from repro.casestudy.workflows import (
-    positive_rules,
     run_combined_workflow,
     train_workflow_matcher,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.rules.negative import default_negative_rules
+from repro.plan import figure10_spec, figure10_workflow
 from repro.runtime import EngineSession
 from repro.serving import MatchService
 from repro.store import ArtifactStore
@@ -51,10 +48,7 @@ def test_serving_delta_beats_warm_rerun(benchmark, run, tmp_path, emit_report):
     # original-slice artifact — the rerun reuses those but must compute
     # the extra slice from scratch
     store = ArtifactStore(tmp_path / "store")
-    workflow = EMWorkflow(
-        name="figure10", positive_rules=positive_rules(),
-        blockers=make_blockers(), negative_rules=default_negative_rules(),
-    )
+    workflow = figure10_workflow()
     with EngineSession(store=store):
         workflow.run(tables.umetrics, tables.usda, tables.l_key,
                      tables.r_key, matcher, run.matching.feature_set)
@@ -68,11 +62,11 @@ def test_serving_delta_beats_warm_rerun(benchmark, run, tmp_path, emit_report):
     # Section-10 records and probe interactively
     metrics = MetricsRegistry()
     with EngineSession(metrics=metrics) as session:
-        service = MatchService(
+        service = MatchService.from_plan(
+            figure10_spec(),
             tables.umetrics, tables.usda, tables.l_key, tables.r_key,
             matcher=matcher, feature_set=run.matching.feature_set,
-            blockers=make_blockers(), positive_rules=positive_rules(),
-            negative_rules=default_negative_rules(), session=session,
+            session=session,
         )
         for i in range(N_PROBES):
             service.match(extra.umetrics.row(i))

@@ -12,7 +12,8 @@ Run:  python examples/blocking_debugging.py
 
 from repro.blocking import debug_blocker, overlap_report, union_candidates
 from repro.casestudy import CaseStudyRun
-from repro.casestudy.blocking_plan import make_blockers, threshold_sweep
+from repro.casestudy.blocking_plan import threshold_sweep
+from repro.plan import figure10_spec, recipe_from_spec
 from repro.datasets import ScenarioConfig
 
 
@@ -35,7 +36,7 @@ def main() -> None:
     print("  -> K=1 is uselessly large, K=7 starves; the paper picked K=3\n")
 
     # -- 2. why two title blockers? (footnote 3) ---------------------------
-    ae, overlap, coefficient = make_blockers()
+    ae, overlap, coefficient = recipe_from_spec(figure10_spec()).blockers
     args = (tables.umetrics, tables.usda, tables.l_key, tables.r_key)
     c1 = ae.block_tables(*args, name="C1")
     c2 = overlap.block_tables(*args, name="C2")

@@ -24,13 +24,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.casestudy import CaseStudyRun, preprocess, train_workflow_matcher
-from repro.casestudy.blocking_plan import make_blockers
-from repro.casestudy.workflows import positive_rules, run_combined_workflow
-from repro.core import EMWorkflow, PackagedWorkflow
+from repro.casestudy.workflows import run_combined_workflow
+from repro.core import PackagedWorkflow
 from repro.datasets import ScenarioConfig, make_borderline_predicate
 from repro.evaluation import AccuracyMonitor
 from repro.labeling import ExpertOracle
-from repro.rules import default_negative_rules
+from repro.plan import figure10_workflow
 
 
 def dev_config(seed: int = 45) -> ScenarioConfig:
@@ -73,13 +72,9 @@ def main() -> None:
     print("development matcher trained:", dev.matching.final_selection.best.name)
 
     # package it: rules + blockers + features + model + imputer, as JSON
+    # package it from the one shared Figure-10 plan recipe
     package = PackagedWorkflow(
-        EMWorkflow(
-            name="figure10",
-            positive_rules=positive_rules(),
-            blockers=make_blockers(),
-            negative_rules=default_negative_rules(),
-        ),
+        figure10_workflow(),
         matcher,
         dev.matching.feature_set,
     )

@@ -60,32 +60,76 @@ def _config(args: argparse.Namespace) -> ScenarioConfig:
     return ScenarioConfig(seed=args.seed)
 
 
+def _load_json_arg(raw: str):
+    """An inline-JSON or ``@file`` CLI payload, parsed."""
+    import json
+
+    if raw.startswith("@"):
+        with open(raw[1:], "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return json.loads(raw)
+
+
 def _parse_blocker_configs(raw: str):
     """``--blocker`` payload -> blocker list via the factory registry.
 
     Accepts one config object or a list of three; a path to a JSON file
     is accepted too (starts with ``@``).
     """
-    import json
-
     from .blocking import create_blockers
 
-    if raw.startswith("@"):
-        with open(raw[1:], "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
-    else:
-        payload = json.loads(raw)
-    return create_blockers(payload)
+    return create_blockers(_load_json_arg(raw))
+
+
+def _parse_plan_spec(raw: str):
+    """``--plan`` payload -> :class:`repro.plan.PipelineSpec`.
+
+    Accepts an inline JSON spec or ``@path/to/spec.json``.
+    """
+    from .plan import PipelineSpec
+
+    return PipelineSpec.from_dict(_load_json_arg(raw))
+
+
+def _plan_from_args(args: argparse.Namespace):
+    """Resolve ``--plan`` / deprecated ``--blocker`` into one spec.
+
+    ``--blocker`` warns and delegates: the configs are substituted into
+    the Figure-10 spec, so both flags drive the same plan path.
+    """
+    plan_json = getattr(args, "plan", None)
+    blocker_json = getattr(args, "blocker", None)
+    if plan_json is not None and blocker_json is not None:
+        raise SystemExit(
+            "--plan and --blocker are mutually exclusive "
+            "(--blocker is deprecated; fold the blockers into the plan)"
+        )
+    if plan_json is not None:
+        return _parse_plan_spec(plan_json)
+    if blocker_json is not None:
+        import warnings
+
+        warnings.warn(
+            "--blocker is deprecated; use --plan with a pipeline spec "
+            "(the blocker configs are being folded into the Figure-10 "
+            "plan for you)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .plan import figure10_spec
+
+        payload = _load_json_arg(blocker_json)
+        if isinstance(payload, dict):
+            payload = [payload]
+        return figure10_spec(blockers=payload)
+    return None
 
 
 def _cmd_casestudy(args: argparse.Namespace) -> int:
     trace_path = getattr(args, "trace", None)
     manifest_path = getattr(args, "manifest", None)
     store_dir = getattr(args, "store", None)
-    blocker_json = getattr(args, "blocker", None)
-    blockers = (
-        _parse_blocker_configs(blocker_json) if blocker_json is not None else None
-    )
+    plan = _plan_from_args(args)
     config = _config(args)
     instrumentation = None
     if trace_path is None and manifest_path is not None:
@@ -108,7 +152,7 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
         resources=getattr(args, "resources", False),
     )
     with session, CaseStudyRun(
-        config=config, session=session, blockers=blockers
+        config=config, session=session, plan=plan
     ) as run:
         return _run_casestudy(run, trace_path, manifest_path)
 
@@ -152,10 +196,9 @@ def _run_casestudy(
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
-    from .casestudy.blocking_plan import make_blockers
-    from .casestudy.workflows import positive_rules, train_workflow_matcher
+    from .casestudy.workflows import train_workflow_matcher
     from .obs.metrics import MetricsRegistry
-    from .rules.negative import default_negative_rules
+    from .plan import figure10_spec
     from .serving import MatchService
 
     config = _config(args)
@@ -172,11 +215,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             run.blocking_v2.candidates, run.labeling.labels,
             feature_set, run.matching.matcher, session=session,
         )
-        service = MatchService(
-            tables.umetrics, tables.usda, tables.l_key, tables.r_key,
-            matcher=matcher, feature_set=feature_set,
-            blockers=make_blockers(), positive_rules=positive_rules(),
-            negative_rules=default_negative_rules(), session=session,
+        plan = _plan_from_args(args) or figure10_spec()
+        service = MatchService.from_plan(
+            plan, tables.umetrics, tables.usda, tables.l_key, tables.r_key,
+            matcher=matcher, feature_set=feature_set, session=session,
         )
         initial = len(service.current_matches())
         print(f"serving {len(service)} records, {initial} initial matches")
@@ -335,10 +377,16 @@ def main(argv: list[str] | None = None) -> int:
     casestudy.add_argument("--no-kernels", action="store_true",
                            help="force the pure-Python similarity paths "
                                 "for this run")
+    casestudy.add_argument("--plan", metavar="CONFIG_JSON",
+                           help="drive the Figure-10 workflow from a pipeline "
+                                "spec: an inline PipelineSpec JSON document "
+                                "or @path/to/spec.json (see "
+                                "examples/figure10.json)")
     casestudy.add_argument("--blocker", metavar="CONFIG_JSON",
-                           help="replace the Section-7 blocking plan with "
-                                "blockers built by the registry factory: a "
-                                "JSON list of three {kind, ...} configs "
+                           help="deprecated: use --plan. Replaces the "
+                                "Section-7 blocking plan with blockers built "
+                                "by the registry factory: a JSON list of "
+                                "three {kind, ...} configs "
                                 "(or @path/to/configs.json)")
     casestudy.add_argument("--resources", action="store_true",
                            help="sample per-stage CPU/RSS/GC deltas "
@@ -347,6 +395,10 @@ def main(argv: list[str] | None = None) -> int:
         "serve", help="online serving: delta patches + per-record match()"
     )
     _add_common(serve)
+    serve.add_argument("--plan", metavar="CONFIG_JSON",
+                       help="bootstrap the MatchService recipe from a "
+                            "pipeline spec (inline JSON or @file; default: "
+                            "the built-in Figure-10 plan)")
     serve.add_argument("--patch", action="store_true",
                        help="replay the Section-10 late records through the "
                             "delta path and verify against the batch rerun")

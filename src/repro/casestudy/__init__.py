@@ -54,6 +54,16 @@ __all__ = [
 ]
 
 
+def _plan_fingerprints(spec) -> dict:
+    """Per-node content fingerprints (empty for object-mode specs)."""
+    from ..errors import PlanError
+
+    try:
+        return {"plan": spec.fingerprint(), "nodes": spec.node_fingerprints()}
+    except PlanError:
+        return {}
+
+
 @dataclass
 class CaseStudyRun:
     """One full execution of the case study over the synthetic scenario.
@@ -100,8 +110,13 @@ class CaseStudyRun:
     session: EngineSession | None = None
     #: Optional custom Section-7 plan (exactly three blockers, C1/C2/C3
     #: order) — e.g. from ``repro.blocking.create_blockers``; ``None``
-    #: runs the paper recipe.
+    #: runs the paper recipe. Deprecated in favour of ``plan``.
     blockers: "list | None" = None
+    #: Optional full pipeline plan (:class:`repro.plan.PipelineSpec`) —
+    #: e.g. ``PipelineSpec.load("examples/figure10.json")``. Drives the
+    #: Section-7 blocking recipe *and* the Section-10/12 combined
+    #: workflows; ``None`` runs :func:`repro.plan.figure10_spec`.
+    plan: "object | None" = None
     _owned_session: EngineSession | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -136,6 +151,47 @@ class CaseStudyRun:
     def worker_pool(self) -> WorkerPool | None:
         """The pool shared by every stage (``None`` for serial runs)."""
         return self.engine_session.worker_pool
+
+    @property
+    def effective_plan(self):
+        """The pipeline spec this run executes: ``plan``, else the paper
+        recipe (with ``blockers`` substituted when given)."""
+        from ..plan.figure10 import figure10_spec
+
+        if self.plan is not None:
+            return self.plan
+        if self.blockers is not None:
+            return figure10_spec(blockers=self.blockers)
+        return figure10_spec()
+
+    @property
+    def _plan_blockers(self) -> "list | None":
+        """Section-7 blockers derived from the plan (``None`` = paper
+        recipe, letting :func:`run_blocking` use ``make_blockers``)."""
+        if self.blockers is not None:
+            return list(self.blockers)
+        if self.plan is not None:
+            from ..plan.figure10 import recipe_from_spec
+
+            return list(recipe_from_spec(self.plan).blockers)
+        return None
+
+    def plan_record(self) -> dict:
+        """The plan as manifest data: canonical when JSON-safe, else a
+        degraded structural sketch (ids/kinds only) for object-mode specs."""
+        from ..errors import PlanError
+
+        spec = self.effective_plan
+        try:
+            record = spec.canonical()
+        except PlanError:
+            record = {
+                "name": spec.name,
+                "nodes": [{"id": n.id, "kind": n.kind} for n in spec.nodes],
+                "degraded": True,
+            }
+        record["fingerprints"] = _plan_fingerprints(spec)
+        return record
 
     def close(self) -> None:
         """Release the run-owned session and its worker pool (idempotent;
@@ -182,7 +238,7 @@ class CaseStudyRun:
         tables = self.projected
         with stage(self.instrumentation, "sec7:blocking"):
             return run_blocking(
-                tables, session=self.engine_session, blockers=self.blockers
+                tables, session=self.engine_session, blockers=self._plan_blockers
             )
 
     @cached_property
@@ -191,7 +247,7 @@ class CaseStudyRun:
         tables = self.projected_v2
         with stage(self.instrumentation, "sec7:blocking"):
             return run_blocking(
-                tables, session=self.engine_session, blockers=self.blockers
+                tables, session=self.engine_session, blockers=self._plan_blockers
             )
 
     # ------------------------------------------------------------ §8
@@ -244,6 +300,7 @@ class CaseStudyRun:
                 with_negative_rules=with_negative_rules,
                 provenance=self.provenance,
                 session=self.engine_session,
+                plan=self.effective_plan,
             )
 
     @cached_property

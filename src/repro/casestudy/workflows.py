@@ -20,20 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..blocking.candidate_set import CandidateSet, Pair
-from ..blocking.combiner import union_candidates
-from ..core.patch import merge_match_sets
-from ..core.workflow import EMWorkflow, WorkflowResult
+from ..core.workflow import WorkflowResult
 from ..features.generate import FeatureSet
-from ..features.vectors import extract_feature_vectors
 from ..labeling.labels import LabeledPairs
 from ..matchers.ml_matcher import MLMatcher
-from ..rules.negative import default_negative_rules
+from ..plan.compile import compile_plan
+from ..plan.figure10 import drop_train_nodes, figure10_spec, strip_negative_rules
+from ..plan.spec import NodeSpec, PipelineSpec
 from ..rules.positive import award_project_rule, m1_rule
 from ..runtime.context import EngineSession, resolve_session
-from ..runtime.instrument import Instrumentation, stage
+from ..runtime.instrument import Instrumentation
 from ..table.ops import concat
-from .blocking_plan import make_blockers
-from .matching import sure_match_pairs, training_labels
+from .matching import sure_match_pairs
 from .preprocess import ProjectedTables
 
 
@@ -124,7 +122,10 @@ def train_workflow_matcher(
     its training set; removing them as well would strip nearly every clean
     high-similarity positive from the sample. The rules still take
     precedence at prediction time (the workflow only predicts on C minus
-    the sure matches of *both* rules)."""
+    the sure matches of *both* rules).
+
+    A thin wrapper over a single plan ``train`` node (protocol
+    ``workflow_matcher``) — the same node the Figure-10 spec runs."""
     resolved = resolve_session(
         session,
         workers=workers,
@@ -132,15 +133,35 @@ def train_workflow_matcher(
         store=store,
         pool=pool,
     )
-    sure = sure_match_pairs(candidates)  # M1 only, as in Section 9
-    pairs, y = training_labels(labels, sure)
-    matrix = extract_feature_vectors(
-        candidates, feature_set, pairs=pairs, session=resolved
+    spec = PipelineSpec(
+        name="train_workflow_matcher",
+        nodes=(
+            NodeSpec(
+                id="train",
+                kind="train",
+                params={"protocol": "workflow_matcher"},
+                inputs={
+                    "candidates": "candidates",
+                    "labels": "labels",
+                    "feature_set": "feature_set",
+                    "matcher": "matcher_proto",
+                },
+                outputs={"matcher": "matcher"},
+            ),
+        ),
+        inputs=("candidates", "labels", "feature_set", "matcher_proto"),
+        outputs={"matcher": "matcher"},
     )
-    with stage(resolved.instrumentation, "fit_matcher"):
-        trained = matcher.clone()
-        trained.fit(matrix, y)
-    return trained
+    result = compile_plan(spec).execute(
+        resolved,
+        inputs={
+            "candidates": candidates,
+            "labels": labels,
+            "feature_set": feature_set,
+            "matcher_proto": matcher,
+        },
+    )
+    return result.artifacts["matcher"]
 
 
 def merged_candidate_universe(
@@ -167,6 +188,19 @@ def merged_candidate_universe(
     return universe
 
 
+def _slice_result(outputs: dict, prefix: str, collector) -> WorkflowResult:
+    """Assemble one slice's :class:`WorkflowResult` from plan outputs."""
+    return WorkflowResult(
+        sure_matches=outputs[f"{prefix}_sure"],
+        blocked=outputs[f"{prefix}_blocked"],
+        to_predict=outputs[f"{prefix}_to_predict"],
+        predicted_matches=tuple(outputs[f"{prefix}_predicted"]),
+        flipped=tuple(outputs[f"{prefix}_flipped"]),
+        matches=tuple(outputs[f"{prefix}_matches"]),
+        provenance=collector,
+    )
+
+
 def run_combined_workflow(
     original: ProjectedTables,
     extra: ProjectedTables,
@@ -181,8 +215,17 @@ def run_combined_workflow(
     pool=None,
     *,
     session: EngineSession | None = None,
+    plan: PipelineSpec | None = None,
 ) -> CombinedWorkflowOutcome:
     """Run the Figure-9 (or, with negative rules, Figure-10) workflow.
+
+    A thin wrapper over ``compile_plan(spec).execute(session)``: the
+    default *plan* is :func:`repro.plan.figure10.figure10_spec` — the one
+    shared recipe — with its ``train`` node dropped (*matcher* is already
+    trained) and, when ``with_negative_rules`` is false, the negative-rule
+    nodes emptied (the Figure-9 variant). A custom *plan* must export the
+    same output names (``matches``, ``original_*``/``extra_*``) and group
+    its slice nodes under ``original_slice``/``extra_slice``.
 
     A resolved session with ``workers >= 2`` fans the blocking probes and
     feature extraction of both table slices over its process pool; its
@@ -204,45 +247,32 @@ def run_combined_workflow(
         store=store,
         pool=pool,
     )
-    instrumentation = resolved.instrumentation
-    workflow = EMWorkflow(
-        name="figure10" if with_negative_rules else "figure9",
-        positive_rules=positive_rules(),
-        blockers=make_blockers(),
-        negative_rules=default_negative_rules() if with_negative_rules else [],
+    spec = plan if plan is not None else figure10_spec()
+    if not with_negative_rules:
+        spec = strip_negative_rules(spec)
+    spec = drop_train_nodes(spec)
+    result = compile_plan(spec).execute(
+        resolved,
+        inputs={
+            "tables": original,
+            "extra_tables": extra,
+            "feature_set": feature_set,
+            "matcher": matcher,
+            "labels": labels,
+        },
+        provenance=provenance,
     )
-    with stage(instrumentation, "original_slice"):
-        original_result = workflow.run(
-            original.umetrics, original.usda, original.l_key, original.r_key,
-            matcher, feature_set,
-            provenance=provenance, session=resolved,
-        )
-    with stage(instrumentation, "extra_slice"):
-        extra_result = workflow.run(
-            extra.umetrics, extra.usda, extra.l_key, extra.r_key,
-            matcher, feature_set,
-            provenance=provenance, session=resolved,
-        )
-    kept_original = [
-        p for p in original_result.predicted_matches
-        if p not in {f for f, _ in original_result.flipped}
-    ]
-    kept_extra = [
-        p for p in extra_result.predicted_matches
-        if p not in {f for f, _ in extra_result.flipped}
-    ]
-    matches = merge_match_sets(
-        [
-            original_result.sure_matches.pairs,
-            extra_result.sure_matches.pairs,
-            kept_original,
-            kept_extra,
-        ]
+    outputs = result.outputs
+    original_result = _slice_result(
+        outputs, "original", result.collectors.get("original_slice")
+    )
+    extra_result = _slice_result(
+        outputs, "extra", result.collectors.get("extra_slice")
     )
     universe = merged_candidate_universe(original, extra, original_result, extra_result)
     return CombinedWorkflowOutcome(
         original=original_result,
         extra=extra_result,
-        matches=tuple(matches),
+        matches=tuple(outputs["matches"]),
         consolidated_candidates=universe,
     )

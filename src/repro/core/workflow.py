@@ -13,6 +13,14 @@ Figure 8 is this workflow with only the M1 rule and no negative rules;
 Figure 9 adds the award/project-number rule and a second table slice
 (handled by running the same workflow on the extra records — see
 :mod:`repro.core.patch`); Figure 10 adds the negative rules.
+
+Since the plan IR landed, :class:`EMWorkflow` is a thin wrapper: it
+assembles an object-mode :class:`~repro.plan.spec.PipelineSpec` from its
+rules/blockers/matcher and delegates to
+``compile_plan(spec).execute(session)`` — the same compiler the CLI's
+``--plan`` path and the Figure-10 recipe run through — so every stage
+still flows through ``session.run_stage`` with unchanged fingerprints,
+trace names and counters.
 """
 
 from __future__ import annotations
@@ -22,15 +30,15 @@ from typing import Sequence
 
 from ..blocking.base import Blocker
 from ..blocking.candidate_set import CandidateSet, Pair
-from ..blocking.combiner import union_candidates
 from ..errors import WorkflowError
 from ..features.generate import FeatureSet
-from ..features.vectors import extract_feature_vectors
 from ..matchers.ml_matcher import MLMatcher
-from ..rules.negative import ComparableMismatchRule, apply_negative_rules
+from ..plan.compile import compile_plan
+from ..plan.spec import NodeSpec, PipelineSpec
+from ..rules.negative import ComparableMismatchRule
 from ..rules.positive import ExactNumberRule
 from ..runtime.context import EngineSession, resolve_session
-from ..runtime.instrument import Instrumentation, count
+from ..runtime.instrument import Instrumentation
 from ..table import Table
 
 
@@ -97,6 +105,75 @@ class EMWorkflow:
             return MatchProvenance(self.name)
         return policy
 
+    # -- plan assembly -------------------------------------------------
+
+    def _candidate_nodes(self) -> list[NodeSpec]:
+        """Stages 1-3 as plan nodes: C1, the blockers, C2 = union, C.
+
+        Live rule/blocker objects travel as plan *inputs* (artifact
+        edges), not params, so the spec stays purely structural.
+        """
+        table_edges = {"ltable": "ltable", "rtable": "rtable", "keys": "keys"}
+        nodes = [
+            NodeSpec(
+                id="c1",
+                kind="rules",
+                params={"mode": "positive", "name": "C1",
+                        "trace": "positive_rules"},
+                inputs={**table_edges, "rules": "positive_rules"},
+                outputs={"matches": "c1"},
+            )
+        ]
+        for i in range(len(self.blockers)):
+            nodes.append(
+                NodeSpec(
+                    id=f"block_{i}",
+                    kind="block",
+                    inputs={**table_edges, "blocker": f"blocker_{i}"},
+                    outputs={"candidates": f"b{i}"},
+                )
+            )
+        if self.blockers:
+            union_inputs = {"c1": "c1"}
+            union_inputs.update(
+                {f"b{i}": f"b{i}" for i in range(len(self.blockers))}
+            )
+            nodes.append(
+                NodeSpec(
+                    id="c2",
+                    kind="combine",
+                    params={"op": "union", "name": "C2"},
+                    inputs=union_inputs,
+                    outputs={"candidates": "c2"},
+                )
+            )
+        nodes.append(
+            NodeSpec(
+                id="c",
+                kind="combine",
+                # count_left records the legacy "candidates" counter: |C2|
+                # (|C1| when there is nothing to union, exactly as before).
+                params={"op": "difference", "name": "C",
+                        "count_left": "candidates"},
+                inputs={"left": "c2" if self.blockers else "c1", "right": "c1"},
+                outputs={"candidates": "c"},
+            )
+        )
+        return nodes
+
+    def _plan_inputs(
+        self, ltable: Table, rtable: Table, l_key: str, r_key: str
+    ) -> dict:
+        env = {
+            "ltable": ltable,
+            "rtable": rtable,
+            "keys": (l_key, r_key),
+            "positive_rules": list(self.positive_rules),
+        }
+        for i, blocker in enumerate(self.blockers):
+            env[f"blocker_{i}"] = blocker
+        return env
+
     def build_candidates(
         self,
         ltable: Table,
@@ -132,8 +209,6 @@ class EMWorkflow:
         """
         if not self.blockers and not self.positive_rules:
             raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
-        from ..store.stages import BlockStage, SureMatchStage
-
         resolved = resolve_session(
             session,
             workers=workers,
@@ -142,28 +217,20 @@ class EMWorkflow:
             pool=pool,
         )
         collector = self._resolve_collector(provenance, resolved)
-        instrumentation = resolved.instrumentation
-        c1 = resolved.run_stage(
-            SureMatchStage(
-                self.positive_rules, ltable, rtable, l_key, r_key,
-                name="C1", trace_name="positive_rules",
-            ),
-            provenance=collector,
+        env = self._plan_inputs(ltable, rtable, l_key, r_key)
+        spec = PipelineSpec(
+            name=self.name,
+            nodes=tuple(self._candidate_nodes()),
+            inputs=tuple(env),
         )
-        blocked = []
-        for blocker in self.blockers:
-            result = resolved.run_stage(
-                BlockStage(
-                    blocker, ltable, rtable, l_key, r_key,
-                    trace_name=f"block:{blocker.short_name}",
-                ),
-                provenance=collector,
-            )
-            blocked.append(result)
-        c2 = union_candidates([c1] + blocked, name="C2") if blocked else c1
-        c = c2.difference(c1, name="C")
-        count(instrumentation, "candidates", len(c2))
-        return c1, c2, c
+        result = compile_plan(spec).execute(
+            resolved,
+            inputs=env,
+            provenance=collector if collector is not None else False,
+        )
+        c1 = result.artifacts["c1"]
+        c2 = result.artifacts["c2"] if self.blockers else c1
+        return c1, c2, result.artifacts["c"]
 
     def run(
         self,
@@ -198,13 +265,13 @@ class EMWorkflow:
         of one extra ``predict_proba`` pass; the match results are
         unchanged.
         """
+        if not self.blockers and not self.positive_rules:
+            raise WorkflowError(f"workflow {self.name!r} has no rules and no blockers")
         if not matcher.is_fitted:
             raise WorkflowError(
                 f"workflow {self.name!r} needs a trained matcher; "
                 f"{matcher.name!r} is unfitted"
             )
-        from ..store.stages import PredictStage
-
         resolved = resolve_session(
             session,
             workers=workers,
@@ -213,33 +280,62 @@ class EMWorkflow:
             pool=pool,
         )
         collector = self._resolve_collector(provenance, resolved)
-        c1, c2, c = self.build_candidates(
-            ltable, rtable, l_key, r_key,
-            provenance=collector if collector is not None else False,
-            session=resolved,
+        nodes = self._candidate_nodes() + [
+            NodeSpec(
+                id="extract",
+                kind="extract",
+                params={"skip_empty": True},
+                inputs={"candidates": "c", "feature_set": "feature_set"},
+                outputs={"matrix": "matrix"},
+            ),
+            NodeSpec(
+                id="predict",
+                kind="predict",
+                inputs={"matcher": "matcher", "matrix": "matrix"},
+                outputs={"matches": "predicted"},
+            ),
+            NodeSpec(
+                id="negative",
+                kind="rules",
+                params={"mode": "negative"},
+                inputs={"matches": "predicted", "candidates": "c",
+                        "rules": "negative_rules"},
+                outputs={"kept": "kept", "flipped": "flipped"},
+            ),
+            NodeSpec(
+                id="final",
+                kind="combine",
+                params={"op": "finalize_matches"},
+                inputs={"sure": "c1", "kept": "kept",
+                        "predicted": "predicted", "flipped": "flipped"},
+                outputs={"matches": "final"},
+            ),
+        ]
+        env = self._plan_inputs(ltable, rtable, l_key, r_key)
+        env.update(
+            {
+                "feature_set": feature_set,
+                "matcher": matcher,
+                "negative_rules": list(self.negative_rules),
+            }
         )
-        if len(c):
-            matrix = extract_feature_vectors(c, feature_set, session=resolved)
-            predicted = resolved.run_stage(
-                PredictStage(matcher, matrix, trace_name="predict")
-            )
-            if collector is not None:
-                collector.record_scores(matcher.predict_proba(matrix))
-        else:
-            predicted = []
-        if self.negative_rules:
-            kept, flipped = apply_negative_rules(predicted, c, self.negative_rules)
-        else:
-            kept, flipped = list(predicted), []
-        final = list(c1.pairs) + [p for p in kept if p not in c1]
-        if collector is not None:
-            collector.record_outcome(predicted, flipped, final)
+        spec = PipelineSpec(
+            name=self.name, nodes=tuple(nodes), inputs=tuple(env),
+            outputs={"matches": "final"},
+        )
+        result = compile_plan(spec).execute(
+            resolved,
+            inputs=env,
+            provenance=collector if collector is not None else False,
+        )
+        artifacts = result.artifacts
+        c1 = artifacts["c1"]
         return WorkflowResult(
             sure_matches=c1,
-            blocked=c2,
-            to_predict=c,
-            predicted_matches=tuple(predicted),
-            flipped=tuple(flipped),
-            matches=tuple(final),
+            blocked=artifacts["c2"] if self.blockers else c1,
+            to_predict=artifacts["c"],
+            predicted_matches=tuple(artifacts["predicted"]),
+            flipped=tuple(artifacts["flipped"]),
+            matches=tuple(artifacts["final"]),
             provenance=collector,
         )

@@ -70,6 +70,12 @@ class WorkflowError(ReproError):
     """An EM workflow graph is malformed or a stage failed."""
 
 
+class PlanError(WorkflowError):
+    """A :class:`repro.plan.PipelineSpec` is malformed: unknown node kind,
+    duplicate node id or artifact producer, a missing artifact edge, a
+    dependency cycle, or a spec that cannot be serialized canonically."""
+
+
 class DatasetError(ReproError):
     """Synthetic scenario generation was given invalid parameters."""
 

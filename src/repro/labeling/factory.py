@@ -1,0 +1,109 @@
+"""Sampler registry: pick a down-sampling / pair-sampling strategy by name.
+
+Completes the per-family registries consumed by the plan IR
+(:mod:`repro.plan`): blockers, matchers, rules, features — and samplers.
+A sampler config is a kind name or ``{"kind": name, ...params}``; the
+built sampler exposes one of two call shapes, advertised by ``mode``:
+
+* ``"pairs"`` — ``sample_pairs(candidates, n, rng) -> list[Pair]``
+  (the Section-8 random pair draw);
+* ``"tables"`` — ``sample_tables(table_a, table_b, *, session=None)``
+  (the Corleone-style table down-sample of
+  :func:`repro.blocking.down_sample.down_sample`).
+
+ROADMAP item 4 (weak supervision) will register its labeling-function
+samplers here instead of adding new plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import LabelingError
+
+
+@dataclass(frozen=True)
+class RandomPairSampler:
+    """Uniform pair sampling without replacement (Section 8's draw)."""
+
+    mode = "pairs"
+
+    def sample_pairs(self, candidates: Any, n: int, rng: np.random.Generator):
+        return candidates.sample(n, rng)
+
+
+@dataclass(frozen=True)
+class CorleoneDownSampler:
+    """Corleone-style evidence-directed table down-sampling."""
+
+    attrs: tuple[str, ...]
+    b_size: int
+    a_size: int
+    seed: int = 0
+    mode = "tables"
+
+    def sample_tables(self, table_a: Any, table_b: Any, *, session: Any = None):
+        from ..blocking.down_sample import down_sample
+
+        rng = np.random.default_rng(self.seed)
+        return down_sample(
+            table_a, table_b, list(self.attrs), self.b_size, self.a_size,
+            rng, session=session,
+        )
+
+
+def _random_pairs(**params: Any) -> RandomPairSampler:
+    if params:
+        raise TypeError(f"unexpected parameters {sorted(params)}")
+    return RandomPairSampler()
+
+
+def _corleone(
+    attrs: Sequence[str], b_size: int, a_size: int, seed: int = 0
+) -> CorleoneDownSampler:
+    return CorleoneDownSampler(
+        attrs=tuple(attrs), b_size=int(b_size), a_size=int(a_size), seed=int(seed)
+    )
+
+
+#: kind name -> sampler builder. Extend via :func:`register_sampler`.
+SAMPLER_REGISTRY: dict[str, Callable[..., Any]] = {
+    "random_pairs": _random_pairs,
+    "corleone": _corleone,
+}
+
+
+def register_sampler(kind: str, builder: Callable[..., Any]) -> None:
+    """Register a sampler kind (overwriting an existing kind fails)."""
+    if kind in SAMPLER_REGISTRY:
+        raise LabelingError(f"sampler kind {kind!r} is already registered")
+    SAMPLER_REGISTRY[kind] = builder
+
+
+def create_sampler(config: "str | Mapping[str, Any]") -> Any:
+    """Build one sampler from a kind name or config mapping."""
+    if isinstance(config, str):
+        kind, params = config, {}
+    elif isinstance(config, Mapping):
+        if "kind" not in config:
+            raise LabelingError(f"sampler config is missing 'kind': {config!r}")
+        kind = config["kind"]
+        params = {k: v for k, v in config.items() if k != "kind"}
+    else:
+        raise LabelingError(
+            f"sampler config must be a kind name or mapping, got {config!r}"
+        )
+    builder = SAMPLER_REGISTRY.get(kind)
+    if builder is None:
+        raise LabelingError(
+            f"unknown sampler kind {kind!r}; available: {sorted(SAMPLER_REGISTRY)}"
+        )
+    try:
+        return builder(**params)
+    except TypeError as exc:
+        raise LabelingError(
+            f"bad parameters for sampler kind {kind!r}: {exc}"
+        ) from exc

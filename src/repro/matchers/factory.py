@@ -1,0 +1,103 @@
+"""Matcher registry: build the paper's matcher lineup by kind name.
+
+Mirrors :mod:`repro.blocking.factory` for the matcher family so plan
+specs (:mod:`repro.plan`) can reference matchers as data. Each builder
+reproduces exactly one entry of
+:func:`repro.matchers.select.default_matchers`, including its display
+name — fingerprints and Section-9 selection behave identically whether a
+matcher came from the registry or the hand-written lineup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..errors import MatcherError
+from ..ml import (
+    DecisionTreeClassifier,
+    GaussianNaiveBayes,
+    LinearRegressionClassifier,
+    LinearSVM,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+from .ml_matcher import MLMatcher
+
+
+def _decision_tree(seed: int = 0, min_samples_leaf: int = 4) -> MLMatcher:
+    return MLMatcher(
+        DecisionTreeClassifier(min_samples_leaf=min_samples_leaf, seed=seed),
+        "Decision Tree",
+    )
+
+
+def _random_forest(
+    seed: int = 0, n_trees: int = 50, min_samples_leaf: int = 2
+) -> MLMatcher:
+    return MLMatcher(
+        RandomForestClassifier(
+            n_trees=n_trees, min_samples_leaf=min_samples_leaf, seed=seed
+        ),
+        "Random Forest",
+    )
+
+
+def _svm(seed: int = 0) -> MLMatcher:
+    return MLMatcher(LinearSVM(seed=seed), "SVM")
+
+
+def _logistic_regression() -> MLMatcher:
+    return MLMatcher(LogisticRegression(), "Logistic Regression")
+
+
+def _naive_bayes() -> MLMatcher:
+    return MLMatcher(GaussianNaiveBayes(), "Naive Bayes")
+
+
+def _linear_regression() -> MLMatcher:
+    return MLMatcher(LinearRegressionClassifier(), "Linear Regression")
+
+
+#: kind name -> builder taking keyword params. Extend via
+#: :func:`register_matcher`.
+MATCHER_REGISTRY: dict[str, Callable[..., MLMatcher]] = {
+    "decision_tree": _decision_tree,
+    "random_forest": _random_forest,
+    "svm": _svm,
+    "logistic_regression": _logistic_regression,
+    "naive_bayes": _naive_bayes,
+    "linear_regression": _linear_regression,
+}
+
+
+def register_matcher(kind: str, builder: Callable[..., Any]) -> None:
+    """Register a new matcher kind (overwriting an existing kind fails)."""
+    if kind in MATCHER_REGISTRY:
+        raise MatcherError(f"matcher kind {kind!r} is already registered")
+    MATCHER_REGISTRY[kind] = builder
+
+
+def create_matcher(config: "str | Mapping[str, Any]") -> MLMatcher:
+    """Build one (untrained) matcher from a kind name or config mapping."""
+    if isinstance(config, str):
+        kind, params = config, {}
+    elif isinstance(config, Mapping):
+        if "kind" not in config:
+            raise MatcherError(f"matcher config is missing 'kind': {config!r}")
+        kind = config["kind"]
+        params = {k: v for k, v in config.items() if k != "kind"}
+    else:
+        raise MatcherError(
+            f"matcher config must be a kind name or mapping, got {config!r}"
+        )
+    builder = MATCHER_REGISTRY.get(kind)
+    if builder is None:
+        raise MatcherError(
+            f"unknown matcher kind {kind!r}; available: {sorted(MATCHER_REGISTRY)}"
+        )
+    try:
+        return builder(**params)
+    except TypeError as exc:
+        raise MatcherError(
+            f"bad parameters for matcher kind {kind!r}: {exc}"
+        ) from exc

@@ -138,6 +138,10 @@ class RunManifest:
     stages: dict[str, dict[str, Any]] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
     monitoring: list[dict[str, Any]] = field(default_factory=list)
+    #: canonical pipeline-spec record (plus per-node fingerprints) of the
+    #: plan that drove the run; empty for pre-plan manifests, which
+    #: ``from_dict``'s unknown-key filtering keeps loadable either way.
+    plan: dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
@@ -222,6 +226,7 @@ class RunManifest:
             ),
             metrics=registry.snapshot(),
             monitoring=monitor.export_history() if monitor is not None else [],
+            plan=jsonable(run.plan_record()),
         )
 
 
@@ -352,6 +357,9 @@ class ManifestDiff:
     count_rows: tuple[DiffRow, ...]
     stage_rows: tuple[DiffRow, ...]
     counter_rows: tuple[DiffRow, ...]
+    #: per-node plan-fingerprint comparison; empty unless *both* manifests
+    #: carry a plan record. Report-only: never part of ``counts_match``.
+    plan_rows: tuple[DiffRow, ...] = ()
 
     @property
     def counts_match(self) -> bool:
@@ -399,6 +407,18 @@ class ManifestDiff:
         )
         for row in drifted:
             lines.append(f"  !! {row.key}: {row.old!s} -> {row.new!s}")
+        if self.plan_rows:
+            edited = [r for r in self.plan_rows if not r.equal]
+            lines.append("")
+            lines.append(
+                f"plan nodes: {len(self.plan_rows)} compared, "
+                f"{len(edited)} edited"
+                + (" — count changes attribute to these edits:" if edited else "")
+            )
+            for row in edited:
+                old_s = row.old if row.old is not None else "(absent)"
+                new_s = row.new if row.new is not None else "(absent)"
+                lines.append(f"  !! {row.key}: {old_s} -> {new_s}")
         lines.append("")
         verdict = "COUNTS MATCH" if self.counts_match else "COUNTS DIFFER"
         mismatches = sum(1 for r in self.count_rows if not r.equal)
@@ -409,8 +429,29 @@ class ManifestDiff:
         return "\n".join(lines)
 
 
+def plan_attribution_rows(
+    old_plan: dict[str, Any], new_plan: dict[str, Any]
+) -> tuple[DiffRow, ...]:
+    """Per-node fingerprint rows attributing a diff to plan edits.
+
+    Empty unless both plan records carry node fingerprints (pre-plan
+    manifests, or degraded object-mode plans, have none) — the diff then
+    says nothing about the plan rather than guessing.
+    """
+    old_nodes = (old_plan.get("fingerprints") or {}).get("nodes") or {}
+    new_nodes = (new_plan.get("fingerprints") or {}).get("nodes") or {}
+    if not old_nodes or not new_nodes:
+        return ()
+    return tuple(
+        DiffRow("plan", node_id, old_nodes.get(node_id), new_nodes.get(node_id))
+        for node_id in sorted(set(old_nodes) | set(new_nodes))
+    )
+
+
 def diff_manifests(old: RunManifest, new: RunManifest) -> ManifestDiff:
-    """Compare two manifests: counts field-by-field, stages path-by-path."""
+    """Compare two manifests: counts field-by-field, stages path-by-path,
+    and — when both carry a plan record — plan nodes fingerprint-by-
+    fingerprint, so count drift is attributable to specific node edits."""
     count_rows = tuple(
         DiffRow("counts", key, old.counts.get(key), new.counts.get(key))
         for key in sorted(set(old.counts) | set(new.counts))
@@ -444,4 +485,5 @@ def diff_manifests(old: RunManifest, new: RunManifest) -> ManifestDiff:
         count_rows=count_rows,
         stage_rows=stage_rows,
         counter_rows=tuple(counter_rows),
+        plan_rows=plan_attribution_rows(old.plan, new.plan),
     )

@@ -1,0 +1,48 @@
+"""Declarative pipeline plans: one IR for every EM pipeline.
+
+The :class:`PipelineSpec` IR (:mod:`repro.plan.spec`) describes an EM
+pipeline as a DAG of stage nodes with named artifact edges;
+:func:`compile_plan` (:mod:`repro.plan.compile`) validates it and
+executes it on an :class:`~repro.runtime.context.EngineSession`;
+:data:`NODE_KINDS` (:mod:`repro.plan.nodes`) maps each node kind onto
+the existing :class:`~repro.runtime.context.StageOperator` machinery;
+and :func:`figure10_spec` (:mod:`repro.plan.figure10`) is the paper's
+combined workflow as the one shared recipe.
+
+See ``docs/pipeline.md`` for the IR reference and how to register a
+custom node kind.
+"""
+
+from .compile import CompiledPlan, PlanResult, compile_plan
+from .figure10 import (
+    DEFAULT_NEGATIVE_RULES,
+    DEFAULT_POSITIVE_RULES,
+    PlanRecipe,
+    drop_train_nodes,
+    figure10_spec,
+    figure10_workflow,
+    recipe_from_spec,
+    strip_negative_rules,
+)
+from .nodes import NODE_KINDS, ExecContext, NodeKind, register_node_kind
+from .spec import NodeSpec, PipelineSpec
+
+__all__ = [
+    "CompiledPlan",
+    "DEFAULT_NEGATIVE_RULES",
+    "DEFAULT_POSITIVE_RULES",
+    "ExecContext",
+    "NODE_KINDS",
+    "NodeKind",
+    "NodeSpec",
+    "PipelineSpec",
+    "PlanRecipe",
+    "PlanResult",
+    "compile_plan",
+    "drop_train_nodes",
+    "figure10_spec",
+    "figure10_workflow",
+    "recipe_from_spec",
+    "register_node_kind",
+    "strip_negative_rules",
+]

@@ -1,0 +1,229 @@
+"""Compile a :class:`~repro.plan.spec.PipelineSpec` and execute its DAG.
+
+:func:`compile_plan` validates the spec eagerly — unknown node kinds,
+duplicate artifact producers, missing artifact edges and dependency
+cycles all raise :class:`~repro.errors.PlanError` *before* any stage
+runs — and fixes the execution order: a topological sort that follows
+declaration order whenever it is itself a valid topological order, so a
+spec listing its nodes in pipeline order executes (and traces) exactly
+in that order.
+
+:meth:`CompiledPlan.execute` then runs each node on an
+:class:`~repro.runtime.context.EngineSession` with explicit artifact
+passing: a plain ``{artifact name: value}`` environment seeded from the
+caller's ``inputs`` and extended by each node's outputs. Store
+memoization, tracing, counters and provenance all happen inside the
+node runners via ``session.run_stage`` — the executor only adds the
+*group* structure: consecutive nodes sharing a ``group`` run inside one
+instrumentation stage span and (under ``provenance=True``) share one
+fresh :class:`~repro.obs.provenance.MatchProvenance` collector, which is
+how the Figure-10 plan reproduces the legacy per-slice stage trees and
+lineage exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import PlanError
+from .nodes import NODE_KINDS, ExecContext, NodeKind
+from .spec import NodeSpec, PipelineSpec
+
+
+def compile_plan(spec: PipelineSpec) -> "CompiledPlan":
+    """Validate *spec* and return an executable :class:`CompiledPlan`."""
+    kinds: dict[str, NodeKind] = {}
+    for node in spec.nodes:
+        kind = NODE_KINDS.get(node.kind)
+        if kind is None:
+            raise PlanError(
+                f"unknown node kind {node.kind!r} (node {node.id!r}); "
+                f"available: {sorted(NODE_KINDS)}"
+            )
+        kinds[node.id] = kind
+        if kind.prepare is not None:
+            kind.prepare(node)
+
+    producers = spec.producers()  # raises on duplicate producers
+    for node in spec.nodes:
+        for port, artifact in node.inputs.items():
+            if artifact not in producers and artifact not in spec.inputs:
+                raise PlanError(
+                    f"node {node.id!r} input port {port!r} reads artifact "
+                    f"{artifact!r}, but no node produces it and it is not a "
+                    f"declared plan input — missing edge"
+                )
+
+    # Declaration-order-stable topological sort: repeatedly run the first
+    # declared node whose input artifacts are all available.
+    available = set(spec.inputs)
+    remaining = list(spec.nodes)
+    order: list[NodeSpec] = []
+    while remaining:
+        ready = next(
+            (
+                n for n in remaining
+                if all(a in available for a in n.inputs.values())
+            ),
+            None,
+        )
+        if ready is None:
+            cycle = sorted(n.id for n in remaining)
+            raise PlanError(
+                f"plan {spec.name!r} has a dependency cycle among nodes "
+                f"{cycle}"
+            )
+        remaining.remove(ready)
+        order.append(ready)
+        available.update(ready.outputs.values())
+    return CompiledPlan(spec=spec, order=tuple(order), _kinds=kinds)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Everything one plan execution produced."""
+
+    spec: PipelineSpec
+    #: every artifact computed (plus the caller-supplied inputs).
+    artifacts: dict[str, Any]
+    #: provenance collectors, keyed by node group (empty unless enabled).
+    collectors: dict[str, Any] = field(default_factory=dict)
+    #: node ids in execution order.
+    order: tuple[str, ...] = ()
+
+    @property
+    def outputs(self) -> dict[str, Any]:
+        """The spec's exported outputs, by exported name."""
+        return {
+            name: self.artifacts[artifact]
+            for name, artifact in self.spec.outputs.items()
+            if artifact in self.artifacts
+        }
+
+    def __getitem__(self, name: str) -> Any:
+        """An exported output by name (falls back to raw artifact names)."""
+        artifact = self.spec.outputs.get(name, name)
+        try:
+            return self.artifacts[artifact]
+        except KeyError:
+            raise PlanError(
+                f"plan {self.spec.name!r} produced no artifact {name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A validated spec with a fixed execution order."""
+
+    spec: PipelineSpec
+    order: tuple[NodeSpec, ...]
+    _kinds: dict[str, NodeKind] = field(repr=False, default_factory=dict)
+
+    def _collector_factory(self, policy, collector_name):
+        if policy is None or policy is False:
+            return lambda group: None
+        if policy is True:
+            from ..obs.provenance import MatchProvenance
+
+            made: dict[str, Any] = {}
+
+            def fresh(group):
+                # One fresh collector per named group; ungrouped nodes
+                # run without lineage (matching the legacy combined
+                # workflow, where only the per-slice runs collect).
+                if group is None:
+                    return None
+                if group not in made:
+                    made[group] = MatchProvenance(
+                        collector_name or self.spec.name
+                    )
+                return made[group]
+
+            return fresh
+        return lambda group: policy  # explicit collector, shared
+
+    def execute(
+        self,
+        session: Any = None,
+        *,
+        inputs: Mapping[str, Any] | None = None,
+        provenance: Any = None,
+        collector_name: str | None = None,
+    ) -> PlanResult:
+        """Run the DAG; returns every artifact plus exported outputs.
+
+        ``provenance`` follows the workflow convention: ``None`` inherits
+        the session policy, ``False`` disables lineage, ``True`` builds a
+        fresh collector per node group, and an explicit collector object
+        is shared by every node.
+        """
+        from ..runtime.context import resolve_session
+        from ..runtime.instrument import stage
+
+        resolved = resolve_session(session)
+        env: dict[str, Any] = dict(inputs or {})
+        consumed = {a for n in self.order for a in n.inputs.values()}
+        missing = [
+            a for a in self.spec.inputs if a in consumed and a not in env
+        ]
+        if missing:
+            raise PlanError(
+                f"plan {self.spec.name!r} needs input artifacts "
+                f"{sorted(missing)}; got {sorted(env)}"
+            )
+
+        policy = provenance if provenance is not None else resolved.provenance
+        collector_for = self._collector_factory(policy, collector_name)
+        collectors: dict[str, Any] = {}
+        executed: list[str] = []
+
+        open_group: str | None = None
+        open_cm = None
+
+        def close_group():
+            nonlocal open_group, open_cm
+            if open_cm is not None:
+                open_cm.__exit__(None, None, None)
+            open_group, open_cm = None, None
+
+        try:
+            for node in self.order:
+                if node.group != open_group:
+                    close_group()
+                    if node.group is not None:
+                        open_cm = stage(resolved.instrumentation, node.group)
+                        open_cm.__enter__()
+                        open_group = node.group
+                collector = collector_for(node.group)
+                if collector is not None and node.group is not None:
+                    collectors[node.group] = collector
+                ins = {
+                    port: env[artifact]
+                    for port, artifact in node.inputs.items()
+                }
+                ctx = ExecContext(
+                    session=resolved,
+                    collector=collector,
+                    plan_name=self.spec.name,
+                )
+                produced = self._kinds[node.id].run(node, ins, ctx)
+                for port, artifact in node.outputs.items():
+                    if port not in produced:
+                        raise PlanError(
+                            f"node {node.id!r} ({node.kind}) declared output "
+                            f"port {port!r} but produced only "
+                            f"{sorted(produced)}"
+                        )
+                    env[artifact] = produced[port]
+                executed.append(node.id)
+        except BaseException:
+            close_group()
+            raise
+        close_group()
+        return PlanResult(
+            spec=self.spec,
+            artifacts=env,
+            collectors=collectors,
+            order=tuple(executed),
+        )

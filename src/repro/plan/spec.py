@@ -1,0 +1,316 @@
+"""The :class:`PipelineSpec` IR: an EM pipeline as data.
+
+The paper's thesis is that entity matching is a *pipeline* of how-to
+steps. This module makes that pipeline a first-class, JSON-serializable
+value: a DAG of :class:`NodeSpec` stage nodes (``preprocess``, ``block``,
+``down_sample``, ``label``, ``extract``, ``rules``, ``train``,
+``predict``, ``cluster``, ``combine``) connected by *named artifact
+edges*. A node declares which artifact each input port reads and which
+artifact each output port produces; the compiler
+(:mod:`repro.plan.compile`) checks the wiring and runs the nodes in
+topological order on an :class:`~repro.runtime.context.EngineSession`.
+
+Two usage modes share the one IR:
+
+* **Config mode** — every parameter is JSON data (blocker configs, rule
+  names, matcher kinds). The spec round-trips through
+  :meth:`PipelineSpec.to_json` / :meth:`PipelineSpec.from_json`, can be
+  committed (``examples/figure10.json``), fingerprinted
+  (:meth:`PipelineSpec.fingerprint`) and recorded in run manifests.
+* **Object mode** — live Python objects (a fitted matcher, a
+  ``FeatureSet``) are fed in as *plan inputs* at execute time, or stored
+  in node params by in-process wrappers like
+  :class:`repro.core.workflow.EMWorkflow`. Such specs execute the same
+  but refuse :meth:`canonical` with a :class:`~repro.errors.PlanError`
+  naming the offending node.
+
+Malformed specs raise :class:`~repro.errors.PlanError` (a
+:class:`~repro.errors.WorkflowError`) — a typo in a plan should fail
+loudly at parse/compile time, never silently change matching output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+from ..errors import PlanError
+
+_SCHEMA_VERSION = 1
+
+
+def _check_jsonable(value: Any, where: str) -> Any:
+    """Return ``value`` coerced to canonical JSON types, or raise."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_jsonable(v, where) for v in value]
+    if isinstance(value, Mapping):
+        out = {}
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise PlanError(
+                    f"{where}: mapping key {key!r} is not a string"
+                )
+            out[key] = _check_jsonable(val, where)
+        return out
+    raise PlanError(
+        f"{where}: value of type {type(value).__name__} is not "
+        f"JSON-serializable; pass live objects as plan inputs instead"
+    )
+
+
+def _str_map(obj: Any, where: str) -> dict[str, str]:
+    if not isinstance(obj, Mapping):
+        raise PlanError(f"{where} must be a mapping, got {type(obj).__name__}")
+    out = {}
+    for key, val in obj.items():
+        if not isinstance(key, str) or not isinstance(val, str):
+            raise PlanError(f"{where}: ports and artifacts must be strings")
+        out[key] = val
+    return out
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One pipeline stage: a kind, its params, and its artifact wiring.
+
+    ``inputs`` and ``outputs`` map *port names* (the node kind's
+    vocabulary, e.g. ``candidates``) to *artifact names* (the plan's
+    vocabulary, e.g. ``orig:C``). ``group`` assigns the node to a named
+    instrumentation stage — consecutive nodes sharing a group run inside
+    one ``stage(...)`` span and share one provenance collector, which is
+    how the Figure-10 plan reproduces the legacy per-slice traces.
+    """
+
+    id: str
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    inputs: Mapping[str, str] = field(default_factory=dict)
+    outputs: Mapping[str, str] = field(default_factory=dict)
+    group: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.id or not isinstance(self.id, str):
+            raise PlanError(f"node id must be a non-empty string, got {self.id!r}")
+        if not self.kind or not isinstance(self.kind, str):
+            raise PlanError(
+                f"node {self.id!r}: kind must be a non-empty string"
+            )
+
+    def canonical(self) -> dict[str, Any]:
+        """JSON-safe dict form; raises :class:`PlanError` on live params."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "params": _check_jsonable(
+                dict(self.params), f"node {self.id!r} params"
+            ),
+            "inputs": dict(self.inputs),
+            "outputs": dict(self.outputs),
+        }
+        if self.group is not None:
+            out["group"] = self.group
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "NodeSpec":
+        if not isinstance(obj, Mapping):
+            raise PlanError(f"node spec must be a mapping, got {obj!r}")
+        unknown = set(obj) - {"id", "kind", "params", "inputs", "outputs", "group"}
+        if unknown:
+            raise PlanError(
+                f"node spec has unknown fields {sorted(unknown)}"
+            )
+        if "id" not in obj or "kind" not in obj:
+            raise PlanError(f"node spec needs 'id' and 'kind': {dict(obj)!r}")
+        params = obj.get("params", {})
+        if not isinstance(params, Mapping):
+            raise PlanError(f"node {obj['id']!r}: params must be a mapping")
+        where = f"node {obj['id']!r}"
+        return cls(
+            id=obj["id"],
+            kind=obj["kind"],
+            params=dict(params),
+            inputs=_str_map(obj.get("inputs", {}), f"{where} inputs"),
+            outputs=_str_map(obj.get("outputs", {}), f"{where} outputs"),
+            group=obj.get("group"),
+        )
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A named DAG of :class:`NodeSpec` nodes plus its external contract.
+
+    ``inputs`` names the artifacts the caller must provide at execute
+    time; ``outputs`` maps exported result names to internal artifact
+    names. Node order in ``nodes`` is only a tiebreak — execution order
+    comes from the artifact edges — but it is preserved canonically so
+    serialization round-trips bit-identically.
+    """
+
+    name: str
+    nodes: tuple[NodeSpec, ...] = ()
+    inputs: tuple[str, ...] = ()
+    outputs: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise PlanError(f"plan name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        seen: set[str] = set()
+        for node in self.nodes:
+            if node.id in seen:
+                raise PlanError(f"duplicate node id {node.id!r} in plan {self.name!r}")
+            seen.add(node.id)
+
+    # -- lookup helpers ------------------------------------------------
+
+    def node(self, node_id: str) -> NodeSpec:
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise PlanError(f"plan {self.name!r} has no node {node_id!r}")
+
+    def producers(self) -> dict[str, NodeSpec]:
+        """artifact name -> the node that produces it (uniqueness checked)."""
+        out: dict[str, NodeSpec] = {}
+        for node in self.nodes:
+            for artifact in node.outputs.values():
+                if artifact in out:
+                    raise PlanError(
+                        f"artifact {artifact!r} produced by both "
+                        f"{out[artifact].id!r} and {node.id!r}"
+                    )
+                if artifact in self.inputs:
+                    raise PlanError(
+                        f"artifact {artifact!r} is both a plan input and an "
+                        f"output of node {node.id!r}"
+                    )
+                out[artifact] = node
+        return out
+
+    # -- derivation helpers --------------------------------------------
+
+    def with_name(self, name: str) -> "PipelineSpec":
+        return replace(self, name=name)
+
+    def replace_node(self, node_id: str, **changes: Any) -> "PipelineSpec":
+        """A copy with one node rebuilt via :func:`dataclasses.replace`."""
+        self.node(node_id)  # raise early on unknown id
+        nodes = tuple(
+            replace(n, **changes) if n.id == node_id else n for n in self.nodes
+        )
+        return replace(self, nodes=nodes)
+
+    def without_nodes(self, node_ids: Iterable[str]) -> "PipelineSpec":
+        """Drop nodes, promoting their outputs to plan inputs.
+
+        Used to e.g. strip the ``train`` node from the Figure-10 spec
+        when a caller supplies an already-fitted matcher: the dropped
+        node's output artifacts become the caller's responsibility.
+        """
+        drop = set(node_ids)
+        unknown = drop - {n.id for n in self.nodes}
+        if unknown:
+            raise PlanError(
+                f"plan {self.name!r} has no nodes {sorted(unknown)}"
+            )
+        promoted: list[str] = []
+        kept: list[NodeSpec] = []
+        for node in self.nodes:
+            if node.id in drop:
+                promoted.extend(node.outputs.values())
+            else:
+                kept.append(node)
+        consumed = {a for n in kept for a in n.inputs.values()}
+        consumed.update(self.outputs.values())
+        new_inputs = tuple(self.inputs) + tuple(
+            a for a in promoted if a in consumed and a not in self.inputs
+        )
+        return replace(self, nodes=tuple(kept), inputs=new_inputs)
+
+    # -- serialization -------------------------------------------------
+
+    def canonical(self) -> dict[str, Any]:
+        """Canonical JSON-safe dict: the fingerprint/manifest form."""
+        return {
+            "schema_version": _SCHEMA_VERSION,
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": dict(self.outputs),
+            "nodes": [node.canonical() for node in self.nodes],
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.canonical()
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.canonical(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "PipelineSpec":
+        if not isinstance(obj, Mapping):
+            raise PlanError(f"plan spec must be a mapping, got {obj!r}")
+        unknown = set(obj) - {
+            "schema_version", "name", "inputs", "outputs", "nodes",
+        }
+        if unknown:
+            raise PlanError(f"plan spec has unknown fields {sorted(unknown)}")
+        if "name" not in obj:
+            raise PlanError("plan spec is missing 'name'")
+        nodes_obj = obj.get("nodes", [])
+        if not isinstance(nodes_obj, (list, tuple)):
+            raise PlanError("plan 'nodes' must be a list")
+        inputs_obj = obj.get("inputs", [])
+        if not isinstance(inputs_obj, (list, tuple)) or not all(
+            isinstance(a, str) for a in inputs_obj
+        ):
+            raise PlanError("plan 'inputs' must be a list of artifact names")
+        return cls(
+            name=obj["name"],
+            nodes=tuple(NodeSpec.from_dict(n) for n in nodes_obj),
+            inputs=tuple(inputs_obj),
+            outputs=_str_map(obj.get("outputs", {}), "plan outputs"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"plan spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(obj)
+
+    @classmethod
+    def load(cls, path: Any) -> "PipelineSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def dump(self, path: Any) -> Any:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    # -- fingerprints --------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the whole plan (canonical form)."""
+        from ..store.fingerprint import fingerprint_value
+
+        return fingerprint_value(self.canonical())
+
+    def node_fingerprints(self) -> dict[str, str]:
+        """Per-node content fingerprints keyed by node id.
+
+        These derive from each node's canonical serialization, so a
+        one-node edit changes exactly one fingerprint — the property
+        ``trace diff`` uses to attribute count changes to node edits.
+        """
+        from ..store.fingerprint import fingerprint_value
+
+        return {
+            node.id: fingerprint_value(node.canonical()) for node in self.nodes
+        }

@@ -198,6 +198,42 @@ class MatchService:
         if len(ltable):
             self.apply_patch(upserts=ltable)
 
+    @classmethod
+    def from_plan(
+        cls,
+        plan: Any,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        *,
+        matcher: Any,
+        feature_set: Any,
+        name: str = "serve",
+        session: EngineSession | None = None,
+    ) -> "MatchService":
+        """Bootstrap a service from a pipeline spec's slice recipe.
+
+        *plan* is a :class:`repro.plan.PipelineSpec` (e.g. the committed
+        ``examples/figure10.json``); its blockers and positive/negative
+        rules are extracted via
+        :func:`repro.plan.figure10.recipe_from_spec`, so the serving loop
+        runs the *same* recipe as the batch case study — no private copy.
+        """
+        from ..plan.figure10 import recipe_from_spec
+
+        recipe = recipe_from_spec(plan)
+        return cls(
+            ltable, rtable, l_key, r_key,
+            matcher=matcher,
+            feature_set=feature_set,
+            blockers=list(recipe.blockers),
+            positive_rules=list(recipe.positive_rules),
+            negative_rules=list(recipe.negative_rules),
+            name=name,
+            session=session,
+        )
+
     # -- helpers -------------------------------------------------------
 
     @property

@@ -14,6 +14,15 @@ it finds
   (``EngineSession``, ``resolve_session``, ``derive``, ``WorkerPool``,
   ``ChunkedExecutor``, ``Instrumentation``, ...).
 
+The pipeline-plan refactor likewise collapsed the three hand-wired
+copies of the Figure-10 recipe into one spec
+(``repro.plan.figure10_spec``). A second check freezes the legacy
+recipe constructors (``make_blockers`` / ``positive_rules`` /
+``default_negative_rules``): outside their defining modules and the
+registry factories (``RECIPE_ALLOWED``), new code — including
+benchmarks and examples — must derive the recipe from the plan
+(``figure10_spec`` / ``recipe_from_spec`` / ``figure10_workflow``).
+
 New code should accept/resolve an ``EngineSession`` instead (or rely on
 the ambient one); only the deprecated shim layer may keep the old
 keywords. Run locally with ``python tools/lint_session_plumbing.py``.
@@ -67,6 +76,19 @@ ALLOWED_CALLEES = {
 }
 
 
+#: The legacy Figure-10 recipe constructors, frozen to their defining
+#: modules (and the registry factory that wraps one). Everywhere else
+#: derives the recipe from the plan. Do not add entries.
+RECIPE_ALLOWED = {
+    "make_blockers": {"repro/casestudy/blocking_plan.py"},
+    "positive_rules": {"repro/casestudy/workflows.py"},
+    "default_negative_rules": {
+        "repro/rules/negative.py",
+        "repro/rules/factory.py",
+    },
+}
+
+
 def _callee_name(node: ast.Call) -> str:
     func = node.func
     if isinstance(func, ast.Attribute):
@@ -74,6 +96,29 @@ def _callee_name(node: ast.Call) -> str:
     if isinstance(func, ast.Name):
         return func.id
     return ""
+
+
+def lint_recipe_calls(path: Path, rel: str) -> list[str]:
+    """Flag hand-wired Figure-10 recipe calls outside the frozen layer.
+
+    Only bare-name calls count: ``positive_rules`` is also a workflow
+    *attribute* name, and ``obj.positive_rules`` accesses are fine.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Name):
+            continue
+        name = node.func.id
+        allowed = RECIPE_ALLOWED.get(name)
+        if allowed is not None and rel not in allowed:
+            problems.append(
+                f"{rel}:{node.lineno}: call to {name}() hand-wires the "
+                f"legacy Figure-10 recipe — derive it from the plan "
+                f"(repro.plan.figure10_spec / recipe_from_spec / "
+                f"figure10_workflow) instead"
+            )
+    return problems
 
 
 def lint_file(path: Path, rel: str) -> list[str]:
@@ -118,9 +163,20 @@ def main(argv: list[str] | None = None) -> int:
     problems: list[str] = []
     for path in sorted(src.rglob("*.py")):
         rel = path.relative_to(src).as_posix()
+        problems.extend(lint_recipe_calls(path, rel))
         if rel in SHIM_MODULES or rel == "repro/__main__.py":
             continue
         problems.extend(lint_file(path, rel))
+    # the recipe freeze also covers benchmarks and examples — the very
+    # call sites the plan refactor deduplicated
+    repo = src.parent
+    for extra_root in ("benchmarks", "examples"):
+        root = repo / extra_root
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            rel = f"{extra_root}/{path.relative_to(root).as_posix()}"
+            problems.extend(lint_recipe_calls(path, rel))
     for problem in problems:
         print(problem)
     if problems:
